@@ -1,0 +1,179 @@
+"""Ablations of the methodology's design choices (see DESIGN.md).
+
+Four knobs the paper fixes without sweeping:
+
+1. **Instruction-count weighting** of feature-vector entries (Section
+   V-B's block-A/block-B example) -- compare weighted vs raw counts.
+2. **BIC model selection vs fixed k=10** -- SimPoint may return fewer
+   than the maximum number of clusters; what does forcing the maximum
+   cost/buy?
+3. **Random-projection dimension** (SimPoint's default 15).
+4. **Interval target size** for the ~100M-analogue division.
+
+Each ablation runs the Sync/100M + BB pipeline over a sample of suite
+applications and reports mean Eq. (1) error and mean speedup.
+"""
+
+import numpy as np
+from conftest import BENCH_SIMPOINT, save_result
+
+import dataclasses
+
+from repro.analysis.render import render_table
+from repro.sampling.explorer import evaluate_config
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import DEFAULT_APPROX_SIZE, IntervalScheme
+from repro.sampling.selection import SelectionConfig
+
+ABLATION_APPS = (
+    "cb-physics-ocean-surf",
+    "sandra-crypt-aes128",
+    "sonyvegas-proj-r3",
+    "cb-vision-tv-l1-of",
+    "cb-histogram-buffer",
+)
+
+SYNC_BB = SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB)
+APPROX_BB = SelectionConfig(IntervalScheme.APPROX_100M, FeatureKind.BB)
+
+
+def _mean_error_and_speedup(workloads, config, **kwargs):
+    errors, speedups = [], []
+    for name in ABLATION_APPS:
+        w = workloads[name]
+        result = evaluate_config(config, w.log, w.timings, **kwargs)
+        errors.append(result.error_percent)
+        speedups.append(result.simulation_speedup)
+    return float(np.mean(errors)), float(np.mean(speedups))
+
+
+def test_ablation_feature_weighting(benchmark, suite_workloads):
+    """Weighted (paper) vs unweighted feature-vector entries."""
+
+    def run():
+        weighted = _mean_error_and_speedup(
+            suite_workloads, SYNC_BB,
+            options=BENCH_SIMPOINT, weighted_features=True,
+        )
+        unweighted = _mean_error_and_speedup(
+            suite_workloads, SYNC_BB,
+            options=BENCH_SIMPOINT, weighted_features=False,
+        )
+        return weighted, unweighted
+
+    (w_err, w_spd), (u_err, u_spd) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_weighting",
+        render_table(
+            "Ablation: instruction-count weighting of feature vectors "
+            "(Sync-BB, 5 apps)",
+            ["Variant", "Mean error", "Mean speedup"],
+            [
+                ("weighted (paper)", f"{w_err:.3f}%", f"{w_spd:.1f}x"),
+                ("unweighted", f"{u_err:.3f}%", f"{u_spd:.1f}x"),
+            ],
+        ),
+    )
+    # Both work; the pipeline must stay accurate under the paper's choice.
+    assert w_err < 5.0
+    assert u_err < 20.0
+
+
+def test_ablation_fixed_k(benchmark, suite_workloads):
+    """BIC-selected k vs forcing the maximum of 10 clusters."""
+
+    def run():
+        bic = _mean_error_and_speedup(
+            suite_workloads, SYNC_BB, options=BENCH_SIMPOINT
+        )
+        fixed = _mean_error_and_speedup(
+            suite_workloads, SYNC_BB,
+            options=dataclasses.replace(BENCH_SIMPOINT, fixed_k=10),
+        )
+        return bic, fixed
+
+    (b_err, b_spd), (f_err, f_spd) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_fixed_k",
+        render_table(
+            "Ablation: BIC model selection vs fixed k=10 (Sync-BB, 5 apps)",
+            ["Variant", "Mean error", "Mean speedup"],
+            [
+                ("BIC-selected (paper)", f"{b_err:.3f}%", f"{b_spd:.1f}x"),
+                ("fixed k=10", f"{f_err:.3f}%", f"{f_spd:.1f}x"),
+            ],
+        ),
+    )
+    assert b_err < 5.0 and f_err < 5.0
+    # Fixed k=10 simulates at least as many intervals -> no larger speedup
+    # would be surprising, but small BIC-chosen k can tie; assert sanity.
+    assert f_spd > 1.0 and b_spd > 1.0
+
+
+def test_ablation_projection_dim(benchmark, suite_workloads):
+    """Random-projection dimension sweep around SimPoint's default 15."""
+    dims = (2, 15, 50)
+
+    def run():
+        rows = []
+        for dim in dims:
+            options = dataclasses.replace(BENCH_SIMPOINT, projection_dim=dim)
+            err, spd = _mean_error_and_speedup(
+                suite_workloads, SYNC_BB, options=options
+            )
+            rows.append((dim, err, spd))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_projection",
+        render_table(
+            "Ablation: random-projection dimension (Sync-BB, 5 apps)",
+            ["Dimension", "Mean error", "Mean speedup"],
+            [(d, f"{e:.3f}%", f"{s:.1f}x") for d, e, s in rows],
+        ),
+    )
+    by_dim = {d: e for d, e, _ in rows}
+    # The default dimension must be accurate; a 2-d squeeze loses
+    # structure and must not be *better* than 15 by a large margin.
+    assert by_dim[15] < 5.0
+    assert by_dim[50] < 5.0
+    assert by_dim[2] > by_dim[15] - 1.0
+
+
+def test_ablation_interval_target(benchmark, suite_workloads):
+    """Target size of the ~100M-analogue division."""
+    targets = (
+        DEFAULT_APPROX_SIZE // 8,
+        DEFAULT_APPROX_SIZE,
+        DEFAULT_APPROX_SIZE * 8,
+    )
+
+    def run():
+        rows = []
+        for target in targets:
+            err, spd = _mean_error_and_speedup(
+                suite_workloads, APPROX_BB,
+                approx_size=target, options=BENCH_SIMPOINT,
+            )
+            rows.append((target, err, spd))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_interval_target",
+        render_table(
+            "Ablation: ~100M-analogue interval target (100M-BB, 5 apps)",
+            ["Target (instructions)", "Mean error", "Mean speedup"],
+            [(t, f"{e:.3f}%", f"{s:.1f}x") for t, e, s in rows],
+        ),
+    )
+    speedups = [s for _, _, s in rows]
+    # Smaller intervals -> smaller selections -> larger speedups.
+    assert speedups[0] >= speedups[-1]
+    for _, err, _ in rows:
+        assert err < 8.0

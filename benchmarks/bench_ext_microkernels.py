@@ -1,0 +1,74 @@
+"""Extension: combining interval selection with loop-reduced micro-kernels.
+
+The paper's Related Work notes that partial-invocation methods (Yu et
+al.'s reduced-loop micro-kernels) "could be combined with our method of
+skipping whole invocations for improved simulation speedups".  This bench
+quantifies the combination on the detailed reference simulator: speedup
+multiplies, accuracy degrades gracefully.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import render_table
+from repro.gpu.cache import CacheConfig
+from repro.gpu.device import HD4000
+from repro.simulation.microkernels import simulate_selection_microkernels
+from repro.simulation.sampled import simulate_full
+
+SAMPLE_APPS = ("cb-gaussian-buffer", "cb-gaussian-image",
+               "cb-throughput-juliaset")
+REDUCTIONS = (1.0, 2.0, 4.0, 8.0)
+CACHE = CacheConfig(size_bytes=256 * 1024)
+
+
+def test_ext_microkernel_combination(
+    benchmark, suite_apps, suite_workloads, suite_explorations
+):
+    apps = {a.name: a for a in suite_apps}
+
+    def run_all():
+        rows = []
+        for name in SAMPLE_APPS:
+            workload = suite_workloads[name]
+            selection = suite_explorations[name].minimize_error().selection
+            full = simulate_full(
+                name, apps[name].sources, workload.log, HD4000, CACHE
+            )
+            for reduction in REDUCTIONS:
+                result = simulate_selection_microkernels(
+                    name, apps[name].sources, workload.log, selection,
+                    HD4000, loop_reduction=reduction, cache_config=CACHE,
+                )
+                error = (
+                    abs(full.measured_spi - result.projected_spi)
+                    / full.measured_spi * 100.0
+                )
+                rows.append((name, reduction, result.instruction_speedup,
+                             error))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_result(
+        "ext_microkernels",
+        render_table(
+            "Extension: interval selection x loop-reduced micro-kernels "
+            "(vs full detailed simulation)",
+            ["Application", "Loop reduction", "Instr. speedup", "SPI error"],
+            [
+                (name, f"{r:g}x", f"{s:.1f}x", f"{e:.2f}%")
+                for name, r, s, e in rows
+            ],
+        ),
+    )
+
+    by_app: dict[str, list[tuple[float, float, float]]] = {}
+    for name, reduction, speedup, error in rows:
+        by_app.setdefault(name, []).append((reduction, speedup, error))
+    for name, entries in by_app.items():
+        speedups = [s for _, s, _ in entries]
+        # Reduction multiplies the speedup...
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 1.5 * speedups[0]
+        # ...and accuracy stays within a usable envelope.
+        for _, _, error in entries:
+            assert error < 25.0

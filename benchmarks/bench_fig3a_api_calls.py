@@ -1,0 +1,57 @@
+"""Figure 3a: OpenCL API-call breakdown (kernel / sync / other).
+
+Paper shape targets: kernel calls ~15% on average (bitcoin lowest at
+~4.5%, part-sim-32k highest at ~76.5%); sync calls average ~6.8% with
+juliaset the outlier (~25.7%); juliaset has the fewest total calls.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import figure3a_api_calls
+
+
+def _by_name(chars):
+    return {a.name: a for a in chars}
+
+
+def test_fig3a_api_call_breakdown(benchmark, suite_chars):
+    text = benchmark.pedantic(
+        figure3a_api_calls, args=(suite_chars,), rounds=1, iterations=1
+    )
+    save_result("fig3a_api_calls", text)
+
+    apps = _by_name(suite_chars)
+
+    def kernel_frac(name):
+        a = apps[name]
+        return a.api.kernel_calls / a.api.total_calls
+
+    def sync_frac(name):
+        a = apps[name]
+        return a.api.synchronization_calls / a.api.total_calls
+
+    # Suite-average shape (paper: ~15% kernel, ~6.8% sync).
+    assert 0.08 <= suite_chars.mean_kernel_call_fraction() <= 0.30
+    assert 0.02 <= suite_chars.mean_sync_call_fraction() <= 0.15
+
+    # bitcoin initiates work with the smallest kernel-call share (~4.5%).
+    assert kernel_frac("cb-throughput-bitcoin") < 0.08
+    assert kernel_frac("cb-throughput-bitcoin") == min(
+        kernel_frac(n) for n in apps
+    )
+
+    # part-sim-32k the largest (~76.5%).
+    assert kernel_frac("cb-physics-part-sim-32k") > 0.55
+    assert kernel_frac("cb-physics-part-sim-32k") == max(
+        kernel_frac(n) for n in apps
+    )
+
+    # juliaset: highest sync share (~25.7%) and fewest total API calls.
+    assert sync_frac("cb-throughput-juliaset") > 0.18
+    assert sync_frac("cb-throughput-juliaset") == max(
+        sync_frac(n) for n in apps
+    )
+    # juliaset is one of the two shortest call streams (in our synthetic
+    # suite cb-gaussian-image, the other minimal app, can edge it out).
+    shortest_two = sorted(apps.values(), key=lambda a: a.api.total_calls)[:2]
+    assert "cb-throughput-juliaset" in {a.name for a in shortest_two}

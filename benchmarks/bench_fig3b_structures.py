@@ -1,0 +1,31 @@
+"""Figure 3b: static program structures (unique kernels, basic blocks).
+
+Paper shape targets: 1-50 unique kernels (mean 10.2); gaussian-image has
+a single kernel, facedetect the most.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import figure3b_structures
+
+
+def test_fig3b_program_structures(benchmark, suite_chars):
+    text = benchmark.pedantic(
+        figure3b_structures, args=(suite_chars,), rounds=1, iterations=1
+    )
+    save_result("fig3b_structures", text)
+
+    kernels = {a.name: a.structure.unique_kernels for a in suite_chars}
+    blocks = {a.name: a.structure.unique_basic_blocks for a in suite_chars}
+
+    assert min(kernels.values()) == 1
+    assert kernels["cb-gaussian-image"] == 1
+    assert max(kernels.values()) == 50
+    assert kernels["cb-vision-facedetect"] == 50
+    assert 7 <= suite_chars.mean_unique_kernels() <= 13  # paper: 10.2
+
+    # Blocks: gaussian-image is the smallest program (paper min: 7 BBs).
+    assert min(blocks.values()) == blocks["cb-gaussian-image"] == 7
+    assert max(blocks.values()) == blocks["cb-vision-facedetect"]
+    # Everything has at least 7 unique blocks, as the paper reports.
+    assert all(b >= 7 for b in blocks.values())

@@ -1,0 +1,46 @@
+"""Figure 3c: dynamic GPU work (kernel invocations, BB executions, instrs).
+
+Paper shape targets: invocations span 55 to ~18k (we scale volumes, the
+minimum of 55 is preserved at scale 1.0); instruction counts span ~3
+orders of magnitude; structure counts (Fig 3b) do not predict dynamic
+counts.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import figure3c_dynamic_work
+
+
+def test_fig3c_dynamic_work(benchmark, suite_chars, scale):
+    text = benchmark.pedantic(
+        figure3c_dynamic_work, args=(suite_chars,), rounds=1, iterations=1
+    )
+    save_result("fig3c_dynamic_work", text)
+
+    invocations = {
+        a.name: a.instructions.kernel_invocations for a in suite_chars
+    }
+    instrs = {
+        a.name: a.instructions.dynamic_instructions for a in suite_chars
+    }
+    blocks = {
+        a.name: a.instructions.dynamic_basic_blocks for a in suite_chars
+    }
+
+    # Invocation spread: smallest apps are gaussian-image/juliaset.
+    assert min(invocations, key=invocations.get) in (
+        "cb-gaussian-image",
+        "cb-throughput-juliaset",
+    )
+    assert max(invocations.values()) >= 20 * min(invocations.values())
+
+    # Dynamic instruction volumes span orders of magnitude.
+    assert max(instrs.values()) >= 50 * min(instrs.values())
+
+    # Per-app consistency: instructions >= block executions >= invocations.
+    for name in instrs:
+        assert instrs[name] > blocks[name] > invocations[name]
+
+    # Unique-kernel count has little to do with invocation count: the
+    # single-kernel app is not the least-invoking app's opposite extreme.
+    assert invocations["cb-vision-facedetect"] == max(invocations.values())

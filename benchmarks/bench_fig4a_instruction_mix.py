@@ -1,0 +1,42 @@
+"""Figure 4a: dynamic instruction mixes (move/logic/control/comp/send).
+
+Paper shape targets: computation averages ~36% with proc-gpu the outlier
+at ~91%; control averages ~7.3%; sends ~5.1%; moves+logic carry the rest
+(vector loads and in-vector arithmetic support).
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import figure4a_instruction_mixes
+from repro.isa.opcodes import OpClass
+
+
+def test_fig4a_instruction_mixes(benchmark, suite_chars):
+    text = benchmark.pedantic(
+        figure4a_instruction_mixes, args=(suite_chars,), rounds=1, iterations=1
+    )
+    save_result("fig4a_instruction_mix", text)
+
+    suite = suite_chars.suite_mix_fractions()
+    per_app = {
+        a.name: a.opcode_mix.dynamic_fractions() for a in suite_chars
+    }
+
+    # Suite averages near the paper's.
+    assert 0.25 <= suite[OpClass.COMPUTATION] <= 0.50  # paper 36.2%
+    assert 0.03 <= suite[OpClass.CONTROL] <= 0.12  # paper 7.3%
+    assert 0.02 <= suite[OpClass.SEND] <= 0.12  # paper 5.1%
+    # Moves and logic are heavily used (vector support).
+    assert suite[OpClass.MOVE] + suite[OpClass.LOGIC] >= 0.30
+
+    # proc-gpu stands out with a huge computation share (paper: 91%).
+    proc = per_app["sandra-proc-gpu"][OpClass.COMPUTATION]
+    assert proc > 0.75
+    assert proc == max(
+        fractions[OpClass.COMPUTATION] for fractions in per_app.values()
+    )
+
+    # Crypto apps are logic-heavy.
+    for name in ("sandra-crypt-aes128", "sandra-crypt-aes256",
+                 "cb-throughput-bitcoin"):
+        assert per_app[name][OpClass.LOGIC] > suite[OpClass.LOGIC]

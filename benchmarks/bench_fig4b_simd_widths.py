@@ -1,0 +1,29 @@
+"""Figure 4b: SIMD width distribution.
+
+Paper shape targets: 16-wide ~52% and 8-wide ~45% of dynamic
+instructions; 1-wide ~4%; 4-wide <0.1% overall and used by exactly six
+applications; 2-wide never used.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import figure4b_simd_widths
+
+
+def test_fig4b_simd_widths(benchmark, suite_chars):
+    text = benchmark.pedantic(
+        figure4b_simd_widths, args=(suite_chars,), rounds=1, iterations=1
+    )
+    save_result("fig4b_simd_widths", text)
+
+    suite = suite_chars.suite_simd_fractions()
+
+    assert 0.40 <= suite[16] <= 0.65  # paper 52%
+    assert 0.30 <= suite[8] <= 0.55  # paper 45%
+    assert suite[1] <= 0.10  # paper 4%
+    assert suite[4] < 0.01  # paper <0.1%
+    assert suite[2] == 0.0  # paper: never used
+
+    # Exactly six applications use SIMD4 (paper).
+    assert len(suite_chars.apps_using_width(4)) == 6
+    assert suite_chars.apps_using_width(2) == []

@@ -1,0 +1,36 @@
+"""Figure 4c: GPU memory activity (bytes read / written).
+
+Paper shape targets: the two crypto apps read the most (624 and 2174 GB,
+aes256 > aes128); the Sony regions write far more than they read (up to
+~525x for region 5); on suite average, reads exceed writes (~1110 GB read
+vs ~105 GB written).
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import figure4c_memory_activity
+
+
+def test_fig4c_memory_activity(benchmark, suite_chars):
+    text = benchmark.pedantic(
+        figure4c_memory_activity, args=(suite_chars,), rounds=1, iterations=1
+    )
+    save_result("fig4c_memory_activity", text)
+
+    reads = {a.name: a.memory.bytes_read for a in suite_chars}
+    ratios = {a.name: a.memory.write_to_read_ratio for a in suite_chars}
+
+    # Crypto apps read the most, aes256 more than aes128.
+    top_readers = sorted(reads, key=reads.get, reverse=True)[:2]
+    assert set(top_readers) == {"sandra-crypt-aes128", "sandra-crypt-aes256"}
+    assert reads["sandra-crypt-aes256"] > reads["sandra-crypt-aes128"]
+
+    # Every Sony region writes more than it reads; r5 is the most skewed.
+    sony = [f"sonyvegas-proj-r{i}" for i in range(1, 8)]
+    for name in sony:
+        assert ratios[name] > 1.0
+    assert max(sony, key=lambda n: ratios[n]) == "sonyvegas-proj-r5"
+    assert ratios["sonyvegas-proj-r5"] > 20  # paper: up to 525x
+
+    # Suite average: reads dominate writes.
+    assert suite_chars.mean_bytes_read() > suite_chars.mean_bytes_written()

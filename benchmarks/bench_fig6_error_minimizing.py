@@ -1,0 +1,54 @@
+"""Figure 6: per-application error-minimizing configurations.
+
+Paper: choosing the best of the 30 configs per application averages 0.3%
+error (worst case 2.1%, histogram-buffer) with speedups averaging 35x
+(range 6x-6509x); only 5 of 25 applications choose kernel-based features,
+and memory-augmented features are chosen by 20 of 25.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.render import figure6_error_minimizing
+
+
+def test_fig6_error_minimizing(benchmark, suite_explorations):
+    def pick_all():
+        return [
+            (name, ex.minimize_error())
+            for name, ex in suite_explorations.items()
+        ]
+
+    per_app = benchmark.pedantic(pick_all, rounds=1, iterations=1)
+    save_result("fig6_error_minimizing", figure6_error_minimizing(per_app))
+
+    errors = np.array([r.error_percent for _, r in per_app])
+    speedups = np.array([r.simulation_speedup for _, r in per_app])
+
+    # Paper: 0.3% average error, worst case ~2.1%.
+    assert float(errors.mean()) < 1.5
+    assert float(errors.max()) < 8.0
+
+    # Paper: speedups average 35x; ours should be comfortably >5x on
+    # average with a wide range.
+    assert float(speedups.mean()) > 5.0
+    assert float(speedups.max()) > 4 * float(speedups.min())
+
+    # Paper: most apps choose BB-family features (only 5 of 25 chose KN).
+    kn_choosers = [
+        name
+        for name, r in per_app
+        if r.config.feature.value.startswith("KN")
+    ]
+    assert len(kn_choosers) <= 10
+
+    # Paper: memory-augmented features are chosen by 20 of 25 apps; assert
+    # they are chosen by a substantial share.
+    memory_choosers = [
+        name for name, r in per_app if r.config.feature.uses_memory
+    ]
+    assert len(memory_choosers) >= 8
+
+    # Paper: different apps choose different interval schemes.
+    schemes = {r.config.scheme for _, r in per_app}
+    assert len(schemes) >= 2

@@ -1,0 +1,117 @@
+"""Figure 8: validating trial-1 selections on future executions.
+
+Three panels, each replaying every application's CoFluent recording under
+new conditions and scoring the original selection:
+
+* top    -- trials 2-10 on the same machine (paper: mostly <3% error);
+* middle -- frequencies 1000/850/700/550/350 MHz (paper: mostly <3%);
+* bottom -- Haswell HD4600 instead of Ivy Bridge HD4000 (paper: mostly
+  <3%, worst case ~11% on gaussian-image).
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.render import figure8_validation
+from repro.gpu.device import FIGURE_8_FREQUENCIES_MHZ, HD4000, HD4600
+from repro.sampling.validation import (
+    cross_architecture_errors,
+    cross_frequency_errors,
+    cross_trial_errors,
+)
+
+#: Trials 2..10 of the paper's top panel.
+TRIAL_SEEDS = tuple(range(2, 11))
+
+
+def _selection_for(suite_explorations, name):
+    return suite_explorations[name].minimize_error().selection
+
+
+def test_fig8_cross_trial(benchmark, suite_workloads, suite_explorations):
+    reports = {}
+
+    def run_all():
+        for name, workload in suite_workloads.items():
+            reports[name] = cross_trial_errors(
+                workload.recording,
+                _selection_for(suite_explorations, name),
+                HD4000,
+                trial_seeds=TRIAL_SEEDS,
+            )
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_result(
+        "fig8_cross_trial",
+        figure8_validation(
+            "Figure 8 (top): trials 2-10 scored with trial-1 selections",
+            list(reports.values()),
+        ),
+    )
+    errors = np.array(
+        [p.error_percent for r in reports.values() for p in r.points]
+    )
+    # Paper: "most of the error rates are below 3% (with many below 1%)".
+    assert np.mean(errors < 3.0) > 0.7
+    assert np.mean(errors < 1.0) > 0.3
+    assert errors.max() < 20.0
+
+
+def test_fig8_cross_frequency(benchmark, suite_workloads, suite_explorations):
+    reports = {}
+
+    def run_all():
+        for name, workload in suite_workloads.items():
+            reports[name] = cross_frequency_errors(
+                workload.recording,
+                _selection_for(suite_explorations, name),
+                HD4000,
+                frequencies_mhz=FIGURE_8_FREQUENCIES_MHZ,
+            )
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_result(
+        "fig8_cross_frequency",
+        figure8_validation(
+            "Figure 8 (middle): 1150MHz selections scored at lower "
+            "frequencies",
+            list(reports.values()),
+        ),
+    )
+    errors = np.array(
+        [p.error_percent for r in reports.values() for p in r.points]
+    )
+    assert np.mean(errors < 3.0) > 0.6
+    assert errors.max() < 25.0
+
+
+def test_fig8_cross_architecture(
+    benchmark, suite_workloads, suite_explorations
+):
+    reports = {}
+
+    def run_all():
+        for name, workload in suite_workloads.items():
+            reports[name] = cross_architecture_errors(
+                workload.recording,
+                _selection_for(suite_explorations, name),
+                HD4600,
+            )
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_result(
+        "fig8_cross_architecture",
+        figure8_validation(
+            "Figure 8 (bottom): Ivy Bridge selections predicting Haswell",
+            list(reports.values()),
+        ),
+    )
+    errors = np.array(
+        [r.points[0].error_percent for r in reports.values()]
+    )
+    # Paper: most below 3%, worst case ~11%.
+    assert np.mean(errors < 3.0) > 0.5
+    assert errors.max() < 20.0

@@ -1,0 +1,83 @@
+"""Section III-C: GT-Pin profiling overhead vs native execution.
+
+Paper claims: profiling runs take 2-10x native time, versus up to
+2,000,000x for collecting the same data through detailed simulation.
+We measure the overhead factor for a spread of applications and two tool
+sets (characterization counters vs full memory tracing).
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.render import render_table
+from repro.gtpin.overhead import SIMULATION_SLOWDOWN_BOUND, measure_overhead
+from repro.gtpin.tools import CacheSimTool, InstructionCountTool
+
+#: A spread of small/large, compute/memory-bound applications.
+SAMPLE_APPS = (
+    "cb-gaussian-buffer",
+    "cb-gaussian-image",
+    "cb-physics-ocean-surf",
+    "cb-vision-facedetect",
+    "sandra-proc-gpu",
+    "sonyvegas-proj-r5",
+    "cb-throughput-juliaset",
+)
+
+
+def test_sec3_gtpin_overhead(benchmark, suite_apps):
+    apps = {a.name: a for a in suite_apps}
+    reports = {}
+    heavy = {}
+
+    def run_all():
+        for name in SAMPLE_APPS:
+            reports[name] = measure_overhead(apps[name])
+            heavy[name] = measure_overhead(
+                apps[name],
+                tools=[InstructionCountTool(), CacheSimTool()],
+            )
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in SAMPLE_APPS:
+        r, h = reports[name], heavy[name]
+        rows.append(
+            (
+                name,
+                f"{r.native_seconds * 1e3:.1f} ms",
+                f"{r.overhead_factor:.2f}x",
+                f"{h.overhead_factor:.2f}x",
+            )
+        )
+    factors = [r.overhead_factor for r in reports.values()]
+    heavy_factors = [h.overhead_factor for h in heavy.values()]
+    rows.append(
+        (
+            "RANGE",
+            "",
+            f"{min(factors):.2f}-{max(factors):.2f}x",
+            f"{min(heavy_factors):.2f}-{max(heavy_factors):.2f}x",
+        )
+    )
+    save_result(
+        "sec3_gtpin_overhead",
+        render_table(
+            "Section III-C: GT-Pin profiling overhead "
+            "(paper band: 2-10x; simulation up to 2,000,000x)",
+            ["Application", "Native", "Counter tools", "+Memory tracing"],
+            rows,
+        ),
+    )
+
+    # Every run costs more than native but sits orders of magnitude below
+    # the simulation bound.
+    for name in SAMPLE_APPS:
+        assert reports[name].overhead_factor > 1.0
+        assert heavy[name].overhead_factor >= reports[name].gpu_overhead_factor
+        assert reports[name].overhead_factor < SIMULATION_SLOWDOWN_BOUND / 1e4
+    # The band's upper end is reached by some app with memory tracing.
+    assert max(heavy_factors) >= 2.0
+    assert float(np.mean(factors)) < 12.0

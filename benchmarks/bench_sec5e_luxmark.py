@@ -1,0 +1,36 @@
+"""Section V-E context: the LuxMark raw-performance comparison.
+
+"To compare the two processors' raw performance, we ran LuxMark on both
+machines ... The results (higher scores are better) were 269 for the
+HD4000 and 351 for HD4600."  This bench runs the modelled LuxMark on both
+devices and checks the scores land in the paper's neighbourhood.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import render_table
+from repro.gpu.device import HD4000, HD4600
+from repro.workloads.luxmark import run_luxmark
+
+
+def test_sec5e_luxmark_scores(benchmark):
+    def run_both():
+        return run_luxmark(HD4000), run_luxmark(HD4600)
+
+    ivy, haswell = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_result(
+        "sec5e_luxmark",
+        render_table(
+            "Section V-E: LuxMark raw-performance comparison "
+            "(paper: HD4000 269, HD4600 351)",
+            ["Device", "Score"],
+            [
+                (ivy.device_name, f"{ivy.score:.0f}"),
+                (haswell.device_name, f"{haswell.score:.0f}"),
+                ("ratio", f"{haswell.score / ivy.score:.2f}x (paper 1.30x)"),
+            ],
+        ),
+    )
+    assert 240 <= ivy.score <= 300  # paper: 269
+    assert 300 <= haswell.score <= 400  # paper: 351
+    assert haswell.score > ivy.score

@@ -1,0 +1,14 @@
+"""Table I: the 25-application suite."""
+
+from conftest import save_result
+
+from repro.analysis.render import table1_suite
+from repro.workloads.suite import SUITE_SPECS
+
+
+def test_table1_suite(benchmark):
+    text = benchmark.pedantic(
+        table1_suite, args=(SUITE_SPECS,), rounds=1, iterations=1
+    )
+    save_result("table1_suite", text)
+    assert len(SUITE_SPECS) == 25

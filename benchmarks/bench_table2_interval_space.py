@@ -1,0 +1,55 @@
+"""Table II: the program interval space (3 divisions x 25 apps).
+
+Paper values (at paper volumes): sync 56/545/2115, ~100M 55/916/3121,
+single-kernel 55/4749/18157 intervals per program.  Our volumes are
+scaled, so the reproduction checks the *relationships*: every division
+partitions every program; sync <= ~100M <= single counts per app; the
+medium division's average sits several times below the per-kernel count
+and above the sync count.
+"""
+
+from conftest import save_result
+
+from repro.analysis.render import table2_interval_space
+from repro.sampling.intervals import (
+    DEFAULT_APPROX_SIZE,
+    IntervalScheme,
+    divide,
+    interval_space_summary,
+)
+
+
+def test_table2_interval_space(benchmark, suite_workloads):
+    logs = [w.log for w in suite_workloads.values()]
+    rows = benchmark.pedantic(
+        interval_space_summary,
+        args=(logs, DEFAULT_APPROX_SIZE),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2_interval_space", table2_interval_space(rows))
+
+    sync_row, approx_row, single_row = rows
+    assert sync_row.scheme is IntervalScheme.SYNC
+    assert single_row.scheme is IntervalScheme.SINGLE_KERNEL
+
+    # Ordering of the three divisions, per app and on average.
+    for log in logs:
+        n_sync = len(divide(log, IntervalScheme.SYNC))
+        n_approx = len(divide(log, IntervalScheme.APPROX_100M))
+        n_single = len(divide(log, IntervalScheme.SINGLE_KERNEL))
+        assert n_sync <= n_approx <= n_single
+    assert (
+        sync_row.avg_intervals
+        <= approx_row.avg_intervals
+        <= single_row.avg_intervals
+    )
+
+    # The paper's medium division holds ~5 invocations per interval on
+    # average (4749 / 916); ours should be in the same regime.
+    ratio = single_row.avg_intervals / approx_row.avg_intervals
+    assert 1.5 <= ratio <= 15.0
+
+    # The single-kernel division equals the invocation counts exactly.
+    assert single_row.min_intervals == min(len(log.invocations) for log in logs)
+    assert single_row.max_intervals == max(len(log.invocations) for log in logs)

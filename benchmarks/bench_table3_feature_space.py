@@ -1,0 +1,83 @@
+"""Table III: the program feature space.
+
+Table III enumerates the ten feature-vector constructions.  Beyond
+restating the definitions, this bench *measures* the space each one spans
+on the suite: the number of distinct event keys (vector dimensionality)
+per family, confirming the intended specificity ordering -- adding
+argument values / global work sizes / memory interaction can only refine
+the event space, never coarsen it.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.render import render_table
+from repro.sampling.features import (
+    ALL_FEATURE_KINDS,
+    FeatureKind,
+    build_feature_vectors,
+)
+from repro.sampling.intervals import IntervalScheme, divide
+
+
+def _dimensionality(log, kind):
+    intervals = divide(log, IntervalScheme.SYNC)
+    keys = set()
+    for vector in build_feature_vectors(log, intervals, kind):
+        keys.update(vector)
+    return len(keys)
+
+
+def test_table3_feature_space(benchmark, suite_workloads):
+    logs = {name: w.log for name, w in suite_workloads.items()}
+
+    def measure():
+        dims = {kind: [] for kind in ALL_FEATURE_KINDS}
+        for log in logs.values():
+            for kind in ALL_FEATURE_KINDS:
+                dims[kind].append(_dimensionality(log, kind))
+        return dims
+
+    dims = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for kind in ALL_FEATURE_KINDS:
+        values = dims[kind]
+        rows.append(
+            (
+                kind.value,
+                "kernel" if kind.is_kernel_based else "basic block",
+                "yes" if kind.uses_memory else "no",
+                min(values),
+                f"{float(np.mean(values)):.0f}",
+                max(values),
+            )
+        )
+    save_result(
+        "table3_feature_space",
+        render_table(
+            "Table III: the program feature space "
+            "(measured event-key counts per application)",
+            ["Identifier", "Key granularity", "Memory", "Min dims",
+             "Avg dims", "Max dims"],
+            rows,
+        ),
+    )
+
+    mean = {kind: float(np.mean(dims[kind])) for kind in ALL_FEATURE_KINDS}
+    # Ten constructions, as Table III defines.
+    assert len(ALL_FEATURE_KINDS) == 10
+
+    # Specificity ordering within the KN family: plain kernel ids span the
+    # fewest events; adding args/gws/args+gws refines monotonically.
+    assert mean[FeatureKind.KN] <= mean[FeatureKind.KN_GWS]
+    assert mean[FeatureKind.KN] <= mean[FeatureKind.KN_ARGS]
+    assert mean[FeatureKind.KN_ARGS] <= mean[FeatureKind.KN_ARGS_GWS]
+    # Memory-augmented variants append dimensions to their base vector.
+    assert mean[FeatureKind.KN_RW] > mean[FeatureKind.KN]
+    assert mean[FeatureKind.BB_R] > mean[FeatureKind.BB]
+    assert mean[FeatureKind.BB_R_W] >= mean[FeatureKind.BB_R]
+    assert mean[FeatureKind.BB_R_PLUS_W] > mean[FeatureKind.BB]
+
+    # Block-granularity events vastly outnumber kernel-granularity ones.
+    assert mean[FeatureKind.BB] > 5 * mean[FeatureKind.KN]

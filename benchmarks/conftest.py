@@ -1,0 +1,88 @@
+"""Shared state for the benchmark harness.
+
+Every table and figure in the paper's evaluation has a ``bench_*`` module
+here.  The heavy lifting (generating the 25-app suite, profiling it,
+exploring the 30 configurations) happens once in session-scoped fixtures;
+each benchmark then times one representative step with
+``benchmark.pedantic`` and writes its rendered table to
+``benchmarks/results/<name>.txt`` (also echoed to stdout, visible with
+``pytest -s``).
+
+Scale: ``REPRO_BENCH_SCALE`` (default 0.25) multiplies every app's
+invocation count.  The default keeps the full harness at a few minutes;
+``REPRO_BENCH_SCALE=1.0`` reproduces the paper-shaped volumes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.characterize import characterize_suite
+from repro.gpu.device import HD4000
+from repro.sampling.explorer import ExplorationResult
+from repro.sampling.pipeline import (
+    ProfiledWorkload,
+    explore_application,
+    profile_workload,
+)
+from repro.sampling.simpoint import SimPointOptions
+from repro.workloads.suite import load_suite
+
+RESULTS_DIR = pathlib.Path(
+    os.environ.get(
+        "REPRO_BENCH_RESULTS", str(pathlib.Path(__file__).parent / "results")
+    )
+)
+
+#: SimPoint settings used across the harness (paper: max 10 clusters).
+BENCH_SIMPOINT = SimPointOptions(max_k=10, restarts=2, max_iterations=60)
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def suite_apps(scale):
+    """The 25 generated applications."""
+    return load_suite(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def suite_chars(suite_apps):
+    """Figure 3/4 characterizations of all 25 apps (one run each)."""
+    return characterize_suite(suite_apps, HD4000, trial_seed=0)
+
+
+@pytest.fixture(scope="session")
+def suite_workloads(suite_apps) -> dict[str, ProfiledWorkload]:
+    """CoFluent recording + GT-Pin profile for every app."""
+    return {
+        app.name: profile_workload(app, HD4000, trial_seed=0)
+        for app in suite_apps
+    }
+
+
+@pytest.fixture(scope="session")
+def suite_explorations(suite_workloads) -> dict[str, ExplorationResult]:
+    """All 30 configurations scored for every app (Sections V-B..V-D)."""
+    return {
+        name: explore_application(workload, options=BENCH_SIMPOINT)
+        for name, workload in suite_workloads.items()
+    }

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The Section IV characterization study over the whole 25-app suite.
+
+Regenerates the textual equivalents of Figures 3a-4c.  At the default
+scale this takes well under a minute; pass a scale argument for bigger
+runs (e.g. ``python examples/characterize_suite.py 1.0``).
+"""
+
+import sys
+
+from repro.analysis import (
+    characterize_suite,
+    figure3a_api_calls,
+    figure3b_structures,
+    figure3c_dynamic_work,
+    figure4a_instruction_mixes,
+    figure4b_simd_widths,
+    figure4c_memory_activity,
+)
+from repro.workloads import load_suite
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    print(f"Generating and profiling the 25-application suite "
+          f"(scale {scale:g})...\n")
+    apps = load_suite(scale=scale)
+    chars = characterize_suite(apps)
+
+    for renderer in (
+        figure3a_api_calls,
+        figure3b_structures,
+        figure3c_dynamic_work,
+        figure4a_instruction_mixes,
+        figure4b_simd_widths,
+        figure4c_memory_activity,
+    ):
+        print(renderer(chars))
+        print()
+
+    print("Suite-level headlines (paper values in parentheses):")
+    print(
+        f"  mean kernel-call share: "
+        f"{chars.mean_kernel_call_fraction() * 100:.1f}%   (~15%)"
+    )
+    print(
+        f"  mean sync-call share:   "
+        f"{chars.mean_sync_call_fraction() * 100:.1f}%   (6.8%)"
+    )
+    print(f"  mean unique kernels:    {chars.mean_unique_kernels():.1f}  (10.2)")
+    print(
+        f"  apps using SIMD4:       "
+        f"{len(chars.apps_using_width(4))}     (6)"
+    )
+    print(
+        f"  apps using SIMD2:       "
+        f"{len(chars.apps_using_width(2))}     (0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Do selections survive future hardware?  (Figure 8 in miniature.)
+
+Records one application with CoFluent on the Ivy Bridge HD 4000, selects
+simulation points from that single profile, then replays the recording:
+
+* across fresh trials on the same machine,
+* across the Figure 8 frequency ladder (1000 -> 350 MHz),
+* on the Haswell HD 4600 (20 EUs instead of 16).
+
+Each replay scores the original selection with the Eq. (1) SPI error.
+
+Run:  python examples/cross_architecture_study.py
+"""
+
+from repro.gpu.device import FIGURE_8_FREQUENCIES_MHZ, HD4000, HD4600
+from repro.sampling import explore_application, profile_workload
+from repro.sampling.validation import (
+    cross_architecture_errors,
+    cross_frequency_errors,
+    cross_trial_errors,
+)
+from repro.workloads import load_app
+
+
+def main() -> None:
+    app = load_app("sandra-crypt-aes128", scale=0.5)
+    print(f"Recording + profiling {app.name} on {HD4000}...")
+    workload = profile_workload(app, device=HD4000)
+    selection = explore_application(workload).minimize_error().selection
+    print(
+        f"Selected {selection.k} intervals with config "
+        f"{selection.config.label} "
+        f"({selection.simulation_speedup:.1f}x speedup)\n"
+    )
+
+    trials = cross_trial_errors(
+        workload.recording, selection, HD4000, trial_seeds=range(2, 11)
+    )
+    print("Cross-trial errors (trials 2-10, same machine):")
+    for point in trials.points:
+        print(f"  {point.condition:16s} {point.error_percent:6.2f}%")
+    print(f"  fraction below 3%: {trials.fraction_below(3.0) * 100:.0f}%\n")
+
+    freqs = cross_frequency_errors(
+        workload.recording, selection, HD4000,
+        frequencies_mhz=FIGURE_8_FREQUENCIES_MHZ,
+    )
+    print("Cross-frequency errors (selections from 1150 MHz):")
+    for point in freqs.points:
+        print(f"  {point.condition:16s} {point.error_percent:6.2f}%")
+    print()
+
+    arch = cross_architecture_errors(workload.recording, selection, HD4600)
+    print("Cross-architecture error (Ivy Bridge selections on Haswell):")
+    for point in arch.points:
+        print(f"  {point.condition:16s} {point.error_percent:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

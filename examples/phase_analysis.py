@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Phase structure and projection confidence for one application.
+
+Shows the SimPoint-style view of a program: the timeline of behaviour
+phases the clustering discovered (the generator plants phases; do they
+come back out?), and the confidence bound on the projected SPI -- the
+"how much should I trust this 50x-cheaper simulation?" number.
+
+Run:  python examples/phase_analysis.py
+"""
+
+from repro.analysis.phases import phase_timeline
+from repro.sampling import (
+    FeatureKind,
+    IntervalScheme,
+    arrays_from_profile,
+    build_feature_vectors,
+    divide,
+    measured_spi,
+    profile_workload,
+    run_simpoint,
+    selection_from_simpoint,
+)
+from repro.sampling.confidence import projection_confidence
+from repro.sampling.selection import SelectionConfig
+from repro.workloads import load_app
+
+
+def main() -> None:
+    app = load_app("cb-graphics-t-rex", scale=0.5)
+    print(f"Profiling {app.name}...")
+    workload = profile_workload(app)
+    log = workload.log
+
+    intervals = divide(log, IntervalScheme.SYNC)
+    vectors = build_feature_vectors(log, intervals, FeatureKind.BB)
+    result = run_simpoint(
+        vectors, [iv.instruction_count for iv in intervals]
+    )
+
+    timeline = phase_timeline(intervals, result)
+    print(f"\n{len(intervals)} sync intervals clustered into "
+          f"{result.k} phases:")
+    print(f"  {timeline.render(width=72)}")
+    print(f"  transitions: {timeline.n_transitions}, "
+          f"dominant phase: {timeline.dominant_cluster()}, "
+          f"stability: {timeline.stability():.3f}")
+    for segment in timeline.segments[:8]:
+        share = segment.instruction_count / timeline.total_instructions
+        print(
+            f"    intervals {segment.first_interval:3d}-"
+            f"{segment.last_interval:3d}: phase {segment.cluster} "
+            f"({share * 100:4.1f}% of instructions)"
+        )
+    if len(timeline.segments) > 8:
+        print(f"    ... {len(timeline.segments) - 8} more segments")
+
+    selection = selection_from_simpoint(
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        intervals, result, log.total_instructions,
+    )
+    seconds, instructions = arrays_from_profile(log, workload.timings)
+    confidence = projection_confidence(
+        selection, intervals, result.labels, seconds, instructions
+    )
+    measured = measured_spi(seconds, instructions)
+    print(f"\nProjection with {selection.k} simulation points "
+          f"({selection.simulation_speedup:.1f}x speedup):")
+    print(f"  projected SPI: {confidence.projected_spi:.4e} "
+          f"+- {confidence.relative_half_width_percent:.2f}% (z=1.96)")
+    print(f"  measured SPI:  {measured:.4e} "
+          f"({'inside' if confidence.contains(measured) else 'outside'} "
+          f"the confidence interval)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Sampled simulation end-to-end: the payoff of subset selection.
+
+The methodology's last step (Section V-A, steps 6-7): simulate the
+selected intervals in detail, fast-forward everything else, and
+extrapolate whole-program performance as the ratio-weighted average of
+the selections' simulated SPIs.  This example runs the detailed reference
+simulator both ways -- full program vs selection only -- and compares
+accuracy and cost.
+
+Run:  python examples/sampled_simulation.py
+"""
+
+from repro.gpu.cache import CacheConfig
+from repro.gpu.device import HD4000
+from repro.sampling import explore_application, profile_workload
+from repro.simulation import (
+    sampled_vs_full_error_percent,
+    simulate_full,
+    simulate_selection,
+)
+from repro.workloads import load_app
+
+
+def main() -> None:
+    app = load_app("cb-gaussian-buffer", scale=1.0)
+    print(f"Profiling {app.name} (no simulation needed for selection)...")
+    workload = profile_workload(app)
+    selection = explore_application(workload).minimize_error().selection
+    print(
+        f"Selected {selection.k} of {selection.n_intervals} intervals "
+        f"({selection.config.label}, "
+        f"{selection.selection_fraction * 100:.1f}% of instructions)\n"
+    )
+
+    cache = CacheConfig(size_bytes=256 * 1024)
+
+    print("Detailed simulation of ONLY the selection...")
+    sampled = simulate_selection(
+        app.name, app.sources, workload.log, selection, HD4000, cache
+    )
+    print(
+        f"  stepped {sampled.simulated_instructions:,} instructions, "
+        f"fast-forwarded {sampled.fast_forwarded_instructions:,} "
+        f"({sampled.instruction_speedup:.1f}x fewer to simulate), "
+        f"{sampled.wall_seconds:.2f} s wall"
+    )
+
+    print("Detailed simulation of the FULL program (the cost we avoid)...")
+    full = simulate_full(app.name, app.sources, workload.log, HD4000, cache)
+    print(
+        f"  stepped {full.simulated_instructions:,} instructions, "
+        f"{full.wall_seconds:.2f} s wall"
+    )
+
+    error = sampled_vs_full_error_percent(sampled, full)
+    print()
+    print(f"Extrapolated SPI:  {sampled.projected_spi:.4e}")
+    print(f"Full-sim SPI:      {full.measured_spi:.4e}")
+    print(f"Extrapolation error: {error:.2f}%")
+    print(
+        f"Wall-clock speedup:  "
+        f"{full.wall_seconds / max(sampled.wall_seconds, 1e-9):.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

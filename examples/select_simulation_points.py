@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Select representative simulation subsets for a large GPU application.
+
+Reproduces the Section V workflow on one application:
+
+1. record + profile once (CoFluent + GT-Pin; no simulation anywhere);
+2. run one configuration (Sync intervals + BB features) and show the
+   selected simulation points, their representation ratios, the Eq. (1)
+   error and the simulation speedup;
+3. explore all 30 interval/feature configurations and show the
+   error-minimizing and speed-optimizing choices (Sections V-C/V-D).
+
+Run:  python examples/select_simulation_points.py
+"""
+
+from repro.sampling import (
+    FeatureKind,
+    IntervalScheme,
+    explore_application,
+    profile_workload,
+    select_simpoints,
+)
+from repro.workloads import load_app
+
+
+def main() -> None:
+    app = load_app("cb-vision-tv-l1-of", scale=0.5)
+    print(f"Profiling {app.name} once (native, GT-Pin attached)...")
+    workload = profile_workload(app)
+    log = workload.log
+    print(
+        f"  {len(log.invocations):,} kernel invocations, "
+        f"{log.total_instructions:,} dynamic instructions\n"
+    )
+
+    # -- one configuration ------------------------------------------------
+    result = select_simpoints(
+        workload, scheme=IntervalScheme.SYNC, feature=FeatureKind.BB
+    )
+    selection = result.selection
+    print(f"Configuration {selection.config.label}:")
+    print(f"  {selection.k} simulation points selected out of "
+          f"{selection.n_intervals} intervals")
+    for s in selection.selected:
+        print(
+            f"    interval {s.interval.index:4d}: invocations "
+            f"[{s.interval.start}, {s.interval.stop}), "
+            f"{s.interval.instruction_count:,} instrs, "
+            f"ratio {s.ratio:.4f}"
+        )
+    print(f"  Eq.(1) error:       {result.error_percent:.3f}%")
+    print(f"  selection size:     {selection.selection_fraction * 100:.2f}%")
+    print(f"  simulation speedup: {selection.simulation_speedup:.1f}x\n")
+
+    # -- the full 30-configuration exploration ------------------------------
+    print("Exploring all 30 interval/feature configurations "
+          "(same single profile)...")
+    exploration = explore_application(workload)
+
+    best = exploration.minimize_error()
+    print(
+        f"  error-minimizing: {best.config.label:18s} "
+        f"{best.error_percent:.3f}% error, "
+        f"{best.simulation_speedup:.1f}x speedup"
+    )
+    for threshold in (1.0, 3.0, 10.0):
+        chosen = exploration.co_optimize(threshold)
+        print(
+            f"  threshold <= {threshold:4.1f}%: {chosen.config.label:18s} "
+            f"{chosen.error_percent:.3f}% error, "
+            f"{chosen.simulation_speedup:.1f}x speedup"
+        )
+
+
+if __name__ == "__main__":
+    main()

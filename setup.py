@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP-517 editable
+installs fail; this shim lets `pip install -e .` use the legacy
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

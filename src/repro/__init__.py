@@ -1,0 +1,35 @@
+"""repro: a reproduction of "Fast Computational GPU Design with GT-Pin"
+(Kambadur et al., IISWC 2015).
+
+Three layers, mirroring the paper's three contributions:
+
+* :mod:`repro.gtpin` -- the GT-Pin binary-instrumentation profiler, built
+  on the :mod:`repro.isa` / :mod:`repro.opencl` / :mod:`repro.driver` /
+  :mod:`repro.gpu` substrates;
+* :mod:`repro.workloads` + :mod:`repro.analysis` -- the 25-application
+  characterization study (Figures 3-4);
+* :mod:`repro.sampling` + :mod:`repro.simulation` -- SimPoint-style GPU
+  simulation-subset selection (Tables II-III, Figures 5-8).
+
+Quickstart::
+
+    from repro import gtpin, workloads
+    app = workloads.load_app("cb-physics-ocean-surf", scale=0.2)
+    profiled = gtpin.profile(app)
+    print(profiled.report["opcode_mix"].dynamic_fractions())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "cofluent",
+    "driver",
+    "gpu",
+    "gtpin",
+    "isa",
+    "opencl",
+    "sampling",
+    "simulation",
+    "workloads",
+]

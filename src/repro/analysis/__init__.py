@@ -1,0 +1,55 @@
+"""Characterization study drivers and table/figure renderers."""
+
+from repro.analysis.characterize import (
+    AppCharacterization,
+    SuiteCharacterization,
+    characterize_app,
+    characterize_suite,
+)
+from repro.analysis.phases import (
+    PhaseSegment,
+    PhaseTimeline,
+    phase_timeline,
+)
+from repro.analysis.study import StudyResults, render_study, run_full_study
+from repro.analysis.render import (
+    figure3a_api_calls,
+    figure3b_structures,
+    figure3c_dynamic_work,
+    figure4a_instruction_mixes,
+    figure4b_simd_widths,
+    figure4c_memory_activity,
+    figure5_config_space,
+    figure6_error_minimizing,
+    figure7_cooptimization,
+    figure8_validation,
+    render_table,
+    table1_suite,
+    table2_interval_space,
+)
+
+__all__ = [
+    "AppCharacterization",
+    "PhaseSegment",
+    "PhaseTimeline",
+    "StudyResults",
+    "SuiteCharacterization",
+    "characterize_app",
+    "characterize_suite",
+    "figure3a_api_calls",
+    "figure3b_structures",
+    "figure3c_dynamic_work",
+    "figure4a_instruction_mixes",
+    "figure4b_simd_widths",
+    "figure4c_memory_activity",
+    "figure5_config_space",
+    "figure6_error_minimizing",
+    "figure7_cooptimization",
+    "figure8_validation",
+    "phase_timeline",
+    "render_study",
+    "render_table",
+    "run_full_study",
+    "table1_suite",
+    "table2_interval_space",
+]

@@ -1,0 +1,172 @@
+"""The Section IV characterization study, as a library.
+
+Runs each application once with both observers attached exactly as the
+paper did: the CoFluent tracer on the host side (API-call categories,
+Figure 3a) and GT-Pin on the device side (everything else, Figures 3b-4c).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.cofluent.tracer import APITraceReport, CoFluentTracer
+from repro.gpu.device import HD4000, DeviceSpec
+from repro.gtpin.profiler import Application, GTPinSession, build_runtime
+from repro.gtpin.tools import (
+    InstructionCountReport,
+    InstructionCountTool,
+    MemoryBytesReport,
+    MemoryBytesTool,
+    OpcodeMixReport,
+    OpcodeMixTool,
+    SIMDWidthReport,
+    SIMDWidthTool,
+    StructureReport,
+    StructureTool,
+)
+from repro.isa.instruction import EXEC_SIZES
+from repro.isa.opcodes import FIGURE_4A_ORDER, OpClass
+
+
+@dataclasses.dataclass(frozen=True)
+class AppCharacterization:
+    """Every Figure 3/4 statistic for one application."""
+
+    name: str
+    suite: str
+    api: APITraceReport
+    structure: StructureReport
+    instructions: InstructionCountReport
+    opcode_mix: OpcodeMixReport
+    simd: SIMDWidthReport
+    memory: MemoryBytesReport
+    total_kernel_seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteCharacterization:
+    """Per-app characterizations plus suite-level aggregates."""
+
+    apps: tuple[AppCharacterization, ...]
+
+    def __iter__(self):
+        return iter(self.apps)
+
+    def __len__(self) -> int:
+        return len(self.apps)
+
+    # -- Figure 3 aggregates ---------------------------------------------
+
+    def mean_kernel_call_fraction(self) -> float:
+        return float(
+            np.mean([a.api.kernel_calls / a.api.total_calls for a in self.apps])
+        )
+
+    def mean_sync_call_fraction(self) -> float:
+        return float(
+            np.mean(
+                [
+                    a.api.synchronization_calls / a.api.total_calls
+                    for a in self.apps
+                ]
+            )
+        )
+
+    def mean_unique_kernels(self) -> float:
+        return float(np.mean([a.structure.unique_kernels for a in self.apps]))
+
+    def mean_unique_blocks(self) -> float:
+        return float(
+            np.mean([a.structure.unique_basic_blocks for a in self.apps])
+        )
+
+    def mean_kernel_invocations(self) -> float:
+        return float(
+            np.mean([a.instructions.kernel_invocations for a in self.apps])
+        )
+
+    def mean_dynamic_instructions(self) -> float:
+        return float(
+            np.mean([a.instructions.dynamic_instructions for a in self.apps])
+        )
+
+    # -- Figure 4 aggregates -----------------------------------------------
+
+    def suite_mix_fractions(self) -> dict[OpClass, float]:
+        """Unweighted mean of per-app dynamic mix fractions (Figure 4a)."""
+        per_app = [a.opcode_mix.dynamic_fractions() for a in self.apps]
+        return {
+            cls: float(np.mean([f[cls] for f in per_app]))
+            for cls in FIGURE_4A_ORDER
+        }
+
+    def suite_simd_fractions(self) -> dict[int, float]:
+        per_app = [a.simd.dynamic_fractions() for a in self.apps]
+        return {
+            w: float(np.mean([f[w] for f in per_app])) for w in EXEC_SIZES
+        }
+
+    def mean_bytes_read(self) -> float:
+        return float(np.mean([a.memory.bytes_read for a in self.apps]))
+
+    def mean_bytes_written(self) -> float:
+        return float(np.mean([a.memory.bytes_written for a in self.apps]))
+
+    def apps_using_width(self, width: int) -> list[str]:
+        return [
+            a.name
+            for a in self.apps
+            if a.simd.dynamic_counts.get(width, 0) > 0
+        ]
+
+
+def characterize_app(
+    application: Application,
+    device: DeviceSpec = HD4000,
+    trial_seed: int = 0,
+    suite_label: str = "",
+) -> AppCharacterization:
+    """One application's Figure 3/4 statistics from a single run."""
+    session = GTPinSession(
+        [
+            StructureTool(),
+            InstructionCountTool(),
+            OpcodeMixTool(),
+            SIMDWidthTool(),
+            MemoryBytesTool(),
+        ]
+    )
+    runtime = build_runtime(application, device, session=session)
+    tracer = CoFluentTracer()
+    tracer.attach(runtime)
+    run = runtime.run(application.host_program, trial_seed=trial_seed)
+    report = session.post_process()
+    return AppCharacterization(
+        name=application.name,
+        suite=suite_label or getattr(
+            getattr(application, "spec", None), "suite", ""
+        ),
+        api=tracer.report(),
+        structure=report["structure"],
+        instructions=report["instructions"],
+        opcode_mix=report["opcode_mix"],
+        simd=report["simd_widths"],
+        memory=report["memory_bytes"],
+        total_kernel_seconds=run.total_kernel_seconds,
+    )
+
+
+def characterize_suite(
+    applications: Sequence[Application],
+    device: DeviceSpec = HD4000,
+    trial_seed: int = 0,
+) -> SuiteCharacterization:
+    """Characterize every application (the whole Section IV study)."""
+    return SuiteCharacterization(
+        apps=tuple(
+            characterize_app(app, device, trial_seed) for app in applications
+        )
+    )

@@ -1,0 +1,119 @@
+"""Phase timelines: SimPoint's classic program-phase view.
+
+The SimPoint line of work visualizes programs as a timeline of cluster
+labels -- which behaviour phase each interval belongs to, in execution
+order.  This module recovers that view from our clustering results: a
+compact run-length timeline, per-phase statistics, and a terminal
+rendering, useful both for eyeballing whether the clustering found the
+generator's planted phases and for explaining a selection to a user.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.sampling.intervals import Interval
+from repro.sampling.simpoint import SimPointResult
+
+#: Glyphs used for phases 0..9 in timeline renderings.
+_PHASE_GLYPHS = "0123456789"
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSegment:
+    """A maximal run of consecutive intervals sharing one cluster."""
+
+    cluster: int
+    first_interval: int
+    last_interval: int  #: inclusive
+    instruction_count: int
+
+    @property
+    def n_intervals(self) -> int:
+        return self.last_interval - self.first_interval + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseTimeline:
+    """Run-length encoded phase structure of one program execution."""
+
+    segments: tuple[PhaseSegment, ...]
+    n_clusters: int
+    total_instructions: int
+
+    @property
+    def n_transitions(self) -> int:
+        """Phase changes over the execution (0 = perfectly stable)."""
+        return max(0, len(self.segments) - 1)
+
+    def stability(self) -> float:
+        """Mean segment length over total intervals, in [1/n, 1].
+
+        1.0 means the program never changes phase; values near the
+        inverse interval count mean it thrashes every interval.
+        """
+        total_intervals = sum(s.n_intervals for s in self.segments)
+        if total_intervals == 0:
+            return 0.0
+        return (total_intervals / len(self.segments)) / total_intervals
+
+    def dominant_cluster(self) -> int:
+        """The cluster carrying the most dynamic instructions."""
+        weights: dict[int, int] = {}
+        for segment in self.segments:
+            weights[segment.cluster] = (
+                weights.get(segment.cluster, 0) + segment.instruction_count
+            )
+        return max(weights, key=weights.get)  # type: ignore[arg-type]
+
+    def render(self, width: int = 72) -> str:
+        """An instruction-weighted one-line timeline, e.g. ``000111002``.
+
+        Each output column represents an equal share of dynamic
+        instructions, so long-running phases occupy proportional space.
+        """
+        if not self.segments or self.total_instructions <= 0:
+            return ""
+        chars: list[str] = []
+        for segment in self.segments:
+            share = segment.instruction_count / self.total_instructions
+            columns = max(1, round(share * width))
+            glyph = _PHASE_GLYPHS[segment.cluster % len(_PHASE_GLYPHS)]
+            chars.append(glyph * columns)
+        return "".join(chars)[: width + len(self.segments)]
+
+
+def phase_timeline(
+    intervals: Sequence[Interval], result: SimPointResult
+) -> PhaseTimeline:
+    """Build the timeline from a division and its clustering."""
+    labels = np.asarray(result.labels)
+    if labels.shape[0] != len(intervals):
+        raise ValueError(
+            f"clustering has {labels.shape[0]} labels but the division has "
+            f"{len(intervals)} intervals"
+        )
+    segments: list[PhaseSegment] = []
+    start = 0
+    for i in range(1, len(intervals) + 1):
+        if i == len(intervals) or labels[i] != labels[start]:
+            instr = sum(
+                intervals[j].instruction_count for j in range(start, i)
+            )
+            segments.append(
+                PhaseSegment(
+                    cluster=int(labels[start]),
+                    first_interval=start,
+                    last_interval=i - 1,
+                    instruction_count=instr,
+                )
+            )
+            start = i
+    return PhaseTimeline(
+        segments=tuple(segments),
+        n_clusters=result.k,
+        total_instructions=sum(iv.instruction_count for iv in intervals),
+    )

@@ -1,0 +1,311 @@
+"""Plain-text renderers for every table and figure in the evaluation.
+
+The paper's figures are bar charts / scatter plots; in a terminal-first
+reproduction the equivalent artifact is a table with the same rows and
+series.  Each ``figure_*``/``table_*`` function returns a string; the
+benchmark harness prints them so a run of ``pytest benchmarks/`` emits the
+full evaluation in paper order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.characterize import SuiteCharacterization
+from repro.isa.instruction import EXEC_SIZES
+from repro.isa.opcodes import FIGURE_4A_ORDER
+from repro.sampling.explorer import (
+    ConfigResult,
+    ExplorationResult,
+    ThresholdSweepPoint,
+)
+from repro.sampling.intervals import SCHEME_LABELS, IntervalSpaceRow
+from repro.sampling.validation import ValidationReport
+from repro.workloads.spec import AppSpec
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """A minimal fixed-width table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:6.2f}%"
+
+
+# -- Table I -----------------------------------------------------------------
+
+
+def table1_suite(specs: Sequence[AppSpec]) -> str:
+    rows = [(s.suite, s.name, s.domain) for s in specs]
+    return render_table(
+        "Table I: Benchmarks used in this study",
+        ["Source", "Application", "Domain"],
+        rows,
+    )
+
+
+# -- Figure 3 -------------------------------------------------------------------
+
+
+def figure3a_api_calls(chars: SuiteCharacterization) -> str:
+    rows = []
+    for a in chars:
+        total = a.api.total_calls
+        rows.append(
+            (
+                a.name,
+                total,
+                _pct(a.api.kernel_calls / total),
+                _pct(a.api.synchronization_calls / total),
+                _pct(a.api.other_calls / total),
+            )
+        )
+    rows.append(
+        (
+            "AVERAGE",
+            "",
+            _pct(chars.mean_kernel_call_fraction()),
+            _pct(chars.mean_sync_call_fraction()),
+            _pct(
+                1.0
+                - chars.mean_kernel_call_fraction()
+                - chars.mean_sync_call_fraction()
+            ),
+        )
+    )
+    return render_table(
+        "Figure 3a: OpenCL API call breakdown",
+        ["Application", "Total calls", "Kernel", "Synchronization", "Other"],
+        rows,
+    )
+
+
+def figure3b_structures(chars: SuiteCharacterization) -> str:
+    rows = [
+        (a.name, a.structure.unique_kernels, a.structure.unique_basic_blocks)
+        for a in chars
+    ]
+    rows.append(
+        (
+            "AVERAGE",
+            f"{chars.mean_unique_kernels():.1f}",
+            f"{chars.mean_unique_blocks():.1f}",
+        )
+    )
+    return render_table(
+        "Figure 3b: GPU program structures (static)",
+        ["Application", "Unique kernels", "Unique basic blocks"],
+        rows,
+    )
+
+
+def figure3c_dynamic_work(chars: SuiteCharacterization) -> str:
+    rows = [
+        (
+            a.name,
+            a.instructions.kernel_invocations,
+            a.instructions.dynamic_basic_blocks,
+            a.instructions.dynamic_instructions,
+        )
+        for a in chars
+    ]
+    rows.append(
+        (
+            "AVERAGE",
+            f"{chars.mean_kernel_invocations():.0f}",
+            "",
+            f"{chars.mean_dynamic_instructions():.3g}",
+        )
+    )
+    return render_table(
+        "Figure 3c: Dynamic GPU work",
+        ["Application", "Kernel count", "Basic blk count", "Instr count"],
+        rows,
+    )
+
+
+# -- Figure 4 ----------------------------------------------------------------------
+
+
+def figure4a_instruction_mixes(chars: SuiteCharacterization) -> str:
+    headers = ["Application"] + [str(c).title() for c in FIGURE_4A_ORDER]
+    rows = []
+    for a in chars:
+        fractions = a.opcode_mix.dynamic_fractions()
+        rows.append([a.name] + [_pct(fractions[c]) for c in FIGURE_4A_ORDER])
+    suite = chars.suite_mix_fractions()
+    rows.append(["AVERAGE"] + [_pct(suite[c]) for c in FIGURE_4A_ORDER])
+    return render_table("Figure 4a: Instruction mixes", headers, rows)
+
+
+def figure4b_simd_widths(chars: SuiteCharacterization) -> str:
+    widths = sorted(EXEC_SIZES, reverse=True)
+    headers = ["Application"] + [f"SIMD{w}" for w in widths]
+    rows = []
+    for a in chars:
+        fractions = a.simd.dynamic_fractions()
+        rows.append([a.name] + [_pct(fractions[w]) for w in widths])
+    suite = chars.suite_simd_fractions()
+    rows.append(["AVERAGE"] + [_pct(suite[w]) for w in widths])
+    return render_table("Figure 4b: SIMD widths", headers, rows)
+
+
+def figure4c_memory_activity(chars: SuiteCharacterization) -> str:
+    rows = []
+    for a in chars:
+        ratio = a.memory.write_to_read_ratio
+        rows.append(
+            (
+                a.name,
+                f"{a.memory.bytes_read:.3g}",
+                f"{a.memory.bytes_written:.3g}",
+                f"{ratio:.2f}x" if ratio != float("inf") else "inf",
+            )
+        )
+    rows.append(
+        (
+            "AVERAGE",
+            f"{chars.mean_bytes_read():.3g}",
+            f"{chars.mean_bytes_written():.3g}",
+            "",
+        )
+    )
+    return render_table(
+        "Figure 4c: GPU memory activity (bytes)",
+        ["Application", "Bytes read", "Bytes written", "W/R"],
+        rows,
+    )
+
+
+# -- Table II -----------------------------------------------------------------------
+
+
+def table2_interval_space(rows: Sequence[IntervalSpaceRow]) -> str:
+    table_rows = [
+        (
+            SCHEME_LABELS[r.scheme],
+            r.min_intervals,
+            f"{r.avg_intervals:.0f}",
+            r.max_intervals,
+        )
+        for r in rows
+    ]
+    return render_table(
+        "Table II: The program interval space (intervals per program)",
+        ["Interval bound", "Min", "Avg", "Max"],
+        table_rows,
+    )
+
+
+# -- Figures 5-7 -----------------------------------------------------------------------
+
+
+def figure5_config_space(explorations: Sequence[ExplorationResult]) -> str:
+    blocks = []
+    for ex in explorations:
+        rows = []
+        for config, result in ex.results.items():
+            rows.append(
+                (
+                    config.label,
+                    f"{result.error_percent:.2f}%",
+                    _pct(result.selection_fraction),
+                    result.selection.k,
+                )
+            )
+        blocks.append(
+            render_table(
+                f"Figure 5 ({ex.application_name}): error and selection "
+                "size per configuration",
+                ["Config", "Error", "Selection size", "k"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def figure6_error_minimizing(
+    per_app: Sequence[tuple[str, ConfigResult]]
+) -> str:
+    rows = [
+        (
+            name,
+            result.config.label,
+            f"{result.error_percent:.3f}%",
+            f"{result.simulation_speedup:.1f}x",
+        )
+        for name, result in per_app
+    ]
+    import numpy as np
+
+    errors = [r.error_percent for _, r in per_app]
+    speedups = [r.simulation_speedup for _, r in per_app]
+    rows.append(
+        (
+            "AVERAGE",
+            "",
+            f"{float(np.mean(errors)):.3f}%",
+            f"{float(np.mean(speedups)):.1f}x",
+        )
+    )
+    return render_table(
+        "Figure 6: per-application error-minimizing configurations",
+        ["Application", "Config", "Error", "Simulation speedup"],
+        rows,
+    )
+
+
+def figure7_cooptimization(points: Sequence[ThresholdSweepPoint]) -> str:
+    rows = [
+        (
+            p.label,
+            f"{p.mean_error_percent:.2f}%",
+            f"{p.mean_speedup:.0f}x",
+        )
+        for p in points
+    ]
+    return render_table(
+        "Figure 7: co-optimizing error and selection size "
+        "(cross-application averages)",
+        ["Error threshold", "Avg error", "Avg simulation speedup"],
+        rows,
+    )
+
+
+# -- Figure 8 -------------------------------------------------------------------------
+
+
+def figure8_validation(
+    title: str, reports: Sequence[ValidationReport]
+) -> str:
+    rows = []
+    for report in reports:
+        for point in report.points:
+            rows.append(
+                (
+                    report.application_name,
+                    point.condition,
+                    f"{point.error_percent:.2f}%",
+                )
+            )
+    return render_table(
+        title, ["Application", "Condition", "Error"], rows
+    )

@@ -1,0 +1,170 @@
+"""One-call reproduction of the paper's entire evaluation.
+
+:func:`run_full_study` executes everything Sections IV and V report --
+characterization, interval-space statistics, the 30-configuration
+exploration per application, both selection policies, and the Figure 8
+validation -- and :func:`render_study` lays the results out as a single
+text report in paper order.  The ``gtpin report`` CLI command wraps the
+pair.
+
+This is the library-level equivalent of running the whole benchmark
+harness; the harness additionally asserts paper-shape expectations and
+persists per-figure artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.analysis.characterize import SuiteCharacterization, characterize_suite
+from repro.analysis.render import (
+    figure3a_api_calls,
+    figure3b_structures,
+    figure3c_dynamic_work,
+    figure4a_instruction_mixes,
+    figure4b_simd_widths,
+    figure4c_memory_activity,
+    figure6_error_minimizing,
+    figure7_cooptimization,
+    figure8_validation,
+    table1_suite,
+    table2_interval_space,
+)
+from repro.gpu.device import (
+    FIGURE_8_FREQUENCIES_MHZ,
+    HD4000,
+    HD4600,
+    DeviceSpec,
+)
+from repro.sampling.explorer import (
+    ConfigResult,
+    ExplorationResult,
+    ThresholdSweepPoint,
+    threshold_sweep,
+)
+from repro.sampling.intervals import (
+    DEFAULT_APPROX_SIZE,
+    IntervalSpaceRow,
+    interval_space_summary,
+)
+from repro.sampling.pipeline import (
+    ProfiledWorkload,
+    explore_application,
+    profile_workload,
+)
+from repro.sampling.simpoint import SimPointOptions
+from repro.sampling.validation import (
+    ValidationReport,
+    cross_architecture_errors,
+    cross_frequency_errors,
+    cross_trial_errors,
+)
+from repro.workloads.suite import SUITE_SPECS, load_suite
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyResults:
+    """Everything the full study produced, in analysis-ready form."""
+
+    scale: float
+    device: DeviceSpec
+    characterization: SuiteCharacterization
+    workloads: dict[str, ProfiledWorkload]
+    explorations: dict[str, ExplorationResult]
+    interval_space: list[IntervalSpaceRow]
+    error_minimizing: list[tuple[str, ConfigResult]]
+    sweep: list[ThresholdSweepPoint]
+    cross_trial: list[ValidationReport]
+    cross_frequency: list[ValidationReport]
+    cross_architecture: list[ValidationReport]
+
+
+def run_full_study(
+    scale: float = 0.25,
+    seed: int = 0,
+    device: DeviceSpec = HD4000,
+    options: SimPointOptions | None = None,
+    validation_trials: Sequence[int] = (2, 3, 4),
+    approx_size: int = DEFAULT_APPROX_SIZE,
+) -> StudyResults:
+    """Run the complete Sections IV + V evaluation pipeline."""
+    options = options or SimPointOptions()
+    apps = load_suite(scale=scale)
+
+    characterization = characterize_suite(apps, device, trial_seed=seed)
+    workloads = {
+        app.name: profile_workload(app, device, trial_seed=seed)
+        for app in apps
+    }
+    explorations = {
+        name: explore_application(w, approx_size=approx_size, options=options)
+        for name, w in workloads.items()
+    }
+    error_minimizing = [
+        (name, ex.minimize_error()) for name, ex in explorations.items()
+    ]
+
+    cross_trial, cross_frequency, cross_architecture = [], [], []
+    for name, workload in workloads.items():
+        selection = explorations[name].minimize_error().selection
+        cross_trial.append(
+            cross_trial_errors(
+                workload.recording, selection, device, validation_trials
+            )
+        )
+        cross_frequency.append(
+            cross_frequency_errors(
+                workload.recording, selection, device,
+                FIGURE_8_FREQUENCIES_MHZ,
+            )
+        )
+        cross_architecture.append(
+            cross_architecture_errors(workload.recording, selection, HD4600)
+        )
+
+    return StudyResults(
+        scale=scale,
+        device=device,
+        characterization=characterization,
+        workloads=workloads,
+        explorations=explorations,
+        interval_space=interval_space_summary(
+            [w.log for w in workloads.values()], approx_size
+        ),
+        error_minimizing=error_minimizing,
+        sweep=threshold_sweep(explorations.values()),
+        cross_trial=cross_trial,
+        cross_frequency=cross_frequency,
+        cross_architecture=cross_architecture,
+    )
+
+
+def render_study(results: StudyResults) -> str:
+    """The full evaluation as one text report, in paper order."""
+    sections = [
+        f"GT-Pin reproduction: full evaluation report\n"
+        f"(device {results.device}, workload scale {results.scale:g})",
+        table1_suite(SUITE_SPECS),
+        figure3a_api_calls(results.characterization),
+        figure3b_structures(results.characterization),
+        figure3c_dynamic_work(results.characterization),
+        figure4a_instruction_mixes(results.characterization),
+        figure4b_simd_widths(results.characterization),
+        figure4c_memory_activity(results.characterization),
+        table2_interval_space(results.interval_space),
+        figure6_error_minimizing(results.error_minimizing),
+        figure7_cooptimization(results.sweep),
+        figure8_validation(
+            "Figure 8 (top): cross-trial validation", results.cross_trial
+        ),
+        figure8_validation(
+            "Figure 8 (middle): cross-frequency validation",
+            results.cross_frequency,
+        ),
+        figure8_validation(
+            "Figure 8 (bottom): cross-architecture validation",
+            results.cross_architecture,
+        ),
+    ]
+    return "\n\n\n".join(sections) + "\n"

@@ -1,0 +1,374 @@
+"""Command-line front end: ``python -m repro`` or the ``gtpin`` script.
+
+Subcommands mirror the paper's workflow::
+
+    gtpin suite                       # Table I
+    gtpin profile cb-throughput-ao    # GT-Pin characterization of one app
+    gtpin characterize --scale 0.2    # Figures 3a-4c over the whole suite
+    gtpin select cb-throughput-ao --scheme sync --feature BB
+    gtpin explore cb-throughput-ao    # all 30 configurations
+    gtpin overhead cb-throughput-ao   # Section III-C overhead measurement
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    characterize_app,
+    characterize_suite,
+    figure3a_api_calls,
+    figure3b_structures,
+    figure3c_dynamic_work,
+    figure4a_instruction_mixes,
+    figure4b_simd_widths,
+    figure4c_memory_activity,
+    figure5_config_space,
+    render_table,
+    table1_suite,
+)
+from repro.analysis.characterize import SuiteCharacterization
+from repro.gpu.device import HD4000, HD4600, DeviceSpec
+from repro.gtpin.overhead import measure_overhead
+from repro.sampling import (
+    FeatureKind,
+    IntervalScheme,
+    explore_application,
+    profile_workload,
+    select_simpoints,
+)
+from repro.workloads import SUITE_NAMES, SUITE_SPECS, load_app, load_suite
+
+_SCHEMES = {s.value: s for s in IntervalScheme}
+_FEATURES = {f.value: f for f in FeatureKind}
+
+
+def _device(name: str) -> DeviceSpec:
+    return {"hd4000": HD4000, "hd4600": HD4600}[name]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload volume scale (default 1.0; use ~0.2 for quick runs)",
+    )
+    parser.add_argument(
+        "--device", choices=("hd4000", "hd4600"), default="hd4000"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trial seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gtpin",
+        description="GT-Pin reproduction: profiling, characterization, "
+        "and simulation-subset selection for synthetic OpenCL workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list the 25-application suite (Table I)")
+
+    p = sub.add_parser("profile", help="GT-Pin profile one application")
+    p.add_argument("app", choices=SUITE_NAMES)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "characterize", help="Figures 3a-4c over the whole suite"
+    )
+    _add_common(p)
+
+    p = sub.add_parser("select", help="select simulation points for one app")
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--scheme", choices=sorted(_SCHEMES), default="sync")
+    p.add_argument("--feature", choices=sorted(_FEATURES), default="BB")
+    _add_common(p)
+
+    p = sub.add_parser("explore", help="score all 30 configurations")
+    p.add_argument("app", choices=SUITE_NAMES)
+    _add_common(p)
+
+    p = sub.add_parser("overhead", help="measure GT-Pin profiling overhead")
+    p.add_argument("app", choices=SUITE_NAMES)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "report",
+        help="run the full Sections IV+V evaluation and write one report",
+    )
+    p.add_argument("--out", default="gtpin_report.txt")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "export",
+        help="select simulation points and write the selection artifacts "
+        "(JSON + SimPoint 3.0 .simpoints/.weights/.bb files)",
+    )
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--scheme", choices=sorted(_SCHEMES), default="sync")
+    p.add_argument("--feature", choices=sorted(_FEATURES), default="BB")
+    p.add_argument("--out", default=".", help="output directory")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "validate",
+        help="Figure-8-style validation of one app's selection across "
+        "trials, frequencies, and the HD4600",
+    )
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--trials", type=int, default=3)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "disasm",
+        help="disassemble a kernel, optionally as GT-Pin instruments it",
+    )
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--kernel", default="", help="kernel name (default: first)")
+    p.add_argument(
+        "--instrumented", action="store_true",
+        help="show the GT-Pin-rewritten binary",
+    )
+    _add_common(p)
+
+    return parser
+
+
+def _cmd_suite() -> int:
+    print(table1_suite(SUITE_SPECS))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    app = load_app(args.app, scale=args.scale)
+    char = characterize_app(app, _device(args.device), args.seed)
+    chars = SuiteCharacterization(apps=(char,))
+    for renderer in (
+        figure3a_api_calls,
+        figure3b_structures,
+        figure3c_dynamic_work,
+        figure4a_instruction_mixes,
+        figure4b_simd_widths,
+        figure4c_memory_activity,
+    ):
+        print(renderer(chars))
+        print()
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    apps = load_suite(scale=args.scale)
+    chars = characterize_suite(apps, _device(args.device), args.seed)
+    for renderer in (
+        figure3a_api_calls,
+        figure3b_structures,
+        figure3c_dynamic_work,
+        figure4a_instruction_mixes,
+        figure4b_simd_widths,
+        figure4c_memory_activity,
+    ):
+        print(renderer(chars))
+        print()
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    app = load_app(args.app, scale=args.scale)
+    workload = profile_workload(app, _device(args.device), args.seed)
+    result = select_simpoints(
+        workload, _SCHEMES[args.scheme], _FEATURES[args.feature]
+    )
+    selection = result.selection
+    rows = [
+        (
+            s.interval.index,
+            s.interval.start,
+            s.interval.stop,
+            s.interval.instruction_count,
+            f"{s.ratio:.4f}",
+        )
+        for s in selection.selected
+    ]
+    print(
+        render_table(
+            f"Selected simulation points for {args.app} "
+            f"({selection.config.label})",
+            ["Interval", "First invocation", "Last+1", "Instructions", "Ratio"],
+            rows,
+        )
+    )
+    print()
+    print(f"Error (Eq. 1):       {result.error_percent:.3f}%")
+    print(f"Selection size:      {selection.selection_fraction * 100:.2f}% of instructions")
+    print(f"Simulation speedup:  {selection.simulation_speedup:.1f}x")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    app = load_app(args.app, scale=args.scale)
+    workload = profile_workload(app, _device(args.device), args.seed)
+    exploration = explore_application(workload)
+    print(figure5_config_space([exploration]))
+    best = exploration.minimize_error()
+    print()
+    print(
+        f"Error-minimizing config: {best.config.label} "
+        f"({best.error_percent:.3f}% error, "
+        f"{best.simulation_speedup:.1f}x speedup)"
+    )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    app = load_app(args.app, scale=args.scale)
+    report = measure_overhead(app, _device(args.device), trial_seed=args.seed)
+    print(f"Application:            {report.application_name}")
+    print(f"Native execution:       {report.native_seconds * 1e3:.2f} ms")
+    print(f"Instrumented (GPU):     {report.instrumented_gpu_seconds * 1e3:.2f} ms")
+    print(f"Host drain/post-proc:   {report.host_drain_seconds * 1e3:.2f} ms")
+    print(f"Overhead factor:        {report.overhead_factor:.2f}x "
+          f"(paper band: 2-10x)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.study import render_study, run_full_study
+
+    results = run_full_study(
+        scale=args.scale, seed=args.seed, device=_device(args.device)
+    )
+    text = render_study(results)
+    with open(args.out, "w") as out:
+        out.write(text)
+    print(text)
+    print(f"(report written to {args.out})")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.sampling import (
+        build_feature_vectors,
+        divide,
+        run_simpoint,
+        selection_to_json,
+        write_frequency_vectors,
+        write_simpoints,
+    )
+    from repro.sampling.selection import selection_from_simpoint
+
+    app = load_app(args.app, scale=args.scale)
+    workload = profile_workload(app, _device(args.device), args.seed)
+    scheme, feature = _SCHEMES[args.scheme], _FEATURES[args.feature]
+    intervals = divide(workload.log, scheme)
+    vectors = build_feature_vectors(workload.log, intervals, feature)
+    result = run_simpoint(
+        vectors, [iv.instruction_count for iv in intervals]
+    )
+    from repro.sampling.selection import SelectionConfig
+
+    selection = selection_from_simpoint(
+        SelectionConfig(scheme, feature), intervals, result,
+        workload.log.total_instructions,
+    )
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.app}.{selection.config.label}"
+    (out / f"{stem}.selection.json").write_text(selection_to_json(selection))
+    with open(out / f"{stem}.bb", "w") as bb_file:
+        write_frequency_vectors(vectors, bb_file)
+    with open(out / f"{stem}.simpoints", "w") as sp, open(
+        out / f"{stem}.weights", "w"
+    ) as wt:
+        write_simpoints(result, sp, wt)
+    print(f"Wrote {stem}.selection.json, .bb, .simpoints, .weights to {out}/")
+    print(
+        f"{selection.k} simulation points, "
+        f"{selection.selection_fraction * 100:.2f}% of instructions, "
+        f"{selection.simulation_speedup:.1f}x speedup"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.gpu.device import FIGURE_8_FREQUENCIES_MHZ
+    from repro.sampling.validation import (
+        cross_architecture_errors,
+        cross_frequency_errors,
+        cross_trial_errors,
+    )
+
+    device = _device(args.device)
+    app = load_app(args.app, scale=args.scale)
+    workload = profile_workload(app, device, args.seed)
+    exploration = explore_application(workload)
+    selection = exploration.minimize_error().selection
+    print(
+        f"Validating {selection.config.label} selection of {args.app} "
+        f"({selection.k} intervals)\n"
+    )
+    trials = cross_trial_errors(
+        workload.recording, selection, device,
+        trial_seeds=range(args.seed + 1, args.seed + 1 + args.trials),
+    )
+    rows = [(p.condition, f"{p.error_percent:.2f}%") for p in trials.points]
+    freqs = cross_frequency_errors(
+        workload.recording, selection, device,
+        frequencies_mhz=FIGURE_8_FREQUENCIES_MHZ,
+    )
+    rows += [(p.condition, f"{p.error_percent:.2f}%") for p in freqs.points]
+    arch = cross_architecture_errors(workload.recording, selection, HD4600)
+    rows += [(p.condition, f"{p.error_percent:.2f}%") for p in arch.points]
+    print(render_table("Validation errors", ["Condition", "Error"], rows))
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    app = load_app(args.app, scale=args.scale)
+    kernel_name = args.kernel or sorted(app.sources)[0]
+    if kernel_name not in app.sources:
+        known = ", ".join(sorted(app.sources))
+        print(f"unknown kernel {kernel_name!r}; kernels: {known}")
+        return 1
+    binary = app.sources[kernel_name].body
+    if args.instrumented:
+        from repro.gtpin.profiler import GTPinSession, default_tools
+
+        session = GTPinSession(default_tools())
+        binary = session.rewriter.rewrite(binary)
+        print("// GT-Pin instrumented binary "
+              "(probes marked with [gtpin])")
+    print(binary.disassemble())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "suite":
+        return _cmd_suite()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "select":
+        return _cmd_select(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "overhead":
+        return _cmd_overhead(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "disasm":
+        return _cmd_disasm(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

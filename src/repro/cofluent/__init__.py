@@ -1,0 +1,22 @@
+"""CoFluent-style host tracing, timing capture, and record/replay."""
+
+from repro.cofluent.recorder import (
+    CoFluentRecording,
+    record,
+    replay,
+    replay_timings,
+)
+from repro.cofluent.timing import KernelTiming, TimingTrace, capture_timings
+from repro.cofluent.tracer import APITraceReport, CoFluentTracer
+
+__all__ = [
+    "APITraceReport",
+    "CoFluentRecording",
+    "CoFluentTracer",
+    "KernelTiming",
+    "TimingTrace",
+    "capture_timings",
+    "record",
+    "replay",
+    "replay_timings",
+]

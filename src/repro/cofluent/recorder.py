@@ -1,0 +1,106 @@
+"""CoFluent record & replay (Section V-E).
+
+"CoFluent's record mechanism captures API call data as it passes between
+the application and the OpenCL runtime.  In addition to call names, the
+recorder captures configuration parameters, memory buffers and images, and
+OpenCL kernel code and binaries.  This recorded information can later be
+replayed and runs just as a normal executable on native hardware would,
+with the only difference being a consistent and repeatable ordering of API
+calls."
+
+A :class:`CoFluentRecording` therefore captures (a) the full API-call
+stream and (b) the kernel sources -- everything needed to re-run the
+program.  Replays execute the identical call stream; only device-level
+non-determinism (timing noise, data-dependent trip counts) varies with the
+new trial seed.  This guarantees the kernel calls inside selected intervals
+"will be present and findable in future executions", the property the
+cross-trial / cross-frequency / cross-architecture validation depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.cofluent.timing import TimingTrace, capture_timings
+from repro.driver.jit import KernelSource
+from repro.gpu.device import HD4000, DeviceSpec
+from repro.gpu.timing import TimingParameters
+from repro.gtpin.profiler import Application, build_runtime
+from repro.opencl.host_program import HostProgram
+from repro.opencl.runtime import ProgramRun
+
+
+@dataclasses.dataclass(frozen=True)
+class CoFluentRecording:
+    """A replayable capture of one application execution.
+
+    A recording *is* an application (same protocol): its call stream and
+    kernel code are self-contained, so it can be handed to GT-Pin, to the
+    runtime, or to another recording pass.
+    """
+
+    name: str
+    sources: Mapping[str, KernelSource]
+    host_program: HostProgram
+    recorded_on: str  #: device name of the recording trial
+    recording_seed: int
+
+    @property
+    def call_count(self) -> int:
+        return len(self.host_program)
+
+
+def record(
+    application: Application,
+    device_spec: DeviceSpec = HD4000,
+    trial_seed: int = 0,
+    timing_params: TimingParameters | None = None,
+) -> tuple[CoFluentRecording, ProgramRun]:
+    """Execute once while capturing a replayable recording.
+
+    Returns the recording plus the recording trial's run (whose timings
+    are typically used as "Trial 1" in cross-trial validation).
+    """
+    runtime = build_runtime(application, device_spec, timing_params)
+    run = runtime.run(application.host_program, trial_seed=trial_seed)
+    # The interceptor-visible call stream equals the executed stream; the
+    # recording stores it verbatim, pinning the API ordering for replays.
+    recording = CoFluentRecording(
+        name=f"{application.name}.cofluent-recording",
+        sources=dict(application.sources),
+        host_program=HostProgram(
+            name=application.host_program.name, calls=run.api_calls
+        ),
+        recorded_on=device_spec.name,
+        recording_seed=trial_seed,
+    )
+    return recording, run
+
+
+def replay(
+    recording: CoFluentRecording,
+    device_spec: DeviceSpec = HD4000,
+    trial_seed: int = 1,
+    timing_params: TimingParameters | None = None,
+) -> ProgramRun:
+    """Re-execute a recording natively on (possibly different) hardware.
+
+    The API-call ordering is exactly the recorded one; ``trial_seed``
+    drives the fresh trial's device non-determinism, and ``device_spec``
+    may be a different frequency or generation (Figure 8).
+    """
+    runtime = build_runtime(recording, device_spec, timing_params)
+    return runtime.run(recording.host_program, trial_seed=trial_seed)
+
+
+def replay_timings(
+    recording: CoFluentRecording,
+    device_spec: DeviceSpec = HD4000,
+    trial_seed: int = 1,
+    timing_params: TimingParameters | None = None,
+) -> TimingTrace:
+    """Replay and return just the CoFluent-visible per-kernel timings."""
+    return capture_timings(
+        replay(recording, device_spec, trial_seed, timing_params)
+    )

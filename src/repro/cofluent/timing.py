@@ -1,0 +1,66 @@
+"""Per-kernel timing capture (the Eq. (1) "measured" side).
+
+Section V-B validates selections against "per-kernel timing data, which we
+collected with the CoFluent CPR tool": wall seconds per kernel invocation.
+:func:`capture_timings` extracts that stream from a completed program run.
+Only *time* comes from CoFluent; instruction counts come from GT-Pin --
+the division of labour the paper describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.opencl.runtime import ProgramRun
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTiming:
+    """Wall time of one kernel invocation, in dispatch order."""
+
+    index: int
+    kernel_name: str
+    seconds: float
+    sync_epoch: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingTrace:
+    """Ordered per-invocation timings for one trial."""
+
+    program_name: str
+    device_name: str
+    trial_seed: int
+    timings: tuple[KernelTiming, ...]
+
+    def __len__(self) -> int:
+        return len(self.timings)
+
+    def __iter__(self) -> Iterator[KernelTiming]:
+        return iter(self.timings)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def seconds_by_index(self) -> dict[int, float]:
+        return {t.index: t.seconds for t in self.timings}
+
+
+def capture_timings(run: ProgramRun) -> TimingTrace:
+    """Extract the CoFluent-visible timing stream from a program run."""
+    return TimingTrace(
+        program_name=run.program_name,
+        device_name=run.device_name,
+        trial_seed=run.trial_seed,
+        timings=tuple(
+            KernelTiming(
+                index=d.dispatch_index,
+                kernel_name=d.kernel_name,
+                seconds=d.time_seconds,
+                sync_epoch=d.sync_epoch,
+            )
+            for d in run.dispatches
+        ),
+    )

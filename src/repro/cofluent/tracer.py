@@ -1,0 +1,69 @@
+"""CoFluent-style host API-call tracing (Figure 3a's data source).
+
+The paper uses the Intel CoFluent CPR tool to count and categorize OpenCL
+API calls: "CoFluent intercepts the calls at execution time just before
+the application passes them to the OpenCL driver.  Application performance
+is unaffected by this capture."  Our tracer registers an interceptor with
+the modelled runtime at exactly that point and is likewise free: it only
+observes, never perturbs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.opencl.api import APICall, CallCategory
+from repro.opencl.runtime import OpenCLRuntime
+
+
+@dataclasses.dataclass(frozen=True)
+class APITraceReport:
+    """Categorized API-call counts for one execution (Figure 3a)."""
+
+    total_calls: int
+    kernel_calls: int
+    synchronization_calls: int
+    other_calls: int
+
+    def fraction(self, category: CallCategory) -> float:
+        if self.total_calls == 0:
+            return 0.0
+        count = {
+            CallCategory.KERNEL: self.kernel_calls,
+            CallCategory.SYNCHRONIZATION: self.synchronization_calls,
+            CallCategory.OTHER: self.other_calls,
+        }[category]
+        return count / self.total_calls
+
+
+class CoFluentTracer:
+    """Captures the name and category of every runtime API call."""
+
+    def __init__(self) -> None:
+        self.calls: list[APICall] = []
+
+    def attach(self, runtime: OpenCLRuntime) -> None:
+        runtime.add_interceptor(self._intercept)
+
+    def _intercept(self, call: APICall) -> None:
+        self.calls.append(call)
+
+    def reset(self) -> None:
+        self.calls.clear()
+
+    def report(self) -> APITraceReport:
+        kernel = sync = other = 0
+        for call in self.calls:
+            category = call.category
+            if category is CallCategory.KERNEL:
+                kernel += 1
+            elif category is CallCategory.SYNCHRONIZATION:
+                sync += 1
+            else:
+                other += 1
+        return APITraceReport(
+            total_calls=len(self.calls),
+            kernel_calls=kernel,
+            synchronization_calls=sync,
+            other_calls=other,
+        )

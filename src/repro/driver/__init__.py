@@ -1,0 +1,6 @@
+"""GPU driver substrate: JIT compilation and the binary-rewriter hook."""
+
+from repro.driver.driver import BinaryRewriter, GPUDriver
+from repro.driver.jit import JITCompiler, KernelSource
+
+__all__ = ["BinaryRewriter", "GPUDriver", "JITCompiler", "KernelSource"]

@@ -1,0 +1,89 @@
+"""The GPU driver: owns the JIT, the binary cache, and the rewriter hook.
+
+Figure 1 (right) shows GT-Pin's two interposition points; this module is
+the second one.  After the JIT produces a machine-specific binary, the
+driver -- if a binary rewriter has been installed -- diverts the binary
+through the rewriter before caching it for dispatch.  The rewriter is an
+opaque ``KernelBinary -> KernelBinary`` callable, so the driver knows
+nothing about GT-Pin internals (and vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.driver.jit import JITCompiler, KernelSource
+from repro.gpu.execution import GPUDevice, KernelDispatch
+from repro.isa.kernel import KernelBinary
+from repro.opencl.errors import InvalidKernelName
+
+#: A binary rewriter transforms a freshly JIT-compiled binary.
+BinaryRewriter = Callable[[KernelBinary], KernelBinary]
+
+
+class GPUDriver:
+    """Driver for one GPU device."""
+
+    def __init__(self, device: GPUDevice) -> None:
+        self.device = device
+        self.jit = JITCompiler()
+        self._rewriter: BinaryRewriter | None = None
+        self._binaries: dict[str, KernelBinary] = {}
+
+    # -- GT-Pin attach point ----------------------------------------------
+
+    def install_rewriter(self, rewriter: BinaryRewriter | None) -> None:
+        """Install (or remove) a binary rewriter.
+
+        Any already-built binaries are invalidated and will be recompiled
+        (and re-rewritten) on the next build/dispatch -- the modelled
+        equivalent of GT-Pin requiring the driver to be notified at
+        runtime initialization, before kernels are built.
+        """
+        self._rewriter = rewriter
+        self._binaries.clear()
+
+    @property
+    def rewriter_installed(self) -> bool:
+        return self._rewriter is not None
+
+    # -- build & dispatch ---------------------------------------------------
+
+    def build_program(self, sources: Mapping[str, KernelSource]) -> None:
+        """``clBuildProgram``: JIT-compile every kernel in the program."""
+        for name, source in sources.items():
+            binary = self.jit.compile(source)
+            if self._rewriter is not None:
+                binary = self._rewriter(binary)
+            self._binaries[name] = binary
+
+    def binary(self, kernel_name: str) -> KernelBinary:
+        """The device-ready (possibly instrumented) binary for a kernel."""
+        try:
+            return self._binaries[kernel_name]
+        except KeyError:
+            known = ", ".join(sorted(self._binaries)) or "<none built>"
+            raise InvalidKernelName(
+                f"kernel {kernel_name!r} has not been built; built kernels: "
+                f"{known}"
+            ) from None
+
+    def dispatch(
+        self,
+        kernel_name: str,
+        arg_values: Mapping[str, float],
+        global_work_size: int,
+        rng: np.random.Generator,
+        enqueue_call_index: int = -1,
+        sync_epoch: int = -1,
+        data_env: Mapping[str, float] | None = None,
+    ) -> KernelDispatch:
+        """Send one kernel invocation to the device."""
+        binary = self.binary(kernel_name)
+        return self.device.execute(
+            binary, arg_values, global_work_size, rng,
+            enqueue_call_index=enqueue_call_index, sync_epoch=sync_epoch,
+            data_env=data_env,
+        )

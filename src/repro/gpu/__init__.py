@@ -1,0 +1,48 @@
+"""GPU device substrate: specs, timing, memory streams, cache, executor."""
+
+from repro.gpu.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheSimulator,
+    CacheStats,
+    HierarchyStats,
+)
+from repro.gpu.device import (
+    FIGURE_8_FREQUENCIES_MHZ,
+    HD4000,
+    HD4600,
+    DeviceSpec,
+    device_by_name,
+)
+from repro.gpu.execution import (
+    ON_EXECUTE_HOOK_KEY,
+    ORIGINAL_BINARY_KEY,
+    GPUDevice,
+    KernelDispatch,
+)
+from repro.gpu.memory import DEFAULT_SURFACE, Surface, expand_addresses, stream_bytes
+from repro.gpu.timing import KernelCost, TimingModel, TimingParameters
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheSimulator",
+    "CacheStats",
+    "DEFAULT_SURFACE",
+    "DeviceSpec",
+    "FIGURE_8_FREQUENCIES_MHZ",
+    "GPUDevice",
+    "HierarchyStats",
+    "HD4000",
+    "HD4600",
+    "KernelCost",
+    "KernelDispatch",
+    "ON_EXECUTE_HOOK_KEY",
+    "ORIGINAL_BINARY_KEY",
+    "Surface",
+    "TimingModel",
+    "TimingParameters",
+    "device_by_name",
+    "expand_addresses",
+    "stream_bytes",
+]

@@ -1,0 +1,118 @@
+"""GPU device descriptors.
+
+The paper's test system is an Ivy Bridge **Intel HD 4000** (16 EUs in two
+subslices, 8 hardware threads per EU, 1150 MHz max, 332.8 peak GFLOPS);
+Section V-E additionally validates against a Haswell **HD 4600** (20 EUs).
+:class:`DeviceSpec` captures the parameters our timing model needs, and the
+module ships both devices (plus the frequency ladder used in Figure 8's
+middle plot).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU device.
+
+    Only timing-relevant parameters are modelled; see
+    :mod:`repro.gpu.timing` for how they combine.
+    """
+
+    name: str
+    generation: str
+    eu_count: int
+    threads_per_eu: int
+    frequency_mhz: float
+    memory_bandwidth_gbps: float
+    llc_kb: int
+    #: Fixed host->device dispatch cost per kernel invocation, seconds.
+    kernel_launch_overhead_s: float = 8e-6
+
+    def __post_init__(self) -> None:
+        if self.eu_count <= 0:
+            raise ValueError(f"eu_count must be positive, got {self.eu_count}")
+        if self.frequency_mhz <= 0:
+            raise ValueError(
+                f"frequency_mhz must be positive, got {self.frequency_mhz}"
+            )
+        if self.memory_bandwidth_gbps <= 0:
+            raise ValueError(
+                "memory_bandwidth_gbps must be positive, got "
+                f"{self.memory_bandwidth_gbps}"
+            )
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    @property
+    def hardware_threads(self) -> int:
+        """Simultaneously resident hardware threads (128 on the HD 4000)."""
+        return self.eu_count * self.threads_per_eu
+
+    @property
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        return self.memory_bandwidth_gbps * 1e9
+
+    def at_frequency(self, frequency_mhz: float) -> "DeviceSpec":
+        """The same device clocked at a different GPU frequency.
+
+        Used for Figure 8's cross-frequency validation (1150 down to
+        350 MHz).  Memory bandwidth is unchanged: on the modelled SoC the
+        memory controller is not on the GPU clock domain.
+        """
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}@{frequency_mhz:g}MHz",
+            frequency_mhz=frequency_mhz,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} ({self.generation}, {self.eu_count} EUs, "
+            f"{self.frequency_mhz:g} MHz)"
+        )
+
+
+#: The paper's profiling machine: Ivy Bridge HD 4000.
+HD4000 = DeviceSpec(
+    name="Intel HD 4000",
+    generation="Ivy Bridge",
+    eu_count=16,
+    threads_per_eu=8,
+    frequency_mhz=1150.0,
+    memory_bandwidth_gbps=25.6,
+    llc_kb=256,
+)
+
+#: The paper's cross-generation validation target: Haswell HD 4600.
+HD4600 = DeviceSpec(
+    name="Intel HD 4600",
+    generation="Haswell",
+    eu_count=20,
+    threads_per_eu=7,
+    frequency_mhz=1200.0,
+    memory_bandwidth_gbps=25.6,
+    llc_kb=512,
+)
+
+#: The frequency ladder of Figure 8 (middle plot), in MHz.
+FIGURE_8_FREQUENCIES_MHZ: tuple[float, ...] = (1000.0, 850.0, 700.0, 550.0, 350.0)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Resolve a known device by (case-insensitive) short or full name."""
+    table = {
+        "hd4000": HD4000,
+        "hd4600": HD4600,
+        HD4000.name.lower(): HD4000,
+        HD4600.name.lower(): HD4600,
+    }
+    try:
+        return table[name.lower().replace(" ", "")] if name.lower().replace(" ", "") in table else table[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted({"hd4000", "hd4600"}))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

@@ -1,0 +1,178 @@
+"""The functional GPU device: executes kernel binaries natively (fast).
+
+This is the stand-in for the physical HD 4000/4600.  A dispatch:
+
+1. derives the hardware-thread count from the global work size and the
+   kernel's SIMD compile width,
+2. walks the kernel's structured program once to obtain per-thread basic
+   block execution counts (data-dependent trip counts resolved with the
+   trial RNG), and scales them across threads,
+3. turns the per-block counts into dynamic totals (instructions, cycles,
+   bytes) with one matrix-vector product against the kernel's static
+   footprints, and
+4. prices the invocation with the roofline timing model.
+
+If the binary was rewritten by GT-Pin, the injected instrumentation "runs"
+here too: the executor invokes the binary's ``on_execute`` hook (stored by
+the rewriter in kernel metadata) so the instrumentation can write its
+counters to the trace buffer -- and the instrumentation's own instructions
+are included in the cycle count, which is exactly the 2-10x profiling
+overhead the paper reports (Section III-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.timing import KernelCost, TimingModel, TimingParameters
+from repro.isa.kernel import KernelBinary
+from repro.isa.program import execution_counts
+
+#: Metadata key under which the GT-Pin rewriter stores its execution hook.
+ON_EXECUTE_HOOK_KEY = "gtpin.on_execute"
+
+#: Metadata key referencing the uninstrumented original binary.
+ORIGINAL_BINARY_KEY = "gtpin.original_binary"
+
+
+@dataclasses.dataclass
+class KernelDispatch:
+    """Ground-truth record of one kernel invocation on the device.
+
+    ``block_counts`` is indexed by the *executed* binary's block ids.  The
+    ``enqueue_call_index`` / ``sync_epoch`` fields are stamped by the
+    OpenCL runtime when it flushes its queue (-1 until then).
+    """
+
+    dispatch_index: int
+    kernel_name: str
+    global_work_size: int
+    arg_values: Mapping[str, float]
+    n_hw_threads: int
+    block_counts: np.ndarray
+    instruction_count: int
+    issue_cycles: float
+    bytes_read: int
+    bytes_written: int
+    cost: KernelCost
+    time_seconds: float
+    instrumented: bool
+    enqueue_call_index: int = -1
+    sync_epoch: int = -1
+    #: Device-memory input state (buffer payload summaries) at dispatch.
+    data_env: Mapping[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def spi(self) -> float:
+        """Seconds per instruction of this single invocation."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.time_seconds / self.instruction_count
+
+
+#: Signature of the instrumentation hook a rewritten binary carries.
+OnExecuteHook = Callable[[KernelBinary, "KernelDispatch"], None]
+
+
+class GPUDevice:
+    """Executes kernel binaries and keeps a dispatch log."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        timing_params: TimingParameters | None = None,
+    ) -> None:
+        self.spec = spec
+        self.timing = TimingModel(spec, timing_params)
+        self.dispatch_log: list[KernelDispatch] = []
+
+    def reset(self) -> None:
+        """Clear the dispatch log (device state between program runs)."""
+        self.dispatch_log.clear()
+
+    def execute(
+        self,
+        binary: KernelBinary,
+        arg_values: Mapping[str, float],
+        global_work_size: int,
+        rng: np.random.Generator,
+        enqueue_call_index: int = -1,
+        sync_epoch: int = -1,
+        data_env: Mapping[str, float] | None = None,
+    ) -> KernelDispatch:
+        """Run one kernel invocation natively and log its dispatch record.
+
+        ``data_env`` models *input-buffer contents*: values the host wrote
+        to device memory (e.g. scene complexity) that data-dependent
+        control flow reads.  They feed trip-count resolution exactly like
+        arguments, but -- unlike arguments -- they are invisible to the
+        host API stream, so only block-level observation (GT-Pin counters)
+        can see their effect.
+        """
+        if global_work_size <= 0:
+            raise ValueError(
+                f"global_work_size must be positive, got {global_work_size}"
+            )
+        n_hw_threads = max(1, math.ceil(global_work_size / binary.simd_width))
+
+        exec_env: Mapping[str, float] = (
+            {**data_env, **arg_values} if data_env else arg_values
+        )
+        per_thread = execution_counts(
+            binary.program, exec_env, rng, binary.n_blocks
+        )
+        block_counts = per_thread * n_hw_threads
+
+        arrays = binary.arrays
+        counts_f = block_counts.astype(np.float64)
+        instruction_count = int(block_counts @ arrays.instruction_counts)
+        issue_cycles = float(counts_f @ arrays.issue_cycles)
+        bytes_read = int(block_counts @ arrays.bytes_read)
+        bytes_written = int(block_counts @ arrays.bytes_written)
+
+        cost = self.timing.cost(
+            total_issue_cycles=issue_cycles,
+            total_bytes=bytes_read + bytes_written,
+            n_hw_threads=min(n_hw_threads, self.spec.hardware_threads * 4),
+        )
+        time_seconds = self.timing.sample_seconds(cost, rng)
+
+        hook = binary.metadata.get(ON_EXECUTE_HOOK_KEY)
+        dispatch = KernelDispatch(
+            dispatch_index=len(self.dispatch_log),
+            kernel_name=binary.name,
+            global_work_size=global_work_size,
+            arg_values=dict(arg_values),
+            n_hw_threads=n_hw_threads,
+            block_counts=block_counts,
+            instruction_count=instruction_count,
+            issue_cycles=issue_cycles,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            cost=cost,
+            time_seconds=time_seconds,
+            instrumented=hook is not None,
+            enqueue_call_index=enqueue_call_index,
+            sync_epoch=sync_epoch,
+            data_env=dict(data_env or {}),
+        )
+        self.dispatch_log.append(dispatch)
+
+        if hook is not None:
+            # The injected instrumentation executes: counters flow out to
+            # the GT-Pin trace buffer.
+            hook(binary, dispatch)
+        return dispatch
+
+    def with_spec(self, spec: DeviceSpec) -> "GPUDevice":
+        """A fresh device of a different spec (same timing parameters)."""
+        return GPUDevice(spec, self.timing.params)

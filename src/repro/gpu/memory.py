@@ -1,0 +1,88 @@
+"""Synthetic memory address streams.
+
+Real GT-Pin can emit full memory traces for cache simulation (Section
+III-B).  Our synthetic kernels declare each send instruction's *access
+pattern* (:class:`~repro.isa.instruction.AccessPattern`); this module
+expands a pattern into a concrete address stream over a surface, which the
+GT-Pin cache-simulation tool then drives through the cache model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.isa.instruction import AccessPattern, SendMessage
+
+
+@dataclasses.dataclass(frozen=True)
+class Surface:
+    """A bound memory object (buffer or image) on the device."""
+
+    base_address: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"surface size must be positive, got {self.size_bytes}")
+        if self.base_address < 0:
+            raise ValueError("surface base address must be non-negative")
+
+
+#: Default surface used when a kernel references an unbound surface index.
+DEFAULT_SURFACE = Surface(base_address=0x1000_0000, size_bytes=16 * 1024 * 1024)
+
+
+def expand_addresses(
+    message: SendMessage,
+    exec_size: int,
+    n_executions: int,
+    surface: Surface = DEFAULT_SURFACE,
+    rng: np.random.Generator | None = None,
+    start_execution: int = 0,
+) -> np.ndarray:
+    """Concrete byte addresses touched by ``n_executions`` of a send.
+
+    Returns a 1-D ``int64`` array of per-channel element addresses, in
+    execution-then-channel order.  ``start_execution`` offsets sequential
+    and strided streams so that consecutive expansions of the same send
+    continue the stream rather than restart it.
+    """
+    if n_executions < 0:
+        raise ValueError(f"n_executions must be >= 0, got {n_executions}")
+    if n_executions == 0:
+        return np.empty(0, dtype=np.int64)
+
+    element = message.bytes_per_channel
+    pattern = message.pattern
+
+    if pattern is AccessPattern.BROADCAST:
+        # All channels of every execution hit the surface's first element.
+        return np.full(n_executions, surface.base_address, dtype=np.int64)
+
+    n_channels = exec_size
+    total = n_executions * n_channels
+
+    if pattern is AccessPattern.RANDOM:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        n_elements = max(1, surface.size_bytes // element)
+        idx = rng.integers(0, n_elements, size=total, dtype=np.int64)
+        return surface.base_address + idx * element
+
+    # SEQUENTIAL and STRIDED share the linear-index formula; SEQUENTIAL is
+    # STRIDED with stride 1.
+    stride = message.stride if pattern is AccessPattern.STRIDED else 1
+    linear = np.arange(
+        start_execution * n_channels,
+        start_execution * n_channels + total,
+        dtype=np.int64,
+    )
+    offsets = (linear * stride * element) % surface.size_bytes
+    return surface.base_address + offsets
+
+
+def stream_bytes(message: SendMessage, exec_size: int, n_executions: int) -> int:
+    """Total bytes moved by ``n_executions`` of a send instruction."""
+    return message.bytes_moved(exec_size) * n_executions

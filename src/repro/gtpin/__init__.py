@@ -1,0 +1,36 @@
+"""GT-Pin: dynamic binary instrumentation for GPU kernels (Section III)."""
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.overhead import (
+    SIMULATION_SLOWDOWN_BOUND,
+    OverheadReport,
+    measure_overhead,
+)
+from repro.gtpin.profiler import (
+    Application,
+    GTPinReport,
+    GTPinSession,
+    ProfiledApplication,
+    build_runtime,
+    default_tools,
+    profile,
+)
+from repro.gtpin.rewriter import GTPinRewriter
+from repro.gtpin.trace_buffer import TraceBuffer, TraceRecord
+
+__all__ = [
+    "Application",
+    "Capability",
+    "GTPinReport",
+    "GTPinRewriter",
+    "GTPinSession",
+    "OverheadReport",
+    "ProfiledApplication",
+    "SIMULATION_SLOWDOWN_BOUND",
+    "TraceBuffer",
+    "TraceRecord",
+    "build_runtime",
+    "default_tools",
+    "measure_overhead",
+    "profile",
+]

@@ -1,0 +1,176 @@
+"""Instrumentation capabilities and probe code sequences.
+
+GT-Pin users write *tools* that declare what to collect; the binary
+rewriter translates those declarations into injected GEN instructions
+(Section III-A: "The injected instrumentation differs depending on the
+profiling data GT-Pin's users wish to collect").
+
+A :class:`Capability` names one kind of raw data the instrumentation can
+produce.  Each capability has a *probe*: the concrete instruction sequence
+inserted into the binary.  Probes are real :class:`Instruction` objects
+flagged ``is_instrumentation=True``, so they cost real EU cycles in the
+timing model -- that cost *is* the paper's 2-10x profiling overhead
+(Section III-C) -- while staying invisible to the profiled counts.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.instruction import (
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.opcodes import Opcode
+
+
+class Capability(enum.Enum):
+    """Raw data kinds the injected instrumentation can produce."""
+
+    #: Per-basic-block dynamic execution counters (the workhorse: opcode
+    #: mixes, SIMD widths, instruction counts and memory *bytes* all
+    #: post-process from these plus static block footprints).
+    BLOCK_COUNTS = "block_counts"
+    #: Kernel entry/exit event-timer reads (thread cycles in kernels).
+    TIMERS = "timers"
+    #: Per-send concrete address records (cache simulation, latency).
+    MEMORY_TRACE = "memory_trace"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Scratch registers reserved for GT-Pin counters (GRF high range).
+_COUNTER_REG = 120
+_PAYLOAD_REG = 121
+_TIMER_REG = 122
+
+
+def block_counter_probe() -> list[Instruction]:
+    """Counter increment injected once per basic block (Section III-C:
+    "GT-Pin inserts counter increments only once per basic block rather
+    than per instruction").
+
+    The counter lives in per-thread scratch space -- a binary rewriter
+    cannot reserve GRF registers across an arbitrary kernel -- so each
+    increment is a scratch read-modify-write: load, add, store.  This
+    per-block-execution memory traffic, together with the host-side trace
+    drain, is what puts full profiling runs in the paper's 2-10x band.
+    """
+    scratch_load = SendMessage(
+        direction=MemoryDirection.READ,
+        bytes_per_channel=4,
+        address_space=AddressSpace.SCRATCH,
+        pattern=AccessPattern.BROADCAST,
+    )
+    scratch_store = SendMessage(
+        direction=MemoryDirection.WRITE,
+        bytes_per_channel=4,
+        address_space=AddressSpace.SCRATCH,
+        pattern=AccessPattern.BROADCAST,
+    )
+    return [
+        Instruction(
+            Opcode.SEND,
+            exec_size=1,
+            dst=_COUNTER_REG,
+            srcs=(_COUNTER_REG,),
+            send=scratch_load,
+            is_instrumentation=True,
+            comment="gtpin: load bb counter from scratch",
+        ),
+        Instruction(
+            Opcode.ADD,
+            exec_size=1,
+            dst=_COUNTER_REG,
+            srcs=(_COUNTER_REG,),
+            is_instrumentation=True,
+            comment="gtpin: bb counter += 1",
+        ),
+        Instruction(
+            Opcode.SEND,
+            exec_size=1,
+            dst=_COUNTER_REG,
+            srcs=(_COUNTER_REG,),
+            send=scratch_store,
+            is_instrumentation=True,
+            comment="gtpin: store bb counter to scratch",
+        ),
+    ]
+
+
+def counter_flush_probe(n_counters: int) -> list[Instruction]:
+    """End-of-kernel write of final counter values to the trace buffer.
+
+    One 32-byte store per 4 counters (SIMD8 x 8B lanes were overkill for a
+    model; what matters is that flush cost is per *kernel*, not per block
+    execution).
+    """
+    n_stores = max(1, (n_counters + 3) // 4)
+    probe: list[Instruction] = []
+    for _ in range(n_stores):
+        probe.append(
+            Instruction(
+                Opcode.SEND,
+                exec_size=8,
+                dst=_PAYLOAD_REG,
+                srcs=(_COUNTER_REG,),
+                send=SendMessage(
+                    direction=MemoryDirection.WRITE,
+                    bytes_per_channel=4,
+                    address_space=AddressSpace.GLOBAL,
+                    pattern=AccessPattern.SEQUENTIAL,
+                ),
+                is_instrumentation=True,
+                comment="gtpin: flush counters to trace buffer",
+            )
+        )
+    return probe
+
+
+def timer_probe() -> list[Instruction]:
+    """Event-timer register read (<10 cycles observed; Section III-C)."""
+    return [
+        Instruction(
+            Opcode.MOV,
+            exec_size=1,
+            dst=_TIMER_REG,
+            srcs=(0,),
+            is_instrumentation=True,
+            comment="gtpin: read event timer",
+        ),
+    ]
+
+
+def memory_trace_probe(traced_send: Instruction) -> list[Instruction]:
+    """Per-send address capture: stage the address payload and stream it
+    to the trace buffer.  This is the expensive capability -- one extra
+    send per profiled send -- which is why full memory tracing sits at the
+    top of the paper's 2-10x overhead band."""
+    return [
+        Instruction(
+            Opcode.MOV,
+            exec_size=traced_send.exec_size,
+            dst=_PAYLOAD_REG,
+            srcs=(traced_send.srcs[0] if traced_send.srcs else 0,),
+            is_instrumentation=True,
+            comment="gtpin: stage addresses",
+        ),
+        Instruction(
+            Opcode.SEND,
+            exec_size=traced_send.exec_size,
+            dst=_PAYLOAD_REG,
+            srcs=(_PAYLOAD_REG,),
+            send=SendMessage(
+                direction=MemoryDirection.WRITE,
+                bytes_per_channel=8,
+                address_space=AddressSpace.GLOBAL,
+                pattern=AccessPattern.SEQUENTIAL,
+            ),
+            is_instrumentation=True,
+            comment="gtpin: emit address record",
+        ),
+    ]

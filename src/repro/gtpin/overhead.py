@@ -1,0 +1,103 @@
+"""Profiling-overhead accounting (Section III-C).
+
+The paper reports that GT-Pin profiling runs take 2-10x as long as
+uninstrumented executions, versus up to 2,000,000x for simulation.  The
+overhead has two components, both modelled:
+
+* **GPU-side**: the injected probe instructions cost real EU cycles and
+  (for memory tracing) real memory bandwidth, so instrumented dispatches
+  are slower on the device;
+* **host-side**: the CPU must drain the trace buffer and post-process it;
+  per-record driver/PCIe round-trips dominate for short kernels.
+
+:func:`measure_overhead` runs an application twice -- natively and under a
+GT-Pin session -- with the same trial seed (so device non-determinism is
+identical) and decomposes the slowdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.gpu.device import HD4000, DeviceSpec
+from repro.gtpin.profiler import (
+    Application,
+    GTPinSession,
+    build_runtime,
+    default_tools,
+)
+from repro.gtpin.tools.base import ProfilingTool
+
+#: Host-side cost per drained trace record (driver round-trip, µs-scale).
+HOST_COST_PER_RECORD_S = 200e-6
+
+#: Host-side readout bandwidth for trace-buffer bytes.
+HOST_READOUT_BYTES_PER_S = 2e9
+
+#: The slowdown bound the paper quotes for detailed simulation.
+SIMULATION_SLOWDOWN_BOUND = 2_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class OverheadReport:
+    """Native-vs-instrumented timing decomposition for one application."""
+
+    application_name: str
+    native_seconds: float
+    instrumented_gpu_seconds: float
+    host_drain_seconds: float
+    record_count: int
+    trace_bytes: int
+
+    @property
+    def instrumented_seconds(self) -> float:
+        return self.instrumented_gpu_seconds + self.host_drain_seconds
+
+    @property
+    def overhead_factor(self) -> float:
+        """Total profiling slowdown; the paper observes 2-10x."""
+        if self.native_seconds == 0:
+            return 1.0
+        return self.instrumented_seconds / self.native_seconds
+
+    @property
+    def gpu_overhead_factor(self) -> float:
+        """Device-only slowdown from the injected instructions."""
+        if self.native_seconds == 0:
+            return 1.0
+        return self.instrumented_gpu_seconds / self.native_seconds
+
+
+def measure_overhead(
+    application: Application,
+    device_spec: DeviceSpec = HD4000,
+    tools: Sequence[ProfilingTool] | None = None,
+    trial_seed: int = 0,
+) -> OverheadReport:
+    """Compare a native run against a GT-Pin run of the same application."""
+    native_runtime = build_runtime(application, device_spec)
+    native_run = native_runtime.run(application.host_program, trial_seed)
+
+    session = GTPinSession(list(tools) if tools is not None else default_tools())
+    instrumented_runtime = build_runtime(
+        application, device_spec, session=session
+    )
+    instrumented_run = instrumented_runtime.run(
+        application.host_program, trial_seed
+    )
+
+    records = session.trace_buffer.drain()
+    trace_bytes = sum(r.record_bytes for r in records)
+    host_drain = (
+        len(records) * HOST_COST_PER_RECORD_S
+        + trace_bytes / HOST_READOUT_BYTES_PER_S
+    )
+    return OverheadReport(
+        application_name=application.name,
+        native_seconds=native_run.total_kernel_seconds,
+        instrumented_gpu_seconds=instrumented_run.total_kernel_seconds,
+        host_drain_seconds=host_drain,
+        record_count=len(records),
+        trace_bytes=trace_bytes,
+    )

@@ -1,0 +1,166 @@
+"""GT-Pin sessions: attach, run, post-process.
+
+Ties the pieces of Figure 1 together.  A :class:`GTPinSession` owns the
+trace buffer and binary rewriter for one profiling run; ``attach`` installs
+the rewriter into the GPU driver (the modelled driver notification);
+``post_process`` drains the trace buffer on the CPU and runs every tool's
+analysis, producing a :class:`GTPinReport`.
+
+The one-call front door is :func:`profile`:
+
+>>> from repro.gtpin.profiler import profile          # doctest: +SKIP
+>>> profiled = profile(app)                           # doctest: +SKIP
+>>> profiled.report["opcode_mix"].dynamic_fractions() # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Mapping, Protocol, Sequence
+
+from repro.driver.driver import GPUDriver
+from repro.driver.jit import KernelSource
+from repro.gpu.device import HD4000, DeviceSpec
+from repro.gpu.execution import GPUDevice
+from repro.gpu.timing import TimingParameters
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.rewriter import GTPinRewriter
+from repro.gtpin.tools import CHARACTERIZATION_TOOLS
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+from repro.gtpin.trace_buffer import TraceBuffer
+from repro.opencl.host_program import HostProgram
+from repro.opencl.runtime import OpenCLRuntime, ProgramRun
+
+
+class Application(Protocol):
+    """Anything profilable: kernel sources plus a host API-call stream."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def sources(self) -> Mapping[str, KernelSource]: ...
+
+    @property
+    def host_program(self) -> HostProgram: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class GTPinReport:
+    """Post-processed results of one profiling run, keyed by tool name."""
+
+    results: Mapping[str, Any]
+    record_count: int
+    overflow_drains: int
+    rewritten_kernels: int
+
+    def __getitem__(self, tool_name: str) -> Any:
+        try:
+            return self.results[tool_name]
+        except KeyError:
+            known = ", ".join(sorted(self.results)) or "<none>"
+            raise KeyError(
+                f"no report from tool {tool_name!r}; attached tools: {known}"
+            ) from None
+
+    def __contains__(self, tool_name: str) -> bool:
+        return tool_name in self.results
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+
+class GTPinSession:
+    """One GT-Pin profiling session (one trace buffer, one rewriter)."""
+
+    def __init__(
+        self,
+        tools: Sequence[ProfilingTool],
+        trace_buffer_capacity: int = TraceBuffer.DEFAULT_CAPACITY,
+    ) -> None:
+        if not tools:
+            raise ValueError("a GT-Pin session needs at least one tool")
+        names = [tool.name for tool in tools]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate tool names: {sorted(duplicates)}")
+        self.tools = tuple(tools)
+        capabilities: set[Capability] = set()
+        for tool in tools:
+            capabilities |= tool.capabilities
+        self.trace_buffer = TraceBuffer(trace_buffer_capacity)
+        self.rewriter = GTPinRewriter(frozenset(capabilities), self.trace_buffer)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, runtime: OpenCLRuntime) -> None:
+        """Notify the driver to divert JIT output through GT-Pin."""
+        runtime.driver.install_rewriter(self.rewriter)
+
+    def detach(self, runtime: OpenCLRuntime) -> None:
+        runtime.driver.install_rewriter(None)
+
+    def post_process(self) -> GTPinReport:
+        """CPU-side drain + per-tool analysis (Figure 1's last step)."""
+        records = self.trace_buffer.drain()
+        context = ProfileContext(
+            original_binaries=dict(self.rewriter.original_binaries),
+            records=records,
+        )
+        return GTPinReport(
+            results={tool.name: tool.process(context) for tool in self.tools},
+            record_count=len(records),
+            overflow_drains=self.trace_buffer.overflow_drains,
+            rewritten_kernels=self.rewriter.rewritten_count,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfiledApplication:
+    """A completed GT-Pin profiling run of one application."""
+
+    application_name: str
+    run: ProgramRun
+    report: GTPinReport
+
+
+def default_tools() -> list[ProfilingTool]:
+    """The Section IV characterization tool set, instantiated."""
+    return [tool() for tool in CHARACTERIZATION_TOOLS]
+
+
+def build_runtime(
+    application: Application,
+    device_spec: DeviceSpec = HD4000,
+    timing_params: TimingParameters | None = None,
+    session: GTPinSession | None = None,
+) -> OpenCLRuntime:
+    """Assemble device + driver + runtime for an application, optionally
+    with a GT-Pin session attached at runtime initialization."""
+    device = GPUDevice(device_spec, timing_params)
+    driver = GPUDriver(device)
+    init_hooks = (session.attach,) if session is not None else ()
+    runtime = OpenCLRuntime(driver, init_hooks=init_hooks)
+    runtime.load_sources(application.sources)
+    return runtime
+
+
+def profile(
+    application: Application,
+    device_spec: DeviceSpec = HD4000,
+    tools: Sequence[ProfilingTool] | None = None,
+    trial_seed: int = 0,
+    timing_params: TimingParameters | None = None,
+) -> ProfiledApplication:
+    """Run one application natively under GT-Pin and post-process.
+
+    This is the tool's user-facing workflow: no recompilation, no source
+    changes -- hand over the application, get a report.
+    """
+    session = GTPinSession(list(tools) if tools is not None else default_tools())
+    runtime = build_runtime(application, device_spec, timing_params, session)
+    run = runtime.run(application.host_program, trial_seed=trial_seed)
+    report = session.post_process()
+    return ProfiledApplication(
+        application_name=application.name, run=run, report=report
+    )

@@ -1,0 +1,84 @@
+"""GT-Pin's pluggable profiling tools (Section III-B's data menu)."""
+
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+from repro.gtpin.tools.cache_sim import CacheSimReport, CacheSimTool
+from repro.gtpin.tools.divergence import (
+    DivergenceReport,
+    DivergenceTool,
+    KernelDivergence,
+)
+from repro.gtpin.tools.kernel_cycles import (
+    KernelCycles,
+    KernelCyclesReport,
+    KernelCyclesTool,
+)
+from repro.gtpin.tools.instructions import (
+    BasicBlockCountTool,
+    BlockCountReport,
+    InstructionCountReport,
+    InstructionCountTool,
+)
+from repro.gtpin.tools.invocations import (
+    InvocationLog,
+    InvocationLogTool,
+    InvocationProfile,
+)
+from repro.gtpin.tools.latency import (
+    MemoryLatencyReport,
+    MemoryLatencyTool,
+    SendLatency,
+)
+from repro.gtpin.tools.memory_bytes import MemoryBytesReport, MemoryBytesTool
+from repro.gtpin.tools.opcode_mix import OpcodeMixReport, OpcodeMixTool
+from repro.gtpin.tools.simd import SIMDWidthReport, SIMDWidthTool
+from repro.gtpin.tools.structure import StructureReport, StructureTool
+from repro.gtpin.tools.utilization import (
+    KernelUtilization,
+    SIMDUtilizationTool,
+    UtilizationReport,
+)
+
+#: The tool set used for the Section IV characterization study.
+CHARACTERIZATION_TOOLS = (
+    StructureTool,
+    InstructionCountTool,
+    BasicBlockCountTool,
+    OpcodeMixTool,
+    SIMDWidthTool,
+    MemoryBytesTool,
+)
+
+__all__ = [
+    "BasicBlockCountTool",
+    "BlockCountReport",
+    "CHARACTERIZATION_TOOLS",
+    "CacheSimReport",
+    "CacheSimTool",
+    "DivergenceReport",
+    "DivergenceTool",
+    "InstructionCountReport",
+    "KernelCycles",
+    "KernelDivergence",
+    "KernelCyclesReport",
+    "KernelCyclesTool",
+    "KernelUtilization",
+    "InstructionCountTool",
+    "InvocationLog",
+    "InvocationLogTool",
+    "InvocationProfile",
+    "MemoryBytesReport",
+    "MemoryBytesTool",
+    "MemoryLatencyReport",
+    "MemoryLatencyTool",
+    "OpcodeMixReport",
+    "OpcodeMixTool",
+    "ProfileContext",
+    "ProfilingTool",
+    "SIMDUtilizationTool",
+    "SIMDWidthReport",
+    "SIMDWidthTool",
+    "UtilizationReport",
+    "SendLatency",
+    "StructureReport",
+    "StructureTool",
+]

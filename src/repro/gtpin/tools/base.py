@@ -1,0 +1,59 @@
+"""Profiling-tool plugin interface.
+
+Section III-B: "users may collect only the desired subset of these
+statistics by writing custom profiling tools."  A tool declares the
+instrumentation :class:`~repro.gtpin.instrumentation.Capability` set it
+needs; the GT-Pin session unions the capabilities of all attached tools,
+instruments once, and hands each tool the drained trace records plus the
+original binaries for post-processing.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.trace_buffer import TraceRecord
+from repro.isa.kernel import KernelBinary
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileContext:
+    """Everything a tool's post-processing may consult.
+
+    ``original_binaries`` maps kernel name to the *uninstrumented* binary
+    (GT-Pin reports the program's behaviour, never its own), and
+    ``records`` is the drained trace buffer in dispatch order.
+    """
+
+    original_binaries: Mapping[str, KernelBinary]
+    records: Sequence[TraceRecord]
+
+    def binary(self, kernel_name: str) -> KernelBinary:
+        try:
+            return self.original_binaries[kernel_name]
+        except KeyError:
+            raise KeyError(
+                f"no original binary recorded for kernel {kernel_name!r}; "
+                "was the kernel ever built while GT-Pin was attached?"
+            ) from None
+
+
+class ProfilingTool(abc.ABC):
+    """One pluggable GT-Pin analysis."""
+
+    #: Unique name used as the report key.
+    name: str = ""
+
+    #: Instrumentation this tool requires.
+    capabilities: frozenset[Capability] = frozenset()
+
+    @abc.abstractmethod
+    def process(self, context: ProfileContext) -> Any:
+        """Post-process drained trace records into this tool's report."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        caps = ",".join(sorted(c.value for c in self.capabilities)) or "none"
+        return f"{type(self).__name__}(capabilities={caps})"

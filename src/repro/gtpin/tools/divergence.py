@@ -1,0 +1,122 @@
+"""Branch-divergence tool.
+
+GEN executes SIMD lanes in lockstep; lanes that diverge at a branch are
+predicated off while the other arm runs, wasting issue slots.  GT-Pin's
+block counters expose divergence without any extra instrumentation: in a
+straight-line or uniformly-looping kernel every block of a region runs
+equally often, so a block whose dynamic count falls *below* its kernel's
+per-invocation maximum is conditionally executed -- its shortfall measures
+how often control skipped it.
+
+The tool reports, per kernel, the fraction of dynamic instructions spent
+in conditionally-executed (divergent) blocks and the mean "taken rate" of
+those blocks -- the data a GPU architect reads before sizing predication
+hardware or re-converging schedulers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelDivergence:
+    """Divergence summary for one kernel."""
+
+    kernel_name: str
+    total_instructions: int
+    divergent_instructions: int  #: instructions in sub-maximal blocks
+    #: Dynamic-count-weighted mean of (block count / region max) over the
+    #: conditionally-executed blocks; 1.0 means never actually skipped.
+    mean_taken_rate: float
+
+    @property
+    def divergent_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.divergent_instructions / self.total_instructions
+
+
+@dataclasses.dataclass(frozen=True)
+class DivergenceReport:
+    per_kernel: dict[str, KernelDivergence]
+
+    def overall_divergent_fraction(self) -> float:
+        total = sum(k.total_instructions for k in self.per_kernel.values())
+        divergent = sum(
+            k.divergent_instructions for k in self.per_kernel.values()
+        )
+        return divergent / total if total else 0.0
+
+    def most_divergent(self) -> KernelDivergence | None:
+        if not self.per_kernel:
+            return None
+        return max(
+            self.per_kernel.values(), key=lambda k: k.divergent_fraction
+        )
+
+
+class DivergenceTool(ProfilingTool):
+    """Measures conditionally-executed work from block-count shortfalls."""
+
+    name = "divergence"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> DivergenceReport:
+        totals: dict[str, int] = {}
+        divergent: dict[str, int] = {}
+        taken_weighted: dict[str, float] = {}
+        taken_weight: dict[str, float] = {}
+
+        for record in context.records:
+            binary = context.binary(record.kernel_name)
+            arrays = binary.arrays
+            counts = record.block_counts
+            if counts.size == 0:
+                continue
+            # Work per hardware thread: block counts scale uniformly with
+            # the thread count, so divergence analysis happens on the
+            # per-thread view.  The hottest block defines the loop-region
+            # reference; blocks at one execution per thread (prologue,
+            # epilogue) are structural, and interior blocks strictly
+            # between 1 and the reference were skipped by divergent
+            # control flow.
+            threads = max(1, record.n_hw_threads)
+            per_thread = counts / threads
+            region_max = float(per_thread.max())
+            name = record.kernel_name
+            instr_total = int(counts @ arrays.instruction_counts)
+            totals[name] = totals.get(name, 0) + instr_total
+            if region_max <= 1.0:
+                continue
+            for block_id, count in enumerate(per_thread.tolist()):
+                if count <= 1.0 or count >= region_max:
+                    continue
+                block_instr = int(
+                    counts[block_id] * arrays.instruction_counts[block_id]
+                )
+                divergent[name] = divergent.get(name, 0) + block_instr
+                rate = count / region_max
+                taken_weighted[name] = (
+                    taken_weighted.get(name, 0.0) + rate * block_instr
+                )
+                taken_weight[name] = (
+                    taken_weight.get(name, 0.0) + block_instr
+                )
+
+        per_kernel = {}
+        for name, total in totals.items():
+            d = divergent.get(name, 0)
+            weight = taken_weight.get(name, 0.0)
+            per_kernel[name] = KernelDivergence(
+                kernel_name=name,
+                total_instructions=total,
+                divergent_instructions=d,
+                mean_taken_rate=(
+                    taken_weighted.get(name, 0.0) / weight if weight else 1.0
+                ),
+            )
+        return DivergenceReport(per_kernel=per_kernel)

@@ -1,0 +1,91 @@
+"""Dynamic instruction- and basic-block-count tools (Figure 3c).
+
+Both tools post-process ``BLOCK_COUNTS`` instrumentation: a block's
+dynamic execution count times its static footprint yields exact dynamic
+totals (Section III-C's once-per-block counting trick).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionCountReport:
+    """Dynamic work summary (Figure 3c's three bar groups)."""
+
+    kernel_invocations: int
+    dynamic_basic_blocks: int
+    dynamic_instructions: int
+    per_kernel_invocations: dict[str, int]
+    per_kernel_instructions: dict[str, int]
+
+
+class InstructionCountTool(ProfilingTool):
+    """Counts kernel invocations, BB executions and dynamic instructions."""
+
+    name = "instructions"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> InstructionCountReport:
+        invocations = 0
+        dyn_blocks = 0
+        dyn_instrs = 0
+        per_kernel_inv: dict[str, int] = {}
+        per_kernel_instr: dict[str, int] = {}
+        for record in context.records:
+            binary = context.binary(record.kernel_name)
+            invocations += 1
+            dyn_blocks += int(record.block_counts.sum())
+            instrs = int(
+                record.block_counts @ binary.arrays.instruction_counts
+            )
+            dyn_instrs += instrs
+            per_kernel_inv[record.kernel_name] = (
+                per_kernel_inv.get(record.kernel_name, 0) + 1
+            )
+            per_kernel_instr[record.kernel_name] = (
+                per_kernel_instr.get(record.kernel_name, 0) + instrs
+            )
+        return InstructionCountReport(
+            kernel_invocations=invocations,
+            dynamic_basic_blocks=dyn_blocks,
+            dynamic_instructions=dyn_instrs,
+            per_kernel_invocations=per_kernel_inv,
+            per_kernel_instructions=per_kernel_instr,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockCountReport:
+    """Per-basic-block dynamic execution counts."""
+
+    #: (kernel name, block id) -> dynamic executions.
+    counts: dict[tuple[str, int], int]
+
+    @property
+    def total_block_executions(self) -> int:
+        return sum(self.counts.values())
+
+    def hottest(self, n: int = 10) -> list[tuple[tuple[str, int], int]]:
+        """The ``n`` most-executed blocks, descending."""
+        return sorted(self.counts.items(), key=lambda kv: -kv[1])[:n]
+
+
+class BasicBlockCountTool(ProfilingTool):
+    """Aggregates dynamic execution counts per static basic block."""
+
+    name = "block_counts"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> BlockCountReport:
+        counts: dict[tuple[str, int], int] = {}
+        for record in context.records:
+            for block_id, count in enumerate(record.block_counts.tolist()):
+                if count:
+                    key = (record.kernel_name, block_id)
+                    counts[key] = counts.get(key, 0) + count
+        return BlockCountReport(counts=counts)

@@ -1,0 +1,81 @@
+"""Thread-cycles-in-kernel tool (Section III-B: "thread cycles in kernel
+and non-inlined functions").
+
+Uses the ``TIMERS`` capability: the rewriter injects event-timer reads at
+kernel entry and exit (<10 observed cycles per read, Section III-C), and
+the tool post-processes the per-invocation timer deltas into per-kernel
+cycle totals at the device frequency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCycles:
+    """Aggregate timer results for one kernel."""
+
+    kernel_name: str
+    invocations: int
+    total_seconds: float
+    cycles_at_mhz: float  #: total cycles at the configured frequency
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.invocations if self.invocations else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCyclesReport:
+    frequency_mhz: float
+    per_kernel: dict[str, KernelCycles]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(k.total_seconds for k in self.per_kernel.values())
+
+    def hottest(self, n: int = 5) -> list[KernelCycles]:
+        return sorted(
+            self.per_kernel.values(),
+            key=lambda k: -k.total_seconds,
+        )[:n]
+
+
+class KernelCyclesTool(ProfilingTool):
+    """Measures wall cycles spent inside each kernel via timer probes."""
+
+    name = "kernel_cycles"
+    capabilities = frozenset({Capability.TIMERS})
+
+    def __init__(self, frequency_mhz: float = 1150.0) -> None:
+        self.frequency_mhz = frequency_mhz
+
+    def process(self, context: ProfileContext) -> KernelCyclesReport:
+        seconds: dict[str, float] = {}
+        invocations: dict[str, int] = {}
+        for record in context.records:
+            timer = record.payloads.get(Capability.TIMERS.value)
+            if timer is None:
+                continue
+            seconds[record.kernel_name] = (
+                seconds.get(record.kernel_name, 0.0) + float(timer)
+            )
+            invocations[record.kernel_name] = (
+                invocations.get(record.kernel_name, 0) + 1
+            )
+        per_kernel = {
+            name: KernelCycles(
+                kernel_name=name,
+                invocations=invocations[name],
+                total_seconds=seconds[name],
+                cycles_at_mhz=seconds[name] * self.frequency_mhz * 1e6,
+            )
+            for name in seconds
+        }
+        return KernelCyclesReport(
+            frequency_mhz=self.frequency_mhz, per_kernel=per_kernel
+        )

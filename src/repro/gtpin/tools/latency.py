@@ -1,0 +1,106 @@
+"""Per-thread memory-instruction latency tool (Section III-B).
+
+Reports an estimated round-trip latency per traced send instruction.  The
+estimate combines a base latency per address space with a locality factor
+derived from the send's access pattern -- sequential streams mostly hit in
+the cache hierarchy, random streams mostly miss.  (A user needing measured
+hit rates composes this with :class:`~repro.gtpin.tools.cache_sim.CacheSimTool`.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+from repro.isa.instruction import AccessPattern, AddressSpace
+
+#: Base hit latencies (EU cycles) per address space.
+BASE_LATENCY_CYCLES: dict[AddressSpace, float] = {
+    AddressSpace.SHARED: 32.0,
+    AddressSpace.CONSTANT: 48.0,
+    AddressSpace.GLOBAL: 64.0,
+    AddressSpace.IMAGE: 96.0,
+    AddressSpace.SCRATCH: 64.0,
+}
+
+#: DRAM round-trip on a miss, EU cycles.
+MISS_PENALTY_CYCLES = 300.0
+
+#: Estimated miss probability per access pattern.
+PATTERN_MISS_RATE: dict[AccessPattern, float] = {
+    AccessPattern.BROADCAST: 0.01,
+    AccessPattern.SEQUENTIAL: 0.06,
+    AccessPattern.STRIDED: 0.25,
+    AccessPattern.RANDOM: 0.85,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SendLatency:
+    """Latency estimate for one static send instruction."""
+
+    kernel_name: str
+    block_id: int
+    instruction_index: int
+    dynamic_executions: int
+    estimated_cycles: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryLatencyReport:
+    sends: tuple[SendLatency, ...]
+
+    def mean_latency_cycles(self) -> float:
+        """Execution-weighted mean latency across all sends."""
+        total_execs = sum(s.dynamic_executions for s in self.sends)
+        if total_execs == 0:
+            return 0.0
+        weighted = sum(
+            s.estimated_cycles * s.dynamic_executions for s in self.sends
+        )
+        return weighted / total_execs
+
+
+class MemoryLatencyTool(ProfilingTool):
+    """Estimates per-thread latency of every memory instruction."""
+
+    name = "memory_latency"
+    capabilities = frozenset(
+        {Capability.BLOCK_COUNTS, Capability.MEMORY_TRACE}
+    )
+
+    def process(self, context: ProfileContext) -> MemoryLatencyReport:
+        exec_totals: dict[tuple[str, int, int], int] = {}
+        for record in context.records:
+            for block_id, count in enumerate(record.block_counts.tolist()):
+                if not count:
+                    continue
+                binary = context.binary(record.kernel_name)
+                for instr_idx, instr in enumerate(
+                    binary.block(block_id).instructions
+                ):
+                    if instr.is_send:
+                        key = (record.kernel_name, block_id, instr_idx)
+                        exec_totals[key] = exec_totals.get(key, 0) + count
+
+        sends = []
+        for (kernel_name, block_id, instr_idx), execs in sorted(
+            exec_totals.items()
+        ):
+            instr = context.binary(kernel_name).block(block_id).instructions[
+                instr_idx
+            ]
+            assert instr.send is not None
+            base = BASE_LATENCY_CYCLES[instr.send.address_space]
+            miss = PATTERN_MISS_RATE[instr.send.pattern]
+            sends.append(
+                SendLatency(
+                    kernel_name=kernel_name,
+                    block_id=block_id,
+                    instruction_index=instr_idx,
+                    dynamic_executions=execs,
+                    estimated_cycles=base + miss * MISS_PENALTY_CYCLES,
+                )
+            )
+        return MemoryLatencyReport(sends=tuple(sends))

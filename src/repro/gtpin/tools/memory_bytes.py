@@ -1,0 +1,63 @@
+"""Memory-bytes tool (Figure 4c): cumulative bytes read/written.
+
+Byte totals post-process from block counts alone -- each send's bytes per
+execution are static -- so this tool needs no per-access memory trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryBytesReport:
+    """Cumulative memory traffic across all hardware threads (Figure 4c)."""
+
+    bytes_read: int
+    bytes_written: int
+    per_kernel_read: dict[str, int]
+    per_kernel_written: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def write_to_read_ratio(self) -> float:
+        """W/R ratio; the Sony apps write up to 525x what they read."""
+        if self.bytes_read == 0:
+            return float("inf") if self.bytes_written else 0.0
+        return self.bytes_written / self.bytes_read
+
+
+class MemoryBytesTool(ProfilingTool):
+    """Tracks bytes read and written per instruction, aggregated."""
+
+    name = "memory_bytes"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> MemoryBytesReport:
+        read = written = 0
+        per_read: dict[str, int] = {}
+        per_written: dict[str, int] = {}
+        for record in context.records:
+            binary = context.binary(record.kernel_name)
+            r = int(record.block_counts @ binary.arrays.bytes_read)
+            w = int(record.block_counts @ binary.arrays.bytes_written)
+            read += r
+            written += w
+            per_read[record.kernel_name] = (
+                per_read.get(record.kernel_name, 0) + r
+            )
+            per_written[record.kernel_name] = (
+                per_written.get(record.kernel_name, 0) + w
+            )
+        return MemoryBytesReport(
+            bytes_read=read,
+            bytes_written=written,
+            per_kernel_read=per_read,
+            per_kernel_written=per_written,
+        )

@@ -1,0 +1,56 @@
+"""Dynamic and static opcode-class mix tool (Figure 4a)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+from repro.isa.opcodes import FIGURE_4A_ORDER, OpClass
+
+
+@dataclasses.dataclass(frozen=True)
+class OpcodeMixReport:
+    """Instruction counts and fractions per opcode class."""
+
+    dynamic_counts: dict[OpClass, int]
+    static_counts: dict[OpClass, int]
+
+    @property
+    def total_dynamic(self) -> int:
+        return sum(self.dynamic_counts.values())
+
+    def dynamic_fractions(self) -> dict[OpClass, float]:
+        """Figure 4a's stacked percentages, as fractions summing to 1."""
+        total = self.total_dynamic
+        if total == 0:
+            return {cls: 0.0 for cls in FIGURE_4A_ORDER}
+        return {
+            cls: self.dynamic_counts[cls] / total for cls in FIGURE_4A_ORDER
+        }
+
+
+class OpcodeMixTool(ProfilingTool):
+    """Breaks dynamic instructions into the five Figure 4a classes."""
+
+    name = "opcode_mix"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> OpcodeMixReport:
+        dynamic = np.zeros(len(FIGURE_4A_ORDER), dtype=np.int64)
+        for record in context.records:
+            binary = context.binary(record.kernel_name)
+            dynamic += record.block_counts @ binary.arrays.class_counts
+        static = np.zeros(len(FIGURE_4A_ORDER), dtype=np.int64)
+        for binary in context.original_binaries.values():
+            static += binary.arrays.class_counts.sum(axis=0)
+        return OpcodeMixReport(
+            dynamic_counts={
+                cls: int(dynamic[i]) for i, cls in enumerate(FIGURE_4A_ORDER)
+            },
+            static_counts={
+                cls: int(static[i]) for i, cls in enumerate(FIGURE_4A_ORDER)
+            },
+        )

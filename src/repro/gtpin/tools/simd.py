@@ -1,0 +1,60 @@
+"""SIMD execution-width distribution tool (Figure 4b)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+from repro.isa.instruction import EXEC_SIZES
+
+
+@dataclasses.dataclass(frozen=True)
+class SIMDWidthReport:
+    """Dynamic instruction counts per execution size (1/2/4/8/16)."""
+
+    dynamic_counts: dict[int, int]
+    static_counts: dict[int, int]
+
+    @property
+    def total_dynamic(self) -> int:
+        return sum(self.dynamic_counts.values())
+
+    def dynamic_fractions(self) -> dict[int, float]:
+        total = self.total_dynamic
+        if total == 0:
+            return {w: 0.0 for w in EXEC_SIZES}
+        return {w: self.dynamic_counts[w] / total for w in EXEC_SIZES}
+
+    def average_width(self) -> float:
+        """Dynamic-instruction-weighted mean SIMD width."""
+        total = self.total_dynamic
+        if total == 0:
+            return 0.0
+        return sum(w * c for w, c in self.dynamic_counts.items()) / total
+
+
+class SIMDWidthTool(ProfilingTool):
+    """Measures how data-parallel the profiled program is (Figure 4b)."""
+
+    name = "simd_widths"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> SIMDWidthReport:
+        dynamic = np.zeros(len(EXEC_SIZES), dtype=np.int64)
+        for record in context.records:
+            binary = context.binary(record.kernel_name)
+            dynamic += record.block_counts @ binary.arrays.width_counts
+        static = np.zeros(len(EXEC_SIZES), dtype=np.int64)
+        for binary in context.original_binaries.values():
+            static += binary.arrays.width_counts.sum(axis=0)
+        return SIMDWidthReport(
+            dynamic_counts={
+                w: int(dynamic[i]) for i, w in enumerate(EXEC_SIZES)
+            },
+            static_counts={
+                w: int(static[i]) for i, w in enumerate(EXEC_SIZES)
+            },
+        )

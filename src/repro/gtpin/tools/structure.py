@@ -1,0 +1,69 @@
+"""Static program-structure tool (Figure 3b).
+
+Counts unique kernels and unique (static) basic blocks, plus static
+instruction counts -- all available from the original binaries without any
+injected instrumentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+
+
+@dataclasses.dataclass(frozen=True)
+class StructureReport:
+    """Static structure of the profiled program (Figure 3b).
+
+    Source-line counts back the "static and dynamic instruction execution
+    counts for the source and assembly" capability (Section III-B): the
+    JIT records each kernel's approximate OpenCL C size, so the report
+    can relate source size to emitted assembly.
+    """
+
+    unique_kernels: int
+    unique_basic_blocks: int
+    static_instructions: int
+    static_encoded_bytes: int
+    per_kernel_blocks: dict[str, int]
+    per_kernel_static_instructions: dict[str, int]
+    source_lines: int = 0
+    per_kernel_source_lines: dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @property
+    def assembly_per_source_line(self) -> float:
+        """Mean emitted assembly instructions per source line."""
+        if self.source_lines == 0:
+            return 0.0
+        return self.static_instructions / self.source_lines
+
+
+class StructureTool(ProfilingTool):
+    """Reports unique kernels / static basic blocks / static instructions."""
+
+    name = "structure"
+    capabilities = frozenset()  # purely static
+
+    def process(self, context: ProfileContext) -> StructureReport:
+        per_blocks: dict[str, int] = {}
+        per_instrs: dict[str, int] = {}
+        per_source: dict[str, int] = {}
+        encoded = 0
+        for kernel_name, binary in sorted(context.original_binaries.items()):
+            per_blocks[kernel_name] = binary.n_blocks
+            per_instrs[kernel_name] = binary.static_instruction_count
+            per_source[kernel_name] = binary.source_lines
+            encoded += binary.static_encoded_bytes
+        return StructureReport(
+            unique_kernels=len(per_blocks),
+            unique_basic_blocks=sum(per_blocks.values()),
+            static_instructions=sum(per_instrs.values()),
+            static_encoded_bytes=encoded,
+            per_kernel_blocks=per_blocks,
+            per_kernel_static_instructions=per_instrs,
+            source_lines=sum(per_source.values()),
+            per_kernel_source_lines=per_source,
+        )

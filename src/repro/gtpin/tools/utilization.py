@@ -1,0 +1,100 @@
+"""SIMD channel-utilization tool.
+
+Section III-B lists "utilization rates of per execution unit SIMD
+channels" among GT-Pin's capabilities.  A SIMD-N instruction does useful
+work only on its *active* channels; channels idle when
+
+* the global work size does not fill the last hardware thread (its tail
+  lanes are masked off), and
+* the instruction sits in a divergent region (lanes that took the other
+  branch arm are predicated off).
+
+The tool reports, per kernel, the mean fraction of issued SIMD channels
+that carried live work-items.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools.base import ProfileContext, ProfilingTool
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelUtilization:
+    """Channel-occupancy summary for one kernel."""
+
+    kernel_name: str
+    issued_channels: float  #: SIMD lanes issued (instructions x width)
+    active_channels: float  #: lanes carrying live work-items
+
+    @property
+    def utilization(self) -> float:
+        if self.issued_channels == 0:
+            return 0.0
+        return self.active_channels / self.issued_channels
+
+
+@dataclasses.dataclass(frozen=True)
+class UtilizationReport:
+    per_kernel: dict[str, KernelUtilization]
+
+    def overall(self) -> float:
+        issued = sum(k.issued_channels for k in self.per_kernel.values())
+        active = sum(k.active_channels for k in self.per_kernel.values())
+        return active / issued if issued else 0.0
+
+    def worst_kernel(self) -> KernelUtilization | None:
+        if not self.per_kernel:
+            return None
+        return min(self.per_kernel.values(), key=lambda k: k.utilization)
+
+
+class SIMDUtilizationTool(ProfilingTool):
+    """Measures per-EU SIMD channel utilization rates."""
+
+    name = "simd_utilization"
+    capabilities = frozenset({Capability.BLOCK_COUNTS})
+
+    def process(self, context: ProfileContext) -> UtilizationReport:
+        issued: dict[str, float] = {}
+        active: dict[str, float] = {}
+        for record in context.records:
+            binary = context.binary(record.kernel_name)
+            width = binary.simd_width
+            # Tail-thread occupancy: the last hardware thread of an
+            # invocation carries gws mod width live lanes (or a full set).
+            full_threads = record.global_work_size // width
+            tail = record.global_work_size - full_threads * width
+            if record.n_hw_threads > 0:
+                live_fraction = (
+                    full_threads * width + tail
+                ) / (record.n_hw_threads * width)
+            else:
+                live_fraction = 1.0
+
+            arrays = binary.arrays
+            counts = record.block_counts.astype(float)
+            # Channels issued: per-block sum over instructions of width.
+            # width_counts columns are EXEC_SIZES = (1, 2, 4, 8, 16).
+            widths = (1, 2, 4, 8, 16)
+            per_block_channels = arrays.width_counts @ [float(w) for w in widths]
+            kernel_issued = float(counts @ per_block_channels)
+            issued[record.kernel_name] = (
+                issued.get(record.kernel_name, 0.0) + kernel_issued
+            )
+            active[record.kernel_name] = (
+                active.get(record.kernel_name, 0.0)
+                + kernel_issued * live_fraction
+            )
+        return UtilizationReport(
+            per_kernel={
+                name: KernelUtilization(
+                    kernel_name=name,
+                    issued_channels=issued[name],
+                    active_channels=active[name],
+                )
+                for name in issued
+            }
+        )

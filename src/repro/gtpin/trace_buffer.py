@@ -1,0 +1,108 @@
+"""The GT-Pin trace buffer.
+
+Section III-A: at runtime initialization GT-Pin mallocs a *trace buffer*
+accessible by both CPU and GPU; injected instrumentation streams profiling
+data into it during native execution, and when GPU execution concludes the
+CPU reads it back for post-processing.
+
+:class:`TraceBuffer` models that shared region: instrumentation appends
+:class:`TraceRecord` entries (one per kernel invocation), each accounting
+for the bytes the corresponding real payload would occupy.  The CPU side
+``drain()``\\ s the buffer.  Overflow is handled the way the real tool
+handles it -- an implicit drain (the driver synchronizes and the CPU
+empties the buffer), counted so overhead analyses can see it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One kernel invocation's instrumentation output.
+
+    ``block_counts`` is indexed by *original-binary* block id -- GT-Pin
+    reports the program's own execution, never its instrumentation.
+    ``payloads`` carries tool-specific extras (timer values, memory-trace
+    handles) keyed by capability name.
+    """
+
+    dispatch_index: int
+    kernel_name: str
+    global_work_size: int
+    arg_values: Mapping[str, float]
+    n_hw_threads: int
+    block_counts: np.ndarray
+    enqueue_call_index: int
+    sync_epoch: int
+    payloads: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    #: Input-buffer payload summaries (CoFluent records buffer contents;
+    #: replay/simulation needs them to reproduce data-dependent control
+    #: flow).  NOT used by feature vectors.
+    data_values: Mapping[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def record_bytes(self) -> int:
+        """Bytes this record occupies in the shared buffer."""
+        base = 64  # header: indices, sizes, kernel id
+        counters = self.block_counts.size * 8
+        extras = sum(_payload_bytes(v) for v in self.payloads.values())
+        return base + counters + extras
+
+
+def _payload_bytes(value: Any) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (list, tuple)):
+        return 8 * len(value)
+    return 8
+
+
+class TraceBuffer:
+    """Shared CPU/GPU profiling-data region."""
+
+    DEFAULT_CAPACITY = 4 * 1024 * 1024  # 4 MiB, like a modest malloc'd region
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._records: list[TraceRecord] = []
+        self._resident_bytes = 0
+        #: Times the GPU filled the buffer and the CPU had to drain early.
+        self.overflow_drains = 0
+        #: Total records ever written (drains do not reset this).
+        self.total_records = 0
+        self._drained: list[TraceRecord] = []
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    def write(self, record: TraceRecord) -> None:
+        """GPU-side append of one invocation's instrumentation output."""
+        size = record.record_bytes
+        if self._resident_bytes + size > self.capacity_bytes and self._records:
+            # Buffer full: the CPU drains mid-run (costed as an overflow).
+            self._drained.extend(self._records)
+            self._records.clear()
+            self._resident_bytes = 0
+            self.overflow_drains += 1
+        self._records.append(record)
+        self._resident_bytes += size
+        self.total_records += 1
+
+    def drain(self) -> list[TraceRecord]:
+        """CPU-side read-out: all records so far, in write order."""
+        out = self._drained + self._records
+        self._drained = []
+        self._records = []
+        self._resident_bytes = 0
+        return out
+
+    def __len__(self) -> int:
+        return len(self._drained) + len(self._records)

@@ -1,0 +1,73 @@
+"""GEN-flavoured ISA model: opcodes, instructions, basic blocks, kernels.
+
+This package is the substrate for everything GT-Pin observes.  See
+``DESIGN.md`` ("GEN ISA binaries" row) for how it maps onto the paper.
+"""
+
+from repro.isa.asm_parser import AsmParseError, parse_instruction, parse_kernel
+from repro.isa.basic_block import BasicBlock, BlockSummary
+from repro.isa.builder import KernelBuilder
+from repro.isa.instruction import (
+    COMPACT_ENCODING_BYTES,
+    EXEC_SIZES,
+    NATIVE_ENCODING_BYTES,
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.kernel import KernelArrays, KernelBinary
+from repro.isa.opcodes import (
+    FIGURE_4A_ORDER,
+    OPCODES_BY_CLASS,
+    OpClass,
+    Opcode,
+    opcode_from_mnemonic,
+)
+from repro.isa.program import (
+    Block,
+    Branch,
+    Loop,
+    Node,
+    Seq,
+    TripCount,
+    block_ids,
+    execution_counts,
+    seq,
+    straight_line,
+)
+
+__all__ = [
+    "AccessPattern",
+    "AsmParseError",
+    "AddressSpace",
+    "BasicBlock",
+    "Block",
+    "BlockSummary",
+    "Branch",
+    "COMPACT_ENCODING_BYTES",
+    "EXEC_SIZES",
+    "FIGURE_4A_ORDER",
+    "Instruction",
+    "KernelArrays",
+    "KernelBinary",
+    "KernelBuilder",
+    "Loop",
+    "MemoryDirection",
+    "NATIVE_ENCODING_BYTES",
+    "Node",
+    "OPCODES_BY_CLASS",
+    "OpClass",
+    "Opcode",
+    "SendMessage",
+    "Seq",
+    "TripCount",
+    "block_ids",
+    "execution_counts",
+    "opcode_from_mnemonic",
+    "parse_instruction",
+    "parse_kernel",
+    "seq",
+    "straight_line",
+]

@@ -1,0 +1,190 @@
+"""Parser for the GEN-flavoured assembly text this library emits.
+
+``Instruction.disassemble`` / ``BasicBlock.disassemble`` /
+``KernelBinary.disassemble`` render kernels as readable assembly; this
+module parses that dialect back, enabling text-format kernels (test
+fixtures, hand-written micro-benchmarks, golden files) and round-trip
+tooling.
+
+Two lossy aspects, both inherent to disassembly (the real tool has them
+too):
+
+* the *structured program tree* is not rendered, so parsed kernels get a
+  straight-line ``Seq`` over their blocks unless the caller supplies a
+  tree;
+* the compact-encoding flag is not rendered, so parsed instructions use
+  native encoding.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import (
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.kernel import KernelBinary
+from repro.isa.opcodes import opcode_from_mnemonic
+from repro.isa.program import Node, straight_line
+
+
+class AsmParseError(ValueError):
+    """Raised with line context when the assembly dialect is violated."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_INSTR_RE = re.compile(
+    r"^(?P<pred>\(\+f0\)\s+)?"
+    r"(?P<mnemonic>[a-z0-9.]+)\((?P<width>\d+)\)"
+    r"\s*(?P<operands>.*?)\s*$"
+)
+_SEND_RE = re.compile(
+    r"(?P<direction>read|write|atomic):(?P<space>[a-z]+)"
+    r"\[(?P<bytes>\d+)B/ch,\s*(?P<pattern>[a-z]+)\]"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[\w.$-]+):(\s*//\s*succ=\[(?P<succ>[^\]]*)\])?$")
+_HEADER_RE = re.compile(
+    r"^//\s*kernel\s+(?P<name>\S+)\s+simd(?P<width>\d+)\s+"
+    r"args=\[(?P<args>[^\]]*)\]"
+)
+
+
+def parse_instruction(text: str, line_no: int = 0) -> Instruction:
+    """Parse one instruction line of the emitted dialect."""
+    # Trailing "// ..." comments carry no semantics except the GT-Pin
+    # marker; strip them before operand parsing ("B/ch" is a single
+    # slash, so splitting on "//" is safe).
+    code = text.split("//", 1)[0]
+    match = _INSTR_RE.match(code.strip())
+    if not match:
+        raise AsmParseError(line_no, text, "unrecognized instruction syntax")
+    try:
+        opcode = opcode_from_mnemonic(match.group("mnemonic"))
+    except KeyError as exc:
+        raise AsmParseError(line_no, text, str(exc)) from None
+    exec_size = int(match.group("width"))
+
+    # The send message annotation contains a comma; extract it before
+    # splitting the register operands.
+    operand_text = match.group("operands")
+    send: SendMessage | None = None
+    send_match = _SEND_RE.search(operand_text)
+    if send_match:
+        send = SendMessage(
+            direction=MemoryDirection(send_match.group("direction")),
+            bytes_per_channel=int(send_match.group("bytes")),
+            address_space=AddressSpace(send_match.group("space")),
+            pattern=AccessPattern(send_match.group("pattern")),
+        )
+        operand_text = (
+            operand_text[: send_match.start()]
+            + operand_text[send_match.end():]
+        )
+
+    operands = [
+        op.strip() for op in operand_text.split(",") if op.strip()
+    ]
+    dst: int | None = None
+    srcs: list[int] = []
+    for i, operand in enumerate(operands):
+        reg_match = re.match(r"^r(\d+)$", operand)
+        if not reg_match:
+            raise AsmParseError(line_no, text, f"bad operand {operand!r}")
+        if i == 0:
+            dst = int(reg_match.group(1))
+        else:
+            srcs.append(int(reg_match.group(1)))
+
+    is_instrumentation = "// [gtpin]" in text
+    try:
+        return Instruction(
+            opcode,
+            exec_size=exec_size,
+            dst=dst,
+            srcs=tuple(srcs),
+            send=send,
+            predicated=match.group("pred") is not None,
+            is_instrumentation=is_instrumentation,
+        )
+    except ValueError as exc:
+        raise AsmParseError(line_no, text, str(exc)) from None
+
+
+def parse_kernel(text: str, program: Node | None = None) -> KernelBinary:
+    """Parse a full kernel disassembly listing.
+
+    The first non-empty line must be the ``// kernel ...`` header; block
+    labels introduce blocks; indented lines are instructions.  If
+    ``program`` is omitted, the kernel gets a straight-line tree over its
+    blocks.
+    """
+    lines = text.splitlines()
+    header = None
+    blocks: list[BasicBlock] = []
+    label: str | None = None
+    successors: tuple[int, ...] = ()
+    instructions: list[Instruction] = []
+
+    def _close_block() -> None:
+        nonlocal label, instructions, successors
+        if label is None:
+            return
+        blocks.append(
+            BasicBlock(len(blocks), instructions, successors, label)
+        )
+        label, instructions, successors = None, [], ()
+
+    for line_no, raw in enumerate(lines, 1):
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        if header is None:
+            match = _HEADER_RE.match(stripped)
+            if not match:
+                raise AsmParseError(
+                    line_no, raw, "expected '// kernel <name> simdN args=[..]' header"
+                )
+            header = match
+            continue
+        if stripped.startswith("//"):
+            continue
+        label_match = _LABEL_RE.match(stripped)
+        if label_match:
+            _close_block()
+            label = label_match.group("label")
+            succ_text = label_match.group("succ") or ""
+            successors = tuple(
+                int(s) for s in succ_text.split(",") if s.strip()
+            )
+            continue
+        if label is None:
+            raise AsmParseError(line_no, raw, "instruction outside any block")
+        instructions.append(parse_instruction(stripped, line_no))
+    _close_block()
+
+    if header is None:
+        raise AsmParseError(0, "", "empty listing")
+    if not blocks:
+        raise AsmParseError(0, "", "kernel has no blocks")
+
+    arg_names = tuple(
+        part.strip().strip("'\"")
+        for part in header.group("args").split(",")
+        if part.strip()
+    )
+    return KernelBinary(
+        name=header.group("name"),
+        blocks=blocks,
+        program=program or straight_line(range(len(blocks))),
+        simd_width=int(header.group("width")),
+        arg_names=arg_names,
+        metadata={"parsed_from_assembly": True},
+    )

@@ -1,0 +1,133 @@
+"""Basic blocks and their static summaries.
+
+GT-Pin's dynamic analyses work at basic-block granularity: instrumentation
+counters increment once per block execution (Section III-C), and every
+per-instruction statistic (opcode mix, SIMD widths, memory bytes) is
+recovered by multiplying a block's *static* per-execution footprint by its
+*dynamic* execution count.  :class:`BlockSummary` is that static footprint,
+computed once per block and cached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Mapping
+
+from repro.isa.instruction import EXEC_SIZES, Instruction
+from repro.isa.opcodes import OpClass
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BlockSummary:
+    """Per-single-execution footprint of a basic block.
+
+    Every field answers: "if this block executes once (one hardware-thread
+    pass), how much of X happens?".  Dynamic totals are then
+    ``summary.field * dynamic_execution_count`` -- exactly the trick GT-Pin
+    uses to count per-block rather than per-instruction.
+    """
+
+    instruction_count: int
+    encoded_bytes: int
+    class_counts: Mapping[OpClass, int]
+    width_counts: Mapping[int, int]
+    bytes_read: int
+    bytes_written: int
+    issue_cycles: float
+    send_count: int
+
+    @staticmethod
+    def of(instructions: tuple[Instruction, ...]) -> "BlockSummary":
+        class_counts = {cls: 0 for cls in OpClass}
+        width_counts = {w: 0 for w in EXEC_SIZES}
+        bytes_read = bytes_written = 0
+        issue_cycles = 0.0
+        encoded = 0
+        sends = 0
+        for instr in instructions:
+            class_counts[instr.op_class] += 1
+            width_counts[instr.exec_size] += 1
+            bytes_read += instr.bytes_read
+            bytes_written += instr.bytes_written
+            issue_cycles += instr.issue_cycles
+            encoded += instr.encoded_bytes
+            if instr.is_send:
+                sends += 1
+        return BlockSummary(
+            instruction_count=len(instructions),
+            encoded_bytes=encoded,
+            class_counts=class_counts,
+            width_counts=width_counts,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            issue_cycles=issue_cycles,
+            send_count=sends,
+        )
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with a single entry.
+
+    Blocks are immutable after construction.  ``block_id`` is unique within
+    its kernel and is the key GT-Pin's block-count tool reports (and the
+    key the BB-family feature vectors of Table III use).
+    """
+
+    __slots__ = ("block_id", "label", "instructions", "successors", "_summary")
+
+    def __init__(
+        self,
+        block_id: int,
+        instructions: tuple[Instruction, ...] | list[Instruction],
+        successors: tuple[int, ...] = (),
+        label: str = "",
+    ) -> None:
+        if block_id < 0:
+            raise ValueError(f"block_id must be non-negative, got {block_id}")
+        self.block_id = block_id
+        self.label = label or f"BB{block_id}"
+        self.instructions: tuple[Instruction, ...] = tuple(instructions)
+        if not self.instructions:
+            raise ValueError(f"basic block {self.label} has no instructions")
+        self.successors: tuple[int, ...] = tuple(successors)
+        self._summary: BlockSummary | None = None
+
+    @property
+    def summary(self) -> BlockSummary:
+        """Cached static per-execution footprint."""
+        if self._summary is None:
+            self._summary = BlockSummary.of(self.instructions)
+        return self._summary
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def with_instructions(
+        self, instructions: tuple[Instruction, ...] | list[Instruction]
+    ) -> "BasicBlock":
+        """A copy of this block with different instructions.
+
+        Used by the GT-Pin rewriter, which replaces blocks rather than
+        mutating them so the original binary is never perturbed.
+        """
+        return BasicBlock(
+            self.block_id, tuple(instructions), self.successors, self.label
+        )
+
+    def disassemble(self) -> str:
+        lines = [f"{self.label}:  // succ={list(self.successors)}"]
+        lines.extend(f"    {instr.disassemble()}" for instr in self.instructions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BasicBlock({self.label}, {self.instruction_count} instrs, "
+            f"succ={list(self.successors)})"
+        )

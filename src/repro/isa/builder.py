@@ -1,0 +1,253 @@
+"""Fluent construction of GEN-flavoured kernels.
+
+Hand-writing :class:`~repro.isa.kernel.KernelBinary` objects is verbose;
+:class:`KernelBuilder` gives tests, examples, and the synthetic-workload
+generator a compact way to assemble kernels:
+
+>>> from repro.isa.builder import KernelBuilder
+>>> from repro.isa.program import TripCount
+>>> kb = KernelBuilder("vec_add", simd_width=16, arg_names=("n",))
+>>> with kb.block("prologue") as b:
+...     b.mov(); b.mov(); b.alu("add", exec_size=1)
+>>> with kb.loop(TripCount(base=0, arg="n", scale=1.0)):
+...     with kb.block("body") as b:
+...         b.load(bytes_per_channel=4)
+...         b.alu("add")
+...         b.store(bytes_per_channel=4)
+>>> with kb.block("epilogue") as b:
+...     b.control("ret")
+>>> kernel = kb.build()
+>>> kernel.n_blocks
+3
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import (
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.kernel import KernelBinary
+from repro.isa.opcodes import Opcode, opcode_from_mnemonic
+from repro.isa.program import Block, Branch, Loop, Node, Seq, TripCount
+
+
+class BlockWriter:
+    """Accumulates instructions for one basic block."""
+
+    def __init__(self, builder: "KernelBuilder", label: str) -> None:
+        self._builder = builder
+        self.label = label
+        self.instructions: list[Instruction] = []
+        self._next_reg = 16  # r0-r15 reserved for payload/thread state
+
+    def _reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg = 16 + (self._next_reg - 15) % 112
+        return reg
+
+    def emit(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    # -- convenience emitters ------------------------------------------------
+
+    def mov(self, exec_size: int | None = None, compact: bool = True) -> Instruction:
+        return self.emit(
+            Instruction(
+                Opcode.MOV,
+                exec_size=exec_size or self._builder.simd_width,
+                dst=self._reg(),
+                srcs=(self._reg(),),
+                compact=compact,
+            )
+        )
+
+    def alu(
+        self,
+        mnemonic: str,
+        exec_size: int | None = None,
+        n_srcs: int = 2,
+        compact: bool = False,
+    ) -> Instruction:
+        """Emit any non-send, non-control instruction by mnemonic."""
+        opcode = opcode_from_mnemonic(mnemonic)
+        if opcode.is_send or opcode.is_control:
+            raise ValueError(
+                f"alu() cannot emit {mnemonic!r}; use load/store/control"
+            )
+        return self.emit(
+            Instruction(
+                opcode,
+                exec_size=exec_size or self._builder.simd_width,
+                dst=self._reg(),
+                srcs=tuple(self._reg() for _ in range(n_srcs)),
+                compact=compact,
+            )
+        )
+
+    def control(self, mnemonic: str, exec_size: int = 1) -> Instruction:
+        opcode = opcode_from_mnemonic(mnemonic)
+        if not opcode.is_control:
+            raise ValueError(f"{mnemonic!r} is not a control opcode")
+        return self.emit(Instruction(opcode, exec_size=exec_size))
+
+    def _send(
+        self,
+        direction: MemoryDirection,
+        bytes_per_channel: int,
+        address_space: AddressSpace,
+        pattern: AccessPattern,
+        stride: int,
+        surface: int,
+        exec_size: int | None,
+    ) -> Instruction:
+        message = SendMessage(
+            direction=direction,
+            bytes_per_channel=bytes_per_channel,
+            address_space=address_space,
+            pattern=pattern,
+            stride=stride,
+            surface=surface,
+        )
+        return self.emit(
+            Instruction(
+                Opcode.SEND,
+                exec_size=exec_size or self._builder.simd_width,
+                dst=self._reg(),
+                srcs=(self._reg(),),
+                send=message,
+            )
+        )
+
+    def load(
+        self,
+        bytes_per_channel: int = 4,
+        address_space: AddressSpace = AddressSpace.GLOBAL,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        stride: int = 1,
+        surface: int = 0,
+        exec_size: int | None = None,
+    ) -> Instruction:
+        return self._send(
+            MemoryDirection.READ, bytes_per_channel, address_space,
+            pattern, stride, surface, exec_size,
+        )
+
+    def store(
+        self,
+        bytes_per_channel: int = 4,
+        address_space: AddressSpace = AddressSpace.GLOBAL,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        stride: int = 1,
+        surface: int = 0,
+        exec_size: int | None = None,
+    ) -> Instruction:
+        return self._send(
+            MemoryDirection.WRITE, bytes_per_channel, address_space,
+            pattern, stride, surface, exec_size,
+        )
+
+    def atomic(
+        self,
+        bytes_per_channel: int = 4,
+        surface: int = 0,
+        exec_size: int | None = None,
+    ) -> Instruction:
+        return self._send(
+            MemoryDirection.ATOMIC, bytes_per_channel, AddressSpace.GLOBAL,
+            AccessPattern.RANDOM, 1, surface, exec_size,
+        )
+
+
+class _Frame:
+    """One level of structural nesting while building the program tree."""
+
+    def __init__(self) -> None:
+        self.children: list[Node] = []
+
+
+class KernelBuilder:
+    """Builds a :class:`~repro.isa.kernel.KernelBinary` incrementally."""
+
+    def __init__(
+        self,
+        name: str,
+        simd_width: int = 16,
+        arg_names: tuple[str, ...] = (),
+        source_lines: int = 0,
+    ) -> None:
+        self.name = name
+        self.simd_width = simd_width
+        self.arg_names = arg_names
+        self.source_lines = source_lines
+        self._blocks: list[BasicBlock] = []
+        self._stack: list[_Frame] = [_Frame()]
+
+    # -- structure context managers -------------------------------------------
+
+    @contextlib.contextmanager
+    def block(self, label: str = "") -> Iterator[BlockWriter]:
+        """Open a new basic block; instructions are emitted via the writer."""
+        writer = BlockWriter(self, label or f"BB{len(self._blocks)}")
+        yield writer
+        block_id = len(self._blocks)
+        self._blocks.append(
+            BasicBlock(block_id, writer.instructions, label=writer.label)
+        )
+        self._stack[-1].children.append(Block(block_id))
+
+    @contextlib.contextmanager
+    def loop(self, trip: TripCount | int) -> Iterator[None]:
+        """Everything emitted inside runs ``trip`` times per thread."""
+        if isinstance(trip, int):
+            trip = TripCount(base=trip)
+        self._stack.append(_Frame())
+        yield
+        frame = self._stack.pop()
+        body = Seq(tuple(frame.children))
+        self._stack[-1].children.append(Loop(body, trip))
+
+    @contextlib.contextmanager
+    def branch(self, p_taken: float) -> Iterator[None]:
+        """Everything emitted inside runs with probability ``p_taken``."""
+        self._stack.append(_Frame())
+        yield
+        frame = self._stack.pop()
+        taken = Seq(tuple(frame.children))
+        self._stack[-1].children.append(Branch(taken, None, p_taken))
+
+    # -- finalization -----------------------------------------------------------
+
+    def build(self, metadata: dict[str, object] | None = None) -> KernelBinary:
+        if len(self._stack) != 1:
+            raise RuntimeError(
+                "unbalanced loop()/branch() contexts while building "
+                f"kernel {self.name!r}"
+            )
+        if not self._blocks:
+            raise RuntimeError(f"kernel {self.name!r} has no blocks")
+        # Wire fall-through successor edges from the program structure: a
+        # simple linearization is enough for disassembly / CFG display.
+        blocks = []
+        for i, block in enumerate(self._blocks):
+            succ = (i + 1,) if i + 1 < len(self._blocks) else ()
+            blocks.append(
+                BasicBlock(block.block_id, block.instructions, succ, block.label)
+            )
+        return KernelBinary(
+            name=self.name,
+            blocks=blocks,
+            program=Seq(tuple(self._stack[0].children)),
+            simd_width=self.simd_width,
+            arg_names=self.arg_names,
+            source_lines=self.source_lines,
+            metadata=dict(metadata or {}),
+        )

@@ -1,0 +1,218 @@
+"""Instruction-level model of the GEN-flavoured ISA.
+
+A :class:`Instruction` carries exactly the information GT-Pin's profiling
+tools consume:
+
+* the opcode (and through it the Figure 4a opcode class),
+* the execution size (SIMD width; Figure 4b),
+* for ``send`` instructions, a :class:`SendMessage` describing direction,
+  bytes per channel, address space and access pattern (Figure 4c and the
+  cache-simulation tool), and
+* the encoded size in bytes (GEN has 16-byte native and 8-byte compacted
+  encodings), which the binary rewriter uses when relocating code.
+
+Instructions are immutable; the GT-Pin rewriter never mutates original
+instructions, it builds new instrumented blocks around them -- mirroring
+the real tool's guarantee that instrumentation does not perturb the
+original program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.isa.opcodes import OpClass, Opcode
+
+#: Legal GEN execution sizes (SIMD widths), per Figure 4b.
+EXEC_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Encoded instruction sizes in bytes.
+NATIVE_ENCODING_BYTES = 16
+COMPACT_ENCODING_BYTES = 8
+
+
+class MemoryDirection(enum.Enum):
+    """Direction of a send message's data movement."""
+
+    READ = "read"
+    WRITE = "write"
+    ATOMIC = "atomic"  # read-modify-write; counts as both directions
+
+
+class AddressSpace(enum.Enum):
+    """Which surface a send message targets."""
+
+    GLOBAL = "global"
+    CONSTANT = "constant"
+    SHARED = "shared"  # OpenCL "local" memory
+    IMAGE = "image"
+    SCRATCH = "scratch"
+
+
+class AccessPattern(enum.Enum):
+    """Synthetic address-stream shape used by the cache-simulation tool.
+
+    Real GT-Pin records concrete addresses; our synthetic kernels instead
+    declare the *pattern* each send follows, and the memory model expands
+    it into a concrete address stream on demand.
+    """
+
+    SEQUENTIAL = "sequential"  # unit-stride across channels and executions
+    STRIDED = "strided"  # fixed stride > 1
+    RANDOM = "random"  # uniform over the surface
+    BROADCAST = "broadcast"  # all channels hit one address
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SendMessage:
+    """Payload description for a GEN ``send``/``sendc`` instruction.
+
+    ``bytes_per_channel`` is per SIMD channel per execution; the dynamic
+    byte count of one execution is ``bytes_per_channel * exec_size``
+    (except for BROADCAST, where all channels share one element).
+    """
+
+    direction: MemoryDirection
+    bytes_per_channel: int
+    address_space: AddressSpace = AddressSpace.GLOBAL
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    stride: int = 1
+    surface: int = 0  #: surface / buffer binding-table index
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_channel <= 0:
+            raise ValueError(
+                f"bytes_per_channel must be positive, got "
+                f"{self.bytes_per_channel}"
+            )
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+
+    def bytes_moved(self, exec_size: int) -> int:
+        """Bytes transferred by one dynamic execution at ``exec_size``."""
+        if self.pattern is AccessPattern.BROADCAST:
+            return self.bytes_per_channel
+        return self.bytes_per_channel * exec_size
+
+    @property
+    def reads(self) -> bool:
+        return self.direction in (MemoryDirection.READ, MemoryDirection.ATOMIC)
+
+    @property
+    def writes(self) -> bool:
+        return self.direction in (MemoryDirection.WRITE, MemoryDirection.ATOMIC)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Instruction:
+    """One GEN-flavoured instruction.
+
+    Operands are modelled as opaque register indices -- GT-Pin's analyses
+    never inspect dataflow, only opcode/width/message metadata -- but they
+    are kept so that disassembly listings look like GEN assembly and so the
+    rewriter has registers to allocate for instrumentation.
+    """
+
+    opcode: Opcode
+    exec_size: int = 8
+    dst: Optional[int] = None  #: destination GRF index
+    srcs: tuple[int, ...] = ()  #: source GRF indices
+    send: Optional[SendMessage] = None
+    compact: bool = False
+    predicated: bool = False
+    #: True for instructions injected by the GT-Pin binary rewriter.  The
+    #: functional executor excludes these from *profiled* counts (GT-Pin
+    #: must not observe itself) but includes them in *timing*, which is how
+    #: the Section III-C overhead study measures instrumentation cost.
+    is_instrumentation: bool = False
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.exec_size not in EXEC_SIZES:
+            raise ValueError(
+                f"exec_size must be one of {EXEC_SIZES}, got {self.exec_size}"
+            )
+        if self.opcode.is_send and self.send is None:
+            raise ValueError(f"{self.opcode} instruction requires a SendMessage")
+        if self.send is not None and not self.opcode.is_send:
+            raise ValueError(
+                f"{self.opcode} instruction must not carry a SendMessage"
+            )
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.opcode.op_class
+
+    @property
+    def is_send(self) -> bool:
+        return self.opcode.is_send
+
+    # -- encoding ------------------------------------------------------------
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Size of this instruction's binary encoding.
+
+        Sends and control-flow instructions cannot be compacted on GEN.
+        """
+        if self.compact and not (self.is_send or self.opcode.is_control):
+            return COMPACT_ENCODING_BYTES
+        return NATIVE_ENCODING_BYTES
+
+    # -- dynamic footprints -------------------------------------------------
+
+    @property
+    def bytes_read(self) -> int:
+        """Bytes read from memory by one dynamic execution."""
+        if self.send is not None and self.send.reads:
+            return self.send.bytes_moved(self.exec_size)
+        return 0
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes written to memory by one dynamic execution."""
+        if self.send is not None and self.send.writes:
+            return self.send.bytes_moved(self.exec_size)
+        return 0
+
+    @property
+    def issue_cycles(self) -> float:
+        """EU pipe occupancy of one dynamic execution, in cycles.
+
+        The GEN EU datapath is physically SIMD8: wider execution sizes
+        issue over multiple cycles, narrower ones still occupy a full
+        cycle slot.
+        """
+        width_factor = max(1.0, self.exec_size / 8.0)
+        return self.opcode.issue_cycles * width_factor
+
+    # -- cosmetics ------------------------------------------------------------
+
+    def disassemble(self) -> str:
+        """Render the instruction in a GEN-assembly-like syntax."""
+        parts = [f"{self.opcode.value}({self.exec_size})"]
+        if self.predicated:
+            parts[0] = f"(+f0) {parts[0]}"
+        operands = []
+        if self.dst is not None:
+            operands.append(f"r{self.dst}")
+        operands.extend(f"r{s}" for s in self.srcs)
+        if self.send is not None:
+            operands.append(
+                f"{self.send.direction.value}:{self.send.address_space.value}"
+                f"[{self.send.bytes_per_channel}B/ch,"
+                f" {self.send.pattern.value}]"
+            )
+        text = " ".join(parts + [", ".join(operands)])
+        if self.is_instrumentation:
+            text += "  // [gtpin]"
+        elif self.comment:
+            text += f"  // {self.comment}"
+        return text.rstrip()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.disassemble()

@@ -1,0 +1,200 @@
+"""Kernel binaries: the unit the JIT produces and GT-Pin rewrites.
+
+A :class:`KernelBinary` is what the GPU driver hands to the device -- a set
+of basic blocks plus the structured program tree describing their control
+flow (see :mod:`repro.isa.program`).  It also carries the kernel's argument
+signature, which the KN-ARGS / KN-GWS feature vectors of Table III consume.
+
+For bulk dynamic accounting the kernel precomputes dense per-block arrays
+(:class:`KernelArrays`): given a vector of per-block execution counts, every
+Figure 3/4 statistic is a single matrix-vector product.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import EXEC_SIZES
+from repro.isa.opcodes import FIGURE_4A_ORDER, OpClass
+from repro.isa.program import Node, block_ids
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelArrays:
+    """Dense per-block static footprints for vectorized dynamic accounting.
+
+    All arrays are indexed by block id.  ``class_counts`` has one column
+    per :data:`~repro.isa.opcodes.FIGURE_4A_ORDER` class; ``width_counts``
+    one column per :data:`~repro.isa.instruction.EXEC_SIZES` width.
+    """
+
+    instruction_counts: np.ndarray  # (n_blocks,) int64
+    issue_cycles: np.ndarray  # (n_blocks,) float64
+    bytes_read: np.ndarray  # (n_blocks,) int64
+    bytes_written: np.ndarray  # (n_blocks,) int64
+    send_counts: np.ndarray  # (n_blocks,) int64
+    class_counts: np.ndarray  # (n_blocks, 5) int64
+    width_counts: np.ndarray  # (n_blocks, 5) int64
+
+    @staticmethod
+    def of(blocks: Sequence[BasicBlock]) -> "KernelArrays":
+        n = len(blocks)
+        instr = np.zeros(n, dtype=np.int64)
+        cycles = np.zeros(n, dtype=np.float64)
+        br = np.zeros(n, dtype=np.int64)
+        bw = np.zeros(n, dtype=np.int64)
+        sends = np.zeros(n, dtype=np.int64)
+        cls = np.zeros((n, len(FIGURE_4A_ORDER)), dtype=np.int64)
+        wid = np.zeros((n, len(EXEC_SIZES)), dtype=np.int64)
+        for block in blocks:
+            s = block.summary
+            i = block.block_id
+            instr[i] = s.instruction_count
+            cycles[i] = s.issue_cycles
+            br[i] = s.bytes_read
+            bw[i] = s.bytes_written
+            sends[i] = s.send_count
+            for c, op_class in enumerate(FIGURE_4A_ORDER):
+                cls[i, c] = s.class_counts[op_class]
+            for w, width in enumerate(EXEC_SIZES):
+                wid[i, w] = s.width_counts[width]
+        return KernelArrays(instr, cycles, br, bw, sends, cls, wid)
+
+
+class KernelBinary:
+    """A JIT-compiled GPU kernel: blocks + control structure + signature.
+
+    Parameters
+    ----------
+    name:
+        The OpenCL kernel name (unique within its program).
+    blocks:
+        Basic blocks with contiguous ids ``0..n-1``; block 0 is the entry.
+    program:
+        Structured control-flow tree over those block ids.
+    simd_width:
+        The width the JIT compiled the kernel's work-items at; work-items
+        per hardware thread.  Individual instructions may still use other
+        execution sizes (address setup is often SIMD1).
+    arg_names:
+        Declared kernel argument names, in ``clSetKernelArg`` index order.
+    source_lines:
+        Approximate source size, for static source-vs-assembly reporting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        blocks: Sequence[BasicBlock],
+        program: Node,
+        simd_width: int = 16,
+        arg_names: tuple[str, ...] = (),
+        source_lines: int = 0,
+        metadata: Mapping[str, object] | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("kernel name must be non-empty")
+        if simd_width not in EXEC_SIZES:
+            raise ValueError(
+                f"simd_width must be one of {EXEC_SIZES}, got {simd_width}"
+            )
+        self.name = name
+        self.blocks: tuple[BasicBlock, ...] = tuple(blocks)
+        if not self.blocks:
+            raise ValueError(f"kernel {name!r} has no basic blocks")
+        ids = [b.block_id for b in self.blocks]
+        if ids != list(range(len(ids))):
+            raise ValueError(
+                f"kernel {name!r}: block ids must be contiguous 0..n-1, got {ids}"
+            )
+        referenced = block_ids(program)
+        if not referenced:
+            raise ValueError(f"kernel {name!r}: program tree references no blocks")
+        out_of_range = [b for b in referenced if b >= len(self.blocks)]
+        if out_of_range:
+            raise ValueError(
+                f"kernel {name!r}: program references unknown blocks {out_of_range}"
+            )
+        self.program = program
+        self.simd_width = simd_width
+        self.arg_names = tuple(arg_names)
+        self.source_lines = source_lines
+        self.metadata = dict(metadata or {})
+        self._arrays: KernelArrays | None = None
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    @property
+    def arrays(self) -> KernelArrays:
+        """Cached dense static footprints (see :class:`KernelArrays`)."""
+        if self._arrays is None:
+            self._arrays = KernelArrays.of(self.blocks)
+        return self._arrays
+
+    # -- static statistics ----------------------------------------------------
+
+    @property
+    def static_instruction_count(self) -> int:
+        return int(self.arrays.instruction_counts.sum())
+
+    @property
+    def static_encoded_bytes(self) -> int:
+        return sum(b.summary.encoded_bytes for b in self.blocks)
+
+    def static_class_counts(self) -> dict[OpClass, int]:
+        totals = self.arrays.class_counts.sum(axis=0)
+        return {
+            op_class: int(totals[i])
+            for i, op_class in enumerate(FIGURE_4A_ORDER)
+        }
+
+    # -- rewriting support -----------------------------------------------------
+
+    def with_blocks(
+        self, blocks: Sequence[BasicBlock], metadata: Mapping[str, object] | None = None
+    ) -> "KernelBinary":
+        """A rewritten copy sharing this kernel's structure and signature.
+
+        The GT-Pin binary rewriter uses this to emit an instrumented binary
+        while leaving the original untouched.
+        """
+        merged = dict(self.metadata)
+        merged.update(metadata or {})
+        return KernelBinary(
+            name=self.name,
+            blocks=blocks,
+            program=self.program,
+            simd_width=self.simd_width,
+            arg_names=self.arg_names,
+            source_lines=self.source_lines,
+            metadata=merged,
+        )
+
+    def disassemble(self) -> str:
+        header = (
+            f"// kernel {self.name}  simd{self.simd_width}"
+            f"  args={list(self.arg_names)}"
+            f"  {self.n_blocks} blocks,"
+            f" {self.static_instruction_count} static instructions"
+        )
+        return "\n".join([header] + [b.disassemble() for b in self.blocks])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelBinary({self.name!r}, simd{self.simd_width}, "
+            f"{self.n_blocks} blocks)"
+        )

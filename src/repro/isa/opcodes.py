@@ -1,0 +1,215 @@
+"""GEN-flavoured opcode definitions and opcode classification.
+
+The paper profiles Intel GEN ISA binaries and reports dynamic opcode mixes
+in five classes (Figure 4a): *moves*, *logic*, *control*, *computation*,
+and *sends*.  This module defines a GEN-flavoured opcode set -- the opcode
+names follow the Intel OpenSource HD Graphics programmer's reference manual
+cited by the paper -- and maps every opcode onto one of those five classes.
+
+Only properties GT-Pin's analyses actually consume are modelled:
+
+* the opcode identity and its class (Figure 4a instruction mixes),
+* an issue-cost estimate in EU cycles (timing model), and
+* whether the opcode is a ``send`` (all memory traffic on GEN flows
+  through send messages; Figure 4c memory activity).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class OpClass(enum.Enum):
+    """The five opcode classes reported in Figure 4a of the paper."""
+
+    MOVE = "move"
+    LOGIC = "logic"
+    CONTROL = "control"
+    COMPUTATION = "computation"
+    SEND = "send"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Opcode(enum.Enum):
+    """GEN-flavoured opcodes, grouped by :class:`OpClass`.
+
+    The enum *value* is the assembly mnemonic as it appears in GEN
+    disassembly listings.
+    """
+
+    # -- moves ------------------------------------------------------------
+    MOV = "mov"
+    SEL = "sel"
+    MOVI = "movi"
+
+    # -- logic ------------------------------------------------------------
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    ASR = "asr"
+    CMP = "cmp"
+    CMPN = "cmpn"
+    BFI = "bfi"
+    BFREV = "bfrev"
+    CBIT = "cbit"
+
+    # -- control ----------------------------------------------------------
+    JMPI = "jmpi"
+    IF = "if"
+    ELSE = "else"
+    ENDIF = "endif"
+    WHILE = "while"
+    BREAK = "break"
+    CONT = "cont"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+    BRD = "brd"
+    BRC = "brc"
+
+    # -- computation ------------------------------------------------------
+    ADD = "add"
+    ADDC = "addc"
+    SUB = "sub"
+    MUL = "mul"
+    MACH = "mach"
+    MAD = "mad"
+    FRC = "frc"
+    RNDU = "rndu"
+    RNDD = "rndd"
+    RNDE = "rnde"
+    RNDZ = "rndz"
+    DP2 = "dp2"
+    DP3 = "dp3"
+    DP4 = "dp4"
+    DPH = "dph"
+    LINE = "line"
+    PLN = "pln"
+    LRP = "lrp"
+    AVG = "avg"
+    # extended-math (GEN routes these through the EM pipe; they are still
+    # "computation" for Figure 4a purposes)
+    MATH_INV = "math.inv"
+    MATH_LOG = "math.log"
+    MATH_EXP = "math.exp"
+    MATH_SQRT = "math.sqrt"
+    MATH_RSQ = "math.rsq"
+    MATH_SIN = "math.sin"
+    MATH_COS = "math.cos"
+    MATH_POW = "math.pow"
+    MATH_IDIV = "math.idiv"
+    MATH_FDIV = "math.fdiv"
+
+    # -- sends (all memory traffic) ----------------------------------------
+    SEND = "send"
+    SENDC = "sendc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def op_class(self) -> OpClass:
+        """The Figure 4a class this opcode belongs to."""
+        return _OPCODE_CLASS[self]
+
+    @property
+    def is_send(self) -> bool:
+        """True for GEN message-gateway instructions (all memory traffic)."""
+        return self in (Opcode.SEND, Opcode.SENDC)
+
+    @property
+    def is_control(self) -> bool:
+        return self.op_class is OpClass.CONTROL
+
+    @property
+    def issue_cycles(self) -> int:
+        """Nominal EU issue cost in cycles for a SIMD8 execution.
+
+        GEN EUs are physically 8 wide; a SIMD16 instruction issues over two
+        cycles (handled by the timing model, which scales by
+        ``exec_size / 8``).  Extended-math and send instructions occupy the
+        pipe longer.
+        """
+        return _ISSUE_CYCLES[self]
+
+
+_MOVES = (Opcode.MOV, Opcode.SEL, Opcode.MOVI)
+_LOGIC = (
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHL, Opcode.SHR,
+    Opcode.ASR, Opcode.CMP, Opcode.CMPN, Opcode.BFI, Opcode.BFREV,
+    Opcode.CBIT,
+)
+_CONTROL = (
+    Opcode.JMPI, Opcode.IF, Opcode.ELSE, Opcode.ENDIF, Opcode.WHILE,
+    Opcode.BREAK, Opcode.CONT, Opcode.CALL, Opcode.RET, Opcode.HALT,
+    Opcode.BRD, Opcode.BRC,
+)
+_COMPUTATION = (
+    Opcode.ADD, Opcode.ADDC, Opcode.SUB, Opcode.MUL, Opcode.MACH,
+    Opcode.MAD, Opcode.FRC, Opcode.RNDU, Opcode.RNDD, Opcode.RNDE,
+    Opcode.RNDZ, Opcode.DP2, Opcode.DP3, Opcode.DP4, Opcode.DPH,
+    Opcode.LINE, Opcode.PLN, Opcode.LRP, Opcode.AVG, Opcode.MATH_INV,
+    Opcode.MATH_LOG, Opcode.MATH_EXP, Opcode.MATH_SQRT, Opcode.MATH_RSQ,
+    Opcode.MATH_SIN, Opcode.MATH_COS, Opcode.MATH_POW, Opcode.MATH_IDIV,
+    Opcode.MATH_FDIV,
+)
+_SENDS = (Opcode.SEND, Opcode.SENDC)
+
+_OPCODE_CLASS: Mapping[Opcode, OpClass] = {
+    **{op: OpClass.MOVE for op in _MOVES},
+    **{op: OpClass.LOGIC for op in _LOGIC},
+    **{op: OpClass.CONTROL for op in _CONTROL},
+    **{op: OpClass.COMPUTATION for op in _COMPUTATION},
+    **{op: OpClass.SEND for op in _SENDS},
+}
+
+_EXTENDED_MATH = frozenset(
+    op for op in _COMPUTATION if op.value.startswith("math.")
+)
+
+_ISSUE_CYCLES: dict[Opcode, int] = {}
+for _op in Opcode:
+    if _op in _SENDS:
+        _ISSUE_CYCLES[_op] = 4  # message dispatch occupies the pipe
+    elif _op in _EXTENDED_MATH:
+        _ISSUE_CYCLES[_op] = 8  # EM pipe is not fully pipelined
+    elif _op in (Opcode.MAD, Opcode.DP4, Opcode.DPH, Opcode.LRP):
+        _ISSUE_CYCLES[_op] = 2
+    else:
+        _ISSUE_CYCLES[_op] = 1
+
+
+#: Opcodes grouped by class; handy for generators and tests.
+OPCODES_BY_CLASS: Mapping[OpClass, tuple[Opcode, ...]] = {
+    OpClass.MOVE: _MOVES,
+    OpClass.LOGIC: _LOGIC,
+    OpClass.CONTROL: _CONTROL,
+    OpClass.COMPUTATION: _COMPUTATION,
+    OpClass.SEND: _SENDS,
+}
+
+#: All opcode-class names in the order Figure 4a stacks them.
+FIGURE_4A_ORDER: tuple[OpClass, ...] = (
+    OpClass.MOVE, OpClass.LOGIC, OpClass.CONTROL,
+    OpClass.COMPUTATION, OpClass.SEND,
+)
+
+
+def opcode_from_mnemonic(mnemonic: str) -> Opcode:
+    """Look up an :class:`Opcode` by its assembly mnemonic.
+
+    Raises :class:`KeyError` with a helpful message for unknown mnemonics.
+    """
+    try:
+        return Opcode(mnemonic)
+    except ValueError:
+        known = ", ".join(sorted(op.value for op in Opcode))
+        raise KeyError(
+            f"unknown GEN mnemonic {mnemonic!r}; known mnemonics: {known}"
+        ) from None

@@ -1,0 +1,53 @@
+"""OpenCL host-side model: API calls, host programs, runtime semantics."""
+
+from repro.opencl.api import (
+    KERNEL_ENQUEUE,
+    OTHER_CALLS,
+    PAPER_KERNEL_ENQUEUE_SPELLING,
+    SYNCHRONIZATION_CALLS,
+    APICall,
+    CallCategory,
+    categorize,
+    is_synchronization,
+)
+from repro.opencl.errors import (
+    BuildProgramFailure,
+    CLError,
+    InvalidArgIndex,
+    InvalidKernelArgs,
+    InvalidKernelName,
+    InvalidMemObject,
+    InvalidOperation,
+    InvalidWorkSize,
+)
+from repro.opencl.host_program import HostProgram
+from repro.opencl.runtime import (
+    APIInterceptor,
+    OpenCLRuntime,
+    ProgramRun,
+    RuntimeInitHook,
+)
+
+__all__ = [
+    "APICall",
+    "APIInterceptor",
+    "BuildProgramFailure",
+    "CLError",
+    "CallCategory",
+    "HostProgram",
+    "InvalidArgIndex",
+    "InvalidKernelArgs",
+    "InvalidKernelName",
+    "InvalidMemObject",
+    "InvalidOperation",
+    "InvalidWorkSize",
+    "KERNEL_ENQUEUE",
+    "OTHER_CALLS",
+    "OpenCLRuntime",
+    "PAPER_KERNEL_ENQUEUE_SPELLING",
+    "ProgramRun",
+    "RuntimeInitHook",
+    "SYNCHRONIZATION_CALLS",
+    "categorize",
+    "is_synchronization",
+]

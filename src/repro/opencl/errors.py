@@ -1,0 +1,45 @@
+"""OpenCL-style error conditions.
+
+The real runtime reports errors through ``cl_int`` status codes; we raise
+typed exceptions instead, but keep the CL status names so that failures
+read like OpenCL failures.
+"""
+
+from __future__ import annotations
+
+
+class CLError(RuntimeError):
+    """Base class for all modelled OpenCL errors."""
+
+    status = "CL_ERROR"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(f"{self.status}: {message}")
+
+
+class InvalidKernelName(CLError):
+    status = "CL_INVALID_KERNEL_NAME"
+
+
+class InvalidKernelArgs(CLError):
+    status = "CL_INVALID_KERNEL_ARGS"
+
+
+class InvalidArgIndex(CLError):
+    status = "CL_INVALID_ARG_INDEX"
+
+
+class InvalidWorkSize(CLError):
+    status = "CL_INVALID_GLOBAL_WORK_SIZE"
+
+
+class InvalidOperation(CLError):
+    status = "CL_INVALID_OPERATION"
+
+
+class BuildProgramFailure(CLError):
+    status = "CL_BUILD_PROGRAM_FAILURE"
+
+
+class InvalidMemObject(CLError):
+    status = "CL_INVALID_MEM_OBJECT"

@@ -1,0 +1,53 @@
+"""Host-side OpenCL programs as replayable API-call streams.
+
+An OpenCL application's host part is, from the runtime's perspective,
+nothing but an ordered stream of API calls (Section II).  We represent it
+literally as that stream: a :class:`HostProgram` is a named, immutable
+sequence of :class:`~repro.opencl.api.APICall` records.  This single
+representation serves three roles:
+
+* the *workload generator* emits host programs,
+* the *runtime* executes them, and
+* the *CoFluent recorder* captures and replays them (Section V-E) --
+  a recording simply is another ``HostProgram`` with identical calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.opencl.api import APICall, CallCategory
+
+
+@dataclasses.dataclass(frozen=True)
+class HostProgram:
+    """An ordered, immutable stream of host API calls."""
+
+    name: str
+    calls: tuple[APICall, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("host program name must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def __iter__(self) -> Iterator[APICall]:
+        return iter(self.calls)
+
+    def category_counts(self) -> dict[CallCategory, int]:
+        """Static Figure 3a breakdown of this call stream."""
+        counts = {category: 0 for category in CallCategory}
+        for call in self.calls:
+            counts[call.category] += 1
+        return counts
+
+    @property
+    def kernel_enqueue_count(self) -> int:
+        return self.category_counts()[CallCategory.KERNEL]
+
+    @property
+    def synchronization_count(self) -> int:
+        return self.category_counts()[CallCategory.SYNCHRONIZATION]

@@ -1,0 +1,278 @@
+"""The OpenCL runtime model: API dispatch, command queue, sync semantics.
+
+This is the left-hand column of Figure 1.  The runtime receives host API
+calls, forwards kernel enqueues to the driver's command queue, and -- at
+each of the seven synchronization calls -- flushes the queue, which is
+when kernel invocations actually execute on the device.  Kernel work is
+asynchronous to the host between sync calls, which is why the paper treats
+sync calls as the only legal simulation-interval boundaries (Section II).
+
+Two interposition points are modelled faithfully:
+
+* ``add_interceptor`` registers a callable invoked with every API call
+  just before the runtime acts on it -- where Intel CoFluent captures its
+  traces (Section IV-B);
+* at construction the runtime accepts ``init_hooks`` -- GT-Pin's
+  runtime-initialization interception (Figure 1, middle), used to allocate
+  the trace buffer and install the binary rewriter into the driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from repro.gpu.execution import KernelDispatch
+from repro.opencl.api import KERNEL_ENQUEUE, APICall
+from repro.opencl.errors import (
+    BuildProgramFailure,
+    InvalidArgIndex,
+    InvalidKernelArgs,
+    InvalidKernelName,
+    InvalidMemObject,
+    InvalidOperation,
+    InvalidWorkSize,
+)
+from repro.opencl.host_program import HostProgram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (driver -> errors)
+    from repro.driver.driver import GPUDriver
+    from repro.driver.jit import KernelSource
+
+#: Interceptors observe every API call (CoFluent's capture point).
+APIInterceptor = Callable[[APICall], None]
+
+#: Init hooks run once when a runtime session starts (GT-Pin's attach point).
+RuntimeInitHook = Callable[["OpenCLRuntime"], None]
+
+
+@dataclasses.dataclass
+class _PendingEnqueue:
+    """A kernel enqueue sitting in the command queue awaiting a flush."""
+
+    kernel_name: str
+    arg_values: dict[str, float]
+    global_work_size: int
+    enqueue_call_index: int
+    #: Snapshot of device-memory data state at enqueue time.
+    data_env: dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class ProgramRun:
+    """Everything one execution of a host program produced."""
+
+    program_name: str
+    api_calls: tuple[APICall, ...]
+    dispatches: tuple[KernelDispatch, ...]
+    #: API-stream indices of the synchronization calls, in order.
+    sync_call_indices: tuple[int, ...]
+    trial_seed: int
+    device_name: str
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(d.instruction_count for d in self.dispatches)
+
+    @property
+    def total_kernel_seconds(self) -> float:
+        return sum(d.time_seconds for d in self.dispatches)
+
+    @property
+    def measured_spi(self) -> float:
+        """Whole-program seconds-per-instruction (Eq. 1 denominator).
+
+        Combined kernel seconds over combined dynamic instructions, exactly
+        as Section V-B defines "measured SPI".
+        """
+        instructions = self.total_instructions
+        if instructions == 0:
+            return 0.0
+        return self.total_kernel_seconds / instructions
+
+
+class OpenCLRuntime:
+    """Executes host programs against a driver + device."""
+
+    def __init__(
+        self,
+        driver: "GPUDriver",
+        init_hooks: tuple[RuntimeInitHook, ...] = (),
+    ) -> None:
+        self.driver = driver
+        self._interceptors: list[APIInterceptor] = []
+        self._sources: dict[str, "KernelSource"] = {}
+        self._kernel_args: dict[str, dict[str, float]] = {}
+        self._queue: list[_PendingEnqueue] = []
+        self._built = False
+        # Device-memory contents the host has written (buffer payload
+        # scalars); data-dependent kernel control flow reads these.  Keys
+        # use the reserved "__" prefix so they can never collide with
+        # kernel argument names.
+        self._data_env: dict[str, float] = {}
+        # GT-Pin intercepts the application's initial contact with the
+        # runtime; hooks run exactly once, here.
+        for hook in init_hooks:
+            hook(self)
+
+    # -- interposition -------------------------------------------------------
+
+    def add_interceptor(self, interceptor: APIInterceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    # -- program setup ---------------------------------------------------------
+
+    def load_sources(self, sources: Mapping[str, "KernelSource"]) -> None:
+        """Associate kernel sources (``clCreateProgramWithSource`` payload)."""
+        self._sources = dict(sources)
+
+    def _arg_names(self, kernel_name: str) -> tuple[str, ...]:
+        try:
+            return self._sources[kernel_name].body.arg_names
+        except KeyError:
+            known = ", ".join(sorted(self._sources)) or "<none>"
+            raise InvalidKernelName(
+                f"kernel {kernel_name!r} not in program sources; known: {known}"
+            ) from None
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, program: HostProgram, trial_seed: int = 0) -> ProgramRun:
+        """Execute a host program end-to-end; returns the full run record.
+
+        ``trial_seed`` drives all device non-determinism (data-dependent
+        trip counts and timing noise); re-running with the same seed is the
+        modelled equivalent of a CoFluent deterministic replay.
+        """
+        rng = np.random.default_rng(trial_seed)
+        self.driver.device.reset()
+        self._kernel_args.clear()
+        self._queue.clear()
+        self._built = False
+        self._data_env.clear()
+
+        executed_calls: list[APICall] = []
+        dispatches: list[KernelDispatch] = []
+        sync_indices: list[int] = []
+        sync_epoch = 0
+
+        for call_index, call in enumerate(program.calls):
+            for interceptor in self._interceptors:
+                interceptor(call)
+            executed_calls.append(call)
+
+            if call.is_kernel_enqueue:
+                self._handle_enqueue(call, call_index)
+            elif call.is_synchronization:
+                sync_indices.append(call_index)
+                dispatches.extend(self._flush(sync_epoch, rng))
+                sync_epoch += 1
+            else:
+                self._handle_other(call)
+
+        # Work enqueued after the last synchronization call still executes
+        # (the process exit implies a finish); it belongs to the trailing
+        # sync epoch.
+        dispatches.extend(self._flush(sync_epoch, rng))
+
+        return ProgramRun(
+            program_name=program.name,
+            api_calls=tuple(executed_calls),
+            dispatches=tuple(dispatches),
+            sync_call_indices=tuple(sync_indices),
+            trial_seed=trial_seed,
+            device_name=self.driver.device.spec.name,
+        )
+
+    # -- handlers ------------------------------------------------------------
+
+    def _handle_enqueue(self, call: APICall, call_index: int) -> None:
+        if not self._built:
+            raise InvalidOperation(
+                f"{KERNEL_ENQUEUE} before clBuildProgram in call #{call_index}"
+            )
+        kernel_name = call.args.get("kernel")
+        if not kernel_name:
+            raise InvalidKernelName(f"{KERNEL_ENQUEUE} without a kernel argument")
+        gws = int(call.args.get("global_work_size", 0))
+        if gws <= 0:
+            raise InvalidWorkSize(
+                f"kernel {kernel_name!r} enqueued with global_work_size={gws}"
+            )
+        arg_names = self._arg_names(kernel_name)
+        current = self._kernel_args.get(kernel_name, {})
+        missing = [name for name in arg_names if name not in current]
+        if missing:
+            raise InvalidKernelArgs(
+                f"kernel {kernel_name!r} enqueued with unset arguments {missing}"
+            )
+        self._queue.append(
+            _PendingEnqueue(
+                kernel_name=kernel_name,
+                arg_values=dict(current),
+                global_work_size=gws,
+                enqueue_call_index=call_index,
+                data_env=dict(self._data_env),
+            )
+        )
+
+    def _handle_other(self, call: APICall) -> None:
+        if call.name == "clBuildProgram":
+            if not self._sources:
+                raise BuildProgramFailure(
+                    "clBuildProgram with no program sources loaded; call "
+                    "load_sources() with the application's kernels first"
+                )
+            self.driver.build_program(self._sources)
+            self._built = True
+        elif call.name in ("clCreateBuffer", "clCreateImage"):
+            size = int(call.args.get("size", 1))
+            if size <= 0:
+                raise InvalidMemObject(
+                    f"{call.name} with non-positive size {size}"
+                )
+        elif call.name == "clCreateKernel":
+            kernel_name = call.args.get("kernel", "")
+            self._arg_names(kernel_name)  # validates existence
+            self._kernel_args.setdefault(kernel_name, {})
+        elif call.name == "clSetKernelArg":
+            kernel_name = call.args.get("kernel", "")
+            arg_names = self._arg_names(kernel_name)
+            index = int(call.args.get("arg_index", -1))
+            if not 0 <= index < len(arg_names):
+                raise InvalidArgIndex(
+                    f"kernel {kernel_name!r} has {len(arg_names)} args; "
+                    f"got arg_index={index}"
+                )
+            args = self._kernel_args.setdefault(kernel_name, {})
+            args[arg_names[index]] = float(call.args.get("value", 0.0))
+        elif call.name in ("clEnqueueWriteBuffer", "clEnqueueWriteImage"):
+            # Host->device data transfer: scalar payload summaries become
+            # device-memory state that data-dependent kernels consume.
+            for key, value in call.args.items():
+                if key.startswith("__"):
+                    self._data_env[key] = float(value)
+        # All remaining "other" calls (context/queue/buffer management,
+        # profiling queries, releases) have no device-visible semantics in
+        # this model; they are recorded by interceptors above.
+
+    def _flush(
+        self, sync_epoch: int, rng: np.random.Generator
+    ) -> list[KernelDispatch]:
+        """Execute every queued enqueue; stamp queue/sync bookkeeping."""
+        flushed: list[KernelDispatch] = []
+        for pending in self._queue:
+            dispatch = self.driver.dispatch(
+                pending.kernel_name,
+                pending.arg_values,
+                pending.global_work_size,
+                rng,
+                enqueue_call_index=pending.enqueue_call_index,
+                sync_epoch=sync_epoch,
+                data_env=pending.data_env,
+            )
+            flushed.append(dispatch)
+        self._queue.clear()
+        return flushed

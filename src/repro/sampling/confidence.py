@@ -1,0 +1,132 @@
+"""Confidence bounds on projected whole-program SPI.
+
+SimPoint 3.0 reports per-simulation-point *error bounds* alongside its
+selections.  We implement the analogous machinery for the GPU pipeline:
+each cluster's representative stands in for the cluster's intervals, and
+the within-cluster spread of interval SPIs bounds how wrong that
+substitution can be.  The projection's overall bound combines per-cluster
+standard errors through the representation ratios.
+
+This turns the Eq. (1) point estimate into an interval: "projected SPI
+x +- y with ~95% confidence", which is what a hardware team actually
+wants before trusting a 200x-cheaper simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.sampling.intervals import Interval
+from repro.sampling.selection import Selection
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpread:
+    """SPI statistics of one cluster's member intervals."""
+
+    cluster: int
+    n_intervals: int
+    mean_spi: float
+    std_spi: float
+
+    @property
+    def relative_spread(self) -> float:
+        if self.mean_spi == 0:
+            return 0.0
+        return self.std_spi / self.mean_spi
+
+
+@dataclasses.dataclass(frozen=True)
+class ProjectionConfidence:
+    """Projected SPI with a z-score confidence half-width."""
+
+    projected_spi: float
+    half_width: float
+    z: float
+    clusters: tuple[ClusterSpread, ...]
+
+    @property
+    def lower(self) -> float:
+        return max(0.0, self.projected_spi - self.half_width)
+
+    @property
+    def upper(self) -> float:
+        return self.projected_spi + self.half_width
+
+    @property
+    def relative_half_width_percent(self) -> float:
+        if self.projected_spi == 0:
+            return 0.0
+        return self.half_width / self.projected_spi * 100.0
+
+    def contains(self, spi: float) -> bool:
+        return self.lower <= spi <= self.upper
+
+
+def _interval_spis(
+    intervals: Sequence[Interval],
+    seconds: np.ndarray,
+    instructions: np.ndarray,
+) -> np.ndarray:
+    spis = np.empty(len(intervals))
+    for i, interval in enumerate(intervals):
+        span = slice(interval.start, interval.stop)
+        instr = float(instructions[span].sum())
+        spis[i] = float(seconds[span].sum()) / instr if instr > 0 else 0.0
+    return spis
+
+
+def projection_confidence(
+    selection: Selection,
+    intervals: Sequence[Interval],
+    labels: np.ndarray,
+    seconds: np.ndarray,
+    instructions: np.ndarray,
+    z: float = 1.96,
+) -> ProjectionConfidence:
+    """Confidence bound for a selection's projected SPI.
+
+    ``intervals``/``labels`` are the division and clustering the selection
+    came from (``labels[i]`` is interval i's cluster); ``seconds`` and
+    ``instructions`` are per-invocation, as in :mod:`repro.sampling.error`.
+    """
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    labels = np.asarray(labels)
+    if labels.shape[0] != len(intervals):
+        raise ValueError(
+            f"{labels.shape[0]} labels for {len(intervals)} intervals"
+        )
+    spis = _interval_spis(intervals, seconds, instructions)
+
+    projected = 0.0
+    variance = 0.0
+    spreads: list[ClusterSpread] = []
+    for cluster, chosen in enumerate(selection.selected):
+        members = spis[labels == cluster]
+        n = members.shape[0]
+        mean = float(members.mean()) if n else 0.0
+        std = float(members.std(ddof=1)) if n > 1 else 0.0
+        spreads.append(
+            ClusterSpread(
+                cluster=cluster, n_intervals=n, mean_spi=mean, std_spi=std
+            )
+        )
+        # The representative is one draw from the cluster's SPI
+        # distribution; its standard error as an estimate of the cluster
+        # mean is the member spread itself.
+        span = slice(chosen.interval.start, chosen.interval.stop)
+        instr = float(instructions[span].sum())
+        rep_spi = float(seconds[span].sum()) / instr if instr > 0 else 0.0
+        projected += chosen.ratio * rep_spi
+        variance += (chosen.ratio * std) ** 2
+
+    return ProjectionConfidence(
+        projected_spi=projected,
+        half_width=z * float(np.sqrt(variance)),
+        z=z,
+        clusters=tuple(spreads),
+    )

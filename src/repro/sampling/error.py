@@ -1,0 +1,121 @@
+"""The Eq. (1) SPI error metric.
+
+    Error = |Measured SPI - Projected SPI| / Measured SPI * 100%
+
+* **Measured SPI**: combined seconds of *all* kernel invocations over
+  combined dynamic instructions of all invocations.
+* **Projected SPI**: per selected interval, seconds-in-interval over
+  instructions-in-interval (SPI of the interval); then the
+  ratio-weighted sum over the selection.
+
+The functions here are deliberately array-generic: per-invocation seconds
+may come from the original CoFluent trial or from any replay (other
+trials, other frequencies, other architecture generations -- Figure 8),
+and per-invocation instruction counts come from GT-Pin (or from the
+replay's own profile).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cofluent.timing import TimingTrace
+from repro.gtpin.tools.invocations import InvocationLog
+from repro.opencl.runtime import ProgramRun
+from repro.sampling.selection import Selection
+
+
+def measured_spi(seconds: np.ndarray, instructions: np.ndarray) -> float:
+    """Whole-program SPI: total kernel seconds over total instructions."""
+    total_instr = float(instructions.sum())
+    if total_instr <= 0:
+        raise ValueError("cannot compute SPI with zero dynamic instructions")
+    return float(seconds.sum()) / total_instr
+
+
+def projected_spi(
+    selection: Selection,
+    seconds: np.ndarray,
+    instructions: np.ndarray,
+) -> float:
+    """Ratio-weighted SPI extrapolated from the selected intervals."""
+    if seconds.shape != instructions.shape:
+        raise ValueError(
+            f"seconds {seconds.shape} and instructions {instructions.shape} "
+            "must align per invocation"
+        )
+    projected = 0.0
+    for chosen in selection.selected:
+        span = slice(chosen.interval.start, chosen.interval.stop)
+        interval_instr = float(instructions[span].sum())
+        if interval_instr <= 0:
+            continue
+        interval_spi = float(seconds[span].sum()) / interval_instr
+        projected += chosen.ratio * interval_spi
+    return projected
+
+
+def spi_error_percent(
+    selection: Selection,
+    seconds: np.ndarray,
+    instructions: np.ndarray,
+) -> float:
+    """Eq. (1): percent error of projected vs measured whole-program SPI."""
+    measured = measured_spi(seconds, instructions)
+    projected = projected_spi(selection, seconds, instructions)
+    return abs(measured - projected) / measured * 100.0
+
+
+# -- adapters over the concrete run artifacts --------------------------------
+
+
+def arrays_from_profile(
+    log: InvocationLog, timings: TimingTrace
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align the profiling run's instruction counts with a timing trace.
+
+    The two runs execute the same recorded API stream, so invocation
+    order matches one-to-one; a length mismatch means the caller paired
+    artifacts from different programs.
+    """
+    if len(timings) != len(log.invocations):
+        raise ValueError(
+            f"timing trace has {len(timings)} invocations but profile has "
+            f"{len(log.invocations)}; they must come from the same program"
+        )
+    seconds = np.array([t.seconds for t in timings], dtype=np.float64)
+    instructions = np.array(
+        [p.instruction_count for p in log.invocations], dtype=np.float64
+    )
+    return seconds, instructions
+
+
+def arrays_from_run(run: ProgramRun) -> tuple[np.ndarray, np.ndarray]:
+    """Seconds/instructions per invocation from a (replayed) native run."""
+    seconds = np.array(
+        [d.time_seconds for d in run.dispatches], dtype=np.float64
+    )
+    instructions = np.array(
+        [d.instruction_count for d in run.dispatches], dtype=np.float64
+    )
+    return seconds, instructions
+
+
+def selection_error(
+    selection: Selection, log: InvocationLog, timings: TimingTrace
+) -> float:
+    """Eq. (1) error of a selection against its own profiling trial."""
+    seconds, instructions = arrays_from_profile(log, timings)
+    return spi_error_percent(selection, seconds, instructions)
+
+
+def selection_error_on_run(selection: Selection, run: ProgramRun) -> float:
+    """Eq. (1) error of a selection against a fresh replay trial."""
+    seconds, instructions = arrays_from_run(run)
+    if len(run.dispatches) != selection.total_invocations:
+        raise ValueError(
+            f"replay has {len(run.dispatches)} invocations but the "
+            f"selection was built over {selection.total_invocations}; "
+            "replays must execute the recorded program"
+        )
+    return spi_error_percent(selection, seconds, instructions)

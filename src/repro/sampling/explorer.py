@@ -1,0 +1,212 @@
+"""The 30-configuration exploration and its two optimization policies.
+
+Section V-B evaluates every (interval scheme x feature kind) combination
+-- 3 x 10 = 30 configs -- per application.  The key observation enabling
+Sections V-C/V-D: **one native profiling run suffices to score all 30
+configs**, because every config is post-processing over the same
+GT-Pin invocation log ("there is almost no additional overhead ... we
+need to profile each application just once").
+
+Two policies consume the exploration results:
+
+* :func:`ExplorationResult.minimize_error` -- Section V-C / Figure 6: the
+  per-application config with the smallest Eq. (1) error;
+* :func:`ExplorationResult.co_optimize` -- Section V-D / Figure 7: the
+  smallest-selection config whose error is below a threshold, falling
+  back to the error-minimizing config when none qualifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cofluent.timing import TimingTrace
+from repro.gtpin.tools.invocations import InvocationLog
+from repro.sampling.error import arrays_from_profile, spi_error_percent
+from repro.sampling.features import (
+    ALL_FEATURE_KINDS,
+    FeatureKind,
+    build_feature_vectors,
+)
+from repro.sampling.intervals import (
+    DEFAULT_APPROX_SIZE,
+    IntervalScheme,
+    divide,
+)
+from repro.sampling.selection import (
+    Selection,
+    SelectionConfig,
+    selection_from_simpoint,
+)
+from repro.sampling.simpoint import SimPointOptions, run_simpoint
+
+#: All 30 configurations, interval-major (Figure 5's x-axis order).
+ALL_CONFIGS: tuple[SelectionConfig, ...] = tuple(
+    SelectionConfig(scheme, feature)
+    for scheme in (
+        IntervalScheme.SYNC,
+        IntervalScheme.APPROX_100M,
+        IntervalScheme.SINGLE_KERNEL,
+    )
+    for feature in ALL_FEATURE_KINDS
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfigResult:
+    """Outcome of one configuration on one application."""
+
+    selection: Selection
+    error_percent: float
+
+    @property
+    def config(self) -> SelectionConfig:
+        return self.selection.config
+
+    @property
+    def selection_fraction(self) -> float:
+        return self.selection.selection_fraction
+
+    @property
+    def simulation_speedup(self) -> float:
+        return self.selection.simulation_speedup
+
+
+@dataclasses.dataclass(frozen=True)
+class ExplorationResult:
+    """All configuration outcomes for one application."""
+
+    application_name: str
+    results: Mapping[SelectionConfig, ConfigResult]
+    total_instructions: int
+
+    def __getitem__(self, config: SelectionConfig) -> ConfigResult:
+        return self.results[config]
+
+    def minimize_error(self) -> ConfigResult:
+        """Section V-C: the error-minimizing configuration.
+
+        Ties break toward the smaller selection (cheaper to simulate).
+        """
+        return min(
+            self.results.values(),
+            key=lambda r: (r.error_percent, r.selection_fraction),
+        )
+
+    def co_optimize(self, error_threshold_percent: float) -> ConfigResult:
+        """Section V-D: smallest selection with error below the threshold.
+
+        "If no configuration has an error below the specified threshold,
+        we choose the configuration with the smallest error, regardless
+        of selection size."
+        """
+        eligible = [
+            r
+            for r in self.results.values()
+            if r.error_percent <= error_threshold_percent
+        ]
+        if not eligible:
+            return self.minimize_error()
+        return min(eligible, key=lambda r: r.selection_fraction)
+
+
+def evaluate_config(
+    config: SelectionConfig,
+    log: InvocationLog,
+    timings: TimingTrace,
+    approx_size: int = DEFAULT_APPROX_SIZE,
+    options: SimPointOptions | None = None,
+    weighted_features: bool = True,
+) -> ConfigResult:
+    """Divide, featurize, cluster, select, and score one configuration."""
+    intervals = divide(log, config.scheme, approx_size)
+    vectors = build_feature_vectors(
+        log, intervals, config.feature, weighted=weighted_features
+    )
+    weights = [iv.instruction_count for iv in intervals]
+    result = run_simpoint(vectors, weights, options)
+    selection = selection_from_simpoint(
+        config, intervals, result, log.total_instructions
+    )
+    seconds, instructions = arrays_from_profile(log, timings)
+    error = spi_error_percent(selection, seconds, instructions)
+    return ConfigResult(selection=selection, error_percent=error)
+
+
+def explore(
+    application_name: str,
+    log: InvocationLog,
+    timings: TimingTrace,
+    configs: Sequence[SelectionConfig] = ALL_CONFIGS,
+    approx_size: int = DEFAULT_APPROX_SIZE,
+    options: SimPointOptions | None = None,
+    weighted_features: bool = True,
+) -> ExplorationResult:
+    """Score every configuration from one profile + one timing trace."""
+    results = {
+        config: evaluate_config(
+            config, log, timings, approx_size, options, weighted_features
+        )
+        for config in configs
+    }
+    return ExplorationResult(
+        application_name=application_name,
+        results=results,
+        total_instructions=log.total_instructions,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ThresholdSweepPoint:
+    """One point of Figure 7: a threshold's cross-app average outcome."""
+
+    threshold_percent: float | None  #: None = pure error-minimizing policy
+    mean_error_percent: float
+    mean_speedup: float
+
+    @property
+    def label(self) -> str:
+        if self.threshold_percent is None:
+            return "min-error"
+        return f"<= {self.threshold_percent:g}%"
+
+
+def threshold_sweep(
+    explorations: Iterable[ExplorationResult],
+    thresholds: Sequence[float] = (0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+) -> list[ThresholdSweepPoint]:
+    """Figure 7's sweep: min-error policy plus each error threshold."""
+    explorations = list(explorations)
+    if not explorations:
+        raise ValueError("threshold_sweep needs at least one exploration")
+    points: list[ThresholdSweepPoint] = []
+
+    chosen = [e.minimize_error() for e in explorations]
+    points.append(
+        ThresholdSweepPoint(
+            threshold_percent=None,
+            mean_error_percent=float(
+                np.mean([c.error_percent for c in chosen])
+            ),
+            mean_speedup=float(
+                np.mean([c.simulation_speedup for c in chosen])
+            ),
+        )
+    )
+    for threshold in thresholds:
+        chosen = [e.co_optimize(threshold) for e in explorations]
+        points.append(
+            ThresholdSweepPoint(
+                threshold_percent=threshold,
+                mean_error_percent=float(
+                    np.mean([c.error_percent for c in chosen])
+                ),
+                mean_speedup=float(
+                    np.mean([c.simulation_speedup for c in chosen])
+                ),
+            )
+        )
+    return points

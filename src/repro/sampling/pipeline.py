@@ -1,0 +1,113 @@
+"""End-to-end selection pipeline: the methodology's front door.
+
+One call does what Section V describes:
+
+1. **Record** the application with CoFluent (pins API ordering, captures
+   per-kernel "Trial 1" timings);
+2. **Profile** the recording once under GT-Pin with the custom Section V
+   tool (per-invocation instruction counts, block counts, memory bytes);
+3. **Divide / featurize / cluster / select / score** -- either one
+   configuration (:func:`select_simpoints`) or all 30
+   (:func:`explore_application`).
+
+No simulation is required anywhere -- the property that lets the method
+scale to applications too large to simulate even once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cofluent.recorder import CoFluentRecording, record
+from repro.cofluent.timing import TimingTrace, capture_timings
+from repro.gpu.device import HD4000, DeviceSpec
+from repro.gpu.timing import TimingParameters
+from repro.gtpin.profiler import Application, GTPinSession, build_runtime
+from repro.gtpin.tools.invocations import InvocationLog, InvocationLogTool
+from repro.sampling.explorer import (
+    ALL_CONFIGS,
+    ConfigResult,
+    ExplorationResult,
+    evaluate_config,
+    explore,
+)
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import DEFAULT_APPROX_SIZE, IntervalScheme
+from repro.sampling.selection import SelectionConfig
+from repro.sampling.simpoint import SimPointOptions
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfiledWorkload:
+    """Everything one profiling pass produces for the selection pipeline."""
+
+    application_name: str
+    recording: CoFluentRecording
+    log: InvocationLog
+    timings: TimingTrace
+    device: DeviceSpec
+    trial_seed: int
+
+
+def profile_workload(
+    application: Application,
+    device: DeviceSpec = HD4000,
+    trial_seed: int = 0,
+    timing_params: TimingParameters | None = None,
+) -> ProfiledWorkload:
+    """Record (CoFluent) + profile (GT-Pin) one application.
+
+    Both passes execute the same API stream with the same trial seed, so
+    invocation order -- and data-dependent control flow -- align exactly,
+    mirroring the paper's use of CoFluent recordings to keep profiling and
+    timing runs consistent.
+    """
+    recording, timed_run = record(
+        application, device, trial_seed, timing_params
+    )
+    session = GTPinSession([InvocationLogTool()])
+    runtime = build_runtime(recording, device, timing_params, session)
+    runtime.run(recording.host_program, trial_seed=trial_seed)
+    log = session.post_process()["invocations"]
+    return ProfiledWorkload(
+        application_name=application.name,
+        recording=recording,
+        log=log,
+        timings=capture_timings(timed_run),
+        device=device,
+        trial_seed=trial_seed,
+    )
+
+
+def select_simpoints(
+    workload: ProfiledWorkload,
+    scheme: IntervalScheme = IntervalScheme.SYNC,
+    feature: FeatureKind = FeatureKind.BB,
+    approx_size: int = DEFAULT_APPROX_SIZE,
+    options: SimPointOptions | None = None,
+) -> ConfigResult:
+    """Run one configuration end-to-end; returns selection + error."""
+    return evaluate_config(
+        SelectionConfig(scheme, feature),
+        workload.log,
+        workload.timings,
+        approx_size,
+        options,
+    )
+
+
+def explore_application(
+    workload: ProfiledWorkload,
+    approx_size: int = DEFAULT_APPROX_SIZE,
+    options: SimPointOptions | None = None,
+    configs: tuple[SelectionConfig, ...] = ALL_CONFIGS,
+) -> ExplorationResult:
+    """Score all 30 configurations from the single profiling pass."""
+    return explore(
+        workload.application_name,
+        workload.log,
+        workload.timings,
+        configs=configs,
+        approx_size=approx_size,
+        options=options,
+    )

@@ -1,0 +1,119 @@
+"""JSON serialization of selections and exploration results.
+
+The whole point of subset selection is to hand a small artifact to a
+(slow, possibly remote) detailed simulator.  This module defines that
+artifact: a JSON document carrying the configuration, the selected
+invocation ranges, their representation ratios, and enough bookkeeping to
+recompute sizes/speedups and to validate replays -- everything a
+simulator team needs, nothing tied to this library's in-memory objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.sampling.explorer import ConfigResult, ExplorationResult
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import Interval, IntervalScheme
+from repro.sampling.selection import (
+    SelectedInterval,
+    Selection,
+    SelectionConfig,
+)
+
+FORMAT_VERSION = 1
+
+
+def selection_to_dict(selection: Selection) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "scheme": selection.config.scheme.value,
+            "feature": selection.config.feature.value,
+            "label": selection.config.label,
+        },
+        "total_instructions": selection.total_instructions,
+        "total_invocations": selection.total_invocations,
+        "n_intervals": selection.n_intervals,
+        "selection_fraction": selection.selection_fraction,
+        "simulation_speedup": selection.simulation_speedup,
+        "selected": [
+            {
+                "interval_index": s.interval.index,
+                "first_invocation": s.interval.start,
+                "last_invocation_exclusive": s.interval.stop,
+                "instruction_count": s.interval.instruction_count,
+                "ratio": s.ratio,
+            }
+            for s in selection.selected
+        ],
+    }
+
+
+def selection_from_dict(data: dict[str, Any]) -> Selection:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported selection format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    config = SelectionConfig(
+        scheme=IntervalScheme(data["config"]["scheme"]),
+        feature=FeatureKind(data["config"]["feature"]),
+    )
+    selected = tuple(
+        SelectedInterval(
+            interval=Interval(
+                index=item["interval_index"],
+                start=item["first_invocation"],
+                stop=item["last_invocation_exclusive"],
+                instruction_count=item["instruction_count"],
+            ),
+            ratio=item["ratio"],
+        )
+        for item in data["selected"]
+    )
+    return Selection(
+        config=config,
+        selected=selected,
+        total_instructions=data["total_instructions"],
+        n_intervals=data["n_intervals"],
+        total_invocations=data["total_invocations"],
+    )
+
+
+def selection_to_json(selection: Selection, indent: int = 2) -> str:
+    return json.dumps(selection_to_dict(selection), indent=indent)
+
+
+def selection_from_json(text: str) -> Selection:
+    return selection_from_dict(json.loads(text))
+
+
+def exploration_to_dict(exploration: ExplorationResult) -> dict[str, Any]:
+    """Summarize a 30-config exploration (selections included)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "application": exploration.application_name,
+        "total_instructions": exploration.total_instructions,
+        "configs": [
+            _config_result_to_dict(result)
+            for result in exploration.results.values()
+        ],
+    }
+
+
+def _config_result_to_dict(result: ConfigResult) -> dict[str, Any]:
+    return {
+        "label": result.config.label,
+        "error_percent": result.error_percent,
+        "selection_fraction": result.selection_fraction,
+        "simulation_speedup": result.simulation_speedup,
+        "k": result.selection.k,
+        "selection": selection_to_dict(result.selection),
+    }
+
+
+def exploration_to_json(exploration: ExplorationResult, indent: int = 2) -> str:
+    return json.dumps(exploration_to_dict(exploration), indent=indent)

@@ -1,0 +1,139 @@
+"""Cross-trial / cross-frequency / cross-architecture validation (Fig. 8).
+
+Section V-E's question: do selections built from *one* profiled execution
+predict whole-program performance of *other* executions -- new trials,
+lower GPU frequencies, and a newer GPU generation?  The CoFluent recording
+pins the API ordering, so the kernel calls inside selected intervals are
+present and findable in every replay; only device non-determinism and the
+device itself change.
+
+Each validator replays the recording under new conditions and evaluates
+the original selection's Eq. (1) error against the replay's own
+seconds-per-invocation and instruction counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.cofluent.recorder import CoFluentRecording, replay
+from repro.gpu.device import (
+    FIGURE_8_FREQUENCIES_MHZ,
+    HD4600,
+    DeviceSpec,
+)
+from repro.gpu.timing import TimingParameters
+from repro.sampling.error import selection_error_on_run
+from repro.sampling.selection import Selection
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationPoint:
+    """One replay's outcome."""
+
+    condition: str  #: e.g. "trial 3", "850MHz", "Intel HD 4600"
+    error_percent: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """A selection's errors across a family of replays."""
+
+    application_name: str
+    selection_label: str
+    points: tuple[ValidationPoint, ...]
+
+    @property
+    def max_error_percent(self) -> float:
+        return max(p.error_percent for p in self.points)
+
+    @property
+    def mean_error_percent(self) -> float:
+        return sum(p.error_percent for p in self.points) / len(self.points)
+
+    def fraction_below(self, threshold_percent: float) -> float:
+        """Share of replays under the threshold (paper: "most below 3%")."""
+        below = sum(
+            1 for p in self.points if p.error_percent < threshold_percent
+        )
+        return below / len(self.points)
+
+
+def cross_trial_errors(
+    recording: CoFluentRecording,
+    selection: Selection,
+    device: DeviceSpec,
+    trial_seeds: Sequence[int],
+    timing_params: TimingParameters | None = None,
+) -> ValidationReport:
+    """Figure 8 (top): trial-1 selections vs trials 2..N on one machine."""
+    points = []
+    for seed in trial_seeds:
+        run = replay(recording, device, trial_seed=seed,
+                     timing_params=timing_params)
+        points.append(
+            ValidationPoint(
+                condition=f"trial seed {seed}",
+                error_percent=selection_error_on_run(selection, run),
+            )
+        )
+    return ValidationReport(
+        application_name=recording.name,
+        selection_label=selection.config.label,
+        points=tuple(points),
+    )
+
+
+def cross_frequency_errors(
+    recording: CoFluentRecording,
+    selection: Selection,
+    device: DeviceSpec,
+    frequencies_mhz: Sequence[float] = FIGURE_8_FREQUENCIES_MHZ,
+    trial_seed: int = 101,
+    timing_params: TimingParameters | None = None,
+) -> ValidationReport:
+    """Figure 8 (middle): max-frequency selections vs slower clocks."""
+    points = []
+    for mhz in frequencies_mhz:
+        run = replay(
+            recording,
+            device.at_frequency(mhz),
+            trial_seed=trial_seed,
+            timing_params=timing_params,
+        )
+        points.append(
+            ValidationPoint(
+                condition=f"{mhz:g}MHz",
+                error_percent=selection_error_on_run(selection, run),
+            )
+        )
+    return ValidationReport(
+        application_name=recording.name,
+        selection_label=selection.config.label,
+        points=tuple(points),
+    )
+
+
+def cross_architecture_errors(
+    recording: CoFluentRecording,
+    selection: Selection,
+    target_device: DeviceSpec = HD4600,
+    trial_seed: int = 202,
+    timing_params: TimingParameters | None = None,
+) -> ValidationReport:
+    """Figure 8 (bottom): Ivy Bridge selections predicting Haswell."""
+    run = replay(
+        recording, target_device, trial_seed=trial_seed,
+        timing_params=timing_params,
+    )
+    return ValidationReport(
+        application_name=recording.name,
+        selection_label=selection.config.label,
+        points=(
+            ValidationPoint(
+                condition=target_device.name,
+                error_percent=selection_error_on_run(selection, run),
+            ),
+        ),
+    )

@@ -1,0 +1,29 @@
+"""Detailed reference simulation and sampled simulation (Section V-D)."""
+
+from repro.simulation.microkernels import (
+    MicroKernelResult,
+    simulate_selection_microkernels,
+)
+from repro.simulation.detailed import (
+    DetailedGPUSimulator,
+    SimulatedDispatch,
+)
+from repro.simulation.sampled import (
+    FullSimulationResult,
+    SampledSimulationResult,
+    sampled_vs_full_error_percent,
+    simulate_full,
+    simulate_selection,
+)
+
+__all__ = [
+    "DetailedGPUSimulator",
+    "FullSimulationResult",
+    "MicroKernelResult",
+    "SampledSimulationResult",
+    "SimulatedDispatch",
+    "sampled_vs_full_error_percent",
+    "simulate_full",
+    "simulate_selection",
+    "simulate_selection_microkernels",
+]

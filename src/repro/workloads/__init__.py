@@ -1,0 +1,42 @@
+"""Synthetic workloads: kernel templates, app generator, the 25-app suite."""
+
+from repro.workloads.generator import SyntheticApplication, generate_application
+from repro.workloads.kernels import (
+    KernelShape,
+    MemoryShape,
+    MixWeights,
+    WidthProfile,
+    synthesize_kernel,
+)
+from repro.workloads.luxmark import LuxMarkResult, luxmark_scenes, run_luxmark
+from repro.workloads.spec import AppSpec
+from repro.workloads.suite import (
+    DEFAULT_SUITE_SEED,
+    FIGURE_5_SAMPLE_APPS,
+    SUITE_NAMES,
+    SUITE_SPECS,
+    load_app,
+    load_suite,
+    spec_by_name,
+)
+
+__all__ = [
+    "AppSpec",
+    "DEFAULT_SUITE_SEED",
+    "FIGURE_5_SAMPLE_APPS",
+    "KernelShape",
+    "LuxMarkResult",
+    "MemoryShape",
+    "MixWeights",
+    "SUITE_NAMES",
+    "SUITE_SPECS",
+    "SyntheticApplication",
+    "WidthProfile",
+    "generate_application",
+    "load_app",
+    "load_suite",
+    "luxmark_scenes",
+    "run_luxmark",
+    "spec_by_name",
+    "synthesize_kernel",
+]

@@ -1,0 +1,293 @@
+"""Deterministic synthetic-application generation.
+
+Turns an :class:`~repro.workloads.spec.AppSpec` into a
+:class:`SyntheticApplication`: concrete kernel binaries plus a host API
+call stream.  Generation is a pure function of ``(spec, seed)``.
+
+The emitted host program has the canonical OpenCL shape (Section II):
+
+1. *setup* -- platform/device discovery, context, queue, program build,
+   kernel and buffer creation;
+2. *main* -- phase by phase, kernels are argued (``clSetKernelArg``),
+   enqueued (``clEnqueueNDRangeKernel``), interleaved with the seven
+   synchronization calls and assorted "other" calls at the spec's rates;
+3. *teardown* -- profiling queries and releases.
+
+Phases are contiguous time segments with distinct kernel-usage mixes,
+argument values and global work sizes -- the periodic program behaviour
+SimPoint-style interval clustering exploits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from repro.driver.jit import KernelSource
+from repro.opencl.api import KERNEL_ENQUEUE, APICall
+from repro.opencl.host_program import HostProgram
+from repro.workloads.kernels import KernelShape, synthesize_kernel
+from repro.workloads.spec import AppSpec
+
+#: Relative frequencies of the seven sync calls in generated hosts
+#: (clFinish and the read calls dominate real programs).
+_SYNC_CALL_WEIGHTS: dict[str, float] = {
+    "clFinish": 0.30,
+    "clEnqueueReadBuffer": 0.28,
+    "clWaitForEvents": 0.14,
+    "clFlush": 0.12,
+    "clEnqueueReadImage": 0.06,
+    "clEnqueueCopyBuffer": 0.06,
+    "clEnqueueCopyImageToBuffer": 0.04,
+}
+
+#: "Other" calls sprinkled through the main loop.
+_LOOP_OTHER_CALLS: tuple[str, ...] = (
+    "clEnqueueWriteBuffer",
+    "clGetEventProfilingInfo",
+    "clEnqueueWriteImage",
+    "clGetDeviceInfo",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticApplication:
+    """A generated application: kernels + host stream + its spec."""
+
+    spec: AppSpec
+    sources: Mapping[str, KernelSource]
+    host_program: HostProgram
+    seed: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.sources))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SyntheticApplication({self.name!r}, "
+            f"{len(self.sources)} kernels, {len(self.host_program)} API calls)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class _Phase:
+    """One contiguous behaviour segment of the generated program."""
+
+    kernel_weights: np.ndarray
+    gws_by_kernel: tuple[int, ...]
+    iters_by_kernel: tuple[int, ...]
+    n_invocations: int
+    #: Scene complexity of this phase's input data (written to device
+    #: buffers; drives data-dependent kernel control flow).
+    data_complexity: float
+
+
+def _stable_offset(name: str) -> int:
+    """A deterministic, platform-independent per-app seed offset."""
+    return sum((i + 1) * ord(c) for i, c in enumerate(name)) % 100_000
+
+
+def _make_kernels(
+    spec: AppSpec, rng: np.random.Generator
+) -> dict[str, KernelSource]:
+    sources: dict[str, KernelSource] = {}
+    for k in range(spec.n_kernels):
+        low, high = spec.body_blocks_range
+        simd8 = rng.random() < spec.simd8_kernel_fraction
+        # About half the kernels carry input-data-dependent control flow
+        # (when the spec enables it): their tail loops scale with the
+        # scene complexity the host wrote to device memory.
+        data_dependent = (
+            spec.data_dependence > 0 and rng.random() < 0.5
+        )
+        shape = KernelShape(
+            n_body_blocks=int(rng.integers(low, high + 1)),
+            instructions_per_block=spec.instructions_per_block,
+            simd_width=8 if simd8 else spec.simd_width,
+            mix=spec.mix,
+            widths=spec.widths,
+            memory=spec.memory,
+            loop_base=1,
+            loop_arg="iters",
+            loop_scale=float(rng.uniform(0.35, 0.9)),
+            # Replays of a CoFluent recording feed identical inputs, so
+            # control flow is deterministic across trials; run-to-run
+            # variation lives in the timing model's noise.
+            loop_jitter=0,
+            branch_probability=spec.branch_probability,
+            data_arg="__complexity" if data_dependent else "",
+            data_scale=(
+                spec.data_dependence * float(rng.uniform(0.5, 1.5))
+                if data_dependent
+                else 0.0
+            ),
+            arg_names=("iters", "n"),
+        )
+        name = f"{spec.name}.k{k}"
+        binary = synthesize_kernel(name, shape, rng)
+        sources[name] = KernelSource(name=name, body=binary)
+    return sources
+
+
+def _make_phases(
+    spec: AppSpec, kernel_names: list[str], rng: np.random.Generator
+) -> list[_Phase]:
+    n_phases = min(spec.n_phases, spec.n_invocations)
+    shares = rng.dirichlet(np.full(n_phases, 4.0))
+    raw = np.maximum(1, np.round(shares * spec.n_invocations).astype(int))
+    # Adjust the largest phase so totals match exactly.
+    raw[int(np.argmax(raw))] += spec.n_invocations - int(raw.sum())
+    phases = []
+    low_it, high_it = spec.iters_range
+    for p in range(n_phases):
+        weights = rng.dirichlet(
+            np.full(len(kernel_names), spec.phase_concentration)
+        )
+        gws = tuple(
+            int(rng.choice(spec.global_work_sizes))
+            for _ in kernel_names
+        )
+        iters = tuple(
+            int(rng.integers(low_it, high_it + 1)) for _ in kernel_names
+        )
+        phases.append(
+            _Phase(
+                kernel_weights=weights,
+                gws_by_kernel=gws,
+                iters_by_kernel=iters,
+                n_invocations=int(raw[p]),
+                data_complexity=float(rng.uniform(1.0, 6.0)),
+            )
+        )
+    return phases
+
+
+def _setup_calls(spec: AppSpec, kernel_names: list[str]) -> list[APICall]:
+    calls = [
+        APICall("clGetPlatformIDs"),
+        APICall("clGetDeviceIDs", {"device_type": "GPU"}),
+        APICall("clGetDeviceInfo", {"param": "CL_DEVICE_NAME"}),
+        APICall("clCreateContext"),
+        APICall("clCreateCommandQueue"),
+        APICall("clCreateProgramWithSource", {"program": spec.name}),
+        APICall("clBuildProgram", {"program": spec.name}),
+    ]
+    for name in kernel_names:
+        calls.append(APICall("clCreateKernel", {"kernel": name}))
+    for b in range(max(2, spec.n_kernels)):
+        calls.append(
+            APICall("clCreateBuffer", {"size": 1 << 20, "index": b})
+        )
+    return calls
+
+
+def _teardown_calls(spec: AppSpec, kernel_names: list[str]) -> list[APICall]:
+    calls = [APICall("clFinish")]
+    calls.extend(
+        APICall("clReleaseMemObject", {"index": b})
+        for b in range(max(2, spec.n_kernels))
+    )
+    calls.extend(
+        APICall("clReleaseKernel", {"kernel": name}) for name in kernel_names
+    )
+    calls.extend(
+        [
+            APICall("clReleaseProgram", {"program": spec.name}),
+            APICall("clReleaseCommandQueue"),
+            APICall("clReleaseContext"),
+        ]
+    )
+    return calls
+
+
+def generate_application(spec: AppSpec, seed: int = 0) -> SyntheticApplication:
+    """Generate the application for a spec, deterministically."""
+    rng = np.random.default_rng(seed + _stable_offset(spec.name))
+    sources = _make_kernels(spec, rng)
+    kernel_names = sorted(sources)
+    phases = _make_phases(spec, kernel_names, rng)
+
+    sync_names = list(_SYNC_CALL_WEIGHTS)
+    sync_weights = np.array(list(_SYNC_CALL_WEIGHTS.values()))
+    sync_weights = sync_weights / sync_weights.sum()
+
+    calls = _setup_calls(spec, kernel_names)
+    # Current (kernel -> {arg -> value}) the host believes is set.
+    host_arg_state: dict[str, dict[str, float]] = {}
+    # Accumulators for fractional sync/other pacing.
+    sync_budget = 0.0
+    other_budget = 0.0
+
+    for phase in phases:
+        # The host uploads this phase's input data; the payload summary
+        # (scene complexity) becomes device-memory state.
+        calls.append(
+            APICall(
+                "clEnqueueWriteBuffer",
+                {"size": 1 << 20, "__complexity": phase.data_complexity},
+            )
+        )
+        for _ in range(phase.n_invocations):
+            k_idx = int(rng.choice(len(kernel_names), p=phase.kernel_weights))
+            kernel = kernel_names[k_idx]
+            gws = phase.gws_by_kernel[k_idx]
+            desired = {
+                "iters": float(phase.iters_by_kernel[k_idx]),
+                "n": float(gws),
+            }
+            current = host_arg_state.setdefault(kernel, {})
+            arg_names = sources[kernel].body.arg_names
+            for arg_index, arg_name in enumerate(arg_names):
+                if current.get(arg_name) != desired[arg_name]:
+                    calls.append(
+                        APICall(
+                            "clSetKernelArg",
+                            {
+                                "kernel": kernel,
+                                "arg_index": arg_index,
+                                "value": desired[arg_name],
+                            },
+                        )
+                    )
+                    current[arg_name] = desired[arg_name]
+
+            other_budget += spec.other_calls_per_enqueue
+            while other_budget >= 1.0:
+                other_budget -= 1.0
+                name = _LOOP_OTHER_CALLS[
+                    int(rng.integers(len(_LOOP_OTHER_CALLS)))
+                ]
+                call_args: dict[str, object] = {"kernel": kernel}
+                if name in ("clEnqueueWriteBuffer", "clEnqueueWriteImage"):
+                    # Fresh input frames drift mildly around the phase's
+                    # complexity level.
+                    call_args["__complexity"] = float(
+                        max(0.5, phase.data_complexity + rng.normal(0, 0.25))
+                    )
+                calls.append(APICall(name, call_args))
+
+            calls.append(
+                APICall(
+                    KERNEL_ENQUEUE,
+                    {"kernel": kernel, "global_work_size": gws},
+                )
+            )
+
+            sync_budget += 1.0 / spec.enqueues_per_sync
+            while sync_budget >= 1.0:
+                sync_budget -= 1.0
+                name = str(rng.choice(sync_names, p=sync_weights))
+                calls.append(APICall(name))
+
+    calls.extend(_teardown_calls(spec, kernel_names))
+    host = HostProgram(name=spec.name, calls=tuple(calls))
+    return SyntheticApplication(
+        spec=spec, sources=sources, host_program=host, seed=seed
+    )

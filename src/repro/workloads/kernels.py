@@ -1,0 +1,348 @@
+"""Synthetic GEN kernel generation.
+
+Turns a :class:`KernelShape` -- a statistical description of what a kernel
+looks like (block count, instruction mix, SIMD widths, memory behaviour,
+loop structure) -- into a concrete
+:class:`~repro.isa.kernel.KernelBinary`.  All randomness comes from the
+caller's RNG, so a suite seed reproduces the identical binary.
+
+Structure of every synthesized kernel::
+
+    prologue block(s)          -- address setup, scalar moves
+    main loop (trip ~ "iters" argument, slightly data-dependent):
+        body blocks            -- the hot code; optionally a biased branch
+    epilogue block             -- result stores, ret
+
+The main-loop trip count depends on a kernel argument, so hosts that vary
+arguments across phases produce genuinely different interval behaviour --
+the structure the SimPoint clustering is supposed to find.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import (
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.kernel import KernelBinary
+from repro.isa.opcodes import OPCODES_BY_CLASS, Opcode, OpClass
+from repro.isa.program import Block, Branch, Loop, Node, Seq, TripCount
+
+#: Classes an instruction sampler may draw from (sends are placed
+#: explicitly, not sampled).
+_SAMPLABLE_CLASSES = (
+    OpClass.MOVE, OpClass.LOGIC, OpClass.CONTROL, OpClass.COMPUTATION,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MixWeights:
+    """Relative weights of the non-send opcode classes."""
+
+    move: float = 0.28
+    logic: float = 0.28
+    control: float = 0.08
+    computation: float = 0.36
+
+    def as_array(self) -> np.ndarray:
+        weights = np.array(
+            [self.move, self.logic, self.control, self.computation],
+            dtype=np.float64,
+        )
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError(f"mix weights must sum to > 0, got {self}")
+        return weights / total
+
+
+@dataclasses.dataclass(frozen=True)
+class WidthProfile:
+    """Distribution of instruction execution sizes (Figure 4b shape).
+
+    ``w4`` is nonzero only for the handful of apps that use SIMD4; ``w2``
+    is always zero in the paper and defaults to zero here.
+    """
+
+    w16: float = 0.52
+    w8: float = 0.44
+    w4: float = 0.0
+    w2: float = 0.0
+    w1: float = 0.04
+
+    def sample(self, rng: np.random.Generator) -> int:
+        weights = np.array(
+            [self.w16, self.w8, self.w4, self.w2, self.w1], dtype=np.float64
+        )
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError(f"width profile must sum to > 0, got {self}")
+        widths = (16, 8, 4, 2, 1)
+        return int(rng.choice(widths, p=weights / total))
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryShape:
+    """Per-kernel memory behaviour.
+
+    ``read_intensity`` / ``write_intensity`` are expected sends per body
+    block; byte widths and patterns shape Figure 4c volumes and the cache
+    behaviour.
+    """
+
+    read_intensity: float = 0.5
+    write_intensity: float = 0.2
+    read_bytes_per_channel: int = 4
+    write_bytes_per_channel: int = 4
+    read_pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    write_pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    address_space: AddressSpace = AddressSpace.GLOBAL
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelShape:
+    """Statistical description of one synthetic kernel."""
+
+    n_body_blocks: int = 6
+    instructions_per_block: tuple[int, int] = (6, 18)
+    simd_width: int = 16
+    mix: MixWeights = MixWeights()
+    widths: WidthProfile = WidthProfile()
+    memory: MemoryShape = MemoryShape()
+    #: Main-loop trips = base + scale * args["iters"], jittered.
+    loop_base: int = 1
+    loop_arg: str = "iters"
+    loop_scale: float = 1.0
+    loop_jitter: int = 1
+    #: Probability-taken of the optional divergent branch over the last
+    #: body blocks (1.0 = no divergence).
+    branch_probability: float = 1.0
+    #: Data-dependent inner loop: the tail of each main-loop iteration
+    #: re-runs ``1 + data_scale * env[data_arg]`` times, where ``data_arg``
+    #: names a *device-memory* value (written via clEnqueueWriteBuffer),
+    #: NOT a kernel argument -- behaviour only block counts can observe.
+    data_arg: str = ""
+    data_scale: float = 0.0
+    arg_names: tuple[str, ...] = ("iters", "n")
+
+    def __post_init__(self) -> None:
+        if self.n_body_blocks < 1:
+            raise ValueError(
+                f"n_body_blocks must be >= 1, got {self.n_body_blocks}"
+            )
+        low, high = self.instructions_per_block
+        if not 1 <= low <= high:
+            raise ValueError(
+                f"invalid instructions_per_block range {self.instructions_per_block}"
+            )
+        if self.loop_arg and self.loop_arg not in self.arg_names:
+            raise ValueError(
+                f"loop_arg {self.loop_arg!r} not in arg_names {self.arg_names}"
+            )
+
+
+def _sample_opcode(
+    op_class: OpClass, rng: np.random.Generator
+) -> Opcode:
+    candidates = OPCODES_BY_CLASS[op_class]
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+def _body_instructions(
+    shape: KernelShape,
+    n_instructions: int,
+    n_reads: int,
+    n_writes: int,
+    rng: np.random.Generator,
+    surface: int,
+) -> list[Instruction]:
+    """One block's instructions: sampled ALU work plus placed sends."""
+    mix = shape.mix.as_array()
+    instructions: list[Instruction] = []
+    n_alu = max(1, n_instructions - n_reads - n_writes)
+    class_idx = rng.choice(len(_SAMPLABLE_CLASSES), size=n_alu, p=mix)
+    for ci in class_idx:
+        op_class = _SAMPLABLE_CLASSES[int(ci)]
+        opcode = _sample_opcode(op_class, rng)
+        exec_size = shape.widths.sample(rng)
+        instructions.append(
+            Instruction(
+                opcode,
+                exec_size=exec_size,
+                dst=int(rng.integers(16, 100)),
+                srcs=(int(rng.integers(16, 100)),),
+                compact=bool(rng.random() < 0.35),
+            )
+        )
+    mem = shape.memory
+    for _ in range(n_reads):
+        position = int(rng.integers(0, len(instructions) + 1))
+        instructions.insert(
+            position,
+            Instruction(
+                Opcode.SEND,
+                exec_size=shape.simd_width,
+                dst=int(rng.integers(16, 100)),
+                srcs=(int(rng.integers(16, 100)),),
+                send=SendMessage(
+                    direction=MemoryDirection.READ,
+                    bytes_per_channel=mem.read_bytes_per_channel,
+                    address_space=mem.address_space,
+                    pattern=mem.read_pattern,
+                    surface=surface,
+                ),
+            ),
+        )
+    for _ in range(n_writes):
+        position = int(rng.integers(len(instructions) // 2, len(instructions) + 1))
+        instructions.insert(
+            position,
+            Instruction(
+                Opcode.SEND,
+                exec_size=shape.simd_width,
+                dst=int(rng.integers(16, 100)),
+                srcs=(int(rng.integers(16, 100)),),
+                send=SendMessage(
+                    direction=MemoryDirection.WRITE,
+                    bytes_per_channel=mem.write_bytes_per_channel,
+                    address_space=mem.address_space,
+                    pattern=mem.write_pattern,
+                    surface=surface + 1,
+                ),
+            ),
+        )
+    return instructions
+
+
+def synthesize_kernel(
+    name: str, shape: KernelShape, rng: np.random.Generator
+) -> KernelBinary:
+    """Generate one deterministic kernel binary from a shape."""
+    blocks: list[BasicBlock] = []
+
+    def _block_size() -> int:
+        low, high = shape.instructions_per_block
+        return int(rng.integers(low, high + 1))
+
+    # Prologue: scalar setup, no sends, narrow widths.
+    prologue_instrs: list[Instruction] = []
+    for _ in range(max(3, _block_size() // 2)):
+        prologue_instrs.append(
+            Instruction(
+                Opcode.MOV if rng.random() < 0.7 else Opcode.ADD,
+                exec_size=1 if rng.random() < 0.6 else shape.simd_width,
+                dst=int(rng.integers(16, 100)),
+                srcs=(int(rng.integers(16, 100)),),
+                compact=True,
+            )
+        )
+    blocks.append(BasicBlock(0, prologue_instrs, label=f"{name}.prologue"))
+
+    # Body blocks: the hot loop content.
+    mem = shape.memory
+    body_ids: list[int] = []
+    for b in range(shape.n_body_blocks):
+        n_instructions = _block_size()
+        n_reads = int(rng.poisson(mem.read_intensity))
+        n_writes = int(rng.poisson(mem.write_intensity))
+        block_id = len(blocks)
+        blocks.append(
+            BasicBlock(
+                block_id,
+                _body_instructions(
+                    shape, n_instructions, n_reads, n_writes, rng, surface=2 * b
+                ),
+                label=f"{name}.body{b}",
+            )
+        )
+        body_ids.append(block_id)
+
+    # Epilogue: result store + return.
+    epilogue_instrs = [
+        Instruction(
+            Opcode.SEND,
+            exec_size=shape.simd_width,
+            dst=90,
+            srcs=(91,),
+            send=SendMessage(
+                direction=MemoryDirection.WRITE,
+                bytes_per_channel=mem.write_bytes_per_channel,
+                address_space=mem.address_space,
+                pattern=mem.write_pattern,
+                surface=255,
+            ),
+        ),
+        Instruction(Opcode.RET, exec_size=1),
+    ]
+    epilogue_id = len(blocks)
+    blocks.append(
+        BasicBlock(epilogue_id, epilogue_instrs, label=f"{name}.epilogue")
+    )
+
+    # Control structure: prologue; loop { head...; data-dependent or
+    # divergent tail }; epilogue.
+    split = max(1, len(body_ids) - max(1, len(body_ids) // 3))
+    head = Seq(tuple(Block(b) for b in body_ids[:split]))
+    tail = Seq(tuple(Block(b) for b in body_ids[split:]))
+    if shape.data_arg and shape.data_scale > 0 and len(body_ids) >= 2:
+        # Input-dependent work: the tail re-runs with the data value the
+        # host last wrote to device memory.
+        tail_node: Node = Loop(
+            tail,
+            TripCount(
+                base=1, arg=shape.data_arg, scale=shape.data_scale, jitter=0
+            ),
+        )
+        loop_body = Seq((head, tail_node))
+    elif shape.branch_probability < 1.0 and len(body_ids) >= 2:
+        loop_body = Seq(
+            (head, Branch(tail, None, shape.branch_probability))
+        )
+    else:
+        loop_body = Seq(tuple(Block(b) for b in body_ids))
+
+    program = Seq(
+        (
+            Block(0),
+            Loop(
+                loop_body,
+                TripCount(
+                    base=shape.loop_base,
+                    arg=shape.loop_arg or None,
+                    scale=shape.loop_scale,
+                    jitter=shape.loop_jitter,
+                ),
+            ),
+            Block(epilogue_id),
+        )
+    )
+
+    # Wire linear successor edges; the loop back-edge goes to the first body.
+    wired: list[BasicBlock] = []
+    for block in blocks:
+        if block.block_id == epilogue_id:
+            succ: tuple[int, ...] = ()
+        elif body_ids and block.block_id == body_ids[-1]:
+            succ = (body_ids[0], epilogue_id)
+        else:
+            succ = (block.block_id + 1,)
+        wired.append(
+            BasicBlock(block.block_id, block.instructions, succ, block.label)
+        )
+
+    return KernelBinary(
+        name=name,
+        blocks=wired,
+        program=program,
+        simd_width=shape.simd_width,
+        arg_names=shape.arg_names,
+        source_lines=int(sum(len(b) for b in wired) * 0.6),
+        metadata={"shape": shape},
+    )

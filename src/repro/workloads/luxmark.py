@@ -1,0 +1,106 @@
+"""A LuxMark-style GPU scoring benchmark.
+
+Section V-E compares the HD 4000 and HD 4600 with LuxMark, "a popular
+cross-platform benchmarking tool, which scores GPUs on their ability to
+render different test scenes of varying complexity", reporting 269 vs
+351 (higher is better).
+
+This module models that yardstick: three ray-tracing-flavoured OpenCL
+scenes of increasing complexity, scored by rendered samples per second
+(scaled so the modelled HD 4000 lands near LuxMark's published ~269 for
+its LuxBall scene era).  It exists so the cross-generation experiments
+can report the same context the paper does: *how much faster is the
+target machine, by an independent yardstick?*
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.timing import TimingParameters
+from repro.gtpin.profiler import build_runtime
+from repro.workloads.generator import SyntheticApplication, generate_application
+from repro.workloads.kernels import MemoryShape, MixWeights, WidthProfile
+from repro.workloads.spec import AppSpec
+
+#: Calibration constant mapping samples/second to LuxMark-like points;
+#: chosen so the modelled HD 4000 scores ~269 (the paper's measurement).
+_POINTS_PER_SAMPLE_RATE = 269.0 / 37_900_000.0
+
+#: The three test scenes: (name, kernels, invocations, iters, gws).
+_SCENES: tuple[tuple[str, int, int, tuple[int, int], int], ...] = (
+    ("luxball", 3, 60, (4, 8), 8192),
+    ("microphone", 4, 80, (6, 12), 8192),
+    ("hotel", 5, 100, (8, 16), 16384),
+)
+
+
+def _scene_spec(name: str, kernels: int, invocations: int,
+                iters: tuple[int, int], gws: int) -> AppSpec:
+    return AppSpec(
+        name=f"luxmark-{name}",
+        suite="LuxMark (modelled)",
+        domain="ray-traced rendering",
+        n_kernels=kernels,
+        body_blocks_range=(8, 16),
+        n_invocations=invocations,
+        global_work_sizes=(gws,),
+        iters_range=iters,
+        enqueues_per_sync=6.0,
+        other_calls_per_enqueue=2.0,
+        # Path tracing: math-heavy with incoherent (random) reads.
+        mix=MixWeights(move=0.16, logic=0.12, control=0.07, computation=0.65),
+        widths=WidthProfile(w16=0.62, w8=0.33, w4=0.0, w2=0.0, w1=0.05),
+        # Kept compute-bound: LuxMark's path tracing scales with EU
+        # count and clock, not bandwidth.
+        memory=MemoryShape(
+            read_intensity=0.22,
+            write_intensity=0.05,
+            read_bytes_per_channel=4,
+            write_bytes_per_channel=4,
+        ),
+        n_phases=2,
+        data_dependence=0.3,
+    )
+
+
+def luxmark_scenes(seed: int = 0) -> list[SyntheticApplication]:
+    """Generate the three modelled LuxMark scenes."""
+    return [
+        generate_application(_scene_spec(*scene), seed=seed)
+        for scene in _SCENES
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class LuxMarkResult:
+    """Score of one device (higher is better)."""
+
+    device_name: str
+    score: float
+    per_scene_samples_per_second: dict[str, float]
+
+
+def run_luxmark(
+    device: DeviceSpec,
+    seed: int = 0,
+    timing_params: TimingParameters | None = None,
+) -> LuxMarkResult:
+    """Render every scene on a device and compute the composite score.
+
+    The score is the mean over scenes of (work-items retired per second
+    of kernel time), scaled by the calibration constant.
+    """
+    rates: dict[str, float] = {}
+    for app in luxmark_scenes(seed):
+        runtime = build_runtime(app, device, timing_params)
+        run = runtime.run(app.host_program, trial_seed=seed)
+        samples = sum(d.global_work_size for d in run.dispatches)
+        rates[app.name] = samples / run.total_kernel_seconds
+    mean_rate = sum(rates.values()) / len(rates)
+    return LuxMarkResult(
+        device_name=device.name,
+        score=mean_rate * _POINTS_PER_SAMPLE_RATE,
+        per_scene_samples_per_second=rates,
+    )

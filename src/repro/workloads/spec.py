@@ -1,0 +1,137 @@
+"""Application specifications for the synthetic workload suite.
+
+An :class:`AppSpec` is the statistical fingerprint of one application:
+how many kernels and invocations it has, how its host talks to the runtime
+(API-call mix, Figure 3a), what its kernels compute (instruction mix,
+Figure 4a; SIMD widths, Figure 4b; memory behaviour, Figure 4c), and how
+its behaviour changes over time (phases -- the structure interval
+clustering is supposed to discover).
+
+Specs are pure data; :mod:`repro.workloads.generator` turns them into
+executable applications deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.instruction import AccessPattern, AddressSpace
+from repro.workloads.kernels import MemoryShape, MixWeights, WidthProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class AppSpec:
+    """Statistical description of one synthetic OpenCL application."""
+
+    name: str
+    suite: str  #: Table I source suite label
+    domain: str  #: e.g. "vision", "crypto", "video rendering"
+
+    # -- program structure (Figure 3b) ------------------------------------
+    n_kernels: int = 8
+    body_blocks_range: tuple[int, int] = (4, 16)
+    instructions_per_block: tuple[int, int] = (6, 18)
+
+    # -- dynamic volume (Figure 3c, Table II) -------------------------------
+    n_invocations: int = 1000
+    global_work_sizes: tuple[int, ...] = (4096, 8192, 16384)
+    iters_range: tuple[int, int] = (4, 24)
+
+    # -- host API behaviour (Figure 3a) -------------------------------------
+    #: Mean kernel enqueues between synchronization calls; values < 1 mean
+    #: several sync calls per enqueue (e.g. throughput-juliaset).
+    enqueues_per_sync: float = 6.0
+    #: Mean "other" API calls emitted around each enqueue (arg setting,
+    #: buffer writes, profiling queries...).
+    other_calls_per_enqueue: float = 4.0
+
+    # -- device work character (Figure 4) -----------------------------------
+    mix: MixWeights = MixWeights()
+    widths: WidthProfile = WidthProfile()
+    memory: MemoryShape = MemoryShape()
+    simd_width: int = 16
+    #: Fraction of kernels compiled SIMD8 instead of the primary width.
+    simd8_kernel_fraction: float = 0.3
+    branch_probability: float = 1.0
+
+    # -- temporal structure (Section V) --------------------------------------
+    n_phases: int = 4
+    #: Dirichlet concentration of per-phase kernel usage; small values
+    #: make phases strongly kernel-disjoint (sharper cluster structure).
+    phase_concentration: float = 0.35
+    #: Strength of input-data-dependent control flow: kernels' inner-loop
+    #: trip counts scale with the scene-complexity values the host writes
+    #: to device buffers.  Invisible to kernel arguments, so only
+    #: block-level features capture it (the paper's BB-over-KN effect).
+    data_dependence: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_kernels < 1:
+            raise ValueError(f"{self.name}: n_kernels must be >= 1")
+        if self.n_invocations < 1:
+            raise ValueError(f"{self.name}: n_invocations must be >= 1")
+        if self.n_phases < 1:
+            raise ValueError(f"{self.name}: n_phases must be >= 1")
+        if self.enqueues_per_sync <= 0:
+            raise ValueError(f"{self.name}: enqueues_per_sync must be > 0")
+        if self.other_calls_per_enqueue < 0:
+            raise ValueError(
+                f"{self.name}: other_calls_per_enqueue must be >= 0"
+            )
+        if not self.global_work_sizes:
+            raise ValueError(f"{self.name}: global_work_sizes is empty")
+
+    def scaled(self, scale: float) -> "AppSpec":
+        """A volume-scaled copy (for fast test runs).
+
+        Scales invocation counts only; kernel structure and host behaviour
+        ratios are preserved, so every *shape* statistic survives scaling.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        return dataclasses.replace(
+            self,
+            n_invocations=max(20, int(round(self.n_invocations * scale))),
+        )
+
+
+# Convenience partial shapes used by the suite definitions -----------------
+
+COMPUTE_HEAVY_MIX = MixWeights(move=0.18, logic=0.14, control=0.05, computation=0.63)
+LOGIC_HEAVY_MIX = MixWeights(move=0.22, logic=0.47, control=0.06, computation=0.25)
+BALANCED_MIX = MixWeights(move=0.28, logic=0.27, control=0.08, computation=0.37)
+CONTROL_HEAVY_MIX = MixWeights(move=0.26, logic=0.24, control=0.15, computation=0.35)
+STRESS_COMPUTE_MIX = MixWeights(move=0.04, logic=0.03, control=0.02, computation=0.91)
+
+WIDE_WIDTHS = WidthProfile(w16=0.70, w8=0.26, w4=0.0, w2=0.0, w1=0.04)
+MIXED_WIDTHS = WidthProfile(w16=0.52, w8=0.44, w4=0.0, w2=0.0, w1=0.04)
+NARROW_WIDTHS = WidthProfile(w16=0.30, w8=0.62, w4=0.0, w2=0.0, w1=0.08)
+QUAD_WIDTHS = WidthProfile(w16=0.50, w8=0.43, w4=0.03, w2=0.0, w1=0.04)
+
+READ_HEAVY_MEMORY = MemoryShape(
+    read_intensity=1.4,
+    write_intensity=0.15,
+    read_bytes_per_channel=16,
+    write_bytes_per_channel=4,
+)
+WRITE_HEAVY_MEMORY = MemoryShape(
+    read_intensity=0.12,
+    write_intensity=1.2,
+    read_bytes_per_channel=4,
+    write_bytes_per_channel=16,
+    write_pattern=AccessPattern.SEQUENTIAL,
+    address_space=AddressSpace.IMAGE,
+)
+STREAMING_MEMORY = MemoryShape(
+    read_intensity=0.8,
+    write_intensity=0.35,
+    read_bytes_per_channel=8,
+    write_bytes_per_channel=8,
+)
+SPARSE_MEMORY = MemoryShape(
+    read_intensity=0.35,
+    write_intensity=0.12,
+    read_bytes_per_channel=4,
+    write_bytes_per_channel=4,
+    read_pattern=AccessPattern.RANDOM,
+)

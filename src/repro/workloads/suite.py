@@ -1,0 +1,309 @@
+"""The 25-application benchmark suite (Table I analogue).
+
+The paper's suite: 15 CompuBench CL 1.2 applications (desktop + mobile),
+3 SiSoftware Sandra 2014 benchmarks, and 7 Sony Vegas Pro press-project
+regions.  All are proprietary; each entry below is a synthetic stand-in
+whose *shape* is tuned to the paper's published per-app characteristics:
+
+* API-call proportions (Figure 3a) -- e.g. ``cb-throughput-bitcoin``
+  initiates work with only ~4.5% kernel calls while
+  ``cb-physics-part-sim-32k`` uses ~76.5%; ``cb-throughput-juliaset`` has
+  the fewest calls with the highest sync share (~25.7%);
+* structure (Figure 3b) -- 1..50 unique kernels (``cb-gaussian-image``
+  has a single kernel; ``cb-vision-facedetect`` has 50);
+* instruction mixes (Figure 4a) -- ``sandra-proc-gpu`` is ~91%
+  computation because it is a stress test;
+* SIMD widths (Figure 4b) -- exactly six applications use SIMD4,
+  none use SIMD2;
+* memory behaviour (Figure 4c) -- the two Sandra crypto apps read the
+  most; the Sony video regions write far more than they read (up to
+  hundreds of times more for region 5).
+
+Dynamic volumes are scaled ~1e4-1e5x below the paper's (see DESIGN.md,
+"Scaling"); every experiment reports shape-level agreement, not absolute
+magnitudes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.instruction import AccessPattern, AddressSpace
+from repro.workloads.generator import SyntheticApplication, generate_application
+from repro.workloads.kernels import MemoryShape
+from repro.workloads.spec import (
+    BALANCED_MIX,
+    COMPUTE_HEAVY_MIX,
+    CONTROL_HEAVY_MIX,
+    LOGIC_HEAVY_MIX,
+    MIXED_WIDTHS,
+    NARROW_WIDTHS,
+    QUAD_WIDTHS,
+    READ_HEAVY_MEMORY,
+    SPARSE_MEMORY,
+    STREAMING_MEMORY,
+    STRESS_COMPUTE_MIX,
+    WIDE_WIDTHS,
+    WRITE_HEAVY_MEMORY,
+    AppSpec,
+)
+
+#: Default suite generation seed (structure seed; trials use their own).
+DEFAULT_SUITE_SEED = 20150101
+
+_CB_DESKTOP = "CompuBench CL 1.2 Desktop"
+_CB_MOBILE = "CompuBench CL 1.2 Mobile"
+_SANDRA = "SiSoftware Sandra 2014"
+_SONY = "Sony Vegas Pro 2013"
+
+
+def _sony_region(
+    index: int,
+    n_kernels: int,
+    n_invocations: int,
+    write_intensity: float,
+    read_intensity: float,
+    n_phases: int,
+    quad: bool = False,
+) -> AppSpec:
+    """One Sony Vegas press-project region: write-heavy video rendering."""
+    return AppSpec(
+        name=f"sonyvegas-proj-r{index}",
+        suite=_SONY,
+        domain="video rendering",
+        n_kernels=n_kernels,
+        body_blocks_range=(5, 14),
+        n_invocations=n_invocations,
+        global_work_sizes=(4096, 8192),
+        iters_range=(2, 9),
+        enqueues_per_sync=5.0,
+        other_calls_per_enqueue=4.0,
+        mix=BALANCED_MIX,
+        widths=QUAD_WIDTHS if quad else MIXED_WIDTHS,
+        memory=dataclasses.replace(
+            WRITE_HEAVY_MEMORY,
+            write_intensity=write_intensity,
+            read_intensity=read_intensity,
+        ),
+        n_phases=n_phases,
+        phase_concentration=0.3,
+    )
+
+
+#: The 25 application specifications, in the paper's Figure 3/4 order.
+SUITE_SPECS: tuple[AppSpec, ...] = (
+    # -- CompuBench CL 1.2 Desktop ------------------------------------------
+    AppSpec(
+        name="cb-graphics-t-rex", suite=_CB_DESKTOP, domain="graphics",
+        n_kernels=18, body_blocks_range=(5, 18), n_invocations=2200,
+        global_work_sizes=(2048, 4096, 8192), iters_range=(2, 10),
+        enqueues_per_sync=8.0, other_calls_per_enqueue=4.5,
+        mix=BALANCED_MIX, widths=QUAD_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=6,
+    ),
+    AppSpec(
+        name="cb-physics-ocean-surf", suite=_CB_DESKTOP, domain="physics",
+        n_kernels=12, body_blocks_range=(6, 20), n_invocations=1800,
+        global_work_sizes=(4096, 8192), iters_range=(2, 8),
+        enqueues_per_sync=5.0, other_calls_per_enqueue=3.5,
+        mix=COMPUTE_HEAVY_MIX, widths=QUAD_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=5,
+    ),
+    AppSpec(
+        name="cb-throughput-bitcoin", suite=_CB_DESKTOP, domain="throughput",
+        n_kernels=3, body_blocks_range=(8, 22), n_invocations=900,
+        global_work_sizes=(8192, 16384), iters_range=(5, 15),
+        enqueues_per_sync=10.0, other_calls_per_enqueue=20.0,
+        mix=LOGIC_HEAVY_MIX, widths=WIDE_WIDTHS, memory=SPARSE_MEMORY,
+        n_phases=3,
+    ),
+    AppSpec(
+        name="cb-vision-facedetect", suite=_CB_DESKTOP, domain="vision",
+        n_kernels=50, body_blocks_range=(4, 16), n_invocations=6000,
+        global_work_sizes=(1024, 2048, 4096), iters_range=(2, 8),
+        enqueues_per_sync=12.0, other_calls_per_enqueue=2.5,
+        mix=CONTROL_HEAVY_MIX, widths=MIXED_WIDTHS, memory=SPARSE_MEMORY,
+        branch_probability=0.65, n_phases=8,
+    ),
+    AppSpec(
+        name="cb-vision-tv-l1-of", suite=_CB_DESKTOP, domain="vision",
+        n_kernels=16, body_blocks_range=(5, 16), n_invocations=3200,
+        global_work_sizes=(2048, 4096), iters_range=(2, 11),
+        enqueues_per_sync=4.0, other_calls_per_enqueue=3.0,
+        mix=CONTROL_HEAVY_MIX, widths=MIXED_WIDTHS, memory=STREAMING_MEMORY,
+        branch_probability=0.8, n_phases=6,
+    ),
+    AppSpec(
+        name="cb-physics-part-sim-64k", suite=_CB_DESKTOP, domain="physics",
+        n_kernels=8, body_blocks_range=(6, 16), n_invocations=2600,
+        global_work_sizes=(8192,), iters_range=(3, 10),
+        enqueues_per_sync=20.0, other_calls_per_enqueue=1.2,
+        mix=COMPUTE_HEAVY_MIX, widths=MIXED_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=4,
+    ),
+    # -- CompuBench CL 1.2 Mobile ----------------------------------------------
+    AppSpec(
+        name="cb-graphics-provence", suite=_CB_MOBILE, domain="graphics",
+        n_kernels=10, body_blocks_range=(5, 16), n_invocations=1400,
+        global_work_sizes=(4096, 8192), iters_range=(2, 9),
+        enqueues_per_sync=7.0, other_calls_per_enqueue=4.0,
+        mix=BALANCED_MIX, widths=QUAD_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=5,
+    ),
+    AppSpec(
+        name="cb-gaussian-buffer", suite=_CB_MOBILE, domain="image processing",
+        n_kernels=2, body_blocks_range=(6, 10), n_invocations=220,
+        global_work_sizes=(8192,), iters_range=(3, 8),
+        enqueues_per_sync=3.0, other_calls_per_enqueue=3.0,
+        mix=BALANCED_MIX, widths=WIDE_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=2,
+    ),
+    AppSpec(
+        name="cb-gaussian-image", suite=_CB_MOBILE, domain="image processing",
+        n_kernels=1, body_blocks_range=(5, 5), n_invocations=55,
+        global_work_sizes=(8192,), iters_range=(3, 8),
+        enqueues_per_sync=3.0, other_calls_per_enqueue=4.0,
+        mix=BALANCED_MIX, widths=WIDE_WIDTHS,
+        memory=dataclasses.replace(
+            WRITE_HEAVY_MEMORY, write_intensity=0.8, read_intensity=0.4
+        ),
+        n_phases=1,
+    ),
+    AppSpec(
+        name="cb-histogram-buffer", suite=_CB_MOBILE, domain="image processing",
+        n_kernels=3, body_blocks_range=(4, 10), n_invocations=700,
+        global_work_sizes=(4096, 8192), iters_range=(2, 6),
+        enqueues_per_sync=6.0, other_calls_per_enqueue=3.5,
+        mix=LOGIC_HEAVY_MIX, widths=MIXED_WIDTHS, memory=SPARSE_MEMORY,
+        n_phases=3,
+    ),
+    AppSpec(
+        name="cb-histogram-image", suite=_CB_MOBILE, domain="image processing",
+        n_kernels=3, body_blocks_range=(4, 10), n_invocations=650,
+        global_work_sizes=(4096, 8192), iters_range=(2, 6),
+        enqueues_per_sync=6.0, other_calls_per_enqueue=3.5,
+        mix=LOGIC_HEAVY_MIX, widths=MIXED_WIDTHS,
+        memory=dataclasses.replace(
+            SPARSE_MEMORY, address_space=AddressSpace.IMAGE
+        ),
+        n_phases=3,
+    ),
+    AppSpec(
+        name="cb-physics-part-sim-32k", suite=_CB_MOBILE, domain="physics",
+        n_kernels=6, body_blocks_range=(6, 16), n_invocations=2400,
+        global_work_sizes=(8192,), iters_range=(3, 10),
+        enqueues_per_sync=50.0, other_calls_per_enqueue=0.28,
+        mix=COMPUTE_HEAVY_MIX, widths=MIXED_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=4,
+    ),
+    AppSpec(
+        name="cb-throughput-ao", suite=_CB_MOBILE, domain="throughput",
+        n_kernels=4, body_blocks_range=(8, 18), n_invocations=1100,
+        global_work_sizes=(8192, 16384), iters_range=(4, 13),
+        enqueues_per_sync=9.0, other_calls_per_enqueue=2.5,
+        mix=COMPUTE_HEAVY_MIX, widths=QUAD_WIDTHS, memory=SPARSE_MEMORY,
+        n_phases=3,
+    ),
+    AppSpec(
+        name="cb-throughput-juliaset", suite=_CB_MOBILE, domain="throughput",
+        n_kernels=4, body_blocks_range=(6, 14), n_invocations=85,
+        global_work_sizes=(8192, 16384), iters_range=(4, 12),
+        enqueues_per_sync=0.45, other_calls_per_enqueue=4.0,
+        mix=COMPUTE_HEAVY_MIX, widths=WIDE_WIDTHS, memory=STREAMING_MEMORY,
+        n_phases=2,
+    ),
+    AppSpec(
+        name="cb-vision-facedetect-mobile", suite=_CB_MOBILE, domain="vision",
+        n_kernels=24, body_blocks_range=(4, 14), n_invocations=2800,
+        global_work_sizes=(1024, 2048), iters_range=(2, 8),
+        enqueues_per_sync=10.0, other_calls_per_enqueue=2.5,
+        mix=CONTROL_HEAVY_MIX, widths=NARROW_WIDTHS, memory=SPARSE_MEMORY,
+        branch_probability=0.7, n_phases=6,
+    ),
+    # -- SiSoftware Sandra 2014 ------------------------------------------------
+    AppSpec(
+        name="sandra-crypt-aes128", suite=_SANDRA, domain="cryptography",
+        n_kernels=4, body_blocks_range=(8, 20), n_invocations=1500,
+        global_work_sizes=(8192, 16384), iters_range=(4, 12),
+        enqueues_per_sync=7.0, other_calls_per_enqueue=3.0,
+        mix=LOGIC_HEAVY_MIX, widths=WIDE_WIDTHS,
+        memory=dataclasses.replace(READ_HEAVY_MEMORY, read_intensity=1.6),
+        n_phases=4,
+    ),
+    AppSpec(
+        name="sandra-crypt-aes256", suite=_SANDRA, domain="cryptography",
+        n_kernels=4, body_blocks_range=(8, 20), n_invocations=1900,
+        global_work_sizes=(8192, 16384), iters_range=(5, 14),
+        enqueues_per_sync=7.0, other_calls_per_enqueue=3.0,
+        mix=LOGIC_HEAVY_MIX, widths=WIDE_WIDTHS,
+        memory=dataclasses.replace(
+            READ_HEAVY_MEMORY, read_intensity=2.2, read_bytes_per_channel=16
+        ),
+        n_phases=4,
+    ),
+    AppSpec(
+        name="sandra-proc-gpu", suite=_SANDRA, domain="GPU stress test",
+        n_kernels=5, body_blocks_range=(10, 24), n_invocations=400,
+        global_work_sizes=(8192,), iters_range=(12, 24),
+        enqueues_per_sync=8.0, other_calls_per_enqueue=3.0,
+        mix=STRESS_COMPUTE_MIX, widths=WIDE_WIDTHS,
+        memory=MemoryShape(
+            read_intensity=0.08, write_intensity=0.04,
+            read_bytes_per_channel=4, write_bytes_per_channel=4,
+        ),
+        n_phases=2,
+    ),
+    # -- Sony Vegas Pro press project regions ------------------------------------
+    _sony_region(1, n_kernels=9, n_invocations=1600, write_intensity=1.0,
+                 read_intensity=0.15, n_phases=4),
+    _sony_region(2, n_kernels=7, n_invocations=900, write_intensity=1.2,
+                 read_intensity=0.20, n_phases=3, quad=True),
+    _sony_region(3, n_kernels=6, n_invocations=2600, write_intensity=0.9,
+                 read_intensity=0.12, n_phases=5),
+    _sony_region(4, n_kernels=8, n_invocations=1200, write_intensity=1.1,
+                 read_intensity=0.18, n_phases=4, quad=True),
+    _sony_region(5, n_kernels=5, n_invocations=700, write_intensity=1.8,
+                 read_intensity=0.02, n_phases=3),
+    _sony_region(6, n_kernels=4, n_invocations=1500, write_intensity=1.0,
+                 read_intensity=0.10, n_phases=3),
+    _sony_region(7, n_kernels=3, n_invocations=800, write_intensity=0.9,
+                 read_intensity=0.14, n_phases=2),
+)
+
+#: The three applications Figure 5 plots in detail.
+FIGURE_5_SAMPLE_APPS: tuple[str, ...] = (
+    "cb-physics-ocean-surf",
+    "sandra-crypt-aes128",
+    "sonyvegas-proj-r3",
+)
+
+_SPEC_BY_NAME = {spec.name: spec for spec in SUITE_SPECS}
+
+#: All suite application names, in Figure 3/4 order.
+SUITE_NAMES: tuple[str, ...] = tuple(spec.name for spec in SUITE_SPECS)
+
+
+def spec_by_name(name: str) -> AppSpec:
+    try:
+        return _SPEC_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; suite apps: {', '.join(SUITE_NAMES)}"
+        ) from None
+
+
+def load_app(
+    name: str, scale: float = 1.0, seed: int = DEFAULT_SUITE_SEED
+) -> SyntheticApplication:
+    """Generate one suite application at the given volume scale."""
+    spec = spec_by_name(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return generate_application(spec, seed=seed)
+
+
+def load_suite(
+    scale: float = 1.0, seed: int = DEFAULT_SUITE_SEED
+) -> list[SyntheticApplication]:
+    """Generate all 25 applications, in Figure 3/4 order."""
+    return [load_app(name, scale=scale, seed=seed) for name in SUITE_NAMES]

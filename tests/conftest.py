@@ -1,0 +1,147 @@
+"""Shared fixtures: small kernels, small applications, profiled workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.driver.jit import KernelSource
+from repro.isa.builder import KernelBuilder
+from repro.isa.kernel import KernelBinary
+from repro.isa.program import TripCount
+from repro.opencl.api import KERNEL_ENQUEUE, APICall
+from repro.opencl.host_program import HostProgram
+from repro.sampling.pipeline import ProfiledWorkload, profile_workload
+from repro.workloads.generator import SyntheticApplication, generate_application
+from repro.workloads.spec import AppSpec
+
+
+def build_tiny_kernel(
+    name: str = "tiny",
+    simd_width: int = 16,
+    loop_trips: int = 4,
+) -> KernelBinary:
+    """A 3-block kernel: prologue, loop body with load/store, epilogue."""
+    kb = KernelBuilder(name, simd_width=simd_width, arg_names=("iters", "n"))
+    with kb.block("prologue") as b:
+        b.mov(exec_size=1)
+        b.mov()
+        b.alu("add", exec_size=1)
+    with kb.loop(TripCount(base=0, arg="iters", scale=1.0)):
+        with kb.block("body") as b:
+            b.load(bytes_per_channel=4)
+            b.alu("add")
+            b.alu("mul")
+            b.store(bytes_per_channel=4)
+    with kb.block("epilogue") as b:
+        b.store(bytes_per_channel=4)
+        b.control("ret")
+    return kb.build()
+
+
+@pytest.fixture
+def tiny_kernel() -> KernelBinary:
+    return build_tiny_kernel()
+
+
+def make_host_program(
+    kernel_names: list[str],
+    enqueues: list[tuple[str, int, float]],
+    program_name: str = "test-program",
+    sync_every: int = 3,
+) -> HostProgram:
+    """A hand-built host program: setup, alternating enqueues, syncs."""
+    calls: list[APICall] = [
+        APICall("clGetPlatformIDs"),
+        APICall("clCreateContext"),
+        APICall("clCreateCommandQueue"),
+        APICall("clCreateProgramWithSource", {"program": program_name}),
+        APICall("clBuildProgram", {"program": program_name}),
+    ]
+    for name in kernel_names:
+        calls.append(APICall("clCreateKernel", {"kernel": name}))
+    for i, (kernel, gws, iters) in enumerate(enqueues):
+        calls.append(
+            APICall(
+                "clSetKernelArg",
+                {"kernel": kernel, "arg_index": 0, "value": iters},
+            )
+        )
+        calls.append(
+            APICall(
+                "clSetKernelArg",
+                {"kernel": kernel, "arg_index": 1, "value": float(gws)},
+            )
+        )
+        calls.append(
+            APICall(KERNEL_ENQUEUE, {"kernel": kernel, "global_work_size": gws})
+        )
+        if (i + 1) % sync_every == 0:
+            calls.append(APICall("clFinish"))
+    calls.append(APICall("clFinish"))
+    return HostProgram(name=program_name, calls=tuple(calls))
+
+
+class TinyApplication:
+    """Minimal hand-rolled Application (satisfies the gtpin protocol)."""
+
+    def __init__(
+        self,
+        kernels: list[KernelBinary],
+        enqueues: list[tuple[str, int, float]],
+        name: str = "tiny-app",
+        sync_every: int = 3,
+    ) -> None:
+        self.name = name
+        self.sources = {
+            k.name: KernelSource(name=k.name, body=k) for k in kernels
+        }
+        self.host_program = make_host_program(
+            [k.name for k in kernels], enqueues, name, sync_every
+        )
+
+
+@pytest.fixture
+def tiny_app() -> TinyApplication:
+    k1 = build_tiny_kernel("tiny.k0")
+    k2 = build_tiny_kernel("tiny.k1", simd_width=8)
+    enqueues = [
+        ("tiny.k0", 256, 4.0),
+        ("tiny.k1", 512, 2.0),
+        ("tiny.k0", 256, 4.0),
+        ("tiny.k1", 128, 6.0),
+        ("tiny.k0", 1024, 3.0),
+        ("tiny.k1", 512, 2.0),
+    ]
+    return TinyApplication([k1, k2], enqueues)
+
+
+SMALL_SPEC = AppSpec(
+    name="test-small-app",
+    suite="test",
+    domain="test",
+    n_kernels=4,
+    body_blocks_range=(3, 6),
+    n_invocations=120,
+    global_work_sizes=(512, 1024),
+    iters_range=(2, 6),
+    enqueues_per_sync=4.0,
+    other_calls_per_enqueue=2.0,
+    n_phases=3,
+)
+
+
+@pytest.fixture(scope="session")
+def small_app() -> SyntheticApplication:
+    return generate_application(SMALL_SPEC, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_app) -> ProfiledWorkload:
+    """A profiled workload shared across sampling tests (read-only)."""
+    return profile_workload(small_app, trial_seed=3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

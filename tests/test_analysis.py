@@ -1,0 +1,126 @@
+"""Characterization study drivers and text renderers."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    SuiteCharacterization,
+    characterize_app,
+    characterize_suite,
+)
+from repro.analysis.render import (
+    figure3a_api_calls,
+    figure3b_structures,
+    figure3c_dynamic_work,
+    figure4a_instruction_mixes,
+    figure4b_simd_widths,
+    figure4c_memory_activity,
+    render_table,
+    table1_suite,
+    table2_interval_space,
+)
+from repro.sampling.intervals import interval_space_summary
+from repro.workloads.suite import SUITE_SPECS
+
+
+@pytest.fixture(scope="module")
+def chars(small_app):
+    a = characterize_app(small_app, trial_seed=0)
+    return SuiteCharacterization(apps=(a,))
+
+
+def test_characterize_app_consistency(small_app, chars):
+    (a,) = chars.apps
+    assert a.name == small_app.name
+    assert a.api.total_calls == len(small_app.host_program)
+    assert a.structure.unique_kernels == len(small_app.sources)
+    assert a.instructions.kernel_invocations == small_app.spec.n_invocations
+    assert a.opcode_mix.total_dynamic == a.instructions.dynamic_instructions
+    assert a.simd.total_dynamic == a.instructions.dynamic_instructions
+    assert a.total_kernel_seconds > 0
+
+
+def test_suite_aggregates(chars):
+    assert 0 < chars.mean_kernel_call_fraction() < 1
+    assert 0 < chars.mean_sync_call_fraction() < 1
+    assert chars.mean_unique_kernels() == 4
+    assert chars.mean_dynamic_instructions() > 0
+    mix = chars.suite_mix_fractions()
+    assert sum(mix.values()) == pytest.approx(1.0)
+    simd = chars.suite_simd_fractions()
+    assert sum(simd.values()) == pytest.approx(1.0)
+
+
+def test_characterize_suite_multiple(small_app):
+    suite = characterize_suite([small_app, small_app])
+    assert len(suite) == 2
+
+
+def test_apps_using_width(chars):
+    assert chars.apps_using_width(16) == [chars.apps[0].name]
+    assert chars.apps_using_width(2) == []
+
+
+def test_render_table_alignment():
+    text = render_table("T", ["A", "Blong"], [["x", 1], ["yy", 22]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "A" in lines[2] and "Blong" in lines[2]
+    assert len(lines) == 6
+
+
+def test_figure_renderers_include_average_row(chars):
+    for renderer in (
+        figure3a_api_calls,
+        figure3b_structures,
+        figure3c_dynamic_work,
+        figure4a_instruction_mixes,
+        figure4b_simd_widths,
+        figure4c_memory_activity,
+    ):
+        text = renderer(chars)
+        assert "AVERAGE" in text
+        assert chars.apps[0].name in text
+
+
+def test_table1_lists_all_25_apps():
+    text = table1_suite(SUITE_SPECS)
+    for spec in SUITE_SPECS:
+        assert spec.name in text
+
+
+def test_table2_renderer(small_workload):
+    rows = interval_space_summary([small_workload.log], 200_000)
+    text = table2_interval_space(rows)
+    assert "Synchronization calls" in text
+    assert "Single kernel boundaries" in text
+
+
+def test_run_full_study_smoke(monkeypatch):
+    """A miniature end-to-end study over a 2-app suite."""
+    import repro.analysis.study as study_module
+    from repro.analysis.study import render_study, run_full_study
+    from repro.sampling.simpoint import SimPointOptions
+    from repro.workloads.suite import load_app
+
+    def tiny_suite(scale=1.0, seed=0):
+        return [
+            load_app("cb-gaussian-image", scale=scale, seed=seed),
+            load_app("cb-gaussian-buffer", scale=scale, seed=seed),
+        ]
+
+    monkeypatch.setattr(study_module, "load_suite", tiny_suite)
+    results = run_full_study(
+        scale=0.5,
+        options=SimPointOptions(max_k=4, restarts=1, max_iterations=30),
+        validation_trials=(2,),
+    )
+    assert len(results.workloads) == 2
+    assert len(results.explorations) == 2
+    assert len(results.cross_trial) == 2
+    assert len(results.sweep) == 12  # min-error + 11 thresholds
+    text = render_study(results)
+    for marker in (
+        "Table I", "Figure 3a", "Figure 4c", "Table II", "Figure 6",
+        "Figure 7", "Figure 8 (top)", "Figure 8 (bottom)",
+    ):
+        assert marker in text

@@ -1,0 +1,180 @@
+"""Assembly text parser: round trips with the disassembler."""
+
+import pytest
+
+from repro.isa.asm_parser import AsmParseError, parse_instruction, parse_kernel
+from repro.isa.instruction import (
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.opcodes import Opcode
+
+from conftest import build_tiny_kernel
+
+
+def test_parse_simple_alu():
+    instr = parse_instruction("add(16) r20, r21, r22")
+    assert instr.opcode is Opcode.ADD
+    assert instr.exec_size == 16
+    assert instr.dst == 20
+    assert instr.srcs == (21, 22)
+
+
+def test_parse_extended_math():
+    instr = parse_instruction("math.sqrt(8) r5, r6")
+    assert instr.opcode is Opcode.MATH_SQRT
+    assert instr.exec_size == 8
+
+
+def test_parse_predicated():
+    instr = parse_instruction("(+f0) mov(1) r3, r4")
+    assert instr.predicated
+    assert instr.opcode is Opcode.MOV
+
+
+def test_parse_send():
+    instr = parse_instruction(
+        "send(16) r10, r11, read:global[8B/ch, strided]"
+    )
+    assert instr.is_send
+    assert instr.send is not None
+    assert instr.send.direction is MemoryDirection.READ
+    assert instr.send.address_space is AddressSpace.GLOBAL
+    assert instr.send.bytes_per_channel == 8
+    assert instr.send.pattern is AccessPattern.STRIDED
+
+
+def test_parse_gtpin_marker():
+    instr = parse_instruction("add(1) r120, r120  // [gtpin]")
+    assert instr.is_instrumentation
+
+
+def test_comment_ignored():
+    instr = parse_instruction("mov(8) r1, r2  // something helpful")
+    assert instr.opcode is Opcode.MOV
+    assert not instr.is_instrumentation
+
+
+def test_parse_errors_carry_context():
+    with pytest.raises(AsmParseError, match="line 7"):
+        parse_instruction("not an instruction", line_no=7)
+    with pytest.raises(AsmParseError, match="bad operand"):
+        parse_instruction("add(8) rX, r2")
+    with pytest.raises(AsmParseError, match="unknown GEN mnemonic"):
+        parse_instruction("frobnicate(8) r1, r2")
+
+
+def test_instruction_round_trip_cases():
+    cases = [
+        Instruction(Opcode.MOV, exec_size=1, dst=4, srcs=(5,)),
+        Instruction(Opcode.MAD, exec_size=16, dst=9, srcs=(10, 11)),
+        Instruction(Opcode.JMPI, exec_size=1),
+        Instruction(
+            Opcode.SEND,
+            exec_size=8,
+            dst=20,
+            srcs=(21,),
+            send=SendMessage(
+                MemoryDirection.WRITE,
+                bytes_per_channel=16,
+                address_space=AddressSpace.IMAGE,
+                pattern=AccessPattern.SEQUENTIAL,
+            ),
+        ),
+        Instruction(Opcode.ADD, exec_size=1, is_instrumentation=True),
+    ]
+    for original in cases:
+        parsed = parse_instruction(original.disassemble())
+        assert parsed.opcode is original.opcode
+        assert parsed.exec_size == original.exec_size
+        assert parsed.dst == original.dst
+        assert parsed.srcs == original.srcs
+        assert parsed.is_instrumentation == original.is_instrumentation
+        if original.send:
+            assert parsed.send is not None
+            assert parsed.send.direction is original.send.direction
+            assert parsed.send.bytes_per_channel == original.send.bytes_per_channel
+            assert parsed.send.address_space is original.send.address_space
+            assert parsed.send.pattern is original.send.pattern
+
+
+def test_kernel_round_trip(tiny_kernel):
+    parsed = parse_kernel(tiny_kernel.disassemble())
+    assert parsed.name == tiny_kernel.name
+    assert parsed.simd_width == tiny_kernel.simd_width
+    assert parsed.arg_names == tiny_kernel.arg_names
+    assert parsed.n_blocks == tiny_kernel.n_blocks
+    assert (
+        parsed.static_instruction_count
+        == tiny_kernel.static_instruction_count
+    )
+    for original_block, parsed_block in zip(tiny_kernel, parsed):
+        assert parsed_block.label == original_block.label
+        assert parsed_block.successors == original_block.successors
+        for a, b in zip(original_block, parsed_block):
+            assert a.opcode is b.opcode
+            assert a.exec_size == b.exec_size
+    assert parsed.metadata["parsed_from_assembly"] is True
+
+
+def test_kernel_round_trip_with_program(tiny_kernel):
+    """Supplying the original tree recovers executable semantics."""
+    import numpy as np
+
+    from repro.isa.program import execution_counts
+
+    parsed = parse_kernel(
+        tiny_kernel.disassemble(), program=tiny_kernel.program
+    )
+    args = {"iters": 5.0, "n": 64.0}
+    original_counts = execution_counts(
+        tiny_kernel.program, args, np.random.default_rng(0),
+        tiny_kernel.n_blocks,
+    )
+    parsed_counts = execution_counts(
+        parsed.program, args, np.random.default_rng(0), parsed.n_blocks
+    )
+    assert original_counts.tolist() == parsed_counts.tolist()
+
+
+def test_generated_kernels_parse(small_app):
+    for source in small_app.sources.values():
+        parsed = parse_kernel(source.body.disassemble())
+        assert parsed.n_blocks == source.body.n_blocks
+        assert (
+            parsed.static_instruction_count
+            == source.body.static_instruction_count
+        )
+
+
+def test_instrumented_kernels_parse(tiny_kernel):
+    from repro.gtpin.instrumentation import Capability
+    from repro.gtpin.rewriter import GTPinRewriter
+    from repro.gtpin.trace_buffer import TraceBuffer
+
+    rewriter = GTPinRewriter(
+        frozenset({Capability.BLOCK_COUNTS}), TraceBuffer()
+    )
+    instrumented = rewriter.rewrite(tiny_kernel)
+    parsed = parse_kernel(instrumented.disassemble())
+    parsed_probes = sum(
+        1 for b in parsed for i in b if i.is_instrumentation
+    )
+    original_probes = sum(
+        1 for b in instrumented for i in b if i.is_instrumentation
+    )
+    assert parsed_probes == original_probes > 0
+
+
+def test_parse_kernel_errors():
+    with pytest.raises(AsmParseError, match="header"):
+        parse_kernel("add(8) r1, r2")
+    with pytest.raises(AsmParseError, match="outside any block"):
+        parse_kernel(
+            "// kernel k  simd16  args=[]  x\nadd(8) r1, r2"
+        )
+    with pytest.raises(AsmParseError, match="empty"):
+        parse_kernel("")

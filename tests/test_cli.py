@@ -1,0 +1,106 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "cb-vision-facedetect" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "cb-gaussian-image", "--scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3a" in out
+    assert "Figure 4c" in out
+
+
+def test_select_command(capsys):
+    assert main(
+        [
+            "select", "cb-gaussian-buffer",
+            "--scale", "0.5",
+            "--scheme", "sync",
+            "--feature", "BB",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Selected simulation points" in out
+    assert "Simulation speedup" in out
+
+
+def test_select_on_hd4600(capsys):
+    assert main(
+        ["select", "cb-gaussian-image", "--scale", "0.5",
+         "--device", "hd4600"]
+    ) == 0
+    assert "Error (Eq. 1)" in capsys.readouterr().out
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead", "cb-gaussian-image", "--scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "Overhead factor" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["profile", "not-an-app"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_export_command(tmp_path, capsys):
+    assert main(
+        [
+            "export", "cb-gaussian-image",
+            "--scale", "0.5",
+            "--out", str(tmp_path),
+        ]
+    ) == 0
+    stem = "cb-gaussian-image.Sync-BB"
+    for suffix in (".selection.json", ".bb", ".simpoints", ".weights"):
+        assert (tmp_path / f"{stem}{suffix}").exists()
+    out = capsys.readouterr().out
+    assert "simulation points" in out
+
+
+def test_exported_selection_loads_back(tmp_path):
+    from repro.sampling.serialize import selection_from_json
+
+    main(["export", "cb-gaussian-image", "--scale", "0.5",
+          "--out", str(tmp_path)])
+    text = (tmp_path / "cb-gaussian-image.Sync-BB.selection.json").read_text()
+    selection = selection_from_json(text)
+    assert selection.config.label == "Sync-BB"
+    assert selection.k >= 1
+
+
+def test_disasm_command(capsys):
+    assert main(["disasm", "cb-gaussian-image", "--scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel cb-gaussian-image.k0" in out
+    assert "[gtpin]" not in out
+
+
+def test_disasm_instrumented(capsys):
+    assert main(
+        ["disasm", "cb-gaussian-image", "--scale", "0.5", "--instrumented"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[gtpin]" in out
+
+
+def test_disasm_unknown_kernel(capsys):
+    assert main(
+        ["disasm", "cb-gaussian-image", "--scale", "0.5",
+         "--kernel", "nope"]
+    ) == 1
+    assert "unknown kernel" in capsys.readouterr().out

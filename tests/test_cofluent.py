@@ -1,0 +1,117 @@
+"""CoFluent tracer, timing capture, and record/replay."""
+
+import pytest
+
+from repro.cofluent.recorder import record, replay, replay_timings
+from repro.cofluent.timing import capture_timings
+from repro.cofluent.tracer import CoFluentTracer
+from repro.gpu.device import HD4000, HD4600
+from repro.gtpin.profiler import build_runtime
+from repro.opencl.api import CallCategory
+
+
+def test_tracer_counts_categories(tiny_app):
+    runtime = build_runtime(tiny_app)
+    tracer = CoFluentTracer()
+    tracer.attach(runtime)
+    runtime.run(tiny_app.host_program)
+    report = tracer.report()
+    assert report.total_calls == len(tiny_app.host_program)
+    assert report.kernel_calls == 6
+    assert report.synchronization_calls == 3  # 2 interior + trailing finish
+    assert (
+        report.kernel_calls + report.synchronization_calls + report.other_calls
+        == report.total_calls
+    )
+
+
+def test_tracer_fractions(tiny_app):
+    runtime = build_runtime(tiny_app)
+    tracer = CoFluentTracer()
+    tracer.attach(runtime)
+    runtime.run(tiny_app.host_program)
+    report = tracer.report()
+    total = sum(
+        report.fraction(c) for c in CallCategory
+    )
+    assert total == pytest.approx(1.0)
+
+
+def test_tracer_reset(tiny_app):
+    tracer = CoFluentTracer()
+    runtime = build_runtime(tiny_app)
+    tracer.attach(runtime)
+    runtime.run(tiny_app.host_program)
+    tracer.reset()
+    assert tracer.report().total_calls == 0
+
+
+def test_capture_timings(tiny_app):
+    runtime = build_runtime(tiny_app)
+    run = runtime.run(tiny_app.host_program, trial_seed=2)
+    trace = capture_timings(run)
+    assert len(trace) == 6
+    assert trace.total_seconds == pytest.approx(run.total_kernel_seconds)
+    assert trace.trial_seed == 2
+    for timing, dispatch in zip(trace, run.dispatches):
+        assert timing.seconds == dispatch.time_seconds
+        assert timing.kernel_name == dispatch.kernel_name
+
+
+def test_record_captures_everything(tiny_app):
+    recording, run = record(tiny_app, trial_seed=0)
+    assert recording.call_count == len(tiny_app.host_program)
+    assert set(recording.sources) == set(tiny_app.sources)
+    assert recording.recorded_on == HD4000.name
+    assert len(run.dispatches) == 6
+
+
+def test_replay_preserves_api_ordering(tiny_app):
+    recording, original = record(tiny_app, trial_seed=0)
+    replayed = replay(recording, trial_seed=5)
+    assert [c.name for c in replayed.api_calls] == [
+        c.name for c in original.api_calls
+    ]
+    assert len(replayed.dispatches) == len(original.dispatches)
+    assert [d.kernel_name for d in replayed.dispatches] == [
+        d.kernel_name for d in original.dispatches
+    ]
+
+
+def test_replay_with_same_seed_reproduces_times(tiny_app):
+    recording, original = record(tiny_app, trial_seed=3)
+    replayed = replay(recording, trial_seed=3)
+    assert replayed.total_kernel_seconds == pytest.approx(
+        original.total_kernel_seconds
+    )
+
+
+def test_replay_with_new_seed_varies_times(tiny_app):
+    recording, original = record(tiny_app, trial_seed=3)
+    replayed = replay(recording, trial_seed=4)
+    assert replayed.total_kernel_seconds != pytest.approx(
+        original.total_kernel_seconds
+    )
+
+
+def test_replay_on_other_architecture(tiny_app):
+    recording, _ = record(tiny_app)
+    replayed = replay(recording, device_spec=HD4600, trial_seed=1)
+    assert replayed.device_name == HD4600.name
+    assert len(replayed.dispatches) == 6
+
+
+def test_replay_timings_helper(tiny_app):
+    recording, _ = record(tiny_app)
+    trace = replay_timings(recording, trial_seed=9)
+    assert len(trace) == 6
+    assert trace.trial_seed == 9
+
+
+def test_recording_is_an_application(tiny_app):
+    """Recordings satisfy the Application protocol: GT-Pin can profile them."""
+    from repro.gtpin.profiler import profile
+
+    recording, _ = record(tiny_app)
+    profiled = profile(recording)
+    assert profiled.report["instructions"].kernel_invocations == 6

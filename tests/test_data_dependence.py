@@ -1,0 +1,160 @@
+"""Input-data-dependent control flow: the device-memory complexity stream.
+
+The host writes scene-complexity values to device buffers
+(``clEnqueueWriteBuffer``); kernels with data-dependent tails loop on
+them.  Crucially the values are *not* kernel arguments, so KN-family
+feature vectors cannot see them while BB-family vectors can -- the
+mechanism behind the paper's "basic block features outperform kernel
+features" observation.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.gtpin.profiler import build_runtime
+from repro.opencl.api import KERNEL_ENQUEUE, APICall
+from repro.opencl.host_program import HostProgram
+from repro.sampling.features import FeatureKind, feature_vector
+from repro.sampling.intervals import single_kernel_intervals
+from repro.workloads.generator import generate_application
+
+from conftest import SMALL_SPEC, TinyApplication, build_tiny_kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import TripCount
+
+
+def _data_kernel(name="dk"):
+    """A kernel whose inner loop trips on the device-memory complexity."""
+    kb = KernelBuilder(name, simd_width=16, arg_names=("iters", "n"))
+    with kb.block("prologue") as b:
+        b.mov(exec_size=1)
+    with kb.loop(TripCount(base=0, arg="iters", scale=1.0)):
+        with kb.block("head") as b:
+            b.alu("add")
+        with kb.loop(TripCount(base=1, arg="__complexity", scale=1.0)):
+            with kb.block("data_tail") as b:
+                b.alu("mul")
+                b.load()
+    with kb.block("epilogue") as b:
+        b.control("ret")
+    return kb.build()
+
+
+def _program_with_complexity(values):
+    calls = [
+        APICall("clBuildProgram"),
+        APICall("clCreateKernel", {"kernel": "dk"}),
+        APICall("clSetKernelArg", {"kernel": "dk", "arg_index": 0, "value": 3.0}),
+        APICall("clSetKernelArg", {"kernel": "dk", "arg_index": 1, "value": 64.0}),
+    ]
+    for value in values:
+        calls.append(
+            APICall("clEnqueueWriteBuffer", {"__complexity": value})
+        )
+        calls.append(
+            APICall(KERNEL_ENQUEUE, {"kernel": "dk", "global_work_size": 64})
+        )
+        calls.append(APICall("clFinish"))
+    return HostProgram(name="data-app", calls=tuple(calls))
+
+
+class _DataApp:
+    def __init__(self):
+        from repro.driver.jit import KernelSource
+
+        kernel = _data_kernel()
+        self.name = "data-app"
+        self.sources = {"dk": KernelSource(name="dk", body=kernel)}
+        self.host_program = _program_with_complexity([1.0, 5.0])
+
+
+def test_complexity_changes_dynamic_work():
+    app = _DataApp()
+    run = build_runtime(app).run(app.host_program)
+    low, high = run.dispatches
+    # Same kernel, same args, same gws -- different input complexity.
+    assert low.arg_values == high.arg_values
+    assert high.instruction_count > low.instruction_count
+
+
+def test_complexity_not_visible_in_arg_values():
+    app = _DataApp()
+    run = build_runtime(app).run(app.host_program)
+    for dispatch in run.dispatches:
+        assert "__complexity" not in dispatch.arg_values
+        assert dispatch.data_env.get("__complexity") in (1.0, 5.0)
+
+
+def test_kernel_argument_overrides_data_env_on_collision():
+    """Argument names always win over device-memory keys."""
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    runtime = build_runtime(app)
+    # Write a colliding key: arg "iters" must still come from SetKernelArg.
+    calls = list(app.host_program.calls)
+    calls.insert(5, APICall("clEnqueueWriteBuffer", {"__iters": 99.0}))
+    run = runtime.run(HostProgram(name="x", calls=tuple(calls)))
+    assert run.dispatches[0].arg_values["iters"] == 2.0
+
+
+def test_bb_features_see_complexity_kn_args_do_not():
+    """The discriminating experiment: two invocations identical in kernel,
+    args and gws but different input data must produce identical KN-ARGS
+    vectors and different BB vectors."""
+    from repro.gtpin.profiler import GTPinSession
+    from repro.gtpin.tools import InvocationLogTool
+
+    app = _DataApp()
+    session = GTPinSession([InvocationLogTool()])
+    runtime = build_runtime(app, session=session)
+    runtime.run(app.host_program)
+    log = session.post_process()["invocations"]
+    intervals = single_kernel_intervals(log)
+    assert len(intervals) == 2
+
+    kn_args_low = feature_vector(log, intervals[0], FeatureKind.KN_ARGS)
+    kn_args_high = feature_vector(log, intervals[1], FeatureKind.KN_ARGS)
+    assert set(kn_args_low) == set(kn_args_high)  # same event keys
+
+    bb_low = feature_vector(log, intervals[0], FeatureKind.BB)
+    bb_high = feature_vector(log, intervals[1], FeatureKind.BB)
+    data_tail_key = ("bb", "dk", 2)
+    assert bb_high[data_tail_key] > bb_low[data_tail_key]
+
+
+def test_generated_apps_have_data_dependent_kernels():
+    app = generate_application(SMALL_SPEC, seed=7)
+    scales = [
+        src.body.metadata["shape"].data_scale
+        for src in app.sources.values()
+    ]
+    assert any(s > 0 for s in scales)
+
+
+def test_data_dependence_can_be_disabled():
+    spec = dataclasses.replace(SMALL_SPEC, data_dependence=0.0)
+    app = generate_application(spec, seed=7)
+    scales = [
+        src.body.metadata["shape"].data_scale
+        for src in app.sources.values()
+    ]
+    assert all(s == 0 for s in scales)
+
+
+def test_complexity_writes_present_in_generated_hosts():
+    app = generate_application(SMALL_SPEC, seed=7)
+    complexity_writes = [
+        call
+        for call in app.host_program
+        if call.name in ("clEnqueueWriteBuffer", "clEnqueueWriteImage")
+        and "__complexity" in call.args
+    ]
+    assert len(complexity_writes) >= SMALL_SPEC.n_phases
+
+
+def test_invocation_profiles_carry_data_items(small_workload):
+    assert any(p.data_items for p in small_workload.log.invocations)
+    for profile in small_workload.log.invocations:
+        for key, _ in profile.data_items:
+            assert key.startswith("__")

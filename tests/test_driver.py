@@ -1,0 +1,95 @@
+"""GPU driver: JIT, binary cache, rewriter hook placement."""
+
+import numpy as np
+import pytest
+
+from repro.driver.driver import GPUDriver
+from repro.driver.jit import JITCompiler, KernelSource
+from repro.gpu.device import HD4000
+from repro.gpu.execution import GPUDevice
+from repro.opencl.errors import InvalidKernelName
+
+from conftest import build_tiny_kernel
+
+
+def _driver():
+    return GPUDriver(GPUDevice(HD4000))
+
+
+def _sources():
+    kernel = build_tiny_kernel("k")
+    return {"k": KernelSource(name="k", body=kernel)}
+
+
+def test_kernel_source_name_must_match_body():
+    kernel = build_tiny_kernel("k")
+    with pytest.raises(ValueError, match="does not match"):
+        KernelSource(name="other", body=kernel)
+
+
+def test_jit_stamps_metadata():
+    source = _sources()["k"]
+    binary = JITCompiler().compile(source)
+    assert binary.metadata["jit.compiled"] is True
+    assert binary.name == "k"
+
+
+def test_jit_does_not_mutate_source():
+    source = _sources()["k"]
+    JITCompiler().compile(source)
+    assert "jit.compiled" not in source.body.metadata
+
+
+def test_build_program_caches_binaries():
+    driver = _driver()
+    driver.build_program(_sources())
+    assert driver.binary("k").metadata["jit.compiled"] is True
+
+
+def test_unknown_binary_raises():
+    driver = _driver()
+    driver.build_program(_sources())
+    with pytest.raises(InvalidKernelName, match="has not been built"):
+        driver.binary("missing")
+
+
+def test_dispatch_executes_on_device():
+    driver = _driver()
+    driver.build_program(_sources())
+    dispatch = driver.dispatch("k", {"iters": 3.0, "n": 64.0}, 64,
+                               np.random.default_rng(0))
+    assert dispatch.kernel_name == "k"
+    assert dispatch.instruction_count > 0
+    assert len(driver.device.dispatch_log) == 1
+
+
+def test_rewriter_applied_at_build_time():
+    driver = _driver()
+    calls = []
+
+    def rewriter(binary):
+        calls.append(binary.name)
+        return binary.with_blocks(binary.blocks, {"rewritten": True})
+
+    driver.install_rewriter(rewriter)
+    driver.build_program(_sources())
+    assert calls == ["k"]
+    assert driver.binary("k").metadata["rewritten"] is True
+
+
+def test_installing_rewriter_invalidates_cache():
+    driver = _driver()
+    driver.build_program(_sources())
+    driver.install_rewriter(lambda b: b)
+    with pytest.raises(InvalidKernelName):
+        driver.binary("k")  # must be rebuilt under the rewriter
+
+
+def test_removing_rewriter_invalidates_cache():
+    driver = _driver()
+    driver.install_rewriter(lambda b: b)
+    driver.build_program(_sources())
+    driver.install_rewriter(None)
+    assert not driver.rewriter_installed
+    with pytest.raises(InvalidKernelName):
+        driver.binary("k")

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Executed in-process via ``runpy`` so coverage and import errors surface
+directly.  The whole-suite characterization example is exercised at a
+tiny scale through its argv interface.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+CHEAP_EXAMPLES = (
+    "quickstart.py",
+    "select_simulation_points.py",
+    "cross_architecture_study.py",
+    "custom_gtpin_tool.py",
+    "sampled_simulation.py",
+    "phase_analysis.py",
+)
+
+
+@pytest.mark.parametrize("script", CHEAP_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_mentions_figures(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Instruction mix" in out
+    assert "SIMD widths" in out
+    assert "Memory activity" in out
+
+
+def test_characterize_suite_with_scale_argument(capsys, monkeypatch):
+    monkeypatch.setattr(
+        sys, "argv", ["characterize_suite.py", "0.05"]
+    )
+    runpy.run_path(
+        str(EXAMPLES_DIR / "characterize_suite.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "Figure 4c" in out
+    assert "Suite-level headlines" in out

@@ -1,0 +1,60 @@
+"""Device specs: the paper's HD4000/HD4600 and the frequency ladder."""
+
+import pytest
+
+from repro.gpu.device import (
+    FIGURE_8_FREQUENCIES_MHZ,
+    HD4000,
+    HD4600,
+    DeviceSpec,
+    device_by_name,
+)
+
+
+def test_hd4000_matches_paper():
+    """Section IV-A: 16 EUs, 8 threads/EU = 128 HW threads, 1150 MHz."""
+    assert HD4000.eu_count == 16
+    assert HD4000.threads_per_eu == 8
+    assert HD4000.hardware_threads == 128
+    assert HD4000.frequency_mhz == 1150.0
+    assert HD4000.generation == "Ivy Bridge"
+
+
+def test_hd4600_matches_paper():
+    """Section V-E: the Haswell HD4600 has 20 EUs."""
+    assert HD4600.eu_count == 20
+    assert HD4600.generation == "Haswell"
+    assert HD4600.eu_count > HD4000.eu_count
+
+
+def test_figure8_frequency_ladder():
+    assert FIGURE_8_FREQUENCIES_MHZ == (1000.0, 850.0, 700.0, 550.0, 350.0)
+    assert all(f < HD4000.frequency_mhz for f in FIGURE_8_FREQUENCIES_MHZ)
+
+
+def test_at_frequency_preserves_everything_else():
+    slow = HD4000.at_frequency(350.0)
+    assert slow.frequency_mhz == 350.0
+    assert slow.eu_count == HD4000.eu_count
+    assert slow.memory_bandwidth_gbps == HD4000.memory_bandwidth_gbps
+    assert "350" in slow.name
+
+
+def test_frequency_hz():
+    assert HD4000.frequency_hz == pytest.approx(1.15e9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec("x", "g", eu_count=0, threads_per_eu=8,
+                   frequency_mhz=1000, memory_bandwidth_gbps=25, llc_kb=256)
+    with pytest.raises(ValueError):
+        DeviceSpec("x", "g", eu_count=16, threads_per_eu=8,
+                   frequency_mhz=0, memory_bandwidth_gbps=25, llc_kb=256)
+
+
+def test_device_by_name():
+    assert device_by_name("hd4000") is HD4000
+    assert device_by_name("HD4600") is HD4600
+    with pytest.raises(KeyError, match="unknown device"):
+        device_by_name("hd9999")

@@ -1,0 +1,133 @@
+"""Functional GPU executor: thread derivation, counts, stats, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import HD4000, HD4600
+from repro.gpu.execution import (
+    ON_EXECUTE_HOOK_KEY,
+    GPUDevice,
+    KernelDispatch,
+)
+from repro.gpu.timing import TimingParameters
+
+from conftest import build_tiny_kernel
+
+
+def _device(**kwargs):
+    return GPUDevice(HD4000, TimingParameters(**kwargs))
+
+
+def _run(kernel, gws=256, iters=4.0, seed=0, device=None):
+    device = device or _device()
+    return device.execute(
+        kernel, {"iters": iters, "n": float(gws)}, gws,
+        np.random.default_rng(seed),
+    )
+
+
+def test_thread_count_from_gws_and_width():
+    kernel = build_tiny_kernel(simd_width=16)
+    assert _run(kernel, gws=256).n_hw_threads == 16
+    assert _run(kernel, gws=250).n_hw_threads == 16  # ceil
+    kernel8 = build_tiny_kernel(simd_width=8)
+    assert _run(kernel8, gws=256).n_hw_threads == 32
+
+
+def test_zero_gws_rejected():
+    kernel = build_tiny_kernel()
+    with pytest.raises(ValueError, match="global_work_size"):
+        _device().execute(kernel, {"iters": 1.0, "n": 1.0}, 0,
+                          np.random.default_rng(0))
+
+
+def test_block_counts_scale_with_threads():
+    kernel = build_tiny_kernel()
+    small = _run(kernel, gws=16, seed=1)
+    large = _run(kernel, gws=160, seed=1)
+    # Same per-thread behaviour (same seed), 10x the threads.
+    np.testing.assert_array_equal(large.block_counts, small.block_counts * 10)
+
+
+def test_instruction_count_consistency():
+    kernel = build_tiny_kernel()
+    d = _run(kernel)
+    manual = int(d.block_counts @ kernel.arrays.instruction_counts)
+    assert d.instruction_count == manual
+
+
+def test_iters_argument_scales_work():
+    kernel = build_tiny_kernel()
+    few = _run(kernel, iters=2.0)
+    many = _run(kernel, iters=20.0)
+    assert many.instruction_count > few.instruction_count
+
+
+def test_bytes_accounting():
+    kernel = build_tiny_kernel()
+    d = _run(kernel)
+    assert d.bytes_read == int(d.block_counts @ kernel.arrays.bytes_read)
+    assert d.bytes_written == int(d.block_counts @ kernel.arrays.bytes_written)
+    assert d.total_bytes == d.bytes_read + d.bytes_written
+
+
+def test_time_positive_and_spi():
+    d = _run(build_tiny_kernel())
+    assert d.time_seconds > 0
+    assert d.spi == pytest.approx(d.time_seconds / d.instruction_count)
+
+
+def test_dispatch_log_grows():
+    device = _device()
+    kernel = build_tiny_kernel()
+    for i in range(3):
+        device.execute(kernel, {"iters": 2.0, "n": 64.0}, 64,
+                       np.random.default_rng(i))
+    assert [d.dispatch_index for d in device.dispatch_log] == [0, 1, 2]
+    device.reset()
+    assert device.dispatch_log == []
+
+
+def test_hook_invoked_with_dispatch():
+    kernel = build_tiny_kernel()
+    seen: list[KernelDispatch] = []
+    hooked = kernel.with_blocks(
+        kernel.blocks, {ON_EXECUTE_HOOK_KEY: lambda b, d: seen.append(d)}
+    )
+    d = _run(hooked)
+    assert d.instrumented
+    assert seen == [d]
+
+
+def test_no_hook_means_uninstrumented():
+    assert not _run(build_tiny_kernel()).instrumented
+
+
+def test_enqueue_stamps_passed_through():
+    device = _device()
+    kernel = build_tiny_kernel()
+    d = device.execute(kernel, {"iters": 1.0, "n": 64.0}, 64,
+                       np.random.default_rng(0),
+                       enqueue_call_index=17, sync_epoch=3)
+    assert d.enqueue_call_index == 17
+    assert d.sync_epoch == 3
+
+
+def test_faster_device_runs_compute_kernels_faster():
+    kernel = build_tiny_kernel()
+    params = TimingParameters(noise_sigma=0.0)
+    ivy = GPUDevice(HD4000, params)
+    haswell = GPUDevice(HD4600, params)
+    t_ivy = ivy.execute(kernel, {"iters": 50.0, "n": 4096.0}, 4096,
+                        np.random.default_rng(0)).cost.compute_seconds
+    t_has = haswell.execute(kernel, {"iters": 50.0, "n": 4096.0}, 4096,
+                            np.random.default_rng(0)).cost.compute_seconds
+    assert t_has < t_ivy
+
+
+def test_with_spec_builds_fresh_device():
+    device = _device(noise_sigma=0.1)
+    other = device.with_spec(HD4600)
+    assert other.spec is HD4600
+    assert other.timing.params.noise_sigma == 0.1
+    assert other.dispatch_log == []

@@ -1,0 +1,92 @@
+"""Synthetic address-stream expansion."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import DEFAULT_SURFACE, Surface, expand_addresses, stream_bytes
+from repro.isa.instruction import AccessPattern, MemoryDirection, SendMessage
+
+
+def _msg(pattern=AccessPattern.SEQUENTIAL, bpc=4, stride=1):
+    return SendMessage(
+        direction=MemoryDirection.READ,
+        bytes_per_channel=bpc,
+        pattern=pattern,
+        stride=stride,
+    )
+
+
+def test_surface_validation():
+    with pytest.raises(ValueError):
+        Surface(base_address=0, size_bytes=0)
+    with pytest.raises(ValueError):
+        Surface(base_address=-1, size_bytes=64)
+
+
+def test_sequential_is_unit_stride():
+    addrs = expand_addresses(_msg(), exec_size=4, n_executions=2)
+    diffs = np.diff(addrs)
+    assert (diffs == 4).all()
+    assert addrs[0] == DEFAULT_SURFACE.base_address
+
+
+def test_sequential_continues_across_expansions():
+    first = expand_addresses(_msg(), 4, 2, start_execution=0)
+    second = expand_addresses(_msg(), 4, 2, start_execution=2)
+    assert second[0] == first[-1] + 4
+
+
+def test_strided_pattern():
+    addrs = expand_addresses(
+        _msg(pattern=AccessPattern.STRIDED, stride=8), 2, 2
+    )
+    assert (np.diff(addrs) == 8 * 4).all()
+
+
+def test_broadcast_single_address_per_execution():
+    addrs = expand_addresses(
+        _msg(pattern=AccessPattern.BROADCAST), exec_size=16, n_executions=5
+    )
+    assert addrs.shape == (5,)
+    assert (addrs == DEFAULT_SURFACE.base_address).all()
+
+
+def test_random_within_surface():
+    surface = Surface(base_address=0x1000, size_bytes=4096)
+    addrs = expand_addresses(
+        _msg(pattern=AccessPattern.RANDOM), 8, 100, surface,
+        rng=np.random.default_rng(0),
+    )
+    assert (addrs >= surface.base_address).all()
+    assert (addrs < surface.base_address + surface.size_bytes).all()
+
+
+def test_random_is_seeded():
+    a = expand_addresses(
+        _msg(pattern=AccessPattern.RANDOM), 8, 10,
+        rng=np.random.default_rng(7),
+    )
+    b = expand_addresses(
+        _msg(pattern=AccessPattern.RANDOM), 8, 10,
+        rng=np.random.default_rng(7),
+    )
+    np.testing.assert_array_equal(a, b)
+
+
+def test_addresses_wrap_at_surface_end():
+    surface = Surface(base_address=0, size_bytes=64)
+    addrs = expand_addresses(_msg(bpc=4), 4, 10, surface)
+    assert addrs.max() < 64
+
+
+def test_zero_executions():
+    assert expand_addresses(_msg(), 8, 0).size == 0
+
+
+def test_negative_executions_rejected():
+    with pytest.raises(ValueError):
+        expand_addresses(_msg(), 8, -1)
+
+
+def test_stream_bytes():
+    assert stream_bytes(_msg(bpc=4), exec_size=16, n_executions=10) == 640

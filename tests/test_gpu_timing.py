@@ -1,0 +1,100 @@
+"""Roofline timing model: compute/memory balance, frequency, EUs, noise."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import HD4000, HD4600
+from repro.gpu.timing import TimingModel, TimingParameters
+
+
+def _model(device=HD4000, **kwargs):
+    return TimingModel(device, TimingParameters(**kwargs))
+
+
+def test_compute_bound_kernel():
+    cost = _model().cost(total_issue_cycles=1e9, total_bytes=1e3,
+                         n_hw_threads=256)
+    assert not cost.memory_bound
+    assert cost.total_seconds > cost.memory_seconds
+
+
+def test_memory_bound_kernel():
+    cost = _model().cost(total_issue_cycles=1e3, total_bytes=1e9,
+                         n_hw_threads=256)
+    assert cost.memory_bound
+
+
+def test_launch_overhead_included():
+    cost = _model().cost(0.0, 0.0, 128)
+    assert cost.total_seconds == pytest.approx(
+        HD4000.kernel_launch_overhead_s
+    )
+
+
+def test_compute_time_scales_inverse_frequency():
+    fast = _model().cost(1e9, 0.0, 256).compute_seconds
+    slow = _model(HD4000.at_frequency(575.0)).cost(1e9, 0.0, 256).compute_seconds
+    assert slow == pytest.approx(2.0 * fast)
+
+
+def test_memory_time_frequency_independent():
+    fast = _model().cost(0.0, 1e9, 256).memory_seconds
+    slow = _model(HD4000.at_frequency(350.0)).cost(0.0, 1e9, 256).memory_seconds
+    assert slow == pytest.approx(fast)
+
+
+def test_more_eus_shrink_compute_time():
+    ivy = _model(HD4000).cost(1e9, 0.0, 512).compute_seconds
+    haswell = _model(HD4600).cost(1e9, 0.0, 512).compute_seconds
+    assert haswell < ivy
+
+
+def test_low_occupancy_penalty():
+    full = _model().cost(1e8, 0.0, 128).compute_seconds
+    starved = _model().cost(1e8, 0.0, 8).compute_seconds
+    assert starved > full
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        _model().cost(-1.0, 0.0, 128)
+
+
+def test_noise_is_lognormal_and_seeded():
+    model = _model(noise_sigma=0.05)
+    cost = model.cost(1e8, 1e6, 128)
+    rng_a = np.random.default_rng(1)
+    rng_b = np.random.default_rng(1)
+    assert model.sample_seconds(cost, rng_a) == pytest.approx(
+        model.sample_seconds(cost, rng_b)
+    )
+    samples = [
+        model.sample_seconds(cost, np.random.default_rng(s)) for s in range(50)
+    ]
+    assert np.std(samples) > 0
+    # Noise is multiplicative around the deterministic cost.
+    assert np.mean(samples) == pytest.approx(cost.total_seconds, rel=0.05)
+
+
+def test_zero_noise_is_deterministic():
+    model = _model(noise_sigma=0.0)
+    cost = model.cost(1e8, 1e6, 128)
+    assert model.sample_seconds(cost, np.random.default_rng(0)) == pytest.approx(
+        cost.total_seconds
+    )
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        TimingParameters(noise_sigma=-0.1)
+    with pytest.raises(ValueError):
+        TimingParameters(bandwidth_efficiency=0.0)
+    with pytest.raises(ValueError):
+        TimingParameters(issue_efficiency=1.5)
+
+
+def test_with_device_keeps_params():
+    params = TimingParameters(noise_sigma=0.07)
+    model = TimingModel(HD4000, params).with_device(HD4600)
+    assert model.device is HD4600
+    assert model.params.noise_sigma == 0.07

@@ -1,0 +1,97 @@
+"""Branch-divergence tool."""
+
+import pytest
+
+from repro.gtpin.profiler import GTPinSession, build_runtime
+from repro.gtpin.tools import DivergenceTool
+
+from conftest import TinyApplication, build_tiny_kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import TripCount
+
+
+def _divergent_kernel(name="div.k", p_taken=0.25):
+    kb = KernelBuilder(name, simd_width=16, arg_names=("iters", "n"))
+    with kb.block("prologue") as b:
+        b.mov(exec_size=1)
+    with kb.loop(TripCount(base=0, arg="iters", scale=1.0)):
+        with kb.block("always") as b:
+            b.alu("add")
+            b.alu("mul")
+        with kb.branch(p_taken):
+            with kb.block("rare") as b:
+                b.alu("mad")
+                b.alu("mad")
+                b.load()
+    with kb.block("epilogue") as b:
+        b.control("ret")
+    return kb.build()
+
+
+def _report(kernels, enqueues):
+    app = TinyApplication(kernels, enqueues, name="div-app")
+    session = GTPinSession([DivergenceTool()])
+    runtime = build_runtime(app, session=session)
+    runtime.run(app.host_program, trial_seed=0)
+    return session.post_process()["divergence"]
+
+
+def test_straight_line_kernel_has_no_divergence():
+    report = _report(
+        [build_tiny_kernel("s.k")], [("s.k", 256, 8.0)]
+    )
+    k = report.per_kernel["s.k"]
+    assert k.divergent_fraction == 0.0
+    assert report.overall_divergent_fraction() == 0.0
+
+
+def test_divergent_branch_detected():
+    report = _report(
+        [_divergent_kernel(p_taken=0.25)], [("div.k", 256, 8.0)]
+    )
+    k = report.per_kernel["div.k"]
+    assert k.divergent_instructions > 0
+    assert 0.0 < k.divergent_fraction < 0.5
+    # The rare arm runs ~25% of the time.
+    assert k.mean_taken_rate == pytest.approx(0.25, abs=0.1)
+
+
+def test_more_biased_branch_less_divergent_work():
+    rare = _report(
+        [_divergent_kernel("a.k", p_taken=0.2)], [("a.k", 256, 16.0)]
+    ).per_kernel["a.k"]
+    common = _report(
+        [_divergent_kernel("b.k", p_taken=0.9)], [("b.k", 256, 16.0)]
+    ).per_kernel["b.k"]
+    assert rare.divergent_instructions < common.divergent_instructions
+    assert rare.mean_taken_rate < common.mean_taken_rate
+
+
+def test_most_divergent_kernel():
+    report = _report(
+        [build_tiny_kernel("s.k"), _divergent_kernel("d.k", 0.3)],
+        [("s.k", 256, 8.0), ("d.k", 256, 8.0)],
+    )
+    worst = report.most_divergent()
+    assert worst is not None
+    assert worst.kernel_name == "d.k"
+
+
+def test_empty_report():
+    from repro.gtpin.tools.divergence import DivergenceReport
+
+    empty = DivergenceReport(per_kernel={})
+    assert empty.overall_divergent_fraction() == 0.0
+    assert empty.most_divergent() is None
+
+
+def test_facedetect_is_divergent():
+    """The vision apps are generated with divergent branches."""
+    from repro.workloads.suite import load_app
+
+    app = load_app("cb-vision-facedetect-mobile", scale=0.05)
+    session = GTPinSession([DivergenceTool()])
+    runtime = build_runtime(app, session=session)
+    runtime.run(app.host_program, trial_seed=0)
+    report = session.post_process()["divergence"]
+    assert report.overall_divergent_fraction() > 0.0

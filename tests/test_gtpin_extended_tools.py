@@ -1,0 +1,84 @@
+"""Extended GT-Pin tools: SIMD utilization and kernel cycles."""
+
+import pytest
+
+from repro.gtpin.profiler import GTPinSession, build_runtime
+from repro.gtpin.tools import KernelCyclesTool, SIMDUtilizationTool
+
+from conftest import TinyApplication, build_tiny_kernel
+
+
+@pytest.fixture()
+def session_and_run():
+    k1 = build_tiny_kernel("u.k0", simd_width=16)
+    k2 = build_tiny_kernel("u.k1", simd_width=8)
+    app = TinyApplication(
+        [k1, k2],
+        [
+            ("u.k0", 256, 4.0),   # 256 = 16 full SIMD16 threads
+            ("u.k0", 250, 4.0),   # 250 -> last thread has 10/16 live lanes
+            ("u.k1", 64, 2.0),
+        ],
+        name="util-app",
+    )
+    session = GTPinSession(
+        [SIMDUtilizationTool(), KernelCyclesTool(frequency_mhz=1150.0)]
+    )
+    runtime = build_runtime(app, session=session)
+    run = runtime.run(app.host_program, trial_seed=0)
+    return app, run, session.post_process()
+
+
+def test_utilization_bounds(session_and_run):
+    _, _, report = session_and_run
+    util = report["simd_utilization"]
+    for kernel in util.per_kernel.values():
+        assert 0.0 < kernel.utilization <= 1.0
+    assert 0.0 < util.overall() <= 1.0
+
+
+def test_partial_tail_thread_lowers_utilization(session_and_run):
+    _, _, report = session_and_run
+    util = report["simd_utilization"]
+    # u.k0 ran once full (256) and once ragged (250/256 live lanes):
+    # utilization must be below 1 but above the ragged run alone.
+    k0 = util.per_kernel["u.k0"].utilization
+    assert 0.97 < k0 < 1.0
+    # u.k1 ran 64 items over SIMD8 = 8 full threads: fully utilized.
+    assert util.per_kernel["u.k1"].utilization == pytest.approx(1.0)
+
+
+def test_worst_kernel(session_and_run):
+    _, _, report = session_and_run
+    util = report["simd_utilization"]
+    worst = util.worst_kernel()
+    assert worst is not None
+    assert worst.kernel_name == "u.k0"
+
+
+def test_kernel_cycles_match_dispatch_times(session_and_run):
+    _, run, report = session_and_run
+    cycles = report["kernel_cycles"]
+    assert cycles.frequency_mhz == 1150.0
+    total = cycles.total_seconds
+    assert total == pytest.approx(run.total_kernel_seconds)
+    k0 = cycles.per_kernel["u.k0"]
+    assert k0.invocations == 2
+    assert k0.cycles_at_mhz == pytest.approx(k0.total_seconds * 1.15e9)
+    assert k0.mean_seconds == pytest.approx(k0.total_seconds / 2)
+
+
+def test_hottest_ordering(session_and_run):
+    _, _, report = session_and_run
+    cycles = report["kernel_cycles"]
+    hottest = cycles.hottest(2)
+    assert len(hottest) == 2
+    assert hottest[0].total_seconds >= hottest[1].total_seconds
+
+
+def test_empty_utilization_report():
+    from repro.gtpin.tools.utilization import UtilizationReport
+
+    empty = UtilizationReport(per_kernel={})
+    assert empty.overall() == 0.0
+    assert empty.worst_kernel() is None

@@ -1,0 +1,86 @@
+"""Instrumentation probe sequences (Section III-A/III-C mechanics)."""
+
+import pytest
+
+from repro.gtpin.instrumentation import (
+    Capability,
+    block_counter_probe,
+    counter_flush_probe,
+    memory_trace_probe,
+    timer_probe,
+)
+from repro.isa.instruction import (
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.opcodes import Opcode
+
+
+def test_three_capabilities():
+    assert {c.value for c in Capability} == {
+        "block_counts", "timers", "memory_trace",
+    }
+
+
+def test_block_counter_is_scratch_rmw():
+    probe = block_counter_probe()
+    assert len(probe) == 3
+    load, add, store = probe
+    assert load.is_send and load.send.address_space is AddressSpace.SCRATCH
+    assert load.send.reads
+    assert add.opcode is Opcode.ADD and add.exec_size == 1
+    assert store.is_send and store.send.writes
+    assert all(i.is_instrumentation for i in probe)
+
+
+def test_block_counter_probe_is_cheap_per_execution():
+    """The per-block cost stays single-digit cycles + 8 scratch bytes."""
+    probe = block_counter_probe()
+    cycles = sum(i.issue_cycles for i in probe)
+    bytes_moved = sum(i.bytes_read + i.bytes_written for i in probe)
+    assert cycles <= 10
+    assert bytes_moved == 8
+
+
+def test_counter_flush_scales_with_block_count():
+    small = counter_flush_probe(4)
+    large = counter_flush_probe(64)
+    assert len(large) > len(small)
+    assert all(i.is_send and i.is_instrumentation for i in small + large)
+    # Flush cost is per kernel, not per block execution.
+    assert len(counter_flush_probe(1)) == 1
+
+
+def test_timer_probe_is_single_cheap_read():
+    probe = timer_probe()
+    assert len(probe) == 1
+    assert probe[0].issue_cycles < 10  # paper: <10 cycles observed
+    assert probe[0].is_instrumentation
+
+
+def test_memory_trace_probe_mirrors_traced_send():
+    traced = Instruction(
+        Opcode.SEND,
+        exec_size=16,
+        dst=1,
+        srcs=(2,),
+        send=SendMessage(MemoryDirection.READ, bytes_per_channel=4),
+    )
+    probe = memory_trace_probe(traced)
+    assert len(probe) == 2
+    stage, emit = probe
+    assert stage.exec_size == traced.exec_size
+    assert emit.is_send and emit.send.writes
+    # Tracing a 16-lane send writes 16 address records.
+    assert emit.bytes_written == 16 * 8
+    assert all(i.is_instrumentation for i in probe)
+
+
+def test_probes_never_touch_program_registers_below_r120():
+    for probe in (block_counter_probe(), timer_probe(),
+                  counter_flush_probe(8)):
+        for instr in probe:
+            if instr.dst is not None:
+                assert instr.dst >= 120 or instr.dst == 0

@@ -1,0 +1,50 @@
+"""Section III-C: profiling overhead accounting."""
+
+import pytest
+
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.overhead import (
+    SIMULATION_SLOWDOWN_BOUND,
+    measure_overhead,
+)
+from repro.gtpin.tools import CacheSimTool, InstructionCountTool
+
+
+def test_overhead_report_fields(tiny_app):
+    report = measure_overhead(tiny_app)
+    assert report.native_seconds > 0
+    assert report.instrumented_gpu_seconds > report.native_seconds
+    assert report.host_drain_seconds > 0
+    assert report.record_count == 6
+    assert report.trace_bytes > 0
+
+
+def test_overhead_factor_above_one(tiny_app):
+    report = measure_overhead(tiny_app)
+    assert report.overhead_factor > 1.0
+    assert report.gpu_overhead_factor > 1.0
+    assert report.instrumented_seconds == pytest.approx(
+        report.instrumented_gpu_seconds + report.host_drain_seconds
+    )
+
+
+def test_overhead_far_below_simulation_bound(tiny_app):
+    """The whole point: profiling costs ~2-10x, simulation up to 2,000,000x."""
+    report = measure_overhead(tiny_app)
+    assert report.overhead_factor < SIMULATION_SLOWDOWN_BOUND / 1000
+
+
+def test_memory_tracing_costs_more_than_counting(tiny_app):
+    light = measure_overhead(tiny_app, tools=[InstructionCountTool()])
+    heavy = measure_overhead(
+        tiny_app, tools=[InstructionCountTool(), CacheSimTool()]
+    )
+    assert (
+        heavy.instrumented_gpu_seconds > light.instrumented_gpu_seconds
+    )
+
+
+def test_same_seed_native_time_is_stable(tiny_app):
+    a = measure_overhead(tiny_app, trial_seed=4)
+    b = measure_overhead(tiny_app, trial_seed=4)
+    assert a.native_seconds == pytest.approx(b.native_seconds)

@@ -1,0 +1,84 @@
+"""GT-Pin sessions and the one-call profile() workflow."""
+
+import pytest
+
+from repro.gtpin.profiler import (
+    GTPinSession,
+    build_runtime,
+    default_tools,
+    profile,
+)
+from repro.gtpin.instrumentation import Capability
+from repro.gtpin.tools import (
+    InstructionCountTool,
+    MemoryBytesTool,
+    StructureTool,
+)
+
+
+def test_session_requires_tools():
+    with pytest.raises(ValueError, match="at least one tool"):
+        GTPinSession([])
+
+
+def test_session_rejects_duplicate_tool_names():
+    with pytest.raises(ValueError, match="duplicate tool names"):
+        GTPinSession([InstructionCountTool(), InstructionCountTool()])
+
+
+def test_session_unions_capabilities():
+    session = GTPinSession([StructureTool(), InstructionCountTool()])
+    assert session.rewriter.capabilities == frozenset(
+        {Capability.BLOCK_COUNTS}
+    )
+
+
+def test_profile_end_to_end(tiny_app):
+    profiled = profile(tiny_app)
+    assert profiled.application_name == "tiny-app"
+    assert profiled.report.record_count == 6
+    assert profiled.report.rewritten_kernels == 2
+    assert profiled.report["instructions"].dynamic_instructions > 0
+
+
+def test_report_getitem_error(tiny_app):
+    profiled = profile(tiny_app, tools=[InstructionCountTool()])
+    with pytest.raises(KeyError, match="attached tools"):
+        profiled.report["nonexistent"]
+    assert "instructions" in profiled.report
+    assert list(profiled.report) == ["instructions"]
+
+
+def test_default_tools_cover_characterization():
+    names = {tool.name for tool in default_tools()}
+    assert names == {
+        "structure",
+        "instructions",
+        "block_counts",
+        "opcode_mix",
+        "simd_widths",
+        "memory_bytes",
+    }
+
+
+def test_attach_detach(tiny_app):
+    session = GTPinSession([InstructionCountTool()])
+    runtime = build_runtime(tiny_app)
+    session.attach(runtime)
+    assert runtime.driver.rewriter_installed
+    session.detach(runtime)
+    assert not runtime.driver.rewriter_installed
+
+
+def test_profile_is_seed_deterministic(tiny_app):
+    a = profile(tiny_app, trial_seed=11)
+    b = profile(tiny_app, trial_seed=11)
+    assert (
+        a.report["instructions"].dynamic_instructions
+        == b.report["instructions"].dynamic_instructions
+    )
+
+
+def test_profiled_run_marks_instrumented(tiny_app):
+    profiled = profile(tiny_app)
+    assert all(d.instrumented for d in profiled.run.dispatches)

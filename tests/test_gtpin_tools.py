@@ -1,0 +1,213 @@
+"""GT-Pin profiling tools: post-processing correctness."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cache import CacheConfig
+from repro.gtpin.profiler import GTPinSession, build_runtime
+from repro.gtpin.tools import (
+    BasicBlockCountTool,
+    CacheSimTool,
+    InstructionCountTool,
+    InvocationLogTool,
+    MemoryBytesTool,
+    MemoryLatencyTool,
+    OpcodeMixTool,
+    SIMDWidthTool,
+    StructureTool,
+)
+from repro.isa.opcodes import OpClass
+
+
+@pytest.fixture(scope="module")
+def profiled(request):
+    """Profile the tiny app once with every tool attached."""
+    from conftest import TinyApplication, build_tiny_kernel
+
+    k1 = build_tiny_kernel("tiny.k0")
+    k2 = build_tiny_kernel("tiny.k1", simd_width=8)
+    app = TinyApplication(
+        [k1, k2],
+        [
+            ("tiny.k0", 256, 4.0),
+            ("tiny.k1", 512, 2.0),
+            ("tiny.k0", 256, 4.0),
+            ("tiny.k1", 128, 6.0),
+        ],
+    )
+    session = GTPinSession(
+        [
+            StructureTool(),
+            InstructionCountTool(),
+            BasicBlockCountTool(),
+            OpcodeMixTool(),
+            SIMDWidthTool(),
+            MemoryBytesTool(),
+            MemoryLatencyTool(),
+            CacheSimTool(CacheConfig(size_bytes=64 * 1024)),
+            InvocationLogTool(),
+        ]
+    )
+    runtime = build_runtime(app, session=session)
+    runtime.run(app.host_program, trial_seed=0)
+    # Ground truth: the same program, same seed, with NO instrumentation.
+    # GT-Pin must report the program's own behaviour, so its numbers are
+    # compared against the native run, not the instrumented one.
+    native_run = build_runtime(app).run(app.host_program, trial_seed=0)
+    return app, native_run, session.post_process()
+
+
+def test_structure_report(profiled):
+    app, run, report = profiled
+    s = report["structure"]
+    assert s.unique_kernels == 2
+    assert s.unique_basic_blocks == 6  # two 3-block kernels
+    assert s.static_instructions == sum(
+        src.body.static_instruction_count for src in app.sources.values()
+    )
+
+
+def test_instruction_counts_match_ground_truth(profiled):
+    _, run, report = profiled
+    ic = report["instructions"]
+    assert ic.kernel_invocations == len(run.dispatches)
+    assert ic.dynamic_instructions == run.total_instructions
+    assert ic.dynamic_basic_blocks == sum(
+        int(d.block_counts.sum()) for d in run.dispatches
+    )
+
+
+def test_per_kernel_breakdown(profiled):
+    _, run, report = profiled
+    ic = report["instructions"]
+    assert ic.per_kernel_invocations == {"tiny.k0": 2, "tiny.k1": 2}
+    assert sum(ic.per_kernel_instructions.values()) == ic.dynamic_instructions
+
+
+def test_block_counts_report(profiled):
+    _, run, report = profiled
+    bc = report["block_counts"]
+    assert bc.total_block_executions == sum(
+        int(d.block_counts.sum()) for d in run.dispatches
+    )
+    hottest = bc.hottest(1)
+    assert len(hottest) == 1
+    # The loop body must be the hottest block.
+    (kernel, block_id), count = hottest[0]
+    assert block_id == 1
+
+
+def test_opcode_mix_sums_to_total(profiled):
+    _, run, report = profiled
+    mix = report["opcode_mix"]
+    assert mix.total_dynamic == run.total_instructions
+    fractions = mix.dynamic_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions[OpClass.SEND] > 0
+
+
+def test_simd_report(profiled):
+    _, run, report = profiled
+    simd = report["simd_widths"]
+    assert simd.total_dynamic == run.total_instructions
+    fractions = simd.dynamic_fractions()
+    assert fractions[16] > 0 and fractions[8] > 0
+    assert 1 <= simd.average_width() <= 16
+
+
+def test_memory_bytes_match_ground_truth(profiled):
+    _, run, report = profiled
+    mb = report["memory_bytes"]
+    assert mb.bytes_read == sum(d.bytes_read for d in run.dispatches)
+    assert mb.bytes_written == sum(d.bytes_written for d in run.dispatches)
+    assert mb.total_bytes == mb.bytes_read + mb.bytes_written
+
+
+def test_write_to_read_ratio():
+    from repro.gtpin.tools.memory_bytes import MemoryBytesReport
+
+    report = MemoryBytesReport(100, 500, {}, {})
+    assert report.write_to_read_ratio == pytest.approx(5.0)
+    zero_read = MemoryBytesReport(0, 10, {}, {})
+    assert zero_read.write_to_read_ratio == float("inf")
+    silent = MemoryBytesReport(0, 0, {}, {})
+    assert silent.write_to_read_ratio == 0.0
+
+
+def test_latency_report(profiled):
+    _, run, report = profiled
+    lat = report["memory_latency"]
+    assert len(lat.sends) > 0
+    assert lat.mean_latency_cycles() > 0
+    for send in lat.sends:
+        assert send.dynamic_executions > 0
+        assert send.estimated_cycles > 0
+
+
+def test_cache_sim_report(profiled):
+    _, run, report = profiled
+    cs = report["cache_sim"]
+    assert cs.stats.accesses > 0
+    assert 0 < cs.sampled_fraction <= 1.0
+    assert cs.stats.hits + cs.stats.misses == cs.stats.accesses
+
+
+def test_invocation_log(profiled):
+    _, run, report = profiled
+    log = report["invocations"]
+    assert len(log) == len(run.dispatches)
+    for profile, dispatch in zip(log, run.dispatches):
+        assert profile.kernel_name == dispatch.kernel_name
+        assert profile.instruction_count == dispatch.instruction_count
+        assert profile.bytes_read == dispatch.bytes_read
+        assert profile.sync_epoch == dispatch.sync_epoch
+        assert profile.global_work_size == dispatch.global_work_size
+    assert log.total_instructions == run.total_instructions
+
+
+def test_invocation_log_arg_items_sorted(profiled):
+    _, _, report = profiled
+    log = report["invocations"]
+    for profile in log:
+        names = [name for name, _ in profile.arg_items]
+        assert names == sorted(names)
+
+
+def test_cache_sim_validation():
+    with pytest.raises(ValueError):
+        CacheSimTool(max_addresses_per_send=0)
+
+
+def test_cache_sim_with_hierarchy():
+    """Replaying through an L3 -> LLC hierarchy reports both levels."""
+    from conftest import TinyApplication, build_tiny_kernel
+    from repro.gtpin.profiler import GTPinSession, build_runtime
+
+    app = TinyApplication(
+        [build_tiny_kernel("h.k0")],
+        [("h.k0", 256, 6.0), ("h.k0", 256, 6.0)],
+        name="hier-app",
+    )
+    session = GTPinSession(
+        [
+            CacheSimTool(
+                CacheConfig(size_bytes=16 * 1024),
+                llc_config=CacheConfig(size_bytes=256 * 1024, ways=16),
+                max_addresses_per_send=512,
+            )
+        ]
+    )
+    runtime = build_runtime(app, session=session)
+    runtime.run(app.host_program)
+    report = session.post_process()["cache_sim"]
+    assert report.llc_stats is not None
+    # Every LLC access was an L3 miss.
+    assert report.llc_stats.accesses == report.stats.misses
+    assert report.dram_accesses <= report.stats.misses
+
+
+def test_cache_sim_single_level_dram_accounting(profiled):
+    _, _, report = profiled
+    cs = report["cache_sim"]
+    assert cs.llc_stats is None
+    assert cs.dram_accesses == cs.stats.misses

@@ -1,0 +1,75 @@
+"""Trace buffer: writes, byte accounting, overflow drains."""
+
+import numpy as np
+import pytest
+
+from repro.gtpin.trace_buffer import TraceBuffer, TraceRecord
+
+
+def _record(i=0, n_blocks=4, payloads=None):
+    return TraceRecord(
+        dispatch_index=i,
+        kernel_name="k",
+        global_work_size=64,
+        arg_values={"iters": 2.0},
+        n_hw_threads=4,
+        block_counts=np.ones(n_blocks, dtype=np.int64),
+        enqueue_call_index=i,
+        sync_epoch=0,
+        payloads=payloads or {},
+    )
+
+
+def test_record_bytes_scale_with_blocks():
+    small = _record(n_blocks=2).record_bytes
+    large = _record(n_blocks=200).record_bytes
+    assert large > small
+    assert large - small == (200 - 2) * 8
+
+
+def test_payload_bytes_counted():
+    with_payload = _record(payloads={"trace": np.zeros(100)}).record_bytes
+    without = _record().record_bytes
+    assert with_payload == without + 800
+
+
+def test_write_and_drain_order():
+    buffer = TraceBuffer()
+    for i in range(5):
+        buffer.write(_record(i))
+    assert len(buffer) == 5
+    records = buffer.drain()
+    assert [r.dispatch_index for r in records] == [0, 1, 2, 3, 4]
+    assert len(buffer) == 0
+    assert buffer.resident_bytes == 0
+
+
+def test_total_records_survives_drain():
+    buffer = TraceBuffer()
+    buffer.write(_record(0))
+    buffer.drain()
+    buffer.write(_record(1))
+    assert buffer.total_records == 2
+
+
+def test_overflow_triggers_implicit_drain():
+    record = _record()
+    # Capacity for ~2 records only.
+    buffer = TraceBuffer(capacity_bytes=record.record_bytes * 2 + 1)
+    for i in range(10):
+        buffer.write(_record(i))
+    assert buffer.overflow_drains > 0
+    # Nothing lost: drain returns everything ever written.
+    assert len(buffer.drain()) == 10
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity_bytes=0)
+
+
+def test_resident_bytes_tracks_writes():
+    buffer = TraceBuffer()
+    record = _record()
+    buffer.write(record)
+    assert buffer.resident_bytes == record.record_bytes

@@ -1,0 +1,102 @@
+"""Basic blocks and static summaries."""
+
+import pytest
+
+from repro.isa.basic_block import BasicBlock, BlockSummary
+from repro.isa.instruction import Instruction, MemoryDirection, SendMessage
+from repro.isa.opcodes import OpClass, Opcode
+
+
+def _block(instrs, block_id=0):
+    return BasicBlock(block_id, instrs)
+
+
+def _mixed_block():
+    return _block(
+        [
+            Instruction(Opcode.MOV, exec_size=16, compact=True),
+            Instruction(Opcode.ADD, exec_size=16),
+            Instruction(Opcode.AND, exec_size=8),
+            Instruction(
+                Opcode.SEND,
+                exec_size=16,
+                send=SendMessage(MemoryDirection.READ, bytes_per_channel=4),
+            ),
+            Instruction(Opcode.JMPI, exec_size=1),
+        ]
+    )
+
+
+def test_empty_block_rejected():
+    with pytest.raises(ValueError, match="no instructions"):
+        BasicBlock(0, [])
+
+
+def test_negative_id_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        BasicBlock(-1, [Instruction(Opcode.MOV)])
+
+
+def test_summary_counts_classes():
+    s = _mixed_block().summary
+    assert s.instruction_count == 5
+    assert s.class_counts[OpClass.MOVE] == 1
+    assert s.class_counts[OpClass.COMPUTATION] == 1
+    assert s.class_counts[OpClass.LOGIC] == 1
+    assert s.class_counts[OpClass.SEND] == 1
+    assert s.class_counts[OpClass.CONTROL] == 1
+
+
+def test_summary_counts_widths():
+    s = _mixed_block().summary
+    assert s.width_counts[16] == 3
+    assert s.width_counts[8] == 1
+    assert s.width_counts[1] == 1
+    assert s.width_counts[2] == 0
+
+
+def test_summary_memory_footprint():
+    s = _mixed_block().summary
+    assert s.bytes_read == 64  # 16 channels x 4 bytes
+    assert s.bytes_written == 0
+    assert s.send_count == 1
+
+
+def test_summary_encoded_bytes():
+    s = _mixed_block().summary
+    # One compact (8B) + four native (16B).
+    assert s.encoded_bytes == 8 + 4 * 16
+
+
+def test_summary_is_cached():
+    block = _mixed_block()
+    assert block.summary is block.summary
+
+
+def test_summary_matches_manual_recompute():
+    block = _mixed_block()
+    assert BlockSummary.of(block.instructions).instruction_count == len(block)
+
+
+def test_with_instructions_preserves_identity():
+    block = _mixed_block()
+    rewritten = block.with_instructions(
+        [Instruction(Opcode.ADD, exec_size=1, is_instrumentation=True)]
+        + list(block.instructions)
+    )
+    assert rewritten.block_id == block.block_id
+    assert rewritten.label == block.label
+    assert rewritten.instruction_count == block.instruction_count + 1
+    # Original untouched (no-perturbation guarantee).
+    assert block.instruction_count == 5
+
+
+def test_iteration_and_len():
+    block = _mixed_block()
+    assert len(list(block)) == len(block) == 5
+
+
+def test_disassemble_contains_label_and_instructions():
+    text = _mixed_block().disassemble()
+    assert text.startswith("BB0:")
+    assert "send(16)" in text

@@ -1,0 +1,130 @@
+"""KernelBuilder: fluent construction."""
+
+import numpy as np
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import Loop, Seq, TripCount, execution_counts
+
+
+def test_build_simple_kernel():
+    kb = KernelBuilder("k", simd_width=16)
+    with kb.block() as b:
+        b.mov()
+        b.alu("add")
+    kernel = kb.build()
+    assert kernel.n_blocks == 1
+    assert kernel.static_instruction_count == 2
+
+
+def test_loop_structure_multiplies_counts():
+    kb = KernelBuilder("k")
+    with kb.block() as b:
+        b.mov()
+    with kb.loop(5):
+        with kb.block() as b:
+            b.alu("mul")
+    kernel = kb.build()
+    counts = execution_counts(
+        kernel.program, {}, np.random.default_rng(0), kernel.n_blocks
+    )
+    assert counts.tolist() == [1, 5]
+
+
+def test_arg_dependent_loop():
+    kb = KernelBuilder("k", arg_names=("iters",))
+    with kb.loop(TripCount(base=0, arg="iters", scale=1.0)):
+        with kb.block() as b:
+            b.alu("add")
+    kernel = kb.build()
+    counts = execution_counts(
+        kernel.program, {"iters": 9}, np.random.default_rng(0), 1
+    )
+    assert counts[0] == 9
+
+
+def test_branch_structure():
+    kb = KernelBuilder("k")
+    with kb.loop(100):
+        with kb.branch(0.3):
+            with kb.block() as b:
+                b.alu("add")
+    kernel = kb.build()
+    counts = execution_counts(
+        kernel.program, {}, np.random.default_rng(0), 1
+    )
+    assert counts[0] == 30
+
+
+def test_nested_contexts():
+    kb = KernelBuilder("k")
+    with kb.block() as b:
+        b.mov()
+    with kb.loop(3):
+        with kb.loop(4):
+            with kb.block() as b:
+                b.alu("add")
+    kernel = kb.build()
+    counts = execution_counts(
+        kernel.program, {}, np.random.default_rng(0), kernel.n_blocks
+    )
+    assert counts.tolist() == [1, 12]
+
+
+def test_load_store_emit_sends():
+    kb = KernelBuilder("k")
+    with kb.block() as b:
+        b.load(bytes_per_channel=8)
+        b.store(bytes_per_channel=4)
+        b.atomic()
+    kernel = kb.build()
+    sends = [i for i in kernel.block(0) if i.is_send]
+    assert len(sends) == 3
+    assert sends[0].bytes_read == 8 * 16
+    assert sends[1].bytes_written == 4 * 16
+
+
+def test_alu_rejects_send_and_control():
+    kb = KernelBuilder("k")
+    with kb.block() as b:
+        with pytest.raises(ValueError, match="cannot emit"):
+            b.alu("send")
+        with pytest.raises(ValueError, match="cannot emit"):
+            b.alu("ret")
+        b.mov()
+    kb.build()
+
+
+def test_control_rejects_non_control():
+    kb = KernelBuilder("k")
+    with kb.block() as b:
+        with pytest.raises(ValueError, match="not a control opcode"):
+            b.control("add")
+        b.control("ret")
+    kernel = kb.build()
+    assert kernel.block(0).instructions[0].opcode is Opcode.RET
+
+
+def test_default_exec_size_is_kernel_width():
+    kb = KernelBuilder("k", simd_width=8)
+    with kb.block() as b:
+        b.alu("add")
+    kernel = kb.build()
+    assert kernel.block(0).instructions[0].exec_size == 8
+
+
+def test_build_without_blocks_fails():
+    with pytest.raises(RuntimeError, match="no blocks"):
+        KernelBuilder("k").build()
+
+
+def test_successor_wiring_linear():
+    kb = KernelBuilder("k")
+    for _ in range(3):
+        with kb.block() as b:
+            b.mov()
+    kernel = kb.build()
+    assert kernel.block(0).successors == (1,)
+    assert kernel.block(1).successors == (2,)
+    assert kernel.block(2).successors == ()

@@ -1,0 +1,120 @@
+"""Instruction model: widths, encodings, send payloads, footprints."""
+
+import pytest
+
+from repro.isa.instruction import (
+    COMPACT_ENCODING_BYTES,
+    EXEC_SIZES,
+    NATIVE_ENCODING_BYTES,
+    AccessPattern,
+    AddressSpace,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.opcodes import Opcode
+
+
+def _read_send(bpc=4, pattern=AccessPattern.SEQUENTIAL):
+    return SendMessage(
+        direction=MemoryDirection.READ,
+        bytes_per_channel=bpc,
+        pattern=pattern,
+    )
+
+
+def test_exec_sizes_match_figure_4b():
+    assert EXEC_SIZES == (1, 2, 4, 8, 16)
+
+
+def test_invalid_exec_size_rejected():
+    with pytest.raises(ValueError, match="exec_size"):
+        Instruction(Opcode.ADD, exec_size=3)
+
+
+def test_send_requires_message():
+    with pytest.raises(ValueError, match="requires a SendMessage"):
+        Instruction(Opcode.SEND, exec_size=8)
+
+
+def test_non_send_rejects_message():
+    with pytest.raises(ValueError, match="must not carry"):
+        Instruction(Opcode.ADD, exec_size=8, send=_read_send())
+
+
+def test_send_message_validation():
+    with pytest.raises(ValueError, match="bytes_per_channel"):
+        SendMessage(MemoryDirection.READ, bytes_per_channel=0)
+    with pytest.raises(ValueError, match="stride"):
+        SendMessage(MemoryDirection.READ, bytes_per_channel=4, stride=0)
+
+
+def test_bytes_moved_scales_with_exec_size():
+    msg = _read_send(bpc=4)
+    assert msg.bytes_moved(16) == 64
+    assert msg.bytes_moved(8) == 32
+    assert msg.bytes_moved(1) == 4
+
+
+def test_broadcast_moves_one_element():
+    msg = _read_send(bpc=8, pattern=AccessPattern.BROADCAST)
+    assert msg.bytes_moved(16) == 8
+
+
+def test_atomic_reads_and_writes():
+    msg = SendMessage(MemoryDirection.ATOMIC, bytes_per_channel=4)
+    assert msg.reads and msg.writes
+    instr = Instruction(Opcode.SEND, exec_size=8, send=msg)
+    assert instr.bytes_read == 32
+    assert instr.bytes_written == 32
+
+
+def test_read_instruction_footprint():
+    instr = Instruction(Opcode.SEND, exec_size=16, send=_read_send(4))
+    assert instr.bytes_read == 64
+    assert instr.bytes_written == 0
+
+
+def test_alu_instruction_has_no_memory_footprint():
+    instr = Instruction(Opcode.MAD, exec_size=16)
+    assert instr.bytes_read == 0
+    assert instr.bytes_written == 0
+
+
+def test_encoding_sizes():
+    assert Instruction(Opcode.MOV, compact=True).encoded_bytes == COMPACT_ENCODING_BYTES
+    assert Instruction(Opcode.MOV, compact=False).encoded_bytes == NATIVE_ENCODING_BYTES
+
+
+def test_sends_and_control_cannot_compact():
+    send = Instruction(Opcode.SEND, exec_size=8, send=_read_send(), compact=True)
+    assert send.encoded_bytes == NATIVE_ENCODING_BYTES
+    ctrl = Instruction(Opcode.JMPI, exec_size=1, compact=True)
+    assert ctrl.encoded_bytes == NATIVE_ENCODING_BYTES
+
+
+def test_issue_cycles_scale_with_width():
+    """GEN EUs are SIMD8: a SIMD16 op issues over two cycles."""
+    narrow = Instruction(Opcode.ADD, exec_size=8)
+    wide = Instruction(Opcode.ADD, exec_size=16)
+    assert wide.issue_cycles == pytest.approx(2 * narrow.issue_cycles)
+    scalar = Instruction(Opcode.ADD, exec_size=1)
+    assert scalar.issue_cycles == narrow.issue_cycles  # still one slot
+
+
+def test_disassembly_mentions_opcode_and_width():
+    instr = Instruction(Opcode.ADD, exec_size=16, dst=20, srcs=(21, 22))
+    text = instr.disassemble()
+    assert "add(16)" in text
+    assert "r20" in text
+
+
+def test_instrumentation_flag_in_disassembly():
+    instr = Instruction(Opcode.ADD, exec_size=1, is_instrumentation=True)
+    assert "[gtpin]" in instr.disassemble()
+
+
+def test_address_spaces_enumerated():
+    assert {s.value for s in AddressSpace} == {
+        "global", "constant", "shared", "image", "scratch",
+    }

@@ -1,0 +1,121 @@
+"""Kernel binaries: validation, arrays, rewriting support."""
+
+import numpy as np
+import pytest
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import Instruction, MemoryDirection, SendMessage
+from repro.isa.kernel import KernelArrays, KernelBinary
+from repro.isa.opcodes import FIGURE_4A_ORDER, OpClass, Opcode
+from repro.isa.program import Block, Seq
+
+from conftest import build_tiny_kernel
+
+
+def _simple_blocks(n=3):
+    return [
+        BasicBlock(i, [Instruction(Opcode.ADD, exec_size=8)]) for i in range(n)
+    ]
+
+
+def test_kernel_requires_name():
+    with pytest.raises(ValueError, match="name"):
+        KernelBinary("", _simple_blocks(), Seq((Block(0),)))
+
+
+def test_kernel_requires_blocks():
+    with pytest.raises(ValueError, match="no basic blocks"):
+        KernelBinary("k", [], Seq((Block(0),)))
+
+
+def test_block_ids_must_be_contiguous():
+    blocks = [
+        BasicBlock(0, [Instruction(Opcode.ADD)]),
+        BasicBlock(2, [Instruction(Opcode.ADD)]),
+    ]
+    with pytest.raises(ValueError, match="contiguous"):
+        KernelBinary("k", blocks, Seq((Block(0),)))
+
+
+def test_program_must_reference_known_blocks():
+    with pytest.raises(ValueError, match="unknown blocks"):
+        KernelBinary("k", _simple_blocks(2), Seq((Block(5),)))
+
+
+def test_invalid_simd_width():
+    with pytest.raises(ValueError, match="simd_width"):
+        KernelBinary("k", _simple_blocks(), Seq((Block(0),)), simd_width=5)
+
+
+def test_static_instruction_count(tiny_kernel):
+    manual = sum(len(b) for b in tiny_kernel.blocks)
+    assert tiny_kernel.static_instruction_count == manual
+
+
+def test_arrays_match_block_summaries(tiny_kernel):
+    arrays = tiny_kernel.arrays
+    for block in tiny_kernel:
+        i = block.block_id
+        s = block.summary
+        assert arrays.instruction_counts[i] == s.instruction_count
+        assert arrays.bytes_read[i] == s.bytes_read
+        assert arrays.bytes_written[i] == s.bytes_written
+        assert arrays.issue_cycles[i] == pytest.approx(s.issue_cycles)
+        for c, cls in enumerate(FIGURE_4A_ORDER):
+            assert arrays.class_counts[i, c] == s.class_counts[cls]
+
+
+def test_arrays_cached(tiny_kernel):
+    assert tiny_kernel.arrays is tiny_kernel.arrays
+
+
+def test_arrays_dot_product_equals_sum(tiny_kernel):
+    counts = np.ones(tiny_kernel.n_blocks, dtype=np.int64)
+    assert (
+        counts @ tiny_kernel.arrays.instruction_counts
+        == tiny_kernel.static_instruction_count
+    )
+
+
+def test_static_class_counts(tiny_kernel):
+    counts = tiny_kernel.static_class_counts()
+    assert sum(counts.values()) == tiny_kernel.static_instruction_count
+    assert counts[OpClass.SEND] >= 2  # loop load/store + epilogue store
+
+
+def test_with_blocks_preserves_signature(tiny_kernel):
+    rewritten = tiny_kernel.with_blocks(tiny_kernel.blocks, {"marker": 1})
+    assert rewritten.name == tiny_kernel.name
+    assert rewritten.arg_names == tiny_kernel.arg_names
+    assert rewritten.simd_width == tiny_kernel.simd_width
+    assert rewritten.metadata["marker"] == 1
+    # Fresh arrays cache, equal content.
+    assert (
+        rewritten.static_instruction_count
+        == tiny_kernel.static_instruction_count
+    )
+
+
+def test_with_blocks_merges_metadata():
+    kernel = build_tiny_kernel()
+    first = kernel.with_blocks(kernel.blocks, {"a": 1})
+    second = first.with_blocks(first.blocks, {"b": 2})
+    assert second.metadata["a"] == 1
+    assert second.metadata["b"] == 2
+
+
+def test_disassemble_mentions_all_blocks(tiny_kernel):
+    text = tiny_kernel.disassemble()
+    for block in tiny_kernel:
+        assert block.label + ":" in text
+
+
+def test_kernel_arrays_of_matches_manual(tiny_kernel):
+    arrays = KernelArrays.of(tiny_kernel.blocks)
+    np.testing.assert_array_equal(
+        arrays.instruction_counts, tiny_kernel.arrays.instruction_counts
+    )
+
+
+def test_encoded_bytes_positive(tiny_kernel):
+    assert tiny_kernel.static_encoded_bytes > 0

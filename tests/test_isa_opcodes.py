@@ -1,0 +1,76 @@
+"""Opcode classification and metadata."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    FIGURE_4A_ORDER,
+    OPCODES_BY_CLASS,
+    OpClass,
+    Opcode,
+    opcode_from_mnemonic,
+)
+
+
+def test_every_opcode_has_a_class():
+    for opcode in Opcode:
+        assert isinstance(opcode.op_class, OpClass)
+
+
+def test_classes_partition_opcodes():
+    seen = set()
+    for opcodes in OPCODES_BY_CLASS.values():
+        for op in opcodes:
+            assert op not in seen, f"{op} appears in two classes"
+            seen.add(op)
+    assert seen == set(Opcode)
+
+
+def test_figure_4a_order_covers_all_classes():
+    assert set(FIGURE_4A_ORDER) == set(OpClass)
+    assert len(FIGURE_4A_ORDER) == 5
+
+
+def test_send_opcodes():
+    assert Opcode.SEND.is_send
+    assert Opcode.SENDC.is_send
+    assert not Opcode.ADD.is_send
+    assert Opcode.SEND.op_class is OpClass.SEND
+
+
+def test_control_opcodes():
+    assert Opcode.JMPI.is_control
+    assert Opcode.WHILE.is_control
+    assert not Opcode.MOV.is_control
+
+
+def test_mov_is_move_class():
+    assert Opcode.MOV.op_class is OpClass.MOVE
+    assert Opcode.SEL.op_class is OpClass.MOVE
+
+
+def test_logic_examples():
+    for op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.CMP):
+        assert op.op_class is OpClass.LOGIC
+
+
+def test_computation_includes_extended_math():
+    assert Opcode.MATH_SQRT.op_class is OpClass.COMPUTATION
+    assert Opcode.MAD.op_class is OpClass.COMPUTATION
+
+
+def test_issue_cycles_positive_and_ordered():
+    for opcode in Opcode:
+        assert opcode.issue_cycles >= 1
+    # Extended math is slower than simple ALU; sends slower than moves.
+    assert Opcode.MATH_SIN.issue_cycles > Opcode.ADD.issue_cycles
+    assert Opcode.SEND.issue_cycles > Opcode.MOV.issue_cycles
+
+
+def test_opcode_from_mnemonic_roundtrip():
+    for opcode in Opcode:
+        assert opcode_from_mnemonic(opcode.value) is opcode
+
+
+def test_opcode_from_mnemonic_unknown():
+    with pytest.raises(KeyError, match="unknown GEN mnemonic"):
+        opcode_from_mnemonic("frobnicate")

@@ -1,0 +1,135 @@
+"""Structured program trees: trip counts, branches, execution counts."""
+
+import numpy as np
+import pytest
+
+from repro.isa.program import (
+    Block,
+    Branch,
+    Loop,
+    Seq,
+    TripCount,
+    block_ids,
+    execution_counts,
+    seq,
+    straight_line,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_trip_count_constant():
+    assert TripCount(base=5).resolve({}, _rng()) == 5
+
+
+def test_trip_count_arg_scaled():
+    trip = TripCount(base=2, arg="iters", scale=3.0)
+    assert trip.resolve({"iters": 4}, _rng()) == 14
+
+
+def test_trip_count_missing_arg_uses_base():
+    trip = TripCount(base=2, arg="iters", scale=3.0)
+    assert trip.resolve({}, _rng()) == 2
+
+
+def test_trip_count_jitter_bounds():
+    trip = TripCount(base=10, jitter=2)
+    values = {trip.resolve({}, _rng(s)) for s in range(50)}
+    assert values <= {8, 9, 10, 11, 12}
+    assert len(values) > 1  # jitter actually varies
+
+
+def test_trip_count_never_negative():
+    trip = TripCount(base=0, jitter=3)
+    for s in range(20):
+        assert trip.resolve({}, _rng(s)) >= 0
+
+
+def test_trip_count_validation():
+    with pytest.raises(ValueError):
+        TripCount(base=-1)
+    with pytest.raises(ValueError):
+        TripCount(jitter=-1)
+
+
+def test_branch_probability_validation():
+    with pytest.raises(ValueError):
+        Branch(Block(0), None, 1.5)
+
+
+def test_block_ids_collects_all():
+    program = Seq(
+        (
+            Block(0),
+            Loop(Seq((Block(1), Branch(Block(2), Block(3), 0.5))), TripCount(2)),
+            Block(4),
+        )
+    )
+    assert block_ids(program) == frozenset({0, 1, 2, 3, 4})
+
+
+def test_execution_counts_straight_line():
+    program = straight_line([0, 1, 2])
+    counts = execution_counts(program, {}, _rng(), 3)
+    assert counts.tolist() == [1, 1, 1]
+
+
+def test_execution_counts_loop_multiplies():
+    program = Seq((Block(0), Loop(Block(1), TripCount(7)), Block(2)))
+    counts = execution_counts(program, {}, _rng(), 3)
+    assert counts.tolist() == [1, 7, 1]
+
+
+def test_execution_counts_nested_loops():
+    inner = Loop(Block(1), TripCount(3))
+    program = Seq((Block(0), Loop(inner, TripCount(4))))
+    counts = execution_counts(program, {}, _rng(), 2)
+    assert counts.tolist() == [1, 12]
+
+
+def test_execution_counts_branch_split():
+    program = Loop(Branch(Block(0), Block(1), 0.25), TripCount(100))
+    counts = execution_counts(program, {}, _rng(), 2)
+    assert counts[0] == 25
+    assert counts[1] == 75
+
+
+def test_execution_counts_branch_without_else():
+    program = Loop(Branch(Block(0), None, 0.5), TripCount(10))
+    counts = execution_counts(program, {}, _rng(), 1)
+    assert counts[0] == 5
+
+
+def test_execution_counts_zero_trip_loop():
+    program = Seq((Block(0), Loop(Block(1), TripCount(0))))
+    counts = execution_counts(program, {}, _rng(), 2)
+    assert counts.tolist() == [1, 0]
+
+
+def test_execution_counts_arg_dependent():
+    program = Loop(Block(0), TripCount(base=0, arg="n", scale=2.0))
+    counts = execution_counts(program, {"n": 6}, _rng(), 1)
+    assert counts[0] == 12
+
+
+def test_seq_flattens_nested_sequences():
+    inner = seq(Block(0), Block(1))
+    outer = seq(inner, Block(2))
+    assert len(outer.children) == 3
+
+
+def test_jittered_counts_vary_across_seeds():
+    program = Loop(Block(0), TripCount(base=10, jitter=3))
+    values = {
+        int(execution_counts(program, {}, _rng(s), 1)[0]) for s in range(30)
+    }
+    assert len(values) > 1
+
+
+def test_same_seed_reproduces_counts():
+    program = Loop(Block(0), TripCount(base=10, jitter=3))
+    a = execution_counts(program, {}, _rng(42), 1)
+    b = execution_counts(program, {}, _rng(42), 1)
+    assert a.tolist() == b.tolist()

@@ -1,0 +1,89 @@
+"""Loop-reduced micro-kernel sampled simulation (the paper's suggested
+combination with partial-invocation sampling)."""
+
+import pytest
+
+from repro.gpu.cache import CacheConfig
+from repro.gpu.device import HD4000
+from repro.sampling.pipeline import select_simpoints
+from repro.sampling.simpoint import SimPointOptions
+from repro.simulation.microkernels import simulate_selection_microkernels
+from repro.simulation.sampled import simulate_full, simulate_selection
+
+FAST = SimPointOptions(max_k=5, restarts=1, max_iterations=30)
+CACHE = CacheConfig(size_bytes=64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def setup(small_workload, small_app):
+    selection = select_simpoints(small_workload, options=FAST).selection
+    return small_app, small_workload, selection
+
+
+def test_reduction_validates(setup):
+    app, workload, selection = setup
+    with pytest.raises(ValueError, match="loop_reduction"):
+        simulate_selection_microkernels(
+            app.name, app.sources, workload.log, selection, HD4000,
+            loop_reduction=0.5,
+        )
+
+
+def test_microkernels_step_fewer_instructions(setup):
+    app, workload, selection = setup
+    plain = simulate_selection(
+        app.name, app.sources, workload.log, selection, HD4000, CACHE
+    )
+    reduced = simulate_selection_microkernels(
+        app.name, app.sources, workload.log, selection, HD4000,
+        loop_reduction=4.0, cache_config=CACHE,
+    )
+    # Loop reduction multiplies the selection speedup.
+    assert reduced.stepped_instructions < plain.simulated_instructions
+    assert reduced.instruction_speedup > plain.instruction_speedup
+
+
+def test_microkernels_stay_accurate(setup):
+    app, workload, selection = setup
+    full = simulate_full(
+        app.name, app.sources, workload.log, HD4000, CACHE
+    )
+    reduced = simulate_selection_microkernels(
+        app.name, app.sources, workload.log, selection, HD4000,
+        loop_reduction=3.0, cache_config=CACHE,
+    )
+    error = (
+        abs(full.measured_spi - reduced.projected_spi)
+        / full.measured_spi
+        * 100.0
+    )
+    # Accuracy degrades vs whole-invocation sampling but stays usable.
+    assert error < 30.0
+
+
+def test_reduction_one_equals_plain_sampling(setup):
+    app, workload, selection = setup
+    plain = simulate_selection(
+        app.name, app.sources, workload.log, selection, HD4000, CACHE,
+        seed=7,
+    )
+    reduced = simulate_selection_microkernels(
+        app.name, app.sources, workload.log, selection, HD4000,
+        loop_reduction=1.0, cache_config=CACHE, seed=7,
+    )
+    assert reduced.projected_spi == pytest.approx(
+        plain.projected_spi, rel=0.05
+    )
+
+
+def test_higher_reduction_higher_speedup(setup):
+    app, workload, selection = setup
+    speedups = []
+    for reduction in (1.0, 2.0, 8.0):
+        result = simulate_selection_microkernels(
+            app.name, app.sources, workload.log, selection, HD4000,
+            loop_reduction=reduction,
+        )
+        speedups.append(result.instruction_speedup)
+        assert result.loop_reduction == reduction
+    assert speedups == sorted(speedups)

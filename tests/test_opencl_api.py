@@ -1,0 +1,65 @@
+"""API-call vocabulary and Figure 3a categorization."""
+
+from repro.opencl.api import (
+    KERNEL_ENQUEUE,
+    OTHER_CALLS,
+    PAPER_KERNEL_ENQUEUE_SPELLING,
+    SYNCHRONIZATION_CALLS,
+    APICall,
+    CallCategory,
+    categorize,
+    is_synchronization,
+)
+
+
+def test_exactly_seven_synchronization_calls():
+    """Section II lists exactly seven synchronization calls."""
+    assert len(SYNCHRONIZATION_CALLS) == 7
+    assert set(SYNCHRONIZATION_CALLS) == {
+        "clFinish",
+        "clEnqueueCopyImageToBuffer",
+        "clWaitForEvents",
+        "clFlush",
+        "clEnqueueReadImage",
+        "clEnqueueCopyBuffer",
+        "clEnqueueReadBuffer",
+    }
+
+
+def test_kernel_enqueue_categorized_as_kernel():
+    assert categorize(KERNEL_ENQUEUE) is CallCategory.KERNEL
+    assert categorize(PAPER_KERNEL_ENQUEUE_SPELLING) is CallCategory.KERNEL
+
+
+def test_sync_calls_categorized():
+    for name in SYNCHRONIZATION_CALLS:
+        assert categorize(name) is CallCategory.SYNCHRONIZATION
+        assert is_synchronization(name)
+
+
+def test_other_calls_categorized():
+    for name in OTHER_CALLS:
+        assert categorize(name) is CallCategory.OTHER
+        assert not is_synchronization(name)
+
+
+def test_write_buffer_is_not_synchronization():
+    """Only the read-side transfer calls synchronize (per the paper)."""
+    assert categorize("clEnqueueWriteBuffer") is CallCategory.OTHER
+
+
+def test_unknown_call_defaults_to_other():
+    assert categorize("clSomeVendorExtension") is CallCategory.OTHER
+
+
+def test_api_call_properties():
+    call = APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 64})
+    assert call.is_kernel_enqueue
+    assert not call.is_synchronization
+    assert "global_work_size=64" in str(call)
+
+
+def test_api_call_category_cached_semantics():
+    call = APICall("clFinish")
+    assert call.is_synchronization
+    assert call.category is CallCategory.SYNCHRONIZATION

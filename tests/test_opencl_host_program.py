@@ -1,0 +1,48 @@
+"""HostProgram: the replayable call stream."""
+
+import pytest
+
+from repro.opencl.api import KERNEL_ENQUEUE, APICall, CallCategory
+from repro.opencl.host_program import HostProgram
+
+
+def _program():
+    return HostProgram(
+        name="p",
+        calls=(
+            APICall("clCreateContext"),
+            APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 8}),
+            APICall("clFinish"),
+            APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 8}),
+        ),
+    )
+
+
+def test_name_required():
+    with pytest.raises(ValueError, match="name"):
+        HostProgram(name="", calls=())
+
+
+def test_len_and_iteration():
+    program = _program()
+    assert len(program) == 4
+    assert [c.name for c in program][0] == "clCreateContext"
+
+
+def test_category_counts():
+    counts = _program().category_counts()
+    assert counts[CallCategory.KERNEL] == 2
+    assert counts[CallCategory.SYNCHRONIZATION] == 1
+    assert counts[CallCategory.OTHER] == 1
+
+
+def test_convenience_counts():
+    program = _program()
+    assert program.kernel_enqueue_count == 2
+    assert program.synchronization_count == 1
+
+
+def test_programs_are_immutable():
+    program = _program()
+    with pytest.raises(AttributeError):
+        program.name = "other"  # type: ignore[misc]

@@ -1,0 +1,225 @@
+"""OpenCL runtime semantics: queueing, sync flushes, arg state, errors."""
+
+import pytest
+
+from repro.driver.driver import GPUDriver
+from repro.driver.jit import KernelSource
+from repro.gpu.device import HD4000
+from repro.gpu.execution import GPUDevice
+from repro.opencl.api import KERNEL_ENQUEUE, APICall
+from repro.opencl.errors import (
+    InvalidArgIndex,
+    InvalidKernelArgs,
+    InvalidKernelName,
+    InvalidOperation,
+    InvalidWorkSize,
+)
+from repro.opencl.host_program import HostProgram
+from repro.opencl.runtime import OpenCLRuntime
+
+from conftest import TinyApplication, build_tiny_kernel, make_host_program
+
+
+def _runtime(app):
+    runtime = OpenCLRuntime(GPUDriver(GPUDevice(HD4000)))
+    runtime.load_sources(app.sources)
+    return runtime
+
+
+def test_run_executes_all_enqueues(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program, trial_seed=0)
+    assert len(run.dispatches) == 6
+    assert run.total_instructions > 0
+    assert run.total_kernel_seconds > 0
+
+
+def test_dispatch_order_matches_enqueue_order(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program)
+    names = [d.kernel_name for d in run.dispatches]
+    assert names == [
+        "tiny.k0", "tiny.k1", "tiny.k0", "tiny.k1", "tiny.k0", "tiny.k1",
+    ]
+
+
+def test_sync_epochs_assigned(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program)
+    # sync_every=3: first three dispatches epoch 0, next three epoch 1.
+    epochs = [d.sync_epoch for d in run.dispatches]
+    assert epochs == [0, 0, 0, 1, 1, 1]
+
+
+def test_sync_call_indices_recorded(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program)
+    for idx in run.sync_call_indices:
+        assert run.api_calls[idx].is_synchronization
+
+
+def test_enqueue_call_index_points_at_enqueue(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program)
+    for dispatch in run.dispatches:
+        call = run.api_calls[dispatch.enqueue_call_index]
+        assert call.name == KERNEL_ENQUEUE
+        assert call.args["kernel"] == dispatch.kernel_name
+
+
+def test_args_reach_the_device(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program)
+    assert run.dispatches[0].arg_values == {"iters": 4.0, "n": 256.0}
+    assert run.dispatches[3].arg_values == {"iters": 6.0, "n": 128.0}
+
+
+def test_arg_state_persists_between_enqueues():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)], name="a")
+    # Re-enqueue without re-setting args: state persists.
+    calls = list(app.host_program.calls)
+    finish = calls.pop()  # trailing clFinish
+    calls.append(APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 64}))
+    calls.append(finish)
+    program = HostProgram(name="a", calls=tuple(calls))
+    runtime = _runtime(app)
+    run = runtime.run(program)
+    assert len(run.dispatches) == 2
+    assert run.dispatches[1].arg_values == run.dispatches[0].arg_values
+
+
+def test_enqueue_before_build_raises():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    program = HostProgram(
+        name="p",
+        calls=(
+            APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 64}),
+        ),
+    )
+    with pytest.raises(InvalidOperation, match="before clBuildProgram"):
+        _runtime(app).run(program)
+
+
+def test_enqueue_unset_args_raises():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    program = HostProgram(
+        name="p",
+        calls=(
+            APICall("clBuildProgram"),
+            APICall("clCreateKernel", {"kernel": "k"}),
+            APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 64}),
+        ),
+    )
+    with pytest.raises(InvalidKernelArgs, match="unset arguments"):
+        _runtime(app).run(program)
+
+
+def test_bad_work_size_raises():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    calls = [c for c in app.host_program.calls if c.name != KERNEL_ENQUEUE]
+    calls.insert(
+        -1, APICall(KERNEL_ENQUEUE, {"kernel": "k", "global_work_size": 0})
+    )
+    with pytest.raises(InvalidWorkSize):
+        _runtime(app).run(HostProgram(name="p", calls=tuple(calls)))
+
+
+def test_unknown_kernel_raises():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    program = HostProgram(
+        name="p",
+        calls=(
+            APICall("clBuildProgram"),
+            APICall("clCreateKernel", {"kernel": "nope"}),
+        ),
+    )
+    with pytest.raises(InvalidKernelName):
+        _runtime(app).run(program)
+
+
+def test_bad_arg_index_raises():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    program = HostProgram(
+        name="p",
+        calls=(
+            APICall("clBuildProgram"),
+            APICall(
+                "clSetKernelArg",
+                {"kernel": "k", "arg_index": 9, "value": 1.0},
+            ),
+        ),
+    )
+    with pytest.raises(InvalidArgIndex):
+        _runtime(app).run(program)
+
+
+def test_interceptor_sees_every_call(tiny_app):
+    runtime = _runtime(tiny_app)
+    seen = []
+    runtime.add_interceptor(lambda call: seen.append(call.name))
+    runtime.run(tiny_app.host_program)
+    assert len(seen) == len(tiny_app.host_program)
+
+
+def test_trailing_work_flushed_without_sync():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    # Remove the trailing clFinish: work still executes at program end.
+    calls = tuple(
+        c for c in app.host_program.calls if c.name != "clFinish"
+    )
+    run = _runtime(app).run(HostProgram(name="p", calls=calls))
+    assert len(run.dispatches) == 1
+
+
+def test_same_seed_reproduces_run(tiny_app):
+    run_a = _runtime(tiny_app).run(tiny_app.host_program, trial_seed=5)
+    run_b = _runtime(tiny_app).run(tiny_app.host_program, trial_seed=5)
+    assert run_a.total_instructions == run_b.total_instructions
+    assert run_a.total_kernel_seconds == pytest.approx(
+        run_b.total_kernel_seconds
+    )
+
+
+def test_different_seeds_differ(tiny_app):
+    run_a = _runtime(tiny_app).run(tiny_app.host_program, trial_seed=5)
+    run_b = _runtime(tiny_app).run(tiny_app.host_program, trial_seed=6)
+    assert run_a.total_kernel_seconds != pytest.approx(
+        run_b.total_kernel_seconds
+    )
+
+
+def test_measured_spi(tiny_app):
+    run = _runtime(tiny_app).run(tiny_app.host_program)
+    assert run.measured_spi == pytest.approx(
+        run.total_kernel_seconds / run.total_instructions
+    )
+
+
+def test_init_hooks_run_once():
+    kernel = build_tiny_kernel("k")
+    app = TinyApplication([kernel], [("k", 64, 2.0)])
+    driver = GPUDriver(GPUDevice(HD4000))
+    hooked = []
+    OpenCLRuntime(driver, init_hooks=(lambda rt: hooked.append(rt),))
+    assert len(hooked) == 1
+
+
+def test_build_without_sources_raises():
+    from repro.opencl.errors import BuildProgramFailure
+
+    runtime = OpenCLRuntime(GPUDriver(GPUDevice(HD4000)))
+    program = HostProgram(name="p", calls=(APICall("clBuildProgram"),))
+    with pytest.raises(BuildProgramFailure, match="no program sources"):
+        runtime.run(program)
+
+
+def test_create_buffer_validates_size(tiny_app):
+    from repro.opencl.errors import InvalidMemObject
+
+    runtime = _runtime(tiny_app)
+    program = HostProgram(
+        name="p", calls=(APICall("clCreateBuffer", {"size": 0}),)
+    )
+    with pytest.raises(InvalidMemObject, match="non-positive size"):
+        runtime.run(program)

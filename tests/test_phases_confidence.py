@@ -1,0 +1,184 @@
+"""Phase timelines and projection confidence bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import PhaseTimeline, phase_timeline
+from repro.sampling.confidence import projection_confidence
+from repro.sampling.error import arrays_from_profile, measured_spi
+from repro.sampling.features import FeatureKind, build_feature_vectors
+from repro.sampling.intervals import Interval, IntervalScheme, divide
+from repro.sampling.selection import SelectionConfig, selection_from_simpoint
+from repro.sampling.simpoint import (
+    SimPointOptions,
+    SimPointResult,
+    run_simpoint,
+)
+
+FAST = SimPointOptions(max_k=5, restarts=1, max_iterations=30)
+
+
+def _fake_result(labels, k):
+    labels = np.asarray(labels)
+    reps = []
+    ratios = []
+    for cluster in range(k):
+        members = np.nonzero(labels == cluster)[0]
+        reps.append(int(members[0]))
+        ratios.append(members.size / labels.size)
+    return SimPointResult(
+        k=k,
+        labels=labels,
+        representatives=tuple(reps),
+        representation_ratios=tuple(ratios),
+        bic_by_k={},
+        projected=np.zeros((labels.size, 2)),
+    )
+
+
+def _intervals(weights):
+    intervals = []
+    start = 0
+    for i, w in enumerate(weights):
+        intervals.append(
+            Interval(index=i, start=start, stop=start + 1,
+                     instruction_count=w)
+        )
+        start += 1
+    return intervals
+
+
+class TestPhaseTimeline:
+    def test_run_length_encoding(self):
+        intervals = _intervals([100] * 6)
+        result = _fake_result([0, 0, 1, 1, 1, 0], 2)
+        timeline = phase_timeline(intervals, result)
+        assert [s.cluster for s in timeline.segments] == [0, 1, 0]
+        assert timeline.segments[1].first_interval == 2
+        assert timeline.segments[1].last_interval == 4
+        assert timeline.n_transitions == 2
+
+    def test_segment_instruction_weights(self):
+        intervals = _intervals([10, 20, 30, 40])
+        result = _fake_result([0, 0, 1, 1], 2)
+        timeline = phase_timeline(intervals, result)
+        assert timeline.segments[0].instruction_count == 30
+        assert timeline.segments[1].instruction_count == 70
+        assert timeline.dominant_cluster() == 1
+
+    def test_render_proportional(self):
+        intervals = _intervals([75, 25])
+        result = _fake_result([0, 1], 2)
+        text = phase_timeline(intervals, result).render(width=40)
+        assert text.count("0") > text.count("1") > 0
+
+    def test_stability_bounds(self):
+        stable = phase_timeline(
+            _intervals([1] * 8), _fake_result([0] * 8, 1)
+        )
+        thrash = phase_timeline(
+            _intervals([1] * 8), _fake_result([0, 1] * 4, 2)
+        )
+        assert stable.stability() == 1.0
+        assert thrash.stability() < stable.stability()
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            phase_timeline(_intervals([1, 1, 1]), _fake_result([0, 0], 1))
+
+    def test_real_clustering_timeline(self, small_workload):
+        log = small_workload.log
+        intervals = divide(log, IntervalScheme.SYNC)
+        vectors = build_feature_vectors(log, intervals, FeatureKind.BB)
+        result = run_simpoint(
+            vectors, [iv.instruction_count for iv in intervals], FAST
+        )
+        timeline = phase_timeline(intervals, result)
+        assert sum(s.n_intervals for s in timeline.segments) == len(intervals)
+        assert timeline.total_instructions == log.total_instructions
+        assert timeline.render()
+
+
+class TestProjectionConfidence:
+    @pytest.fixture(scope="class")
+    def pipeline(self, small_workload):
+        log = small_workload.log
+        intervals = divide(log, IntervalScheme.SYNC)
+        vectors = build_feature_vectors(log, intervals, FeatureKind.BB)
+        result = run_simpoint(
+            vectors, [iv.instruction_count for iv in intervals], FAST
+        )
+        selection = selection_from_simpoint(
+            SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+            intervals, result, log.total_instructions,
+        )
+        seconds, instructions = arrays_from_profile(
+            log, small_workload.timings
+        )
+        return selection, intervals, result, seconds, instructions
+
+    def test_interval_contains_projection(self, pipeline):
+        selection, intervals, result, seconds, instructions = pipeline
+        conf = projection_confidence(
+            selection, intervals, result.labels, seconds, instructions
+        )
+        assert conf.lower <= conf.projected_spi <= conf.upper
+        assert conf.half_width >= 0
+
+    def test_interval_usually_covers_measured(self, pipeline):
+        selection, intervals, result, seconds, instructions = pipeline
+        conf = projection_confidence(
+            selection, intervals, result.labels, seconds, instructions,
+            z=2.5,
+        )
+        assert conf.contains(measured_spi(seconds, instructions))
+
+    def test_wider_z_wider_interval(self, pipeline):
+        selection, intervals, result, seconds, instructions = pipeline
+        narrow = projection_confidence(
+            selection, intervals, result.labels, seconds, instructions, z=1.0
+        )
+        wide = projection_confidence(
+            selection, intervals, result.labels, seconds, instructions, z=3.0
+        )
+        assert wide.half_width >= narrow.half_width
+        assert wide.projected_spi == pytest.approx(narrow.projected_spi)
+
+    def test_cluster_spreads_reported(self, pipeline):
+        selection, intervals, result, seconds, instructions = pipeline
+        conf = projection_confidence(
+            selection, intervals, result.labels, seconds, instructions
+        )
+        assert len(conf.clusters) == selection.k
+        assert all(c.n_intervals >= 1 for c in conf.clusters)
+        assert all(c.relative_spread >= 0 for c in conf.clusters)
+
+    def test_validation(self, pipeline):
+        selection, intervals, result, seconds, instructions = pipeline
+        with pytest.raises(ValueError, match="z must be positive"):
+            projection_confidence(
+                selection, intervals, result.labels, seconds, instructions,
+                z=0.0,
+            )
+        with pytest.raises(ValueError, match="labels"):
+            projection_confidence(
+                selection, intervals, result.labels[:-1], seconds,
+                instructions,
+            )
+
+
+def test_structure_report_source_lines(small_workload):
+    from repro.gtpin.profiler import GTPinSession, build_runtime
+    from repro.gtpin.tools import StructureTool
+    from repro.workloads.suite import load_app
+
+    app = load_app("cb-gaussian-buffer", scale=0.5)
+    session = GTPinSession([StructureTool()])
+    runtime = build_runtime(app, session=session)
+    runtime.run(app.host_program)
+    report = session.post_process()["structure"]
+    assert report.source_lines > 0
+    assert report.assembly_per_source_line > 1.0  # JIT expands source
+    assert set(report.per_kernel_source_lines) == set(
+        report.per_kernel_blocks
+    )

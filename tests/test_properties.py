@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cache import CacheConfig, CacheSimulator
+from repro.gpu.memory import Surface, expand_addresses
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import (
+    EXEC_SIZES,
+    AccessPattern,
+    Instruction,
+    MemoryDirection,
+    SendMessage,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import (
+    Block,
+    Branch,
+    Loop,
+    Seq,
+    TripCount,
+    execution_counts,
+)
+from repro.sampling.simpoint import SimPointOptions, project_features, run_simpoint
+
+# -- strategies ---------------------------------------------------------------
+
+exec_sizes = st.sampled_from(EXEC_SIZES)
+opcodes = st.sampled_from([op for op in Opcode if not op.is_send])
+patterns = st.sampled_from(list(AccessPattern))
+directions = st.sampled_from(list(MemoryDirection))
+
+
+@st.composite
+def instructions(draw):
+    if draw(st.booleans()):
+        return Instruction(
+            Opcode.SEND,
+            exec_size=draw(exec_sizes),
+            send=SendMessage(
+                direction=draw(directions),
+                bytes_per_channel=draw(st.integers(1, 64)),
+                pattern=draw(patterns),
+                stride=draw(st.integers(1, 8)),
+            ),
+        )
+    return Instruction(
+        draw(opcodes),
+        exec_size=draw(exec_sizes),
+        compact=draw(st.booleans()),
+    )
+
+
+@st.composite
+def basic_blocks(draw):
+    instrs = draw(st.lists(instructions(), min_size=1, max_size=12))
+    return BasicBlock(0, instrs)
+
+
+# -- block summary invariants ----------------------------------------------------
+
+
+@given(basic_blocks())
+@settings(max_examples=60, deadline=None)
+def test_summary_class_counts_total(block):
+    s = block.summary
+    assert sum(s.class_counts.values()) == s.instruction_count
+    assert sum(s.width_counts.values()) == s.instruction_count
+
+
+@given(basic_blocks())
+@settings(max_examples=60, deadline=None)
+def test_summary_bytes_nonnegative_and_match_manual(block):
+    s = block.summary
+    assert s.bytes_read == sum(i.bytes_read for i in block)
+    assert s.bytes_written == sum(i.bytes_written for i in block)
+    assert s.issue_cycles > 0
+
+
+@given(basic_blocks())
+@settings(max_examples=40, deadline=None)
+def test_summary_encoding_bounds(block):
+    s = block.summary
+    assert 8 * s.instruction_count <= s.encoded_bytes <= 16 * s.instruction_count
+
+
+# -- program tree invariants -------------------------------------------------------
+
+
+@st.composite
+def program_trees(draw, max_blocks=6):
+    n_blocks = draw(st.integers(1, max_blocks))
+    leaves = [Block(i) for i in range(n_blocks)]
+
+    def node(depth):
+        kind = draw(st.integers(0, 3 if depth < 2 else 0))
+        if kind == 0:
+            return leaves[draw(st.integers(0, n_blocks - 1))]
+        if kind == 1:
+            return Seq(tuple(node(depth + 1) for _ in range(draw(st.integers(1, 3)))))
+        if kind == 2:
+            return Loop(node(depth + 1), TripCount(draw(st.integers(0, 5))))
+        return Branch(
+            node(depth + 1), node(depth + 1),
+            draw(st.floats(0.0, 1.0)),
+        )
+
+    return Seq(tuple(node(0) for _ in range(draw(st.integers(1, 3))))), n_blocks
+
+
+@given(program_trees(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_execution_counts_nonnegative_and_deterministic(tree_and_n, seed):
+    tree, n_blocks = tree_and_n
+    a = execution_counts(tree, {}, np.random.default_rng(seed), n_blocks)
+    b = execution_counts(tree, {}, np.random.default_rng(seed), n_blocks)
+    assert (a >= 0).all()
+    assert a.tolist() == b.tolist()
+
+
+@given(st.integers(0, 100), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_nested_loops_multiply(outer, inner):
+    tree = Loop(Loop(Block(0), TripCount(inner)), TripCount(outer))
+    counts = execution_counts(tree, {}, np.random.default_rng(0), 1)
+    assert counts[0] == outer * inner
+
+
+# -- address streams -------------------------------------------------------------
+
+
+@given(
+    patterns,
+    exec_sizes,
+    st.integers(0, 50),
+    st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_addresses_stay_in_surface(pattern, exec_size, n_exec, bpc):
+    surface = Surface(base_address=4096, size_bytes=1 << 16)
+    msg = SendMessage(
+        MemoryDirection.READ, bytes_per_channel=bpc, pattern=pattern
+    )
+    addrs = expand_addresses(
+        msg, exec_size, n_exec, surface, rng=np.random.default_rng(0)
+    )
+    if n_exec == 0:
+        assert addrs.size == 0
+    else:
+        assert (addrs >= surface.base_address).all()
+        assert (addrs < surface.base_address + surface.size_bytes).all()
+
+
+# -- cache invariants -----------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_cache_accounting_invariants(addresses, is_write):
+    sim = CacheSimulator(CacheConfig(size_bytes=4096, line_bytes=64, ways=2))
+    batch = sim.access(np.array(addresses, dtype=np.int64), is_write)
+    assert batch.hits + batch.misses == batch.accesses == len(addresses)
+    assert batch.evictions <= batch.misses
+    assert batch.writebacks <= batch.evictions
+
+
+@given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_cache_repeat_pass_hits_when_fitting(addresses):
+    """A footprint smaller than the cache fully hits on the second pass."""
+    sim = CacheSimulator(CacheConfig(size_bytes=1 << 15, line_bytes=64, ways=8))
+    arr = np.array(addresses, dtype=np.int64)
+    sim.access(arr, is_write=False)
+    second = sim.access(arr, is_write=False)
+    assert second.hits == second.accesses
+
+
+# -- SimPoint invariants -------------------------------------------------------------
+
+
+@st.composite
+def feature_sets(draw):
+    n = draw(st.integers(1, 25))
+    n_keys = draw(st.integers(1, 6))
+    vectors = []
+    for _ in range(n):
+        vector = {}
+        for k in range(n_keys):
+            if draw(st.booleans()):
+                vector[("k", k)] = draw(
+                    st.floats(0.1, 1000, allow_nan=False)
+                )
+        if not vector:
+            vector[("k", 0)] = 1.0
+        vectors.append(vector)
+    weights = [draw(st.integers(1, 10_000)) for _ in range(n)]
+    return vectors, weights
+
+
+@given(feature_sets())
+@settings(max_examples=25, deadline=None)
+def test_simpoint_invariants(data):
+    vectors, weights = data
+    result = run_simpoint(
+        vectors, weights, SimPointOptions(max_k=5, restarts=1, max_iterations=20)
+    )
+    assert 1 <= result.k <= min(5, len(vectors))
+    assert len(set(result.representatives)) == result.k
+    assert sum(result.representation_ratios) == 1.0 or abs(
+        sum(result.representation_ratios) - 1.0
+    ) < 1e-9
+    assert all(0 < r <= 1 for r in result.representation_ratios)
+    assert result.labels.shape == (len(vectors),)
+    assert set(result.labels.tolist()) == set(range(result.k))
+    # Every representative belongs to the cluster it represents.
+    for j, rep in enumerate(result.representatives):
+        assert result.labels[rep] == j
+
+
+@given(feature_sets(), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_projection_scale_invariance(data, seed):
+    vectors, _ = data
+    scaled = [{k: 7.5 * v for k, v in vec.items()} for vec in vectors]
+    a = project_features(vectors, dim=8, seed=seed)
+    b = project_features(scaled, dim=8, seed=seed)
+    np.testing.assert_allclose(a, b, atol=1e-9)

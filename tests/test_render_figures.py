@@ -1,0 +1,120 @@
+"""Unit tests for the Figure 5-8 text renderers."""
+
+import pytest
+
+from repro.analysis.render import (
+    figure5_config_space,
+    figure6_error_minimizing,
+    figure7_cooptimization,
+    figure8_validation,
+)
+from repro.sampling.explorer import (
+    ConfigResult,
+    ExplorationResult,
+    ThresholdSweepPoint,
+)
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import Interval, IntervalScheme
+from repro.sampling.selection import (
+    SelectedInterval,
+    Selection,
+    SelectionConfig,
+)
+from repro.sampling.validation import ValidationPoint, ValidationReport
+
+
+def _result(scheme=IntervalScheme.SYNC, feature=FeatureKind.BB, error=1.5):
+    selection = Selection(
+        config=SelectionConfig(scheme, feature),
+        selected=(
+            SelectedInterval(
+                interval=Interval(
+                    index=0, start=0, stop=5, instruction_count=1000
+                ),
+                ratio=1.0,
+            ),
+        ),
+        total_instructions=10_000,
+        n_intervals=20,
+        total_invocations=100,
+    )
+    return ConfigResult(selection=selection, error_percent=error)
+
+
+def _exploration():
+    results = {
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB): _result(),
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.KN): _result(
+            feature=FeatureKind.KN, error=3.0
+        ),
+    }
+    return ExplorationResult(
+        application_name="fake-app",
+        results=results,
+        total_instructions=10_000,
+    )
+
+
+def test_figure5_lists_configs_per_app():
+    text = figure5_config_space([_exploration()])
+    assert "fake-app" in text
+    assert "Sync-BB" in text and "Sync-KN" in text
+    assert "1.50%" in text and "3.00%" in text
+
+
+def test_figure6_includes_average():
+    text = figure6_error_minimizing(
+        [("app-a", _result(error=1.0)), ("app-b", _result(error=3.0))]
+    )
+    assert "AVERAGE" in text
+    assert "2.000%" in text  # mean of 1 and 3
+    assert "10.0x" in text  # speedup of the fake selection
+
+
+def test_figure7_renders_thresholds():
+    points = [
+        ThresholdSweepPoint(None, 0.3, 35.0),
+        ThresholdSweepPoint(3.0, 1.2, 120.0),
+        ThresholdSweepPoint(10.0, 3.0, 223.0),
+    ]
+    text = figure7_cooptimization(points)
+    assert "min-error" in text
+    assert "<= 3%" in text
+    assert "223x" in text
+
+
+def test_figure8_renders_conditions():
+    report = ValidationReport(
+        application_name="fake-app",
+        selection_label="Sync-BB",
+        points=(
+            ValidationPoint("trial seed 2", 0.9),
+            ValidationPoint("850MHz", 2.4),
+        ),
+    )
+    text = figure8_validation("Figure 8 test", [report])
+    assert "Figure 8 test" in text
+    assert "trial seed 2" in text
+    assert "2.40%" in text
+
+
+def test_validation_report_statistics():
+    report = ValidationReport(
+        application_name="a",
+        selection_label="s",
+        points=(
+            ValidationPoint("x", 1.0),
+            ValidationPoint("y", 5.0),
+        ),
+    )
+    assert report.max_error_percent == 5.0
+    assert report.mean_error_percent == 3.0
+    assert report.fraction_below(2.0) == 0.5
+
+
+def test_exploration_getitem():
+    ex = _exploration()
+    config = SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB)
+    assert ex[config].error_percent == 1.5
+    with pytest.raises(KeyError):
+        ex[SelectionConfig(IntervalScheme.SINGLE_KERNEL, FeatureKind.BB)]

@@ -1,0 +1,151 @@
+"""Eq. (1) SPI error: measured, projected, and adapters."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.error import (
+    arrays_from_profile,
+    arrays_from_run,
+    measured_spi,
+    projected_spi,
+    selection_error,
+    selection_error_on_run,
+    spi_error_percent,
+)
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import Interval, IntervalScheme
+from repro.sampling.selection import (
+    SelectedInterval,
+    Selection,
+    SelectionConfig,
+)
+
+
+def _selection_over(intervals_spec, total_instr, total_inv):
+    """intervals_spec: list of (start, stop, instr, ratio)."""
+    selected = tuple(
+        SelectedInterval(
+            interval=Interval(index=i, start=s, stop=e, instruction_count=n),
+            ratio=r,
+        )
+        for i, (s, e, n, r) in enumerate(intervals_spec)
+    )
+    return Selection(
+        config=SelectionConfig(IntervalScheme.SINGLE_KERNEL, FeatureKind.KN),
+        selected=selected,
+        total_instructions=total_instr,
+        n_intervals=total_inv,
+        total_invocations=total_inv,
+    )
+
+
+def test_measured_spi():
+    seconds = np.array([1.0, 2.0, 3.0])
+    instrs = np.array([100.0, 200.0, 300.0])
+    assert measured_spi(seconds, instrs) == pytest.approx(0.01)
+
+
+def test_measured_spi_zero_instructions_rejected():
+    with pytest.raises(ValueError):
+        measured_spi(np.array([1.0]), np.array([0.0]))
+
+
+def test_projection_exact_for_uniform_spi():
+    """If every invocation has identical SPI, any selection projects 0% error."""
+    seconds = np.full(10, 2.0)
+    instrs = np.full(10, 200.0)
+    selection = _selection_over([(0, 1, 200, 1.0)], 2000, 10)
+    assert spi_error_percent(selection, seconds, instrs) == pytest.approx(0.0)
+
+
+def test_projection_weights_by_ratio():
+    # Two behaviours: SPI 0.01 (6 invocations) and SPI 0.03 (4 invocations).
+    seconds = np.array([1.0] * 6 + [3.0] * 4)
+    instrs = np.full(10, 100.0)
+    selection = _selection_over(
+        [(0, 1, 100, 0.6), (6, 7, 100, 0.4)], 1000, 10
+    )
+    projected = projected_spi(selection, seconds, instrs)
+    assert projected == pytest.approx(0.6 * 0.01 + 0.4 * 0.03)
+    # Measured = 18 s / 1000 instrs = 0.018; projection matches exactly.
+    assert spi_error_percent(selection, seconds, instrs) == pytest.approx(0.0)
+
+
+def test_bad_ratio_produces_error():
+    seconds = np.array([1.0] * 6 + [3.0] * 4)
+    instrs = np.full(10, 100.0)
+    biased = _selection_over([(0, 1, 100, 1.0)], 1000, 10)
+    error = spi_error_percent(biased, seconds, instrs)
+    assert error == pytest.approx(abs(0.018 - 0.01) / 0.018 * 100)
+
+
+def test_shape_mismatch_rejected():
+    selection = _selection_over([(0, 1, 100, 1.0)], 100, 1)
+    with pytest.raises(ValueError, match="align"):
+        projected_spi(selection, np.ones(3), np.ones(2))
+
+
+def test_arrays_from_profile(small_workload):
+    seconds, instrs = arrays_from_profile(
+        small_workload.log, small_workload.timings
+    )
+    assert seconds.shape == instrs.shape
+    assert (instrs > 0).all()
+    assert (seconds > 0).all()
+
+
+def test_arrays_from_profile_length_mismatch(small_workload):
+    import dataclasses
+
+    truncated = dataclasses.replace(
+        small_workload.timings, timings=small_workload.timings.timings[:-1]
+    )
+    with pytest.raises(ValueError, match="same program"):
+        arrays_from_profile(small_workload.log, truncated)
+
+
+def test_selection_error_matches_manual(small_workload):
+    from repro.sampling.explorer import evaluate_config
+    from repro.sampling.selection import SelectionConfig
+
+    result = evaluate_config(
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        small_workload.log,
+        small_workload.timings,
+    )
+    manual = selection_error(
+        result.selection, small_workload.log, small_workload.timings
+    )
+    assert result.error_percent == pytest.approx(manual)
+
+
+def test_selection_error_on_run(small_workload, small_app):
+    from repro.cofluent.recorder import replay
+    from repro.sampling.explorer import evaluate_config
+    from repro.sampling.selection import SelectionConfig
+
+    result = evaluate_config(
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        small_workload.log,
+        small_workload.timings,
+    )
+    run = replay(small_workload.recording, trial_seed=99)
+    error = selection_error_on_run(result.selection, run)
+    assert 0 <= error < 50
+    seconds, instrs = arrays_from_run(run)
+    assert seconds.shape[0] == len(run.dispatches)
+
+
+def test_selection_error_on_wrong_run_rejected(small_workload, tiny_app):
+    from repro.gtpin.profiler import build_runtime
+    from repro.sampling.explorer import evaluate_config
+    from repro.sampling.selection import SelectionConfig
+
+    result = evaluate_config(
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        small_workload.log,
+        small_workload.timings,
+    )
+    other_run = build_runtime(tiny_app).run(tiny_app.host_program)
+    with pytest.raises(ValueError, match="recorded program"):
+        selection_error_on_run(result.selection, other_run)

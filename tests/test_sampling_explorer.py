@@ -1,0 +1,140 @@
+"""Exploration of the 30-config space and the two selection policies."""
+
+import pytest
+
+from repro.sampling.explorer import (
+    ALL_CONFIGS,
+    evaluate_config,
+    explore,
+    threshold_sweep,
+)
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import IntervalScheme
+from repro.sampling.selection import SelectionConfig
+from repro.sampling.simpoint import SimPointOptions
+
+FAST_OPTIONS = SimPointOptions(max_k=6, restarts=1, max_iterations=40)
+
+
+@pytest.fixture(scope="module")
+def exploration(small_workload):
+    return explore(
+        small_workload.application_name,
+        small_workload.log,
+        small_workload.timings,
+        approx_size=200_000,
+        options=FAST_OPTIONS,
+    )
+
+
+def test_thirty_configurations():
+    assert len(ALL_CONFIGS) == 30
+    schemes = {c.scheme for c in ALL_CONFIGS}
+    features = {c.feature for c in ALL_CONFIGS}
+    assert len(schemes) == 3 and len(features) == 10
+
+
+def test_exploration_covers_all_configs(exploration):
+    assert set(exploration.results) == set(ALL_CONFIGS)
+
+
+def test_every_config_produces_valid_result(exploration):
+    for config, result in exploration.results.items():
+        assert result.config == config
+        assert result.error_percent >= 0
+        assert 0 < result.selection_fraction <= 1
+        assert result.simulation_speedup >= 1
+
+
+def test_minimize_error_is_minimal(exploration):
+    best = exploration.minimize_error()
+    assert all(
+        best.error_percent <= r.error_percent
+        for r in exploration.results.values()
+    )
+
+
+def test_co_optimize_respects_threshold(exploration):
+    best_error = exploration.minimize_error().error_percent
+    threshold = max(5.0, best_error + 1.0)
+    chosen = exploration.co_optimize(threshold)
+    assert chosen.error_percent <= threshold
+    # Chosen is the smallest selection among eligible configs.
+    eligible = [
+        r
+        for r in exploration.results.values()
+        if r.error_percent <= threshold
+    ]
+    assert chosen.selection_fraction == min(
+        r.selection_fraction for r in eligible
+    )
+
+
+def test_co_optimize_speedup_monotone_in_threshold(exploration):
+    speedups = [
+        exploration.co_optimize(t).simulation_speedup
+        for t in (1.0, 3.0, 10.0)
+    ]
+    assert speedups == sorted(speedups)
+
+
+def test_co_optimize_falls_back_to_min_error(exploration):
+    """Impossible threshold -> min-error config regardless of size."""
+    chosen = exploration.co_optimize(-1.0)
+    assert chosen.error_percent == exploration.minimize_error().error_percent
+
+
+def test_single_kernel_intervals_give_biggest_speedups(exploration):
+    """Smaller intervals allow smaller selections (Section V-B trend)."""
+    single = [
+        r
+        for c, r in exploration.results.items()
+        if c.scheme is IntervalScheme.SINGLE_KERNEL
+    ]
+    sync = [
+        r
+        for c, r in exploration.results.items()
+        if c.scheme is IntervalScheme.SYNC
+    ]
+    assert max(r.simulation_speedup for r in single) > max(
+        r.simulation_speedup for r in sync
+    )
+
+
+def test_evaluate_single_config(small_workload):
+    result = evaluate_config(
+        SelectionConfig(IntervalScheme.APPROX_100M, FeatureKind.BB_R),
+        small_workload.log,
+        small_workload.timings,
+        approx_size=150_000,
+        options=FAST_OPTIONS,
+    )
+    assert result.config.label == "100M-BB-R"
+    assert result.selection.k >= 1
+
+
+def test_unweighted_features_supported(small_workload):
+    result = evaluate_config(
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        small_workload.log,
+        small_workload.timings,
+        options=FAST_OPTIONS,
+        weighted_features=False,
+    )
+    assert result.error_percent >= 0
+
+
+def test_threshold_sweep_shape(exploration):
+    points = threshold_sweep([exploration], thresholds=(1, 3, 10))
+    assert len(points) == 4  # min-error + 3 thresholds
+    assert points[0].threshold_percent is None
+    assert points[0].label == "min-error"
+    assert points[-1].label == "<= 10%"
+    # Speedups never decrease as thresholds relax (single app => monotone).
+    speedups = [p.mean_speedup for p in points]
+    assert speedups == sorted(speedups)
+
+
+def test_threshold_sweep_requires_input():
+    with pytest.raises(ValueError):
+        threshold_sweep([])

@@ -1,0 +1,66 @@
+"""End-to-end pipeline: profile_workload / select_simpoints / explore."""
+
+import pytest
+
+from repro.gpu.device import HD4000
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import IntervalScheme
+from repro.sampling.pipeline import (
+    explore_application,
+    profile_workload,
+    select_simpoints,
+)
+from repro.sampling.simpoint import SimPointOptions
+
+FAST_OPTIONS = SimPointOptions(max_k=6, restarts=1, max_iterations=40)
+
+
+def test_profile_workload_aligns_log_and_timings(small_workload):
+    assert len(small_workload.log.invocations) == len(small_workload.timings)
+    for profile, timing in zip(
+        small_workload.log, small_workload.timings
+    ):
+        assert profile.kernel_name == timing.kernel_name
+        assert profile.index == timing.index
+
+
+def test_profile_workload_records_device(small_workload):
+    assert small_workload.device is HD4000
+    assert small_workload.recording.call_count > 0
+
+
+def test_select_simpoints_defaults(small_workload):
+    result = select_simpoints(small_workload, options=FAST_OPTIONS)
+    assert result.config.label == "Sync-BB"
+    assert result.selection.k >= 1
+    assert result.error_percent < 25  # sane, not a wild projection
+
+
+def test_select_simpoints_other_config(small_workload):
+    result = select_simpoints(
+        small_workload,
+        scheme=IntervalScheme.SINGLE_KERNEL,
+        feature=FeatureKind.KN_GWS,
+        options=FAST_OPTIONS,
+    )
+    assert result.config.label == "Single-KN-GWS"
+
+
+def test_explore_application(small_workload):
+    exploration = explore_application(
+        small_workload, options=FAST_OPTIONS, approx_size=200_000
+    )
+    assert len(exploration.results) == 30
+    assert exploration.total_instructions == small_workload.log.total_instructions
+
+
+def test_pipeline_deterministic(small_app):
+    a = profile_workload(small_app, trial_seed=5)
+    b = profile_workload(small_app, trial_seed=5)
+    assert a.log.total_instructions == b.log.total_instructions
+    ra = select_simpoints(a, options=FAST_OPTIONS)
+    rb = select_simpoints(b, options=FAST_OPTIONS)
+    assert ra.error_percent == pytest.approx(rb.error_percent)
+    assert [s.interval.index for s in ra.selection.selected] == [
+        s.interval.index for s in rb.selection.selected
+    ]

@@ -1,0 +1,105 @@
+"""Selections: ratios, sizes, speedups, config labels."""
+
+import pytest
+
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import Interval, IntervalScheme, divide
+from repro.sampling.selection import (
+    SelectedInterval,
+    Selection,
+    SelectionConfig,
+    selection_from_simpoint,
+)
+from repro.sampling.simpoint import run_simpoint
+from repro.sampling.features import build_feature_vectors
+
+
+def _interval(index=0, start=0, stop=1, instr=100):
+    return Interval(index=index, start=start, stop=stop,
+                    instruction_count=instr)
+
+
+def _selection(ratios=(0.6, 0.4), instrs=(100, 300), total=1000):
+    selected = tuple(
+        SelectedInterval(
+            interval=_interval(i, i * 10, i * 10 + 5, instr),
+            ratio=ratio,
+        )
+        for i, (ratio, instr) in enumerate(zip(ratios, instrs))
+    )
+    return Selection(
+        config=SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        selected=selected,
+        total_instructions=total,
+        n_intervals=50,
+        total_invocations=500,
+    )
+
+
+def test_config_labels_match_figure6_style():
+    assert SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB).label == "Sync-BB"
+    assert (
+        SelectionConfig(IntervalScheme.APPROX_100M, FeatureKind.KN_ARGS).label
+        == "100M-KN-ARGS"
+    )
+    assert (
+        SelectionConfig(
+            IntervalScheme.SINGLE_KERNEL, FeatureKind.BB_R_PLUS_W
+        ).label
+        == "Single-BB-(R+W)"
+    )
+
+
+def test_selection_size_and_speedup():
+    selection = _selection(instrs=(100, 300), total=1000)
+    assert selection.selected_instructions == 400
+    assert selection.selection_fraction == pytest.approx(0.4)
+    assert selection.simulation_speedup == pytest.approx(2.5)
+
+
+def test_selection_k():
+    assert _selection().k == 2
+
+
+def test_invocation_indices():
+    selection = _selection()
+    indices = selection.invocation_indices()
+    assert indices == list(range(0, 5)) + list(range(10, 15))
+
+
+def test_ratio_validation():
+    with pytest.raises(ValueError):
+        SelectedInterval(interval=_interval(), ratio=0.0)
+    with pytest.raises(ValueError):
+        SelectedInterval(interval=_interval(), ratio=1.5)
+
+
+def test_empty_selection_rejected():
+    with pytest.raises(ValueError, match="at least one interval"):
+        Selection(
+            config=SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+            selected=(),
+            total_instructions=10,
+            n_intervals=5,
+            total_invocations=5,
+        )
+
+
+def test_selection_from_simpoint_end_to_end(small_workload):
+    log = small_workload.log
+    intervals = divide(log, IntervalScheme.SYNC)
+    vectors = build_feature_vectors(log, intervals, FeatureKind.BB)
+    result = run_simpoint(
+        vectors, [iv.instruction_count for iv in intervals]
+    )
+    config = SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB)
+    selection = selection_from_simpoint(
+        config, intervals, result, log.total_instructions
+    )
+    assert selection.k == result.k
+    assert selection.total_invocations == len(log.invocations)
+    assert 0 < selection.selection_fraction <= 1
+    assert sum(s.ratio for s in selection.selected) == pytest.approx(1.0)
+    # Selected intervals are genuine members of the division.
+    for s in selection.selected:
+        assert intervals[s.interval.index] is s.interval

@@ -1,0 +1,102 @@
+"""Selection / exploration JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.sampling.explorer import evaluate_config
+from repro.sampling.features import FeatureKind
+from repro.sampling.intervals import IntervalScheme
+from repro.sampling.selection import SelectionConfig
+from repro.sampling.serialize import (
+    exploration_to_dict,
+    exploration_to_json,
+    selection_from_dict,
+    selection_from_json,
+    selection_to_dict,
+    selection_to_json,
+)
+from repro.sampling.simpoint import SimPointOptions
+
+FAST = SimPointOptions(max_k=5, restarts=1, max_iterations=30)
+
+
+@pytest.fixture(scope="module")
+def selection(small_workload):
+    return evaluate_config(
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        small_workload.log,
+        small_workload.timings,
+        options=FAST,
+    ).selection
+
+
+def test_round_trip_preserves_everything(selection):
+    restored = selection_from_json(selection_to_json(selection))
+    assert restored.config == selection.config
+    assert restored.total_instructions == selection.total_instructions
+    assert restored.total_invocations == selection.total_invocations
+    assert restored.n_intervals == selection.n_intervals
+    assert len(restored.selected) == len(selection.selected)
+    for a, b in zip(restored.selected, selection.selected):
+        assert a.interval == b.interval
+        assert a.ratio == b.ratio
+    assert restored.selection_fraction == pytest.approx(
+        selection.selection_fraction
+    )
+    assert restored.simulation_speedup == pytest.approx(
+        selection.simulation_speedup
+    )
+
+
+def test_dict_contains_derived_metrics(selection):
+    data = selection_to_dict(selection)
+    assert data["format_version"] == 1
+    assert data["config"]["label"] == "Sync-BB"
+    assert data["selection_fraction"] == pytest.approx(
+        selection.selection_fraction
+    )
+    assert all(
+        item["first_invocation"] < item["last_invocation_exclusive"]
+        for item in data["selected"]
+    )
+
+
+def test_json_is_valid_and_stable(selection):
+    text = selection_to_json(selection)
+    assert json.loads(text)  # parses
+    assert selection_to_json(selection) == text  # deterministic
+
+
+def test_unknown_version_rejected(selection):
+    data = selection_to_dict(selection)
+    data["format_version"] = 99
+    with pytest.raises(ValueError, match="format version"):
+        selection_from_dict(data)
+
+
+def test_exploration_serialization(small_workload):
+    from repro.sampling.explorer import explore
+    from repro.sampling.selection import SelectionConfig
+
+    configs = (
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB),
+        SelectionConfig(IntervalScheme.SINGLE_KERNEL, FeatureKind.KN),
+    )
+    ex = explore(
+        small_workload.application_name,
+        small_workload.log,
+        small_workload.timings,
+        configs=configs,
+        options=FAST,
+    )
+    data = exploration_to_dict(ex)
+    assert data["application"] == small_workload.application_name
+    assert len(data["configs"]) == 2
+    labels = {c["label"] for c in data["configs"]}
+    assert labels == {"Sync-BB", "Single-KN"}
+    # Each embedded selection round-trips.
+    for entry in data["configs"]:
+        restored = selection_from_dict(entry["selection"])
+        assert restored.config.label == entry["label"]
+    assert json.loads(exploration_to_json(ex))

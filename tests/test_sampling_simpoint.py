@@ -1,0 +1,199 @@
+"""SimPoint: projection, weighted k-means, BIC model selection."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.simpoint import (
+    SimPointOptions,
+    SimPointResult,
+    bic_score,
+    project_features,
+    run_simpoint,
+    weighted_kmeans,
+)
+
+
+def _two_phase_vectors(n_per_phase=30):
+    """Two clearly separated behaviours plus tiny per-interval noise."""
+    rng = np.random.default_rng(0)
+    vectors = []
+    for i in range(n_per_phase):
+        vectors.append({("bb", "a", 0): 100.0 + rng.normal(0, 1),
+                        ("bb", "a", 1): 10.0})
+    for i in range(n_per_phase):
+        vectors.append({("bb", "b", 0): 80.0 + rng.normal(0, 1),
+                        ("bb", "b", 1): 40.0})
+    weights = [1000] * (2 * n_per_phase)
+    return vectors, weights
+
+
+def test_projection_shape_and_determinism():
+    vectors, _ = _two_phase_vectors()
+    a = project_features(vectors, dim=15, seed=3)
+    b = project_features(vectors, dim=15, seed=3)
+    assert a.shape == (60, 15)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_projection_seed_changes_embedding():
+    vectors, _ = _two_phase_vectors()
+    a = project_features(vectors, dim=15, seed=3)
+    b = project_features(vectors, dim=15, seed=4)
+    assert not np.allclose(a, b)
+
+
+def test_projection_normalizes_frequencies():
+    """Scaling a vector by a constant does not move its projection."""
+    base = [{("x",): 1.0, ("y",): 3.0}]
+    scaled = [{("x",): 10.0, ("y",): 30.0}]
+    a = project_features(base, dim=8, seed=0)
+    b = project_features(scaled, dim=8, seed=0)
+    np.testing.assert_allclose(a, b)
+
+
+def test_identical_vectors_project_identically():
+    vectors = [{("k",): 5.0}, {("k",): 5.0}]
+    points = project_features(vectors, dim=4, seed=0)
+    np.testing.assert_array_equal(points[0], points[1])
+
+
+def test_kmeans_separates_obvious_clusters():
+    vectors, weights = _two_phase_vectors()
+    points = project_features(vectors, dim=15, seed=0)
+    labels, centroids, distortion = weighted_kmeans(
+        points, np.asarray(weights, float), 2, SimPointOptions()
+    )
+    first = set(labels[:30].tolist())
+    second = set(labels[30:].tolist())
+    assert len(first) == 1 and len(second) == 1
+    assert first != second
+    # Distortion is weighted; normalize by total mass.
+    assert distortion / float(np.sum(weights)) < 0.01
+
+
+def test_kmeans_respects_weights():
+    """A heavily weighted point pulls its centroid toward itself."""
+    points = np.array([[0.0], [1.0], [10.0]])
+    weights = np.array([1.0, 1.0, 1000.0])
+    labels, centroids, _ = weighted_kmeans(
+        points, weights, 2, SimPointOptions(restarts=5)
+    )
+    # The heavy point sits (almost) exactly on its centroid.
+    heavy_centroid = centroids[labels[2]]
+    assert abs(heavy_centroid[0] - 10.0) < 0.5
+
+
+def test_run_simpoint_separates_two_phases():
+    """SimPoint may sub-cluster within-phase noise (k >= 2, up to max),
+    but no cluster may ever mix the two phases."""
+    vectors, weights = _two_phase_vectors()
+    result = run_simpoint(vectors, weights, SimPointOptions(max_k=10))
+    assert 2 <= result.k <= 10
+    assert len(result.representatives) == result.k
+    assert sum(result.representation_ratios) == pytest.approx(1.0)
+    phase_a_labels = set(result.labels[:30].tolist())
+    phase_b_labels = set(result.labels[30:].tolist())
+    assert not (phase_a_labels & phase_b_labels)
+    # Representatives cover both phases.
+    reps = sorted(result.representatives)
+    assert reps[0] < 30 and reps[-1] >= 30
+
+
+def test_ratios_proportional_to_weight():
+    vectors, _ = _two_phase_vectors()
+    # Phase A carries 3x the instruction weight of phase B.
+    weights = [3000] * 30 + [1000] * 30
+    result = run_simpoint(vectors, weights)
+    # Sum the ratios of clusters whose representatives sit in phase A:
+    # they must carry 75% of the total weight regardless of sub-clustering.
+    phase_a_ratio = sum(
+        ratio
+        for rep, ratio in zip(
+            result.representatives, result.representation_ratios
+        )
+        if rep < 30
+    )
+    assert phase_a_ratio == pytest.approx(0.75, abs=0.01)
+
+
+def test_single_interval_program():
+    result = run_simpoint([{("k",): 1.0}], [100])
+    assert result.k == 1
+    assert result.representatives == (0,)
+    assert result.representation_ratios == (1.0,)
+
+
+def test_max_k_respected():
+    vectors, weights = _two_phase_vectors()
+    result = run_simpoint(vectors, weights, SimPointOptions(max_k=1))
+    assert result.k == 1
+
+
+def test_may_return_fewer_than_max_k():
+    """SimPoint may return fewer clusters than the max (Section V-B)."""
+    vectors = [{("same",): 1.0} for _ in range(40)]
+    result = run_simpoint(vectors, [10] * 40, SimPointOptions(max_k=10))
+    assert result.k < 10
+
+
+def test_determinism():
+    vectors, weights = _two_phase_vectors()
+    a = run_simpoint(vectors, weights)
+    b = run_simpoint(vectors, weights)
+    assert a.representatives == b.representatives
+    assert a.representation_ratios == b.representation_ratios
+
+
+def test_input_validation():
+    with pytest.raises(ValueError, match="no intervals"):
+        run_simpoint([], [])
+    with pytest.raises(ValueError, match="does not match"):
+        run_simpoint([{("k",): 1.0}], [1, 2])
+    with pytest.raises(ValueError, match="positive"):
+        run_simpoint([{("k",): 1.0}], [0])
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        SimPointOptions(max_k=0)
+    with pytest.raises(ValueError):
+        SimPointOptions(projection_dim=0)
+    with pytest.raises(ValueError):
+        SimPointOptions(bic_coverage=1.5)
+    with pytest.raises(ValueError):
+        SimPointOptions(restarts=0)
+
+
+def test_bic_prefers_true_k():
+    vectors, weights = _two_phase_vectors()
+    result = run_simpoint(vectors, weights)
+    # BIC at k=2 beats k=1 for clearly bimodal data.
+    assert result.bic_by_k[2] > result.bic_by_k[1]
+
+
+def test_labels_cover_all_intervals():
+    vectors, weights = _two_phase_vectors()
+    result = run_simpoint(vectors, weights)
+    assert result.labels.shape == (60,)
+    assert set(result.labels.tolist()) == set(range(result.k))
+
+
+def test_result_validation():
+    with pytest.raises(ValueError, match="one representative"):
+        SimPointResult(
+            k=2,
+            labels=np.zeros(3, dtype=np.int64),
+            representatives=(0,),
+            representation_ratios=(1.0,),
+            bic_by_k={},
+            projected=np.zeros((3, 2)),
+        )
+    with pytest.raises(ValueError, match="sum to 1"):
+        SimPointResult(
+            k=1,
+            labels=np.zeros(3, dtype=np.int64),
+            representatives=(0,),
+            representation_ratios=(0.4,),
+            bic_by_k={},
+            projected=np.zeros((3, 2)),
+        )

@@ -1,0 +1,67 @@
+"""Figure 8 validation primitives: cross-trial / frequency / architecture."""
+
+import pytest
+
+from repro.gpu.device import FIGURE_8_FREQUENCIES_MHZ, HD4000, HD4600
+from repro.sampling.pipeline import select_simpoints
+from repro.sampling.simpoint import SimPointOptions
+from repro.sampling.validation import (
+    cross_architecture_errors,
+    cross_frequency_errors,
+    cross_trial_errors,
+)
+
+FAST_OPTIONS = SimPointOptions(max_k=6, restarts=1, max_iterations=40)
+
+
+@pytest.fixture(scope="module")
+def selection(small_workload):
+    return select_simpoints(small_workload, options=FAST_OPTIONS).selection
+
+
+def test_cross_trial(small_workload, selection):
+    report = cross_trial_errors(
+        small_workload.recording, selection, HD4000, trial_seeds=[11, 12, 13]
+    )
+    assert len(report.points) == 3
+    for point in report.points:
+        assert point.error_percent >= 0
+    # Trial-to-trial noise is small: selections keep predicting well.
+    assert report.mean_error_percent < 15
+
+
+def test_cross_trial_conditions_labelled(small_workload, selection):
+    report = cross_trial_errors(
+        small_workload.recording, selection, HD4000, trial_seeds=[21]
+    )
+    assert report.points[0].condition == "trial seed 21"
+    assert report.selection_label == selection.config.label
+
+
+def test_cross_frequency(small_workload, selection):
+    report = cross_frequency_errors(
+        small_workload.recording, selection, HD4000,
+        frequencies_mhz=FIGURE_8_FREQUENCIES_MHZ[:3],
+    )
+    assert [p.condition for p in report.points] == [
+        "1000MHz", "850MHz", "700MHz",
+    ]
+    assert report.max_error_percent < 25
+
+
+def test_cross_architecture(small_workload, selection):
+    report = cross_architecture_errors(
+        small_workload.recording, selection, HD4600
+    )
+    assert len(report.points) == 1
+    assert report.points[0].condition == HD4600.name
+    assert report.points[0].error_percent < 25
+
+
+def test_fraction_below(small_workload, selection):
+    report = cross_trial_errors(
+        small_workload.recording, selection, HD4000,
+        trial_seeds=list(range(30, 36)),
+    )
+    assert 0.0 <= report.fraction_below(3.0) <= 1.0
+    assert report.fraction_below(1e9) == 1.0

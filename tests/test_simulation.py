@@ -1,0 +1,104 @@
+"""Detailed and sampled simulation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cache import CacheConfig
+from repro.gpu.device import HD4000, HD4600
+from repro.sampling.pipeline import select_simpoints
+from repro.sampling.simpoint import SimPointOptions
+from repro.simulation.detailed import DetailedGPUSimulator
+from repro.simulation.sampled import (
+    sampled_vs_full_error_percent,
+    simulate_full,
+    simulate_selection,
+)
+
+from conftest import build_tiny_kernel
+
+FAST_OPTIONS = SimPointOptions(max_k=6, restarts=1, max_iterations=40)
+
+
+def _simulate(kernel, gws=64, iters=3.0, device=HD4000, seed=0):
+    simulator = DetailedGPUSimulator(device, CacheConfig(size_bytes=64 * 1024))
+    return simulator.simulate(
+        kernel, {"iters": iters, "n": float(gws)}, gws,
+        np.random.default_rng(seed),
+    ), simulator
+
+
+def test_detailed_steps_every_instruction():
+    kernel = build_tiny_kernel()
+    result, simulator = _simulate(kernel)
+    # One representative thread is stepped instruction-by-instruction.
+    per_thread = result.instruction_count // result.simulated_instructions
+    assert result.simulated_instructions > 0
+    assert per_thread >= 1
+    assert simulator.total_simulated_instructions == result.simulated_instructions
+
+
+def test_detailed_cycles_and_seconds_positive():
+    result, _ = _simulate(build_tiny_kernel())
+    assert result.cycles > 0
+    assert result.seconds > 0
+    assert result.spi > 0
+
+
+def test_detailed_cache_observes_accesses():
+    result, simulator = _simulate(build_tiny_kernel(), iters=20.0)
+    assert simulator.cache.stats.accesses > 0
+
+
+def test_detailed_more_iters_more_cycles():
+    few, _ = _simulate(build_tiny_kernel(), iters=2.0)
+    many, _ = _simulate(build_tiny_kernel(), iters=20.0)
+    assert many.cycles > few.cycles
+
+
+def test_detailed_faster_on_more_eus():
+    ivy, _ = _simulate(build_tiny_kernel(), gws=4096, device=HD4000)
+    haswell, _ = _simulate(build_tiny_kernel(), gws=4096, device=HD4600)
+    assert haswell.seconds < ivy.seconds
+
+
+def test_sampled_simulation_speedup_and_accuracy(small_workload, small_app):
+    result = select_simpoints(small_workload, options=FAST_OPTIONS)
+    selection = result.selection
+    cache = CacheConfig(size_bytes=64 * 1024)
+    sampled = simulate_selection(
+        small_app.name,
+        small_app.sources,
+        small_workload.log,
+        selection,
+        HD4000,
+        cache,
+    )
+    full = simulate_full(
+        small_app.name, small_app.sources, small_workload.log, HD4000, cache
+    )
+    # The sampled run skips most instructions...
+    assert sampled.simulated_instructions < full.simulated_instructions
+    assert sampled.instruction_speedup > 1.5
+    # The simulator re-resolves data-dependent trip counts with its own
+    # RNG, so counts differ slightly from the profile's.
+    assert sampled.instruction_speedup == pytest.approx(
+        selection.simulation_speedup, rel=0.2
+    )
+    # ...and still predicts the simulator's own whole-program SPI well.
+    error = sampled_vs_full_error_percent(sampled, full)
+    assert error < 20.0
+
+
+def test_sampled_fast_forward_accounting(small_workload, small_app):
+    result = select_simpoints(small_workload, options=FAST_OPTIONS)
+    sampled = simulate_selection(
+        small_app.name,
+        small_app.sources,
+        small_workload.log,
+        result.selection,
+        HD4000,
+    )
+    total = (
+        sampled.simulated_instructions + sampled.fast_forwarded_instructions
+    )
+    assert total == pytest.approx(small_workload.log.total_instructions, rel=0.02)

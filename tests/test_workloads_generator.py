@@ -1,0 +1,140 @@
+"""Application generator: host-program structure and determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.gtpin.profiler import build_runtime
+from repro.opencl.api import KERNEL_ENQUEUE, CallCategory
+from repro.workloads.generator import generate_application
+from repro.workloads.spec import AppSpec
+
+from conftest import SMALL_SPEC
+
+
+def _spec(**overrides):
+    return dataclasses.replace(SMALL_SPEC, **overrides)
+
+
+def test_generation_deterministic():
+    a = generate_application(SMALL_SPEC, seed=1)
+    b = generate_application(SMALL_SPEC, seed=1)
+    assert [c.name for c in a.host_program] == [c.name for c in b.host_program]
+    assert a.kernel_names == b.kernel_names
+
+
+def test_seed_changes_program():
+    a = generate_application(SMALL_SPEC, seed=1)
+    b = generate_application(SMALL_SPEC, seed=2)
+    assert [str(c) for c in a.host_program] != [str(c) for c in b.host_program]
+
+
+def test_kernel_count_matches_spec():
+    app = generate_application(_spec(n_kernels=7), seed=0)
+    assert len(app.sources) == 7
+
+
+def test_invocation_count_matches_spec():
+    app = generate_application(_spec(n_invocations=77), seed=0)
+    enqueues = sum(
+        1 for c in app.host_program if c.name == KERNEL_ENQUEUE
+    )
+    assert enqueues == 77
+
+
+def test_program_starts_with_setup_and_ends_with_teardown():
+    app = generate_application(SMALL_SPEC, seed=0)
+    names = [c.name for c in app.host_program]
+    assert names[0] == "clGetPlatformIDs"
+    assert "clBuildProgram" in names[:10]
+    assert names[-1] == "clReleaseContext"
+
+
+def test_every_kernel_created_before_use():
+    app = generate_application(SMALL_SPEC, seed=0)
+    created = set()
+    for call in app.host_program:
+        if call.name == "clCreateKernel":
+            created.add(call.args["kernel"])
+        elif call.name == KERNEL_ENQUEUE:
+            assert call.args["kernel"] in created
+
+
+def test_generated_program_actually_runs():
+    app = generate_application(SMALL_SPEC, seed=0)
+    run = build_runtime(app).run(app.host_program)
+    assert len(run.dispatches) == SMALL_SPEC.n_invocations
+
+
+def test_sync_rate_approximates_spec():
+    spec = _spec(n_invocations=400, enqueues_per_sync=5.0)
+    app = generate_application(spec, seed=0)
+    counts = app.host_program.category_counts()
+    syncs = counts[CallCategory.SYNCHRONIZATION]
+    # ~400/5 = 80 interior syncs plus the teardown clFinish.
+    assert 70 <= syncs <= 95
+
+
+def test_sub_one_enqueues_per_sync():
+    """Values < 1 mean several sync calls per enqueue (juliaset-style)."""
+    spec = _spec(n_invocations=50, enqueues_per_sync=0.5)
+    app = generate_application(spec, seed=0)
+    counts = app.host_program.category_counts()
+    assert counts[CallCategory.SYNCHRONIZATION] >= 90
+
+
+def test_other_call_rate_scales():
+    chatty = generate_application(
+        _spec(other_calls_per_enqueue=10.0), seed=0
+    )
+    quiet = generate_application(
+        _spec(other_calls_per_enqueue=0.5), seed=0
+    )
+    chatty_frac = (
+        chatty.host_program.category_counts()[CallCategory.OTHER]
+        / len(chatty.host_program)
+    )
+    quiet_frac = (
+        quiet.host_program.category_counts()[CallCategory.OTHER]
+        / len(quiet.host_program)
+    )
+    assert chatty_frac > quiet_frac
+
+
+def test_phases_change_arguments():
+    app = generate_application(_spec(n_phases=3, n_invocations=150), seed=1)
+    values = {
+        (call.args["kernel"], call.args["value"])
+        for call in app.host_program
+        if call.name == "clSetKernelArg" and call.args["arg_index"] == 0
+    }
+    # Across phases, at least one kernel sees more than one iters value.
+    kernels_with_multiple = {
+        k for k, _ in values
+        if len([v for kk, v in values if kk == k]) > 1
+    }
+    assert kernels_with_multiple
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        _spec(n_kernels=0)
+    with pytest.raises(ValueError):
+        _spec(n_invocations=0)
+    with pytest.raises(ValueError):
+        _spec(enqueues_per_sync=0.0)
+    with pytest.raises(ValueError):
+        _spec(global_work_sizes=())
+
+
+def test_scaled_spec_shrinks_invocations():
+    spec = _spec(n_invocations=1000)
+    scaled = spec.scaled(0.1)
+    assert scaled.n_invocations == 100
+    assert scaled.n_kernels == spec.n_kernels
+    with pytest.raises(ValueError):
+        spec.scaled(0.0)
+
+
+def test_scaled_spec_floor():
+    assert _spec(n_invocations=100).scaled(0.01).n_invocations == 20

@@ -1,0 +1,142 @@
+"""Synthetic kernel generation: shapes realized faithfully."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.isa.program import execution_counts
+from repro.workloads.kernels import (
+    KernelShape,
+    MemoryShape,
+    MixWeights,
+    WidthProfile,
+    synthesize_kernel,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _kernel(shape=None, seed=0, name="k"):
+    return synthesize_kernel(name, shape or KernelShape(), _rng(seed))
+
+
+def test_block_count_is_body_plus_two():
+    kernel = _kernel(KernelShape(n_body_blocks=6))
+    assert kernel.n_blocks == 8  # prologue + 6 body + epilogue
+
+
+def test_generation_is_deterministic():
+    a = _kernel(seed=42)
+    b = _kernel(seed=42)
+    assert a.static_instruction_count == b.static_instruction_count
+    assert [len(blk) for blk in a.blocks] == [len(blk) for blk in b.blocks]
+
+
+def test_different_seeds_differ():
+    a = _kernel(seed=1)
+    b = _kernel(seed=2)
+    assert [len(blk) for blk in a.blocks] != [len(blk) for blk in b.blocks]
+
+
+def test_loop_arg_scales_execution():
+    kernel = _kernel()
+    few = execution_counts(kernel.program, {"iters": 2}, _rng(5), kernel.n_blocks)
+    many = execution_counts(kernel.program, {"iters": 20}, _rng(5), kernel.n_blocks)
+    assert many.sum() > few.sum()
+    # Prologue and epilogue run exactly once regardless.
+    assert few[0] == many[0] == 1
+    assert few[kernel.n_blocks - 1] == many[kernel.n_blocks - 1] == 1
+
+
+def test_compute_heavy_mix_is_compute_heavy():
+    compute = KernelShape(
+        mix=MixWeights(move=0.05, logic=0.04, control=0.01, computation=0.90),
+        memory=MemoryShape(read_intensity=0.0, write_intensity=0.0),
+        n_body_blocks=12,
+        instructions_per_block=(20, 30),
+    )
+    kernel = _kernel(compute, seed=3)
+    counts = kernel.static_class_counts()
+    body_total = sum(counts.values())
+    assert counts[OpClass.COMPUTATION] / body_total > 0.6
+
+
+def test_memory_intensity_produces_sends():
+    heavy = KernelShape(
+        memory=MemoryShape(read_intensity=2.0, write_intensity=2.0),
+        n_body_blocks=10,
+    )
+    light = KernelShape(
+        memory=MemoryShape(read_intensity=0.01, write_intensity=0.01),
+        n_body_blocks=10,
+    )
+    heavy_sends = _kernel(heavy, seed=4).static_class_counts()[OpClass.SEND]
+    light_sends = _kernel(light, seed=4).static_class_counts()[OpClass.SEND]
+    assert heavy_sends > light_sends
+
+
+def test_read_write_byte_asymmetry():
+    write_heavy = KernelShape(
+        memory=MemoryShape(
+            read_intensity=0.05,
+            write_intensity=2.0,
+            read_bytes_per_channel=4,
+            write_bytes_per_channel=16,
+        ),
+        n_body_blocks=10,
+    )
+    kernel = _kernel(write_heavy, seed=5)
+    counts = np.ones(kernel.n_blocks, dtype=np.int64)
+    read = int(counts @ kernel.arrays.bytes_read)
+    written = int(counts @ kernel.arrays.bytes_written)
+    assert written > read
+
+
+def test_branch_probability_reduces_tail_counts():
+    divergent = KernelShape(n_body_blocks=9, branch_probability=0.3)
+    kernel = _kernel(divergent, seed=6)
+    counts = execution_counts(
+        kernel.program, {"iters": 100}, _rng(0), kernel.n_blocks
+    )
+    # Blocks inside the divergent tail run less than the always-taken ones.
+    body = counts[1:-1]
+    assert body.min() < body.max()
+
+
+def test_simd_width_respected():
+    kernel = _kernel(KernelShape(simd_width=8), seed=7)
+    sends = [i for b in kernel.blocks for i in b if i.is_send]
+    assert all(s.exec_size == 8 for s in sends)
+    assert kernel.simd_width == 8
+
+
+def test_width_profile_validation():
+    with pytest.raises(ValueError, match="sum to > 0"):
+        WidthProfile(w16=0, w8=0, w4=0, w2=0, w1=0).sample(_rng())
+
+
+def test_mix_weights_validation():
+    with pytest.raises(ValueError, match="sum to > 0"):
+        MixWeights(move=0, logic=0, control=0, computation=0).as_array()
+
+
+def test_kernel_shape_validation():
+    with pytest.raises(ValueError, match="n_body_blocks"):
+        KernelShape(n_body_blocks=0)
+    with pytest.raises(ValueError, match="instructions_per_block"):
+        KernelShape(instructions_per_block=(5, 2))
+    with pytest.raises(ValueError, match="loop_arg"):
+        KernelShape(loop_arg="missing", arg_names=("iters",))
+
+
+def test_epilogue_ends_with_ret():
+    kernel = _kernel()
+    last = kernel.blocks[-1].instructions[-1]
+    assert last.opcode.value == "ret"
+
+
+def test_arg_names_propagated():
+    kernel = _kernel()
+    assert kernel.arg_names == ("iters", "n")

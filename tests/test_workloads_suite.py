@@ -1,0 +1,137 @@
+"""The 25-application suite: Table I shape constraints."""
+
+import pytest
+
+from repro.workloads.suite import (
+    FIGURE_5_SAMPLE_APPS,
+    SUITE_NAMES,
+    SUITE_SPECS,
+    load_app,
+    spec_by_name,
+)
+
+
+def test_exactly_25_applications():
+    assert len(SUITE_SPECS) == 25
+    assert len(set(SUITE_NAMES)) == 25
+
+
+def test_suite_sources_match_table1():
+    """15 CompuBench + 3 Sandra + 7 Sony Vegas."""
+    by_suite = {}
+    for spec in SUITE_SPECS:
+        by_suite.setdefault(spec.suite, []).append(spec)
+    assert len(by_suite["CompuBench CL 1.2 Desktop"]) == 6
+    assert len(by_suite["CompuBench CL 1.2 Mobile"]) == 9
+    assert len(by_suite["SiSoftware Sandra 2014"]) == 3
+    assert len(by_suite["Sony Vegas Pro 2013"]) == 7
+
+
+def test_unique_kernel_range_matches_paper():
+    """Figure 3b: 1 to 50 unique kernels."""
+    kernel_counts = [spec.n_kernels for spec in SUITE_SPECS]
+    assert min(kernel_counts) == 1  # cb-gaussian-image
+    assert max(kernel_counts) == 50  # cb-vision-facedetect
+    mean = sum(kernel_counts) / len(kernel_counts)
+    assert 7 <= mean <= 13  # paper: 10.2
+
+
+def test_invocation_range_shape():
+    """Figure 3c: 55 minimum invocations; wide spread."""
+    invocations = [spec.n_invocations for spec in SUITE_SPECS]
+    assert min(invocations) == 55
+    assert max(invocations) >= 4000
+
+
+def test_exactly_six_apps_use_simd4():
+    """Figure 4b: 4-wide vectors appear in exactly 6 applications."""
+    quad_apps = [s.name for s in SUITE_SPECS if s.widths.w4 > 0]
+    assert len(quad_apps) == 6
+
+
+def test_no_app_uses_simd2():
+    """Figure 4b: 2-wide instructions are never used."""
+    assert all(s.widths.w2 == 0 for s in SUITE_SPECS)
+
+
+def test_proc_gpu_is_compute_stress_test():
+    spec = spec_by_name("sandra-proc-gpu")
+    assert spec.mix.computation >= 0.9
+
+
+def test_bitcoin_has_low_kernel_call_share():
+    spec = spec_by_name("cb-throughput-bitcoin")
+    assert spec.other_calls_per_enqueue >= 15
+
+
+def test_part_sim_32k_has_high_kernel_call_share():
+    spec = spec_by_name("cb-physics-part-sim-32k")
+    assert spec.other_calls_per_enqueue < 0.5
+    assert spec.enqueues_per_sync >= 20
+
+
+def test_juliaset_sync_heavy():
+    spec = spec_by_name("cb-throughput-juliaset")
+    assert spec.enqueues_per_sync < 1.0  # several syncs per enqueue
+    assert spec.n_invocations < 150  # fewest API calls
+
+
+def test_sony_regions_write_heavy():
+    for i in range(1, 8):
+        spec = spec_by_name(f"sonyvegas-proj-r{i}")
+        memory = spec.memory
+        write_bytes = memory.write_intensity * memory.write_bytes_per_channel
+        read_bytes = memory.read_intensity * memory.read_bytes_per_channel
+        assert write_bytes > read_bytes
+
+
+def test_r5_most_write_skewed_region():
+    ratios = {}
+    for i in range(1, 8):
+        m = spec_by_name(f"sonyvegas-proj-r{i}").memory
+        ratios[i] = (m.write_intensity * m.write_bytes_per_channel) / (
+            m.read_intensity * m.read_bytes_per_channel
+        )
+    assert max(ratios, key=ratios.get) == 5
+
+
+def test_crypto_apps_read_heavy():
+    for name in ("sandra-crypt-aes128", "sandra-crypt-aes256"):
+        m = spec_by_name(name).memory
+        assert (
+            m.read_intensity * m.read_bytes_per_channel
+            > 3 * m.write_intensity * m.write_bytes_per_channel
+        )
+
+
+def test_aes256_reads_more_than_aes128():
+    m128 = spec_by_name("sandra-crypt-aes128").memory
+    m256 = spec_by_name("sandra-crypt-aes256").memory
+    assert (
+        m256.read_intensity * m256.read_bytes_per_channel
+        > m128.read_intensity * m128.read_bytes_per_channel
+    )
+
+
+def test_figure5_sample_apps_in_suite():
+    assert len(FIGURE_5_SAMPLE_APPS) == 3
+    for name in FIGURE_5_SAMPLE_APPS:
+        assert name in SUITE_NAMES
+
+
+def test_unknown_app_raises():
+    with pytest.raises(KeyError, match="unknown application"):
+        spec_by_name("not-a-real-app")
+
+
+def test_load_app_scales():
+    full = load_app("cb-gaussian-buffer", scale=1.0)
+    small = load_app("cb-gaussian-buffer", scale=0.25)
+    assert len(small.host_program) < len(full.host_program)
+    assert len(small.sources) == len(full.sources)
+
+
+def test_load_app_deterministic():
+    a = load_app("cb-throughput-juliaset")
+    b = load_app("cb-throughput-juliaset")
+    assert [c.name for c in a.host_program] == [c.name for c in b.host_program]
