@@ -19,7 +19,21 @@ Quickstart::
     print(profiled.report["opcode_mix"].dynamic_fractions())
 """
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Single-source the version from package metadata (pyproject.toml).
+
+    The fallback covers running straight from a source tree that was
+    never pip-installed, where no distribution metadata exists.
+    """
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:  # PackageNotFoundError, broken metadata, ...
+        return "1.0.0"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "analysis",
@@ -31,5 +45,6 @@ __all__ = [
     "opencl",
     "sampling",
     "simulation",
+    "telemetry",
     "workloads",
 ]

@@ -8,6 +8,11 @@ Subcommands mirror the paper's workflow::
     gtpin select cb-throughput-ao --scheme sync --feature BB
     gtpin explore cb-throughput-ao    # all 30 configurations
     gtpin overhead cb-throughput-ao   # Section III-C overhead measurement
+    gtpin trace cb-throughput-ao --out trace.json   # Chrome/Perfetto trace
+
+Any subcommand also accepts ``--telemetry`` to capture spans/counters
+for that run and write a Chrome trace (``--telemetry-out``, default
+``gtpin_trace.json``).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import __version__, telemetry
 from repro.analysis import (
     characterize_app,
     characterize_suite,
@@ -58,6 +64,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--device", choices=("hd4000", "hd4600"), default="hd4000"
     )
     parser.add_argument("--seed", type=int, default=0, help="trial seed")
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="capture telemetry (spans + counters) for this run and write "
+        "a Chrome trace afterwards",
+    )
+    parser.add_argument(
+        "--telemetry-out", default="gtpin_trace.json", metavar="FILE",
+        help="where --telemetry writes the Chrome trace "
+        "(default: gtpin_trace.json)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="gtpin",
         description="GT-Pin reproduction: profiling, characterization, "
         "and simulation-subset selection for synthetic OpenCL workloads.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -118,6 +137,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("app", choices=SUITE_NAMES)
     p.add_argument("--trials", type=int, default=3)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workflow with telemetry enabled; write a Chrome-trace "
+        "JSON (chrome://tracing / Perfetto) plus a span-tree summary",
+    )
+    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument("--out", default="trace.json", help="Chrome trace path")
+    p.add_argument(
+        "--jsonl", default="", metavar="FILE",
+        help="also write a structured JSONL event log",
+    )
+    p.add_argument(
+        "--workflow", choices=("select", "explore", "profile", "simulate"),
+        default="select",
+        help="which existing workflow to run under telemetry "
+        "(default: select)",
+    )
     _add_common(p)
 
     p = sub.add_parser(
@@ -326,6 +364,48 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tm = telemetry.enable()
+    try:
+        device = _device(args.device)
+        app = load_app(args.app, scale=args.scale)
+        with tm.span(
+            "cli.trace", category="cli",
+            app=args.app, workflow=args.workflow,
+        ):
+            workload = profile_workload(app, device, args.seed)
+            if args.workflow == "select":
+                select_simpoints(workload)
+            elif args.workflow == "explore":
+                explore_application(workload)
+            elif args.workflow == "profile":
+                from repro.gtpin.profiler import profile
+
+                profile(app, device, trial_seed=args.seed)
+            elif args.workflow == "simulate":
+                from repro.simulation.sampled import simulate_selection
+
+                result = select_simpoints(workload)
+                simulate_selection(
+                    args.app, workload.recording.sources, workload.log,
+                    result.selection, device, seed=args.seed,
+                )
+        telemetry.write_chrome_trace(tm, args.out)
+        if args.jsonl:
+            telemetry.write_jsonl(tm, args.jsonl)
+        print(telemetry.span_tree_summary(tm))
+        print()
+        print(telemetry.counters_summary(tm))
+        print()
+        print(f"(chrome trace written to {args.out}; open it in "
+              "chrome://tracing or https://ui.perfetto.dev)")
+        if args.jsonl:
+            print(f"(JSONL event log written to {args.jsonl})")
+    finally:
+        telemetry.disable()
+    return 0
+
+
 def _cmd_disasm(args: argparse.Namespace) -> int:
     app = load_app(args.app, scale=args.scale)
     kernel_name = args.kernel or sorted(app.sources)[0]
@@ -345,8 +425,7 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "suite":
         return _cmd_suite()
     if args.command == "profile":
@@ -368,6 +447,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "disasm":
         return _cmd_disasm(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if not getattr(args, "telemetry", False):
+        return _dispatch(args)
+    # --telemetry: run the command under a capturing registry, then
+    # export the Chrome trace and a one-screen summary.
+    tm = telemetry.enable()
+    try:
+        status = _dispatch(args)
+        telemetry.write_chrome_trace(tm, args.telemetry_out)
+        print()
+        print(telemetry.span_tree_summary(tm))
+        print(f"(telemetry trace written to {args.telemetry_out}; open it "
+              "in chrome://tracing or https://ui.perfetto.dev)")
+    finally:
+        telemetry.disable()
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

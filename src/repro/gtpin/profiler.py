@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Iterator, Mapping, Protocol, Sequence
 
+from repro import telemetry
 from repro.driver.driver import GPUDriver
 from repro.driver.jit import KernelSource
 from repro.gpu.device import HD4000, DeviceSpec
@@ -95,24 +96,51 @@ class GTPinSession:
 
     def attach(self, runtime: OpenCLRuntime) -> None:
         """Notify the driver to divert JIT output through GT-Pin."""
-        runtime.driver.install_rewriter(self.rewriter)
+        with telemetry.get().span("gtpin.attach", category="gtpin"):
+            runtime.driver.install_rewriter(self.rewriter)
 
     def detach(self, runtime: OpenCLRuntime) -> None:
         runtime.driver.install_rewriter(None)
 
     def post_process(self) -> GTPinReport:
         """CPU-side drain + per-tool analysis (Figure 1's last step)."""
-        records = self.trace_buffer.drain()
-        context = ProfileContext(
-            original_binaries=dict(self.rewriter.original_binaries),
-            records=records,
-        )
-        return GTPinReport(
-            results={tool.name: tool.process(context) for tool in self.tools},
-            record_count=len(records),
-            overflow_drains=self.trace_buffer.overflow_drains,
-            rewritten_kernels=self.rewriter.rewritten_count,
-        )
+        tm = telemetry.get()
+        with tm.span(
+            "gtpin.post_process", category="gtpin", tools=len(self.tools)
+        ):
+            records = self.trace_buffer.drain()
+            context = ProfileContext(
+                original_binaries=dict(self.rewriter.original_binaries),
+                records=records,
+            )
+            results: dict[str, Any] = {}
+            for tool in self.tools:
+                with tm.span(f"gtpin.tool.{tool.name}", category="gtpin"):
+                    results[tool.name] = tool.process(context)
+            if tm.enabled:
+                tm.inc("gtpin.records_processed", len(records))
+                tm.inc(
+                    "gtpin.instrumented_instructions",
+                    _instrumented_instructions(context, records),
+                )
+            return GTPinReport(
+                results=results,
+                record_count=len(records),
+                overflow_drains=self.trace_buffer.overflow_drains,
+                rewritten_kernels=self.rewriter.rewritten_count,
+            )
+
+
+def _instrumented_instructions(context: ProfileContext, records) -> int:
+    """Dynamic instructions the injected probes observed (the block-count
+    trick of Section III-C: block executions x static footprint)."""
+    total = 0
+    for record in records:
+        binary = context.original_binaries.get(record.kernel_name)
+        if binary is None:
+            continue
+        total += int(record.block_counts @ binary.arrays.instruction_counts)
+    return total
 
 
 @dataclasses.dataclass(frozen=True)
@@ -157,10 +185,21 @@ def profile(
     This is the tool's user-facing workflow: no recompilation, no source
     changes -- hand over the application, get a report.
     """
-    session = GTPinSession(list(tools) if tools is not None else default_tools())
-    runtime = build_runtime(application, device_spec, timing_params, session)
-    run = runtime.run(application.host_program, trial_seed=trial_seed)
-    report = session.post_process()
+    tm = telemetry.get()
+    with tm.span(
+        "gtpin.profile", category="gtpin", app=application.name
+    ) as span:
+        session = GTPinSession(
+            list(tools) if tools is not None else default_tools()
+        )
+        runtime = build_runtime(application, device_spec, timing_params, session)
+        run = runtime.run(application.host_program, trial_seed=trial_seed)
+        report = session.post_process()
+        span.annotate(
+            records=report.record_count,
+            rewritten_kernels=report.rewritten_kernels,
+        )
+    tm.inc("gtpin.kernels_rewritten", report.rewritten_kernels)
     return ProfiledApplication(
         application_name=application.name, run=run, report=report
     )

@@ -20,6 +20,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro import telemetry
+
 
 @dataclasses.dataclass(frozen=True)
 class TraceRecord:
@@ -86,22 +88,32 @@ class TraceBuffer:
     def write(self, record: TraceRecord) -> None:
         """GPU-side append of one invocation's instrumentation output."""
         size = record.record_bytes
+        tm = telemetry.get()
         if self._resident_bytes + size > self.capacity_bytes and self._records:
             # Buffer full: the CPU drains mid-run (costed as an overflow).
             self._drained.extend(self._records)
             self._records.clear()
             self._resident_bytes = 0
             self.overflow_drains += 1
+            tm.inc("gtpin.trace_buffer.overflow_drains")
         self._records.append(record)
         self._resident_bytes += size
         self.total_records += 1
+        if tm.enabled:  # hot path: one attribute check when capture is off
+            tm.inc("gtpin.trace_buffer.records")
+            tm.inc("gtpin.trace_buffer.bytes", size)
+            tm.observe("gtpin.trace_buffer.resident_bytes", self._resident_bytes)
 
     def drain(self) -> list[TraceRecord]:
         """CPU-side read-out: all records so far, in write order."""
-        out = self._drained + self._records
-        self._drained = []
-        self._records = []
-        self._resident_bytes = 0
+        tm = telemetry.get()
+        with tm.span("gtpin.trace_buffer.drain", category="gtpin") as span:
+            out = self._drained + self._records
+            self._drained = []
+            self._records = []
+            self._resident_bytes = 0
+            span.annotate(records=len(out))
+        tm.inc("gtpin.trace_buffer.drains")
         return out
 
     def __len__(self) -> int:

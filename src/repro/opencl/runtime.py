@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.gpu.execution import KernelDispatch
 from repro.opencl.api import KERNEL_ENQUEUE, APICall
 from repro.opencl.errors import (
@@ -158,24 +159,36 @@ class OpenCLRuntime:
         sync_indices: list[int] = []
         sync_epoch = 0
 
-        for call_index, call in enumerate(program.calls):
-            for interceptor in self._interceptors:
-                interceptor(call)
-            executed_calls.append(call)
+        tm = telemetry.get()
+        with tm.span(
+            "runtime.run", category="opencl",
+            program=program.name, seed=trial_seed,
+        ) as run_span:
+            for call_index, call in enumerate(program.calls):
+                for interceptor in self._interceptors:
+                    interceptor(call)
+                executed_calls.append(call)
 
-            if call.is_kernel_enqueue:
-                self._handle_enqueue(call, call_index)
-            elif call.is_synchronization:
-                sync_indices.append(call_index)
-                dispatches.extend(self._flush(sync_epoch, rng))
-                sync_epoch += 1
-            else:
-                self._handle_other(call)
+                with tm.span(f"api.{call.name}", category="opencl"):
+                    if call.is_kernel_enqueue:
+                        self._handle_enqueue(call, call_index)
+                        tm.inc("opencl.kernel_enqueues")
+                    elif call.is_synchronization:
+                        sync_indices.append(call_index)
+                        dispatches.extend(self._flush(sync_epoch, rng))
+                        sync_epoch += 1
+                        tm.inc("opencl.sync_calls")
+                    else:
+                        self._handle_other(call)
 
-        # Work enqueued after the last synchronization call still executes
-        # (the process exit implies a finish); it belongs to the trailing
-        # sync epoch.
-        dispatches.extend(self._flush(sync_epoch, rng))
+            # Work enqueued after the last synchronization call still
+            # executes (the process exit implies a finish); it belongs to
+            # the trailing sync epoch.
+            dispatches.extend(self._flush(sync_epoch, rng))
+            tm.inc("opencl.api_calls", len(executed_calls))
+            run_span.annotate(
+                api_calls=len(executed_calls), dispatches=len(dispatches)
+            )
 
         return ProgramRun(
             program_name=program.name,
@@ -262,17 +275,29 @@ class OpenCLRuntime:
         self, sync_epoch: int, rng: np.random.Generator
     ) -> list[KernelDispatch]:
         """Execute every queued enqueue; stamp queue/sync bookkeeping."""
+        tm = telemetry.get()
+        if tm.enabled:
+            tm.observe("opencl.queue_depth", len(self._queue))
         flushed: list[KernelDispatch] = []
         for pending in self._queue:
-            dispatch = self.driver.dispatch(
-                pending.kernel_name,
-                pending.arg_values,
-                pending.global_work_size,
-                rng,
-                enqueue_call_index=pending.enqueue_call_index,
+            with tm.span(
+                f"kernel.{pending.kernel_name}", category="opencl",
+                global_work_size=pending.global_work_size,
                 sync_epoch=sync_epoch,
-                data_env=pending.data_env,
-            )
+            ) as span:
+                dispatch = self.driver.dispatch(
+                    pending.kernel_name,
+                    pending.arg_values,
+                    pending.global_work_size,
+                    rng,
+                    enqueue_call_index=pending.enqueue_call_index,
+                    sync_epoch=sync_epoch,
+                    data_env=pending.data_env,
+                )
+                span.annotate(instructions=dispatch.instruction_count)
+            if tm.enabled:
+                tm.inc("opencl.dispatches")
+                tm.inc("opencl.instructions", dispatch.instruction_count)
             flushed.append(dispatch)
         self._queue.clear()
         return flushed

@@ -23,6 +23,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.cofluent.timing import TimingTrace
 from repro.gtpin.tools.invocations import InvocationLog
 from repro.sampling.error import arrays_from_profile, spi_error_percent
@@ -122,17 +123,29 @@ def evaluate_config(
     weighted_features: bool = True,
 ) -> ConfigResult:
     """Divide, featurize, cluster, select, and score one configuration."""
-    intervals = divide(log, config.scheme, approx_size)
-    vectors = build_feature_vectors(
-        log, intervals, config.feature, weighted=weighted_features
-    )
-    weights = [iv.instruction_count for iv in intervals]
-    result = run_simpoint(vectors, weights, options)
-    selection = selection_from_simpoint(
-        config, intervals, result, log.total_instructions
-    )
-    seconds, instructions = arrays_from_profile(log, timings)
-    error = spi_error_percent(selection, seconds, instructions)
+    tm = telemetry.get()
+    with tm.span(
+        "select.config", category="sampling", config=config.label
+    ) as span:
+        with tm.span("select.divide", category="sampling"):
+            intervals = divide(log, config.scheme, approx_size)
+        with tm.span("select.featurize", category="sampling"):
+            vectors = build_feature_vectors(
+                log, intervals, config.feature, weighted=weighted_features
+            )
+        weights = [iv.instruction_count for iv in intervals]
+        with tm.span(
+            "select.cluster", category="sampling", intervals=len(intervals)
+        ):
+            result = run_simpoint(vectors, weights, options)
+        with tm.span("select.score", category="sampling"):
+            selection = selection_from_simpoint(
+                config, intervals, result, log.total_instructions
+            )
+            seconds, instructions = arrays_from_profile(log, timings)
+            error = spi_error_percent(selection, seconds, instructions)
+        span.annotate(k=selection.k, error_percent=round(error, 4))
+    tm.inc("sampling.configs_evaluated")
     return ConfigResult(selection=selection, error_percent=error)
 
 
@@ -146,12 +159,16 @@ def explore(
     weighted_features: bool = True,
 ) -> ExplorationResult:
     """Score every configuration from one profile + one timing trace."""
-    results = {
-        config: evaluate_config(
-            config, log, timings, approx_size, options, weighted_features
-        )
-        for config in configs
-    }
+    with telemetry.get().span(
+        "explore.configs", category="sampling",
+        app=application_name, configs=len(configs),
+    ):
+        results = {
+            config: evaluate_config(
+                config, log, timings, approx_size, options, weighted_features
+            )
+            for config in configs
+        }
     return ExplorationResult(
         application_name=application_name,
         results=results,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import telemetry
 from repro.cofluent.recorder import CoFluentRecording, record
 from repro.cofluent.timing import TimingTrace, capture_timings
 from repro.gpu.device import HD4000, DeviceSpec
@@ -62,13 +63,21 @@ def profile_workload(
     mirroring the paper's use of CoFluent recordings to keep profiling and
     timing runs consistent.
     """
-    recording, timed_run = record(
-        application, device, trial_seed, timing_params
-    )
-    session = GTPinSession([InvocationLogTool()])
-    runtime = build_runtime(recording, device, timing_params, session)
-    runtime.run(recording.host_program, trial_seed=trial_seed)
-    log = session.post_process()["invocations"]
+    tm = telemetry.get()
+    with tm.span(
+        "pipeline.profile_workload", category="sampling",
+        app=application.name, seed=trial_seed,
+    ):
+        with tm.span("pipeline.record", category="sampling"):
+            recording, timed_run = record(
+                application, device, trial_seed, timing_params
+            )
+        with tm.span("pipeline.profile", category="sampling"):
+            session = GTPinSession([InvocationLogTool()])
+            runtime = build_runtime(recording, device, timing_params, session)
+            runtime.run(recording.host_program, trial_seed=trial_seed)
+            log = session.post_process()["invocations"]
+        tm.inc("pipeline.workloads_profiled")
     return ProfiledWorkload(
         application_name=application.name,
         recording=recording,
@@ -87,13 +96,18 @@ def select_simpoints(
     options: SimPointOptions | None = None,
 ) -> ConfigResult:
     """Run one configuration end-to-end; returns selection + error."""
-    return evaluate_config(
-        SelectionConfig(scheme, feature),
-        workload.log,
-        workload.timings,
-        approx_size,
-        options,
-    )
+    with telemetry.get().span(
+        "pipeline.select", category="sampling",
+        app=workload.application_name,
+        scheme=scheme.value, feature=feature.value,
+    ):
+        return evaluate_config(
+            SelectionConfig(scheme, feature),
+            workload.log,
+            workload.timings,
+            approx_size,
+            options,
+        )
 
 
 def explore_application(
@@ -103,11 +117,15 @@ def explore_application(
     configs: tuple[SelectionConfig, ...] = ALL_CONFIGS,
 ) -> ExplorationResult:
     """Score all 30 configurations from the single profiling pass."""
-    return explore(
-        workload.application_name,
-        workload.log,
-        workload.timings,
-        configs=configs,
-        approx_size=approx_size,
-        options=options,
-    )
+    with telemetry.get().span(
+        "pipeline.explore", category="sampling",
+        app=workload.application_name, configs=len(configs),
+    ):
+        return explore(
+            workload.application_name,
+            workload.log,
+            workload.timings,
+            configs=configs,
+            approx_size=approx_size,
+            options=options,
+        )

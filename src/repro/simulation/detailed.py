@@ -22,6 +22,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.gpu.cache import CacheConfig, CacheSimulator, CacheStats
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import DEFAULT_SURFACE, expand_addresses
@@ -76,6 +77,26 @@ class DetailedGPUSimulator:
         rng: np.random.Generator,
     ) -> SimulatedDispatch:
         """Step one invocation instruction-by-instruction."""
+        tm = telemetry.get()
+        with tm.span(
+            f"simulate.{binary.name}", category="simulation",
+            global_work_size=global_work_size,
+        ) as span:
+            result = self._simulate(binary, arg_values, global_work_size, rng)
+            span.annotate(stepped=result.simulated_instructions)
+        if tm.enabled:
+            tm.inc("simulation.stepped_instructions",
+                   result.simulated_instructions)
+            tm.inc("simulation.simulated_invocations")
+        return result
+
+    def _simulate(
+        self,
+        binary: KernelBinary,
+        arg_values: Mapping[str, float],
+        global_work_size: int,
+        rng: np.random.Generator,
+    ) -> SimulatedDispatch:
         n_threads = max(
             1, -(-global_work_size // binary.simd_width)
         )  # ceil div

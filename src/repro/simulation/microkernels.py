@@ -25,11 +25,11 @@ over-weighted prologue/epilogue -- exactly the trade the bench
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.driver.jit import KernelSource
 from repro.gpu.cache import CacheConfig
 from repro.gpu.device import DeviceSpec
@@ -87,27 +87,38 @@ def simulate_selection_microkernels(
     rng = np.random.default_rng(seed)
     projected = 0.0
     simulated_total = 0
-    start = time.perf_counter()
-    for chosen in selection.selected:
-        seconds = 0.0
-        instructions = 0.0
-        for i in chosen.interval.invocation_indices():
-            profile = log.invocations[i]
-            binary = sources[profile.kernel_name].body
-            result = simulator.simulate(
-                binary,
-                _reduced_args(
-                    profile.arg_items, loop_reduction, profile.data_items
-                ),
-                profile.global_work_size,
-                rng,
-            )
-            seconds += result.seconds
-            instructions += result.instruction_count
-        if instructions > 0:
-            projected += chosen.ratio * (seconds / instructions)
-        simulated_total += int(instructions)
-    wall = time.perf_counter() - start
+    tm = telemetry.get()
+    # timed() measures wall time even with telemetry disabled (the result
+    # needs it); enabled, it is a real span in the exported trace.
+    with tm.timed(
+        "simulation.microkernels", category="simulation",
+        app=application_name, loop_reduction=loop_reduction,
+    ) as timer:
+        sim_seconds_total = 0.0
+        for chosen in selection.selected:
+            seconds = 0.0
+            instructions = 0.0
+            for i in chosen.interval.invocation_indices():
+                profile = log.invocations[i]
+                binary = sources[profile.kernel_name].body
+                result = simulator.simulate(
+                    binary,
+                    _reduced_args(
+                        profile.arg_items, loop_reduction, profile.data_items
+                    ),
+                    profile.global_work_size,
+                    rng,
+                )
+                seconds += result.seconds
+                instructions += result.instruction_count
+            if instructions > 0:
+                projected += chosen.ratio * (seconds / instructions)
+            simulated_total += int(instructions)
+            sim_seconds_total += seconds
+    wall = timer.duration_seconds
+    if tm.enabled:
+        tm.inc("simulation.simulated_seconds", sim_seconds_total)
+        tm.inc("simulation.wall_seconds", wall)
     return MicroKernelResult(
         application_name=application_name,
         selection_label=selection.config.label,

@@ -17,6 +17,7 @@ import dataclasses
 
 import numpy as np
 
+from repro import telemetry
 from repro.driver.jit import KernelSource
 from repro.gpu.cache import CacheConfig
 from repro.gpu.device import DeviceSpec
@@ -64,24 +65,32 @@ def _simulate_invocations(
     seed: int,
 ) -> tuple[float, float, int]:
     """Simulate the given invocations; returns (seconds, instrs, stepped)."""
-    import time as _time
-
+    tm = telemetry.get()
     rng = np.random.default_rng(seed)
     sim_seconds = 0.0
     sim_instructions = 0
-    start = _time.perf_counter()
-    for i in indices:
-        profile = log.invocations[i]
-        binary = sources[profile.kernel_name].body
-        result = simulator.simulate(
-            binary,
-            {**dict(profile.data_items), **dict(profile.arg_items)},
-            profile.global_work_size,
-            rng,
-        )
-        sim_seconds += result.seconds
-        sim_instructions += result.instruction_count
-    wall = _time.perf_counter() - start
+    # timed() measures wall time even with telemetry disabled (the result
+    # needs it); enabled, it is a real span in the exported trace.
+    with tm.timed(
+        "simulation.invocations", category="simulation",
+        invocations=len(indices),
+    ) as timer:
+        for i in indices:
+            profile = log.invocations[i]
+            binary = sources[profile.kernel_name].body
+            result = simulator.simulate(
+                binary,
+                {**dict(profile.data_items), **dict(profile.arg_items)},
+                profile.global_work_size,
+                rng,
+            )
+            sim_seconds += result.seconds
+            sim_instructions += result.instruction_count
+    wall = timer.duration_seconds
+    if tm.enabled:
+        # Simulated (device) vs wall (host) clock, side by side.
+        tm.inc("simulation.simulated_seconds", sim_seconds)
+        tm.inc("simulation.wall_seconds", wall)
     return sim_seconds, float(sim_instructions), wall
 
 
@@ -95,23 +104,36 @@ def simulate_selection(
     seed: int = 0,
 ) -> SampledSimulationResult:
     """Detailed-simulate the selected intervals only, then extrapolate."""
+    tm = telemetry.get()
     simulator = DetailedGPUSimulator(device, cache_config)
     projected = 0.0
     stepped_total = 0
     wall_total = 0.0
     selected_instr = 0
-    for chosen in selection.selected:
-        indices = list(chosen.interval.invocation_indices())
-        seconds, instructions, wall = _simulate_invocations(
-            simulator, sources, log, indices, seed
+    with tm.span(
+        "simulation.sampled", category="simulation",
+        app=application_name, selection=selection.config.label,
+    ) as span:
+        for chosen in selection.selected:
+            indices = list(chosen.interval.invocation_indices())
+            seconds, instructions, wall = _simulate_invocations(
+                simulator, sources, log, indices, seed
+            )
+            wall_total += wall
+            selected_instr += int(instructions)
+            if instructions > 0:
+                projected += chosen.ratio * (seconds / instructions)
+            stepped = simulator.total_simulated_instructions
+            stepped_total = stepped
+        span.annotate(
+            simulated_instructions=selected_instr, stepped=stepped_total
         )
-        wall_total += wall
-        selected_instr += int(instructions)
-        if instructions > 0:
-            projected += chosen.ratio * (seconds / instructions)
-        stepped = simulator.total_simulated_instructions
-        stepped_total = stepped
     total_instr = log.total_instructions
+    if tm.enabled:
+        tm.inc(
+            "simulation.fast_forwarded_instructions",
+            max(0, total_instr - selected_instr),
+        )
     return SampledSimulationResult(
         application_name=application_name,
         selection_label=selection.config.label,
@@ -133,9 +155,13 @@ def simulate_full(
     """Detailed-simulate every invocation (the cost the method avoids)."""
     simulator = DetailedGPUSimulator(device, cache_config)
     indices = list(range(len(log.invocations)))
-    seconds, instructions, wall = _simulate_invocations(
-        simulator, sources, log, indices, seed
-    )
+    with telemetry.get().span(
+        "simulation.full", category="simulation",
+        app=application_name, invocations=len(indices),
+    ):
+        seconds, instructions, wall = _simulate_invocations(
+            simulator, sources, log, indices, seed
+        )
     if instructions <= 0:
         raise ValueError("program simulated zero instructions")
     return FullSimulationResult(

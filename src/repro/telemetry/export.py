@@ -1,0 +1,229 @@
+"""Exporters: Chrome trace-event JSON, JSONL event log, text summaries.
+
+The Chrome trace format (``chrome://tracing`` / https://ui.perfetto.dev)
+is the lingua franca Daisen-style GPU-stack visualizers speak: complete
+spans become ``"ph": "X"`` events with microsecond ``ts``/``dur``,
+counters become ``"ph": "C"`` events that Perfetto plots as stacked
+area tracks.  The JSONL log is the machine-greppable flat form of the
+same data, one JSON object per line.
+
+All timestamps are relative to the registry's ``time_origin_ns`` so the
+trace starts near zero regardless of process uptime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any
+
+from repro.telemetry.registry import Telemetry
+from repro.telemetry.spans import SpanRecord
+
+
+def _tid_map(spans: list[SpanRecord]) -> dict[int, int]:
+    """Stable small integers for thread ids (0 = first thread seen)."""
+    mapping: dict[int, int] = {}
+    for span in sorted(spans, key=lambda s: s.start_ns):
+        if span.thread_id not in mapping:
+            mapping[span.thread_id] = len(mapping)
+    return mapping
+
+
+def chrome_trace_events(telemetry: Telemetry) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list for one registry."""
+    origin = telemetry.time_origin_ns
+    pid = os.getpid()
+    spans = telemetry.spans()
+    tids = _tid_map(spans)
+
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "gtpin-repro"},
+        }
+    ]
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.depth)):
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "repro",
+                "ph": "X",
+                "ts": (span.start_ns - origin) / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": pid,
+                "tid": tids.get(span.thread_id, 0),
+                "args": _jsonable(span.args),
+            }
+        )
+    for counter in telemetry.counters.counters.values():
+        for sample in counter.samples:
+            events.append(
+                {
+                    "name": counter.name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": (sample.ts_ns - origin) / 1e3,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {counter.name.rpartition(".")[2]: sample.value},
+                }
+            )
+    for gauge in telemetry.counters.gauges.values():
+        for sample in gauge.samples:
+            events.append(
+                {
+                    "name": gauge.name,
+                    "cat": "gauge",
+                    "ph": "C",
+                    "ts": (sample.ts_ns - origin) / 1e3,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {gauge.name.rpartition(".")[2]: sample.value},
+                }
+            )
+    return events
+
+
+def to_chrome_trace(telemetry: Telemetry) -> dict[str, Any]:
+    """The full Chrome trace JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "gtpin-repro telemetry",
+            "created_unix_seconds": telemetry.created_unix_seconds,
+        },
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
+    """Write a ``chrome://tracing`` / Perfetto-loadable trace file."""
+    with open(path, "w") as out:
+        json.dump(to_chrome_trace(telemetry), out)
+
+
+def jsonl_events(telemetry: Telemetry) -> list[dict[str, Any]]:
+    """Flat structured event log: spans, then counter/gauge summaries."""
+    origin = telemetry.time_origin_ns
+    events: list[dict[str, Any]] = []
+    for span in sorted(telemetry.spans(), key=lambda s: s.start_ns):
+        events.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "category": span.category,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "depth": span.depth,
+                "start_us": (span.start_ns - origin) / 1e3,
+                "duration_us": span.duration_ns / 1e3,
+                "thread": span.thread_id,
+                "args": _jsonable(span.args),
+            }
+        )
+    for counter in telemetry.counters.counters.values():
+        events.append(
+            {
+                "type": "counter",
+                "name": counter.name,
+                "value": counter.value,
+                "samples": len(counter.samples),
+            }
+        )
+    for gauge in telemetry.counters.gauges.values():
+        events.append(
+            {
+                "type": "gauge",
+                "name": gauge.name,
+                "last": gauge.last,
+                "count": gauge.count,
+                "mean": gauge.mean,
+                "min": gauge.minimum,
+                "max": gauge.maximum,
+            }
+        )
+    return events
+
+
+def write_jsonl(telemetry: Telemetry, path_or_file: str | IO[str]) -> None:
+    """One JSON object per line -- grep/jq-friendly."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as out:
+            write_jsonl(telemetry, out)
+        return
+    for event in jsonl_events(telemetry):
+        path_or_file.write(json.dumps(event))
+        path_or_file.write("\n")
+
+
+def span_tree_summary(telemetry: Telemetry, max_depth: int = 12) -> str:
+    """Human-readable span tree.
+
+    Sibling spans with the same name are collapsed into one aggregated
+    line (``name xN``) so per-invocation spans don't swamp the output;
+    their children are aggregated the same way, recursively.
+    """
+    spans = telemetry.spans()
+    if not spans:
+        return "(no spans recorded)"
+    by_parent: dict[int | None, list[SpanRecord]] = {}
+    for span in sorted(spans, key=lambda s: s.start_ns):
+        by_parent.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = ["span tree (wall time, sibling spans aggregated):"]
+
+    def render(siblings: list[SpanRecord], depth: int) -> None:
+        if depth > max_depth or not siblings:
+            return
+        groups: dict[str, list[SpanRecord]] = {}
+        for span in siblings:
+            groups.setdefault(span.name, []).append(span)
+        for name, members in groups.items():
+            total_ms = sum(m.duration_ns for m in members) / 1e6
+            label = name if len(members) == 1 else f"{name} x{len(members)}"
+            indent = "  " * depth
+            lines.append(f"{indent}{label:<{max(44 - 2 * depth, 10)}} "
+                         f"{total_ms:10.3f} ms")
+            children = [
+                child
+                for member in members
+                for child in by_parent.get(member.span_id, [])
+            ]
+            render(children, depth + 1)
+
+    render(by_parent.get(None, []), 1)
+    return "\n".join(lines)
+
+
+def counters_summary(telemetry: Telemetry) -> str:
+    """Plain-text table of final counter values and gauge statistics."""
+    lines = ["counters:"]
+    counters = telemetry.counters
+    if not counters.counters and not counters.gauges:
+        return "counters: (none)"
+    for name in sorted(counters.counters):
+        value = counters.counters[name].value
+        rendered = f"{int(value)}" if value == int(value) else f"{value:.6g}"
+        lines.append(f"  {name:<44} {rendered:>14}")
+    for name in sorted(counters.gauges):
+        gauge = counters.gauges[name]
+        lines.append(
+            f"  {name:<44} last={gauge.last:.6g} mean={gauge.mean:.6g} "
+            f"n={gauge.count}"
+        )
+    return "\n".join(lines)
+
+
+def _jsonable(args: dict[str, Any]) -> dict[str, Any]:
+    """Coerce span args to JSON-safe scalars (repr anything exotic)."""
+    safe: dict[str, Any] = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe

@@ -1,0 +1,194 @@
+"""The process-global telemetry registry.
+
+Exactly one registry is *active* at any moment: either a live
+:class:`Telemetry` (after :func:`enable`) or the shared
+:class:`DisabledTelemetry` singleton (the default).  Instrumented code
+never branches on configuration -- it asks :func:`get` for the active
+registry and calls ``span`` / ``inc`` / ``observe`` unconditionally.
+When telemetry is off those calls hit the no-op singleton: ``span``
+returns the one shared :data:`~repro.telemetry.spans.NULL_SPAN`,
+``inc``/``observe`` return immediately, and nothing allocates.  The
+hottest paths additionally guard on the ``enabled`` attribute so the
+off cost collapses to a single attribute check -- mirroring the paper's
+"application performance is unaffected by this capture" discipline
+(Section III-A); ``tests/test_telemetry.py`` asserts the disabled-mode
+overhead stays negligible.
+
+Usage::
+
+    from repro import telemetry
+
+    tm = telemetry.get()
+    with tm.span("pipeline.record", category="sampling", app=name):
+        ...
+    tm.inc("opencl.api_calls")
+
+    telemetry.enable()       # turn capture on (fresh registry)
+    ...run a workflow...
+    telemetry.disable()      # back to the no-op singleton
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.telemetry.counters import Counter, CounterSet, Gauge
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    ActiveSpan,
+    NullSpan,
+    SpanCollector,
+    SpanRecord,
+    Timer,
+)
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class Telemetry:
+    """A live (capturing) telemetry registry."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: perf_counter origin; exported timestamps are relative to this.
+        self.time_origin_ns = time.perf_counter_ns()
+        #: Wall-clock time the registry was created (for trace metadata).
+        self.created_unix_seconds = time.time()
+        self._collector = SpanCollector()
+        self.counters = CounterSet()
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **args: Any) -> ActiveSpan:
+        """A recording span; use as ``with tm.span("phase"): ...``."""
+        return ActiveSpan(self._collector, name, category, args)
+
+    def timed(self, name: str, category: str = "", **args: Any) -> ActiveSpan:
+        """Like :meth:`span`, but guaranteed to measure wall time even on
+        the disabled registry (which returns a bare :class:`Timer`)."""
+        return ActiveSpan(self._collector, name, category, args)
+
+    def spans(self) -> list[SpanRecord]:
+        """All completed spans, in completion order."""
+        return self._collector.records()
+
+    # -- counters ------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counters.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.counters.gauge(name).observe(value)
+
+    def counter_value(self, name: str) -> float:
+        return self.counters.value(name)
+
+
+class DisabledTelemetry:
+    """The no-op singleton active by default.  Every method is a cheap
+    constant-work call; ``span`` never allocates."""
+
+    enabled = False
+
+    def span(self, name: str, category: str = "", **args: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def timed(self, name: str, category: str = "", **args: Any) -> Timer:
+        # Wall time is still measured: ``timed`` call sites feed result
+        # fields (e.g. wall_seconds), not just traces.
+        return Timer()
+
+    def spans(self) -> list[SpanRecord]:
+        return []
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def counter_value(self, name: str) -> float:
+        return 0.0
+
+
+#: The one disabled registry (identity-comparable in tests).
+DISABLED = DisabledTelemetry()
+
+_active: Telemetry | DisabledTelemetry = DISABLED
+
+
+def get() -> Telemetry | DisabledTelemetry:
+    """The active registry.  Hot paths hoist this once per operation."""
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active.enabled
+
+
+def enable() -> Telemetry:
+    """Activate a fresh capturing registry and return it."""
+    global _active
+    _active = Telemetry()
+    return _active
+
+
+def disable() -> None:
+    """Deactivate capture; the no-op singleton becomes active again."""
+    global _active
+    _active = DISABLED
+
+
+@contextlib.contextmanager
+def session() -> Iterator[Telemetry]:
+    """Enable for the duration of a ``with`` block, then restore the
+    previously active registry (enabled or not)."""
+    global _active
+    previous = _active
+    _active = Telemetry()
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def traced(
+    name: str | None = None, category: str = ""
+) -> Callable[[_F], _F]:
+    """Decorator: wrap a function in a span named after it.
+
+    The active registry is looked up per call, so decorated functions
+    respect enable/disable at call time, not at import time.
+    """
+
+    def decorate(func: _F) -> _F:
+        label = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with _active.span(label, category=category):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+__all__ = [
+    "Counter",
+    "CounterSet",
+    "DISABLED",
+    "DisabledTelemetry",
+    "Gauge",
+    "Telemetry",
+    "disable",
+    "enable",
+    "get",
+    "is_enabled",
+    "session",
+    "traced",
+]

@@ -1,7 +1,10 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
+from repro import telemetry
 from repro.cli import main
 
 
@@ -81,6 +84,85 @@ def test_exported_selection_loads_back(tmp_path):
     selection = selection_from_json(text)
     assert selection.config.label == "Sync-BB"
     assert selection.k >= 1
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_version_matches_package_metadata():
+    from repro import __version__
+
+    assert __version__  # never empty, even without installed metadata
+
+
+def test_trace_command(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "cb-gaussian-image", "--scale", "0.5", "--out", str(out)]
+    ) == 0
+    printed = capsys.readouterr().out
+    assert "span tree" in printed
+    assert "counters:" in printed
+    assert str(out) in printed
+
+    data = json.loads(out.read_text())
+    events = data["traceEvents"]
+    names = {e["name"] for e in events}
+    # Spans from all three required layers:
+    assert "runtime.run" in names                              # OpenCL runtime
+    assert "gtpin.post_process" in names                       # GT-Pin profiler
+    assert {"pipeline.profile_workload", "pipeline.select"} <= names  # sampling
+    # Nested: kernel spans sit under API-call spans under runtime.run.
+    assert any(n.startswith("api.cl") for n in names)
+    assert any(n.startswith("kernel.") for n in names)
+    # Required counters:
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert "gtpin.instrumented_instructions" in counter_names
+    assert "gtpin.trace_buffer.drains" in counter_names
+    # Complete events carry the Chrome trace fields.
+    for event in events:
+        if event["ph"] == "X":
+            assert {"ts", "dur", "pid", "tid"} <= event.keys()
+    # The command must not leave telemetry enabled behind it.
+    assert telemetry.get() is telemetry.DISABLED
+
+
+def test_trace_command_jsonl_and_simulate_workflow(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    assert main(
+        ["trace", "cb-gaussian-image", "--scale", "0.5",
+         "--workflow", "simulate", "--out", str(out), "--jsonl", str(jsonl)]
+    ) == 0
+    capsys.readouterr()
+    records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    names = {r["name"] for r in records if r["type"] == "span"}
+    assert "simulation.sampled" in names
+    assert "simulation.invocations" in names
+    counters = {r["name"] for r in records if r["type"] == "counter"}
+    assert "simulation.stepped_instructions" in counters
+    assert "simulation.wall_seconds" in counters
+
+
+def test_telemetry_flag_on_existing_subcommand(tmp_path, capsys):
+    out = tmp_path / "select_trace.json"
+    assert main(
+        ["select", "cb-gaussian-image", "--scale", "0.5",
+         "--telemetry", "--telemetry-out", str(out)]
+    ) == 0
+    printed = capsys.readouterr().out
+    assert "Selected simulation points" in printed  # command output intact
+    assert "span tree" in printed
+    data = json.loads(out.read_text())
+    names = {e["name"] for e in data["traceEvents"]}
+    assert "pipeline.select" in names
+    assert telemetry.get() is telemetry.DISABLED
 
 
 def test_disasm_command(capsys):
