@@ -20,6 +20,12 @@ from repro.workloads.suite import FIGURE_5_SAMPLE_APPS
 
 
 def test_fig5_config_space(benchmark, suite_explorations):
+    # The figure needs every (app, config) cell: no config may have been
+    # dropped by per-task error capture under a parallel run.
+    for ex in suite_explorations.values():
+        assert not ex.errors, f"{ex.application_name}: {ex.errors}"
+        assert len(ex.results) == len(ALL_CONFIGS)
+
     sample = [suite_explorations[name] for name in FIGURE_5_SAMPLE_APPS]
     text = benchmark.pedantic(
         figure5_config_space, args=(sample,), rounds=1, iterations=1

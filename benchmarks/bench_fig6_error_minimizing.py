@@ -13,6 +13,10 @@ from repro.analysis.render import figure6_error_minimizing
 
 
 def test_fig6_error_minimizing(benchmark, suite_explorations):
+    # min-error picks are only meaningful over the complete config grid.
+    for ex in suite_explorations.values():
+        assert not ex.errors, f"{ex.application_name}: {ex.errors}"
+
     def pick_all():
         return [
             (name, ex.minimize_error())

@@ -13,6 +13,11 @@ from repro.sampling.explorer import threshold_sweep
 
 
 def test_fig7_cooptimization(benchmark, suite_explorations):
+    # Threshold sweeps compare configs across apps: the grid must be
+    # complete for every application.
+    for ex in suite_explorations.values():
+        assert not ex.errors, f"{ex.application_name}: {ex.errors}"
+
     points = benchmark.pedantic(
         threshold_sweep,
         args=(list(suite_explorations.values()),),

@@ -1,0 +1,59 @@
+"""Suite-scale parallel exploration: speedup and determinism.
+
+Not a paper figure -- this benchmarks the harness itself.  The 30
+configurations per application are independent post-processing passes
+over one profiling run (Section V-A), so exploration fans out across a
+process pool.  This module times the serial and parallel paths on one
+application, asserts bit-identical results, and records the measured
+speedup (on multi-core hosts parallel exploration should approach the
+core count; on a 1-core host the two paths tie).
+"""
+
+import os
+import time
+
+from conftest import BENCH_SIMPOINT, save_result
+
+from repro.analysis.render import render_table
+from repro.parallel import resolve_jobs
+from repro.sampling.explorer import ALL_CONFIGS
+from repro.sampling.pipeline import explore_application
+
+
+def _explore(workload, jobs):
+    start = time.perf_counter()
+    result = explore_application(workload, options=BENCH_SIMPOINT, jobs=jobs)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_exploration_matches_serial(benchmark, suite_workloads):
+    name = sorted(suite_workloads)[0]
+    workload = suite_workloads[name]
+    jobs = resolve_jobs(0)  # all cores (1 inside a pool worker)
+
+    serial, serial_s = _explore(workload, 1)
+    (parallel, parallel_s) = benchmark.pedantic(
+        _explore, args=(workload, jobs), rounds=1, iterations=1
+    )
+
+    # Determinism: the parallel fan-out must reproduce the serial result
+    # bit for bit, in the same configuration order.
+    assert not serial.errors and not parallel.errors
+    assert list(serial.results) == list(parallel.results) == list(ALL_CONFIGS)
+    assert serial.results == parallel.results
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    save_result(
+        "parallel_scaling",
+        render_table(
+            f"Parallel exploration scaling ({name}, "
+            f"{len(ALL_CONFIGS)} configs, jobs={jobs}, "
+            f"nproc={os.cpu_count()})",
+            ["Metric", "Value"],
+            [
+                ("Serial explore", f"{serial_s:.2f} s"),
+                (f"Parallel explore (jobs={jobs})", f"{parallel_s:.2f} s"),
+                ("Speedup", f"{speedup:.2f}x"),
+            ],
+        ),
+    )

@@ -11,6 +11,11 @@ each benchmark then times one representative step with
 Scale: ``REPRO_BENCH_SCALE`` (default 0.25) multiplies every app's
 invocation count.  The default keeps the full harness at a few minutes;
 ``REPRO_BENCH_SCALE=1.0`` reproduces the paper-shaped volumes.
+
+Parallelism: ``REPRO_JOBS=N`` fans the suite-wide profiling and
+exploration fixtures out across N worker processes (results are
+identical to the serial run), and ``REPRO_PROFILE_CACHE`` reuses stored
+profiles across harness invocations -- see ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -22,7 +27,9 @@ import pytest
 
 from repro.analysis.characterize import characterize_suite
 from repro.gpu.device import HD4000
+from repro.parallel import ProfileCache, parallel_map, resolve_jobs
 from repro.sampling.explorer import ExplorationResult
+from repro.sampling.intervals import DEFAULT_APPROX_SIZE
 from repro.sampling.pipeline import (
     ProfiledWorkload,
     explore_application,
@@ -70,19 +77,62 @@ def suite_chars(suite_apps):
     return characterize_suite(suite_apps, HD4000, trial_seed=0)
 
 
+def _expect_ok(stage: str, names: list[str], outcomes) -> None:
+    failures = [
+        f"{name}: {o.error}" for name, o in zip(names, outcomes) if not o.ok
+    ]
+    if failures:
+        raise RuntimeError(f"{stage} failed: " + "; ".join(failures))
+
+
 @pytest.fixture(scope="session")
 def suite_workloads(suite_apps) -> dict[str, ProfiledWorkload]:
-    """CoFluent recording + GT-Pin profile for every app."""
-    return {
-        app.name: profile_workload(app, HD4000, trial_seed=0)
-        for app in suite_apps
-    }
+    """CoFluent recording + GT-Pin profile for every app.
+
+    One task per application under ``REPRO_JOBS``; an env-enabled
+    profile cache skips re-profiling across harness runs entirely.
+    """
+    jobs = resolve_jobs()
+    cache = ProfileCache.from_env()
+    if jobs == 1:
+        return {
+            app.name: profile_workload(app, HD4000, 0, None, cache)
+            for app in suite_apps
+        }
+    names = [app.name for app in suite_apps]
+    outcomes = parallel_map(
+        profile_workload,
+        [(app, HD4000, 0, None, cache) for app in suite_apps],
+        jobs=jobs,
+        label="bench.profile_suite",
+    )
+    _expect_ok("suite profiling", names, outcomes)
+    return {name: o.value for name, o in zip(names, outcomes)}
 
 
 @pytest.fixture(scope="session")
 def suite_explorations(suite_workloads) -> dict[str, ExplorationResult]:
-    """All 30 configurations scored for every app (Sections V-B..V-D)."""
-    return {
-        name: explore_application(workload, options=BENCH_SIMPOINT)
-        for name, workload in suite_workloads.items()
-    }
+    """All 30 configurations scored for every app (Sections V-B..V-D).
+
+    Parallelized at the application level under ``REPRO_JOBS`` (each
+    worker explores its app's 30 configs serially), which is where the
+    Figure 5/6/7 wall-clock goes.
+    """
+    jobs = resolve_jobs()
+    if jobs == 1:
+        return {
+            name: explore_application(workload, options=BENCH_SIMPOINT)
+            for name, workload in suite_workloads.items()
+        }
+    names = list(suite_workloads)
+    outcomes = parallel_map(
+        explore_application,
+        [
+            (workload, DEFAULT_APPROX_SIZE, BENCH_SIMPOINT)
+            for workload in suite_workloads.values()
+        ],
+        jobs=jobs,
+        label="bench.explore_suite",
+    )
+    _expect_ok("suite exploration", names, outcomes)
+    return {name: o.value for name, o in zip(names, outcomes)}

@@ -37,6 +37,7 @@ from repro.gpu.device import (
     HD4600,
     DeviceSpec,
 )
+from repro.parallel import ProfileCache, TaskOutcome, parallel_map, resolve_jobs
 from repro.sampling.explorer import (
     ConfigResult,
     ExplorationResult,
@@ -80,6 +81,19 @@ class StudyResults:
     cross_architecture: list[ValidationReport]
 
 
+def _require_ok(stage: str, names: Sequence[str], outcomes: Sequence[TaskOutcome]) -> None:
+    failures = [
+        f"{name}: {outcome.error}"
+        for name, outcome in zip(names, outcomes)
+        if not outcome.ok
+    ]
+    if failures:
+        raise RuntimeError(
+            f"{stage} failed for {len(failures)} application(s): "
+            + "; ".join(failures)
+        )
+
+
 def run_full_study(
     scale: float = 0.25,
     seed: int = 0,
@@ -87,20 +101,53 @@ def run_full_study(
     options: SimPointOptions | None = None,
     validation_trials: Sequence[int] = (2, 3, 4),
     approx_size: int = DEFAULT_APPROX_SIZE,
+    jobs: int | None = None,
+    cache: ProfileCache | None = None,
 ) -> StudyResults:
-    """Run the complete Sections IV + V evaluation pipeline."""
+    """Run the complete Sections IV + V evaluation pipeline.
+
+    ``jobs`` (or ``REPRO_JOBS``) fans the per-application profiling and
+    exploration stages across a process pool; ``cache`` reuses stored
+    profiles across runs.  Results are identical to the serial path.
+    """
     options = options or SimPointOptions()
     apps = load_suite(scale=scale)
+    n_jobs = resolve_jobs(jobs)
+    names = [app.name for app in apps]
 
     characterization = characterize_suite(apps, device, trial_seed=seed)
-    workloads = {
-        app.name: profile_workload(app, device, trial_seed=seed)
-        for app in apps
-    }
-    explorations = {
-        name: explore_application(w, approx_size=approx_size, options=options)
-        for name, w in workloads.items()
-    }
+    if n_jobs == 1:
+        workloads = {
+            app.name: profile_workload(app, device, seed, None, cache)
+            for app in apps
+        }
+        explorations = {
+            name: explore_application(
+                w, approx_size=approx_size, options=options
+            )
+            for name, w in workloads.items()
+        }
+    else:
+        profiled = parallel_map(
+            profile_workload,
+            [(app, device, seed, None, cache) for app in apps],
+            jobs=n_jobs,
+            label="study.profile_suite",
+        )
+        _require_ok("profiling", names, profiled)
+        workloads = {
+            name: outcome.value for name, outcome in zip(names, profiled)
+        }
+        explored = parallel_map(
+            explore_application,
+            [(w, approx_size, options) for w in workloads.values()],
+            jobs=n_jobs,
+            label="study.explore_suite",
+        )
+        _require_ok("exploration", names, explored)
+        explorations = {
+            name: outcome.value for name, outcome in zip(names, explored)
+        }
     error_minimizing = [
         (name, ex.minimize_error()) for name, ex in explorations.items()
     ]

@@ -38,6 +38,7 @@ from repro.analysis import (
 from repro.analysis.characterize import SuiteCharacterization
 from repro.gpu.device import HD4000, HD4600, DeviceSpec
 from repro.gtpin.overhead import measure_overhead
+from repro.parallel import ProfileCache
 from repro.sampling import (
     FeatureKind,
     IntervalScheme,
@@ -55,6 +56,14 @@ def _device(name: str) -> DeviceSpec:
     return {"hd4000": HD4000, "hd4600": HD4600}[name]
 
 
+def _cache(args: argparse.Namespace) -> ProfileCache | None:
+    """The profile cache selected by ``--profile-cache`` / env, if any."""
+    flag = getattr(args, "profile_cache", None)
+    if flag is None:
+        return ProfileCache.from_env()
+    return ProfileCache(flag or None)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -64,6 +73,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--device", choices=("hd4000", "hd4600"), default="hd4000"
     )
     parser.add_argument("--seed", type=int, default=0, help="trial seed")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for parallel sweep stages (default: "
+        "$REPRO_JOBS or 1 = serial; 0 = all cores); results are "
+        "identical to a serial run",
+    )
+    parser.add_argument(
+        "--profile-cache", nargs="?", const="", default=None, metavar="DIR",
+        help="reuse profiled workloads from an on-disk cache (optional "
+        "DIR; default location ~/.cache/repro/profiles, also enabled "
+        "via $REPRO_PROFILE_CACHE)",
+    )
     parser.add_argument(
         "--telemetry", action="store_true",
         help="capture telemetry (spans + counters) for this run and write "
@@ -213,7 +234,9 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 def _cmd_select(args: argparse.Namespace) -> int:
     app = load_app(args.app, scale=args.scale)
-    workload = profile_workload(app, _device(args.device), args.seed)
+    workload = profile_workload(
+        app, _device(args.device), args.seed, cache=_cache(args)
+    )
     result = select_simpoints(
         workload, _SCHEMES[args.scheme], _FEATURES[args.feature]
     )
@@ -245,8 +268,10 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 def _cmd_explore(args: argparse.Namespace) -> int:
     app = load_app(args.app, scale=args.scale)
-    workload = profile_workload(app, _device(args.device), args.seed)
-    exploration = explore_application(workload)
+    workload = profile_workload(
+        app, _device(args.device), args.seed, cache=_cache(args)
+    )
+    exploration = explore_application(workload, jobs=args.jobs)
     print(figure5_config_space([exploration]))
     best = exploration.minimize_error()
     print()
@@ -255,7 +280,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"({best.error_percent:.3f}% error, "
         f"{best.simulation_speedup:.1f}x speedup)"
     )
-    return 0
+    for config, error in exploration.errors.items():
+        print(f"FAILED {config.label}: {error}")
+    return 0 if not exploration.errors else 1
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
@@ -274,7 +301,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.study import render_study, run_full_study
 
     results = run_full_study(
-        scale=args.scale, seed=args.seed, device=_device(args.device)
+        scale=args.scale, seed=args.seed, device=_device(args.device),
+        jobs=args.jobs, cache=_cache(args),
     )
     text = render_study(results)
     with open(args.out, "w") as out:
@@ -298,7 +326,9 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.sampling.selection import selection_from_simpoint
 
     app = load_app(args.app, scale=args.scale)
-    workload = profile_workload(app, _device(args.device), args.seed)
+    workload = profile_workload(
+        app, _device(args.device), args.seed, cache=_cache(args)
+    )
     scheme, feature = _SCHEMES[args.scheme], _FEATURES[args.feature]
     intervals = divide(workload.log, scheme)
     vectors = build_feature_vectors(workload.log, intervals, feature)
@@ -341,8 +371,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     device = _device(args.device)
     app = load_app(args.app, scale=args.scale)
-    workload = profile_workload(app, device, args.seed)
-    exploration = explore_application(workload)
+    workload = profile_workload(app, device, args.seed, cache=_cache(args))
+    exploration = explore_application(workload, jobs=args.jobs)
     selection = exploration.minimize_error().selection
     print(
         f"Validating {selection.config.label} selection of {args.app} "
@@ -373,11 +403,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "cli.trace", category="cli",
             app=args.app, workflow=args.workflow,
         ):
-            workload = profile_workload(app, device, args.seed)
+            workload = profile_workload(
+                app, device, args.seed, cache=_cache(args)
+            )
             if args.workflow == "select":
                 select_simpoints(workload)
             elif args.workflow == "explore":
-                explore_application(workload)
+                explore_application(workload, jobs=args.jobs)
             elif args.workflow == "profile":
                 from repro.gtpin.profiler import profile
 

@@ -80,6 +80,10 @@ class TraceBuffer:
         #: Total records ever written (drains do not reset this).
         self.total_records = 0
         self._drained: list[TraceRecord] = []
+        #: An admitted record alone exceeded capacity; its forced drain
+        #: was already counted, so the next implicit drain must not
+        #: double-count it.
+        self._oversized_pending = False
 
     @property
     def resident_bytes(self) -> int:
@@ -94,11 +98,24 @@ class TraceBuffer:
             self._drained.extend(self._records)
             self._records.clear()
             self._resident_bytes = 0
-            self.overflow_drains += 1
-            tm.inc("gtpin.trace_buffer.overflow_drains")
+            if self._oversized_pending:
+                # This drain was already counted when the oversized
+                # record was admitted.
+                self._oversized_pending = False
+            else:
+                self.overflow_drains += 1
+                tm.inc("gtpin.trace_buffer.overflow_drains")
         self._records.append(record)
         self._resident_bytes += size
         self.total_records += 1
+        if size > self.capacity_bytes:
+            # The record exceeds capacity even in an empty buffer: the
+            # driver must sync and the CPU drain it right after the
+            # kernel.  Count that forced drain now (the buffer empties on
+            # the next write) so overhead analyses see it.
+            self.overflow_drains += 1
+            self._oversized_pending = True
+            tm.inc("gtpin.trace_buffer.overflow_drains")
         if tm.enabled:  # hot path: one attribute check when capture is off
             tm.inc("gtpin.trace_buffer.records")
             tm.inc("gtpin.trace_buffer.bytes", size)
@@ -112,6 +129,9 @@ class TraceBuffer:
             self._drained = []
             self._records = []
             self._resident_bytes = 0
+            # An explicit drain empties the buffer, so the oversized
+            # record's pre-counted implicit drain will never happen.
+            self._oversized_pending = False
             span.annotate(records=len(out))
         tm.inc("gtpin.trace_buffer.drains")
         return out

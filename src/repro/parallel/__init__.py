@@ -1,0 +1,40 @@
+"""repro.parallel: the parallel execution engine for suite-scale sweeps.
+
+Section V's exploration evaluates 30 independent configurations per
+application over a 25-application suite -- embarrassingly parallel
+post-processing over immutable profiles.  This package supplies the two
+pieces that turn that structure into turnaround time:
+
+* :func:`~repro.parallel.pool.parallel_map` -- a process-pool map with
+  deterministic result ordering, per-task error capture, a serial
+  fallback, and worker-telemetry merge (``--jobs N`` / ``REPRO_JOBS``);
+* :class:`~repro.parallel.cache.ProfileCache` -- an on-disk store of
+  profiled workloads keyed by (workload fingerprint, device, trial
+  seed, code version), so repeated sweeps skip re-profiling entirely
+  (``REPRO_PROFILE_CACHE``).
+
+See ``docs/parallel.md`` for the user guide and the determinism
+guarantees.
+"""
+
+from repro.parallel.cache import (
+    CACHE_ENV,
+    ProfileCache,
+    default_cache_root,
+)
+from repro.parallel.pool import (
+    JOBS_ENV,
+    TaskOutcome,
+    parallel_map,
+    resolve_jobs,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "JOBS_ENV",
+    "ProfileCache",
+    "TaskOutcome",
+    "default_cache_root",
+    "parallel_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,170 @@
+"""On-disk profile cache: skip re-profiling on repeated sweeps.
+
+The paper's key observation is that one native profiling run suffices to
+score all 30 configurations; the cache extends that economy across
+*process lifetimes*: a suite sweep that was profiled once (same
+application, device, trial seed, and code version) never profiles
+again -- subsequent sweeps deserialize the stored
+:class:`~repro.sampling.pipeline.ProfiledWorkload` and go straight to
+the post-processing fan-out.
+
+Keys are SHA-256 digests over:
+
+* a **workload fingerprint** -- application name, every kernel's static
+  per-block instruction footprint, and the full recorded API stream
+  (so changing ``--scale`` or the generator seed changes the key);
+* the **device** name, the **trial seed**, and the timing parameters;
+* the **code version** (``repro.__version__`` plus an internal schema
+  number), so upgrading the package invalidates every stored profile.
+
+Entries are single pickle files written atomically (tmp file +
+``os.replace``), so concurrent workers racing on the same key are safe:
+last writer wins and both wrote identical bytes-for-equal inputs.
+Corrupt or unreadable entries count as misses and are deleted.
+
+Location: ``$REPRO_PROFILE_CACHE`` if set to a path, else
+``$XDG_CACHE_HOME/repro/profiles`` (``~/.cache/repro/profiles``).
+Setting ``REPRO_PROFILE_CACHE=1`` enables the default location;
+``REPRO_PROFILE_CACHE=0`` (or unset) disables env-driven caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any
+
+import numpy as np
+
+import repro
+from repro import telemetry
+
+#: Environment control: a directory path, ``1``/``on`` (default dir),
+#: or ``0``/``off``/unset (disabled).
+CACHE_ENV = "REPRO_PROFILE_CACHE"
+
+#: Bump to invalidate every existing entry when the stored layout changes.
+SCHEMA_VERSION = 1
+
+_ENABLE_VALUES = {"1", "on", "yes", "true"}
+_DISABLE_VALUES = {"", "0", "off", "no", "false"}
+
+
+def default_cache_root() -> pathlib.Path:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return pathlib.Path(base) / "repro" / "profiles"
+
+
+def _application_fingerprint(application: Any) -> str:
+    """Digest everything that determines a profile's content."""
+    digest = hashlib.sha256()
+    digest.update(application.name.encode())
+    for kernel_name in sorted(application.sources):
+        source = application.sources[kernel_name]
+        digest.update(kernel_name.encode())
+        arrays = source.body.arrays
+        digest.update(
+            np.asarray(arrays.instruction_counts, dtype=np.float64).tobytes()
+        )
+    for call in application.host_program.calls:
+        digest.update(call.name.encode())
+        digest.update(repr(sorted(call.args.items())).encode())
+    return digest.hexdigest()
+
+
+class ProfileCache:
+    """Content-addressed store of :class:`ProfiledWorkload` pickles."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_root()
+
+    @classmethod
+    def from_env(cls) -> "ProfileCache | None":
+        """The env-configured cache, or ``None`` when caching is off."""
+        raw = os.environ.get(CACHE_ENV, "").strip()
+        if raw.lower() in _DISABLE_VALUES:
+            return None
+        if raw.lower() in _ENABLE_VALUES:
+            return cls()
+        return cls(raw)
+
+    def key(
+        self,
+        application: Any,
+        device: Any,
+        trial_seed: int,
+        timing_params: Any = None,
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"schema={SCHEMA_VERSION}".encode())
+        digest.update(f"version={repro.__version__}".encode())
+        digest.update(_application_fingerprint(application).encode())
+        digest.update(f"device={device.name}".encode())
+        digest.update(f"seed={trial_seed}".encode())
+        digest.update(f"timing={timing_params!r}".encode())
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> Any | None:
+        """The stored object for ``key``, or ``None`` on a miss."""
+        tm = telemetry.get()
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as stream:
+                value = pickle.load(stream)
+        except FileNotFoundError:
+            tm.inc("sampling.profile_cache.misses")
+            return None
+        except Exception:
+            # Corrupt / truncated / version-skewed entry: drop it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            tm.inc("sampling.profile_cache.misses")
+            return None
+        tm.inc("sampling.profile_cache.hits")
+        return value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".profile-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        telemetry.get().inc("sampling.profile_cache.stores")
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))

@@ -1,0 +1,229 @@
+"""Process-pool fan-out for embarrassingly-parallel sweep stages.
+
+The selection methodology's hot loop -- 30 (interval scheme x feature
+kind) configurations per application, 25 applications per suite -- is
+pure post-processing over one immutable profile, so every task is
+independent.  :func:`parallel_map` turns that structure into wall-clock
+speedup while preserving three guarantees the sweep drivers rely on:
+
+* **Determinism** -- results come back in task order, and every task is
+  a pure function of its (pickled) arguments, so a parallel sweep is
+  bit-identical to the serial one.
+* **Isolation** -- a task that raises is captured as a per-task error
+  (:class:`TaskOutcome`); the other tasks still complete and return.
+* **Observability** -- when telemetry is enabled, each worker records
+  into its own fresh registry and ships a snapshot back; the parent
+  merges every snapshot (in task order) so the Chrome trace stays
+  complete under parallel runs (see :mod:`repro.telemetry.snapshot`).
+
+Job count comes from the explicit ``jobs`` argument, else the
+``REPRO_JOBS`` environment variable, else 1 (serial).  ``jobs <= 0``
+means "all cores".  ``jobs=1`` -- and any pool that fails to start --
+runs the exact same tasks serially in-process.  Workers export
+``REPRO_PARALLEL_WORKER=1`` so nested sweeps inside a worker always
+resolve to serial instead of forking grandchild pools.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro import telemetry
+from repro.telemetry.snapshot import TelemetrySnapshot, capture_snapshot
+
+#: Job-count environment control (``0`` = all cores).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Set inside workers; forces :func:`resolve_jobs` to 1 (no nested pools).
+WORKER_ENV = "REPRO_PARALLEL_WORKER"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Explicit ``jobs`` wins; ``None`` falls back to ``REPRO_JOBS``; unset
+    means 1 (serial).  Zero or negative values mean "all cores".  Inside
+    a worker process the answer is always 1.
+    """
+    if os.environ.get(WORKER_ENV):
+        return 1
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskOutcome:
+    """One task's result or captured failure, at its input position."""
+
+    index: int
+    value: Any = None
+    error: str | None = None
+    traceback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclasses.dataclass(frozen=True)
+class _WorkerResult:
+    """What a worker process ships back per task."""
+
+    value: Any
+    error: str | None
+    traceback: str | None
+    snapshot: TelemetrySnapshot | None
+
+
+def _run_task(
+    fn: Callable[..., Any], args: tuple, capture: bool
+) -> _WorkerResult:
+    """Worker-side wrapper: run one task under a fresh telemetry session."""
+    os.environ[WORKER_ENV] = "1"
+    if not capture:
+        try:
+            return _WorkerResult(fn(*args), None, None, None)
+        except Exception as exc:
+            return _WorkerResult(
+                None, _format_error(exc), traceback.format_exc(), None
+            )
+    with telemetry.session() as tm:
+        try:
+            value = fn(*args)
+        except Exception as exc:
+            return _WorkerResult(
+                None,
+                _format_error(exc),
+                traceback.format_exc(),
+                capture_snapshot(tm),
+            )
+        return _WorkerResult(value, None, None, capture_snapshot(tm))
+
+
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _serial_map(
+    fn: Callable[..., Any], tasks: Sequence[tuple]
+) -> list[TaskOutcome]:
+    """In-process execution; telemetry records directly into the caller's
+    registry, so no snapshot plumbing is needed."""
+    outcomes: list[TaskOutcome] = []
+    for index, args in enumerate(tasks):
+        try:
+            outcomes.append(TaskOutcome(index, value=fn(*args)))
+        except Exception as exc:
+            outcomes.append(
+                TaskOutcome(
+                    index,
+                    error=_format_error(exc),
+                    traceback=traceback.format_exc(),
+                )
+            )
+    return outcomes
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Sequence[Any]],
+    *,
+    jobs: int | None = None,
+    capture_telemetry: bool | None = None,
+    label: str = "parallel.map",
+) -> list[TaskOutcome]:
+    """Run ``fn(*args)`` for every args-tuple in ``tasks``.
+
+    Returns one :class:`TaskOutcome` per task, **in task order**
+    regardless of completion order.  ``fn`` must be a module-level
+    callable and every argument picklable (both trivially hold for the
+    sweep stages this serves).  See the module docstring for the
+    determinism / isolation / telemetry guarantees.
+    """
+    task_tuples = [tuple(args) for args in tasks]
+    n_jobs = min(resolve_jobs(jobs), max(1, len(task_tuples)))
+    tm = telemetry.get()
+    if capture_telemetry is None:
+        capture_telemetry = tm.enabled
+    with tm.span(
+        label, category="parallel", tasks=len(task_tuples), jobs=n_jobs
+    ) as span:
+        if n_jobs == 1:
+            outcomes = _serial_map(fn, task_tuples)
+        else:
+            outcomes = _pool_map(
+                fn, task_tuples, n_jobs, bool(capture_telemetry)
+            )
+        failed = sum(1 for o in outcomes if not o.ok)
+        span.annotate(failed=failed)
+    if tm.enabled:
+        tm.inc("parallel.tasks", len(task_tuples))
+        if failed:
+            tm.inc("parallel.task_failures", failed)
+    return outcomes
+
+
+def _pool_map(
+    fn: Callable[..., Any],
+    tasks: list[tuple],
+    n_jobs: int,
+    capture: bool,
+) -> list[TaskOutcome]:
+    tm = telemetry.get()
+    try:
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs)
+    except (OSError, ValueError, ImportError, NotImplementedError):
+        # No usable multiprocessing (restricted sandboxes, missing
+        # semaphores): the serial path produces identical results.
+        tm.inc("parallel.pool_fallbacks")
+        return _serial_map(fn, tasks)
+    parent_span_id = tm.current_span_id()
+    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+    snapshots: list[TelemetrySnapshot | None] = [None] * len(tasks)
+    with executor:
+        futures = {
+            executor.submit(_run_task, fn, args, capture): index
+            for index, args in enumerate(tasks)
+        }
+        for future in concurrent.futures.as_completed(futures):
+            index = futures[future]
+            try:
+                result = future.result()
+            except Exception as exc:
+                # The pool itself broke (worker killed, pickling of the
+                # *result* failed, ...) -- Python-level task exceptions
+                # never reach here, _run_task captures them.
+                outcomes[index] = TaskOutcome(
+                    index,
+                    error=_format_error(exc),
+                    traceback=traceback.format_exc(),
+                )
+                continue
+            outcomes[index] = TaskOutcome(
+                index,
+                value=result.value,
+                error=result.error,
+                traceback=result.traceback,
+            )
+            snapshots[index] = result.snapshot
+    if capture and tm.enabled:
+        # Deterministic merge order: task order, not completion order.
+        for snapshot in snapshots:
+            if snapshot is not None:
+                telemetry.merge_snapshot(tm, snapshot, parent_span_id)
+    return [o for o in outcomes if o is not None]

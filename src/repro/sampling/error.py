@@ -59,9 +59,23 @@ def spi_error_percent(
     selection: Selection,
     seconds: np.ndarray,
     instructions: np.ndarray,
+    workload: str = "",
 ) -> float:
-    """Eq. (1): percent error of projected vs measured whole-program SPI."""
+    """Eq. (1): percent error of projected vs measured whole-program SPI.
+
+    A timing trace that sums to zero seconds makes the measured SPI zero
+    and Eq. (1) undefined; that is a broken timing capture, reported as
+    a :class:`ValueError` naming the workload rather than a
+    ``ZeroDivisionError`` halfway through a sweep.
+    """
     measured = measured_spi(seconds, instructions)
+    if measured <= 0.0:
+        label = workload or selection.config.label
+        raise ValueError(
+            f"measured SPI is zero for {label!r}: the timing trace sums to "
+            "0 seconds, so the Eq. (1) error is undefined (check the "
+            "trial's timing capture)"
+        )
     projected = projected_spi(selection, seconds, instructions)
     return abs(measured - projected) / measured * 100.0
 
@@ -106,16 +120,20 @@ def selection_error(
 ) -> float:
     """Eq. (1) error of a selection against its own profiling trial."""
     seconds, instructions = arrays_from_profile(log, timings)
-    return spi_error_percent(selection, seconds, instructions)
+    return spi_error_percent(
+        selection, seconds, instructions, workload=timings.program_name
+    )
 
 
 def selection_error_on_run(selection: Selection, run: ProgramRun) -> float:
     """Eq. (1) error of a selection against a fresh replay trial."""
-    seconds, instructions = arrays_from_run(run)
     if len(run.dispatches) != selection.total_invocations:
         raise ValueError(
             f"replay has {len(run.dispatches)} invocations but the "
             f"selection was built over {selection.total_invocations}; "
             "replays must execute the recorded program"
         )
-    return spi_error_percent(selection, seconds, instructions)
+    seconds, instructions = arrays_from_run(run)
+    return spi_error_percent(
+        selection, seconds, instructions, workload=run.program_name
+    )

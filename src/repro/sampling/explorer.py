@@ -26,6 +26,7 @@ import numpy as np
 from repro import telemetry
 from repro.cofluent.timing import TimingTrace
 from repro.gtpin.tools.invocations import InvocationLog
+from repro.parallel.pool import parallel_map, resolve_jobs
 from repro.sampling.error import arrays_from_profile, spi_error_percent
 from repro.sampling.features import (
     ALL_FEATURE_KINDS,
@@ -76,13 +77,25 @@ class ConfigResult:
         return self.selection.simulation_speedup
 
 
+class ExplorationError(RuntimeError):
+    """Raised when *every* configuration of an exploration failed."""
+
+
 @dataclasses.dataclass(frozen=True)
 class ExplorationResult:
-    """All configuration outcomes for one application."""
+    """All configuration outcomes for one application.
+
+    ``errors`` maps any configuration whose evaluation raised to a
+    one-line description; a failed config never kills the sweep, it is
+    just absent from ``results``.
+    """
 
     application_name: str
     results: Mapping[SelectionConfig, ConfigResult]
     total_instructions: int
+    errors: Mapping[SelectionConfig, str] = dataclasses.field(
+        default_factory=dict
+    )
 
     def __getitem__(self, config: SelectionConfig) -> ConfigResult:
         return self.results[config]
@@ -121,6 +134,7 @@ def evaluate_config(
     approx_size: int = DEFAULT_APPROX_SIZE,
     options: SimPointOptions | None = None,
     weighted_features: bool = True,
+    application_name: str = "",
 ) -> ConfigResult:
     """Divide, featurize, cluster, select, and score one configuration."""
     tm = telemetry.get()
@@ -143,7 +157,9 @@ def evaluate_config(
                 config, intervals, result, log.total_instructions
             )
             seconds, instructions = arrays_from_profile(log, timings)
-            error = spi_error_percent(selection, seconds, instructions)
+            error = spi_error_percent(
+                selection, seconds, instructions, workload=application_name
+            )
         span.annotate(k=selection.k, error_percent=round(error, 4))
     tm.inc("sampling.configs_evaluated")
     return ConfigResult(selection=selection, error_percent=error)
@@ -157,22 +173,69 @@ def explore(
     approx_size: int = DEFAULT_APPROX_SIZE,
     options: SimPointOptions | None = None,
     weighted_features: bool = True,
+    jobs: int | None = None,
 ) -> ExplorationResult:
-    """Score every configuration from one profile + one timing trace."""
-    with telemetry.get().span(
+    """Score every configuration from one profile + one timing trace.
+
+    Every configuration is independent post-processing over the same
+    immutable profile, so with ``jobs > 1`` (or ``REPRO_JOBS``) the
+    evaluations fan out across a process pool -- results are
+    bit-identical to the serial run, come back in config order, and a
+    configuration that raises lands in ``ExplorationResult.errors``
+    instead of killing the sweep (in both the serial and parallel
+    paths).  Raises :class:`ExplorationError` only when *no*
+    configuration succeeded.
+    """
+    configs = tuple(configs)
+    n_jobs = resolve_jobs(jobs)
+    tm = telemetry.get()
+    results: dict[SelectionConfig, ConfigResult] = {}
+    errors: dict[SelectionConfig, str] = {}
+    with tm.span(
         "explore.configs", category="sampling",
-        app=application_name, configs=len(configs),
+        app=application_name, configs=len(configs), jobs=n_jobs,
     ):
-        results = {
-            config: evaluate_config(
-                config, log, timings, approx_size, options, weighted_features
+        if n_jobs == 1 or len(configs) <= 1:
+            for config in configs:
+                try:
+                    results[config] = evaluate_config(
+                        config, log, timings, approx_size, options,
+                        weighted_features, application_name,
+                    )
+                except Exception as exc:
+                    errors[config] = f"{type(exc).__name__}: {exc}"
+        else:
+            outcomes = parallel_map(
+                evaluate_config,
+                [
+                    (
+                        config, log, timings, approx_size, options,
+                        weighted_features, application_name,
+                    )
+                    for config in configs
+                ],
+                jobs=n_jobs,
+                label="explore.fanout",
             )
-            for config in configs
-        }
+            for config, outcome in zip(configs, outcomes):
+                if outcome.ok:
+                    results[config] = outcome.value
+                else:
+                    errors[config] = outcome.error or "unknown error"
+        if errors:
+            tm.inc("sampling.config_failures", len(errors))
+    if not results:
+        detail = "; ".join(
+            f"{config.label}: {error}" for config, error in errors.items()
+        )
+        raise ExplorationError(
+            f"every configuration failed for {application_name!r}: {detail}"
+        )
     return ExplorationResult(
         application_name=application_name,
         results=results,
         total_instructions=log.total_instructions,
+        errors=errors,
     )
 
 

@@ -25,6 +25,7 @@ from repro.gpu.device import HD4000, DeviceSpec
 from repro.gpu.timing import TimingParameters
 from repro.gtpin.profiler import Application, GTPinSession, build_runtime
 from repro.gtpin.tools.invocations import InvocationLog, InvocationLogTool
+from repro.parallel.cache import ProfileCache
 from repro.sampling.explorer import (
     ALL_CONFIGS,
     ConfigResult,
@@ -55,6 +56,7 @@ def profile_workload(
     device: DeviceSpec = HD4000,
     trial_seed: int = 0,
     timing_params: TimingParameters | None = None,
+    cache: ProfileCache | None = None,
 ) -> ProfiledWorkload:
     """Record (CoFluent) + profile (GT-Pin) one application.
 
@@ -62,8 +64,18 @@ def profile_workload(
     invocation order -- and data-dependent control flow -- align exactly,
     mirroring the paper's use of CoFluent recordings to keep profiling and
     timing runs consistent.
+
+    With ``cache`` set, a previously stored profile of the same
+    (workload, device, seed, code version) is returned without
+    re-running either pass; a fresh profile is stored on the way out.
     """
     tm = telemetry.get()
+    cache_key = ""
+    if cache is not None:
+        cache_key = cache.key(application, device, trial_seed, timing_params)
+        cached = cache.load(cache_key)
+        if cached is not None:
+            return cached
     with tm.span(
         "pipeline.profile_workload", category="sampling",
         app=application.name, seed=trial_seed,
@@ -78,7 +90,7 @@ def profile_workload(
             runtime.run(recording.host_program, trial_seed=trial_seed)
             log = session.post_process()["invocations"]
         tm.inc("pipeline.workloads_profiled")
-    return ProfiledWorkload(
+    workload = ProfiledWorkload(
         application_name=application.name,
         recording=recording,
         log=log,
@@ -86,6 +98,9 @@ def profile_workload(
         device=device,
         trial_seed=trial_seed,
     )
+    if cache is not None:
+        cache.store(cache_key, workload)
+    return workload
 
 
 def select_simpoints(
@@ -107,6 +122,7 @@ def select_simpoints(
             workload.timings,
             approx_size,
             options,
+            application_name=workload.application_name,
         )
 
 
@@ -115,8 +131,13 @@ def explore_application(
     approx_size: int = DEFAULT_APPROX_SIZE,
     options: SimPointOptions | None = None,
     configs: tuple[SelectionConfig, ...] = ALL_CONFIGS,
+    jobs: int | None = None,
 ) -> ExplorationResult:
-    """Score all 30 configurations from the single profiling pass."""
+    """Score all 30 configurations from the single profiling pass.
+
+    ``jobs`` (or ``REPRO_JOBS``) fans the per-config evaluations out
+    across a process pool; see :func:`repro.sampling.explorer.explore`.
+    """
     with telemetry.get().span(
         "pipeline.explore", category="sampling",
         app=workload.application_name, configs=len(configs),
@@ -128,4 +149,5 @@ def explore_application(
             configs=configs,
             approx_size=approx_size,
             options=options,
+            jobs=jobs,
         )

@@ -161,8 +161,20 @@ def _lloyd(
                     weights[mask, None] * points[mask]
                 ).sum(axis=0) / mass
             else:
-                # Re-seed an empty cluster at the farthest point.
-                farthest = int(d2.min(axis=1).argmax())
+                # Re-seed an empty cluster at the farthest point, measured
+                # against the centroids *as updated so far this iteration*:
+                # ``d2`` was computed before any centroid moved, so its
+                # distances are stale for clusters updated earlier in this
+                # loop and could reseed on a point that is now well
+                # covered.  The vacated centroid itself is excluded -- it
+                # is the position being replaced.
+                current_d2 = (
+                    (points**2).sum(axis=1, keepdims=True)
+                    - 2.0 * points @ centroids.T
+                    + (centroids**2).sum(axis=1)
+                )
+                current_d2[:, j] = np.inf
+                farthest = int(current_d2.min(axis=1).argmax())
                 centroids[j] = points[farthest]
                 new_labels[farthest] = j
         if np.array_equal(new_labels, labels):

@@ -40,6 +40,13 @@ from repro.telemetry.registry import (
     session,
     traced,
 )
+from repro.telemetry.snapshot import (
+    CounterSnapshot,
+    GaugeSnapshot,
+    TelemetrySnapshot,
+    capture_snapshot,
+    merge_snapshot,
+)
 from repro.telemetry.spans import (
     NULL_SPAN,
     ActiveSpan,
@@ -53,16 +60,20 @@ __all__ = [
     "ActiveSpan",
     "Counter",
     "CounterSet",
+    "CounterSnapshot",
     "DISABLED",
     "DisabledTelemetry",
     "Gauge",
+    "GaugeSnapshot",
     "NULL_SPAN",
     "NullSpan",
     "Sample",
     "SpanCollector",
     "SpanRecord",
     "Telemetry",
+    "TelemetrySnapshot",
     "Timer",
+    "capture_snapshot",
     "chrome_trace_events",
     "counters_summary",
     "disable",
@@ -70,6 +81,7 @@ __all__ = [
     "get",
     "is_enabled",
     "jsonl_events",
+    "merge_snapshot",
     "session",
     "span_tree_summary",
     "to_chrome_trace",

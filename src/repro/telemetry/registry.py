@@ -76,6 +76,15 @@ class Telemetry:
         """All completed spans, in completion order."""
         return self._collector.records()
 
+    def current_span_id(self) -> int | None:
+        """Id of the innermost span open on the calling thread, if any.
+
+        The parallel engine uses this to re-parent merged worker spans
+        under the fan-out span that dispatched them.
+        """
+        stack = self._collector._stacks.stack
+        return stack[-1].span_id if stack else None
+
     # -- counters ------------------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -104,6 +113,9 @@ class DisabledTelemetry:
 
     def spans(self) -> list[SpanRecord]:
         return []
+
+    def current_span_id(self) -> int | None:
+        return None
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         pass

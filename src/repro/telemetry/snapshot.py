@@ -1,0 +1,162 @@
+"""Cross-process telemetry capture and merge.
+
+The parallel execution engine (:mod:`repro.parallel`) fans sweep stages
+out to worker processes.  Each worker runs under its own fresh registry
+(:func:`repro.telemetry.session`); when the task finishes, the worker
+reduces that registry to a picklable :class:`TelemetrySnapshot` and
+ships it back with the result.  The parent then folds every snapshot
+into its own live registry -- spans keep their internal parent/child
+structure (ids are re-allocated to avoid collisions), worker threads get
+synthetic negative thread ids so they render as separate tracks, and
+counter/gauge totals accumulate -- so ``gtpin trace`` produces one
+complete Chrome trace whether the sweep ran serially or across N
+processes.
+
+Timestamps are aligned via each registry's wall-clock creation time:
+``perf_counter_ns`` origins are process-local, so a worker span's offset
+from its own origin is shifted by the wall-clock delta between the two
+registries before being re-based on the parent's origin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.telemetry.counters import Sample
+from repro.telemetry.registry import Telemetry
+from repro.telemetry.spans import SpanRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSnapshot:
+    """Final value of one worker-side counter."""
+
+    name: str
+    value: float
+
+
+@dataclasses.dataclass(frozen=True)
+class GaugeSnapshot:
+    """Summary statistics of one worker-side gauge."""
+
+    name: str
+    last: float
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    samples: tuple[Sample, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A registry reduced to picklable parts, ready to merge elsewhere."""
+
+    pid: int
+    time_origin_ns: int
+    created_unix_seconds: float
+    spans: tuple[SpanRecord, ...]
+    counters: tuple[CounterSnapshot, ...]
+    gauges: tuple[GaugeSnapshot, ...]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def capture_snapshot(telemetry: Telemetry) -> TelemetrySnapshot:
+    """Reduce a live registry to a :class:`TelemetrySnapshot`."""
+    counters = telemetry.counters
+    return TelemetrySnapshot(
+        pid=os.getpid(),
+        time_origin_ns=telemetry.time_origin_ns,
+        created_unix_seconds=telemetry.created_unix_seconds,
+        spans=tuple(telemetry.spans()),
+        counters=tuple(
+            CounterSnapshot(name=c.name, value=c.value)
+            for c in counters.counters.values()
+        ),
+        gauges=tuple(
+            GaugeSnapshot(
+                name=g.name,
+                last=g.last,
+                count=g.count,
+                total=g.total,
+                minimum=g.minimum,
+                maximum=g.maximum,
+                samples=tuple(g.samples),
+            )
+            for g in counters.gauges.values()
+        ),
+    )
+
+
+def merge_snapshot(
+    target: Telemetry,
+    snapshot: TelemetrySnapshot,
+    parent_span_id: int | None = None,
+) -> None:
+    """Fold a worker snapshot into ``target``.
+
+    Worker spans whose parent lies outside the snapshot (its roots) are
+    re-parented under ``parent_span_id`` -- typically the fan-out span
+    that dispatched the task -- so the merged trace stays one tree.
+    """
+    if not getattr(target, "enabled", False):
+        return
+    delta_ns = int(
+        round(
+            (snapshot.created_unix_seconds - target.created_unix_seconds)
+            * 1e9
+        )
+    ) + (target.time_origin_ns - snapshot.time_origin_ns)
+
+    # Synthetic negative thread ids: real thread idents are positive, so
+    # worker tracks can never collide with (or interleave into) parent
+    # threads' tracks, even under fork where idents are inherited.
+    thread_map: dict[int, int] = {}
+
+    def remap_thread(thread_id: int) -> int:
+        if thread_id not in thread_map:
+            thread_map[thread_id] = -(
+                snapshot.pid * 1000 + len(thread_map) + 1
+            )
+        return thread_map[thread_id]
+
+    id_map: dict[int, int] = {}
+    collector = target._collector
+    for span in sorted(snapshot.spans, key=lambda s: s.span_id):
+        id_map[span.span_id] = collector.allocate_id()
+    for span in snapshot.spans:
+        collector.record(
+            SpanRecord(
+                span_id=id_map[span.span_id],
+                parent_id=(
+                    id_map[span.parent_id]
+                    if span.parent_id in id_map
+                    else parent_span_id
+                ),
+                name=span.name,
+                category=span.category,
+                start_ns=span.start_ns + delta_ns,
+                end_ns=span.end_ns + delta_ns,
+                thread_id=remap_thread(span.thread_id),
+                depth=span.depth,
+                args=dict(span.args),
+            )
+        )
+
+    for counter in snapshot.counters:
+        target.counters.counter(counter.name).inc(counter.value)
+    for gauge in snapshot.gauges:
+        merged = target.counters.gauge(gauge.name)
+        if gauge.count == 0:
+            continue
+        merged.last = gauge.last
+        merged.count += gauge.count
+        merged.total += gauge.total
+        merged.minimum = min(merged.minimum, gauge.minimum)
+        merged.maximum = max(merged.maximum, gauge.maximum)
+        merged.samples.extend(
+            Sample(s.ts_ns + delta_ns, s.value) for s in gauge.samples
+        )

@@ -73,3 +73,53 @@ def test_resident_bytes_tracks_writes():
     record = _record()
     buffer.write(record)
     assert buffer.resident_bytes == record.record_bytes
+
+
+# -- oversized records (larger than the whole buffer) ------------------------
+#
+# Regression: a record exceeding capacity written into an *empty* buffer
+# used to be admitted silently -- no overflow counted then, and the
+# forced drain it causes was only counted (once more) when the next
+# write flushed it.  The forced drain is now counted at admit time and
+# never double-counted.
+
+
+def test_oversized_record_counts_forced_drain_immediately():
+    oversized = _record(n_blocks=100)  # 864 bytes
+    buffer = TraceBuffer(capacity_bytes=100)
+    buffer.write(oversized)
+    assert buffer.overflow_drains == 1
+    assert len(buffer) == 1
+
+
+def test_oversized_record_drain_not_double_counted():
+    buffer = TraceBuffer(capacity_bytes=100)
+    buffer.write(_record(0, n_blocks=100))
+    assert buffer.overflow_drains == 1
+    # The next write performs the (already counted) implicit drain.
+    buffer.write(_record(1))
+    assert buffer.overflow_drains == 1
+    # Nothing lost, order preserved.
+    assert [r.dispatch_index for r in buffer.drain()] == [0, 1]
+
+
+def test_consecutive_oversized_records_each_count_once():
+    buffer = TraceBuffer(capacity_bytes=100)
+    buffer.write(_record(0, n_blocks=100))
+    buffer.write(_record(1, n_blocks=100))
+    assert buffer.overflow_drains == 2
+    assert len(buffer.drain()) == 2
+
+
+def test_explicit_drain_clears_pending_oversized_flag():
+    buffer = TraceBuffer(capacity_bytes=100)
+    buffer.write(_record(0, n_blocks=100))
+    assert buffer.overflow_drains == 1
+    buffer.drain()
+    # The pre-counted implicit drain never happens now; a small write
+    # into the emptied buffer must not consume the stale flag later.
+    buffer.write(_record(1))
+    assert buffer.overflow_drains == 1
+    # ...and a genuine overflow afterwards still counts normally.
+    buffer.write(_record(2))
+    assert buffer.overflow_drains == 2

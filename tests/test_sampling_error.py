@@ -149,3 +149,47 @@ def test_selection_error_on_wrong_run_rejected(small_workload, tiny_app):
     other_run = build_runtime(tiny_app).run(tiny_app.host_program)
     with pytest.raises(ValueError, match="recorded program"):
         selection_error_on_run(result.selection, other_run)
+
+
+# -- zero-second timing traces (regression: ZeroDivisionError) ---------------
+
+
+def test_zero_seconds_raises_value_error_naming_workload():
+    """A timing trace summing to 0 s used to crash with ZeroDivisionError
+    deep in Eq. (1); it must be a ValueError naming the workload."""
+    selection = _selection_over([(0, 1, 100, 1.0)], 1000, 10)
+    seconds = np.zeros(10)
+    instrs = np.full(10, 100.0)
+    with pytest.raises(ValueError, match="broken-app"):
+        spi_error_percent(selection, seconds, instrs, workload="broken-app")
+
+
+def test_zero_seconds_without_workload_names_config():
+    selection = _selection_over([(0, 1, 100, 1.0)], 1000, 10)
+    with pytest.raises(ValueError, match="measured SPI is zero"):
+        spi_error_percent(selection, np.zeros(10), np.full(10, 100.0))
+
+
+def test_negative_or_zero_measured_spi_never_divides():
+    selection = _selection_over([(0, 1, 100, 1.0)], 1000, 10)
+    try:
+        spi_error_percent(selection, np.zeros(10), np.full(10, 100.0))
+    except ZeroDivisionError:  # pragma: no cover - the old failure mode
+        pytest.fail("spi_error_percent divided by a zero measured SPI")
+    except ValueError:
+        pass
+
+
+def test_run_length_checked_before_array_construction():
+    """Regression: the replay-length check must fire before the arrays
+    are built, so a wrong-length replay reports the real problem instead
+    of whatever attribute error the array build stumbles into."""
+    selection = _selection_over([(0, 1, 100, 1.0)], 1000, 10)
+
+    class _StubRun:
+        program_name = "stub"
+        # Wrong length AND dispatches that would crash arrays_from_run.
+        dispatches = [object()] * 3
+
+    with pytest.raises(ValueError, match="recorded program"):
+        selection_error_on_run(selection, _StubRun())

@@ -178,6 +178,44 @@ def test_labels_cover_all_intervals():
     assert set(result.labels.tolist()) == set(range(result.k))
 
 
+def test_empty_cluster_reseeds_on_current_distances():
+    """Regression: reseeding an empty cluster used the distance matrix
+    computed *before* this iteration's centroid updates.  With stale
+    distances the farthest point can be one an updated centroid already
+    sits on, wasting the cluster; distances must be recomputed against
+    the updated centroids (excluding the vacated one)."""
+    from repro.sampling.simpoint import _lloyd
+
+    points = np.array([[0.0], [10.0], [21.0]])
+    weights = np.array([1.0, 1.0, 1.0])
+    # Initial centroids capture points 0+10 in cluster 0 and 21 in
+    # cluster 1, leaving cluster 2 empty; after the update c0=5, c1=21.
+    centroids = np.array([[9.0], [11.0], [100.0]])
+    labels, centroids, _ = _lloyd(points, weights, centroids, 1)
+    # Stale distances would reseed on point 21 (old min-distance 100)
+    # even though the updated c1 sits exactly on it; the true farthest
+    # point under the updated centroids is point 0 (distance 5 from c0).
+    assert labels.tolist() == [2, 0, 1]
+    assert centroids[2, 0] == 0.0
+    assert centroids[0, 0] == pytest.approx(5.0)
+    assert centroids[1, 0] == pytest.approx(21.0)
+
+
+def test_reseeded_clusters_are_never_empty():
+    """Every requested cluster ends up non-empty even when initial
+    centroids collapse onto the same region."""
+    rng = np.random.default_rng(0)
+    points = np.concatenate(
+        [rng.normal(0, 0.1, (20, 2)), rng.normal(5, 0.1, (20, 2))]
+    )
+    weights = np.ones(40)
+    centroids = points[:3].copy()  # all three seeds in the first blob
+    from repro.sampling.simpoint import _lloyd
+
+    labels, centroids, _ = _lloyd(points, weights, centroids, 40)
+    assert set(labels.tolist()) == {0, 1, 2}
+
+
 def test_result_validation():
     with pytest.raises(ValueError, match="one representative"):
         SimPointResult(
