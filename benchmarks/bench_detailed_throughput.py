@@ -1,0 +1,154 @@
+"""Detailed-simulation throughput: vectorized vs reference engine.
+
+Measures stepped dynamic-instructions-per-second for both engines over a
+representative app subset, plus the vectorized engine's memoization hit
+rates.  Timing is min-of-rounds (the machine is noisy; the minimum is
+the best estimate of the code's actual cost), and results are written
+both as a rendered table and as machine-readable JSON under
+``benchmarks/results/``.
+
+The engines are bit-identical (tests/test_engine_identity.py); this
+benchmark quantifies what that identity buys.  The target is a >= 10x
+aggregate speedup; whatever is measured is reported honestly -- the
+ratio grows with ``REPRO_BENCH_SCALE`` because larger invocation counts
+amortize the vectorized engine's per-dispatch setup and raise memo hit
+rates.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, bench_scale, save_result
+
+from repro.analysis.render import render_table
+from repro.gpu.cache import CacheConfig
+from repro.gpu.device import HD4000
+from repro.simulation.detailed import DetailedGPUSimulator
+from repro.simulation.sampled import _simulate_invocations
+
+#: Small-to-medium apps across workload families; the giants would make
+#: the reference engine's side of this benchmark take tens of minutes.
+THROUGHPUT_APPS = (
+    "cb-gaussian-buffer",
+    "cb-gaussian-image",
+    "cb-histogram-buffer",
+    "cb-throughput-juliaset",
+    "sandra-crypt-aes128",
+    "sonyvegas-proj-r1",
+)
+CACHE = CacheConfig(size_bytes=256 * 1024)
+ROUNDS = 3
+SPEEDUP_TARGET = 10.0
+#: Hard floor for regression detection; deliberately below the target so
+#: scheduler noise and small scales do not flake the harness.
+SPEEDUP_FLOOR = 3.0
+
+
+def _run_engine(app, log, engine):
+    """One full-program simulation; returns (wall, covered, simulator)."""
+    simulator = DetailedGPUSimulator(HD4000, CACHE, engine=engine)
+    indices = list(range(len(log.invocations)))
+    start = time.perf_counter()
+    _simulate_invocations(simulator, app.sources, log, indices, seed=0)
+    wall = time.perf_counter() - start
+    return wall, simulator.total_simulated_instructions, simulator
+
+
+def test_detailed_throughput(benchmark, suite_apps, suite_workloads):
+    apps = {a.name: a for a in suite_apps}
+
+    def run_all():
+        measurements = []
+        for name in THROUGHPUT_APPS:
+            app, log = apps[name], suite_workloads[name].log
+            walls = {"reference": [], "vectorized": []}
+            covered = {}
+            memo = {}
+            for _ in range(ROUNDS):
+                for engine in ("reference", "vectorized"):
+                    wall, instr, sim = _run_engine(app, log, engine)
+                    walls[engine].append(wall)
+                    covered[engine] = instr
+                    if engine == "vectorized":
+                        lookups = sim.memo_hits + sim.memo_misses
+                        memo[name] = (
+                            sim.memo_hits / lookups if lookups else 0.0
+                        )
+            assert covered["reference"] == covered["vectorized"]
+            measurements.append(
+                {
+                    "app": name,
+                    "instructions": covered["vectorized"],
+                    "reference_seconds": min(walls["reference"]),
+                    "vectorized_seconds": min(walls["vectorized"]),
+                    "memo_hit_rate": memo[name],
+                }
+            )
+        return measurements
+
+    measurements = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    total_ref = total_vec = total_instr = 0.0
+    for m in measurements:
+        ref_ips = m["instructions"] / m["reference_seconds"]
+        vec_ips = m["instructions"] / m["vectorized_seconds"]
+        speedup = m["reference_seconds"] / m["vectorized_seconds"]
+        m["reference_ips"] = ref_ips
+        m["vectorized_ips"] = vec_ips
+        m["speedup"] = speedup
+        total_ref += m["reference_seconds"]
+        total_vec += m["vectorized_seconds"]
+        total_instr += m["instructions"]
+        rows.append(
+            (
+                m["app"],
+                f"{ref_ips / 1e6:.1f}M",
+                f"{vec_ips / 1e6:.1f}M",
+                f"{speedup:.1f}x",
+                f"{m['memo_hit_rate'] * 100.0:.0f}%",
+            )
+        )
+        assert speedup > 1.0, f"{m['app']}: vectorized engine is slower"
+
+    aggregate = total_ref / total_vec
+    rows.append(
+        (
+            "aggregate",
+            f"{total_instr / total_ref / 1e6:.1f}M",
+            f"{total_instr / total_vec / 1e6:.1f}M",
+            f"{aggregate:.1f}x",
+            "",
+        )
+    )
+
+    payload = {
+        "scale": bench_scale(),
+        "rounds": ROUNDS,
+        "timing": "min-of-rounds",
+        "apps": measurements,
+        "aggregate_speedup": aggregate,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_met": aggregate >= SPEEDUP_TARGET,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "detailed_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    verdict = "met" if aggregate >= SPEEDUP_TARGET else "not met at this scale"
+    save_result(
+        "detailed_throughput",
+        render_table(
+            "Detailed-simulation throughput: reference vs vectorized "
+            f"(min of {ROUNDS} rounds; {SPEEDUP_TARGET:.0f}x target "
+            f"{verdict}: {aggregate:.1f}x aggregate)",
+            ["Application", "Ref instr/s", "Vec instr/s", "Speedup",
+             "Memo hits"],
+            rows,
+        ),
+    )
+    assert aggregate >= SPEEDUP_FLOOR, (
+        f"aggregate speedup {aggregate:.1f}x fell below the "
+        f"{SPEEDUP_FLOOR:.0f}x regression floor"
+    )

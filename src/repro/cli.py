@@ -74,6 +74,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="trial seed")
     parser.add_argument(
+        "--sim-engine", choices=("vectorized", "reference"),
+        default="vectorized",
+        help="detailed-simulation engine: the batched numpy engine "
+        "(default) or the scalar reference interpreter; both produce "
+        "bit-identical results (see docs/performance.md)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for parallel sweep stages (default: "
         "$REPRO_JOBS or 1 = serial; 0 = all cores); results are "
@@ -421,6 +428,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 simulate_selection(
                     args.app, workload.recording.sources, workload.log,
                     result.selection, device, seed=args.seed,
+                    engine=args.sim_engine,
                 )
         telemetry.write_chrome_trace(tm, args.out)
         if args.jsonl:

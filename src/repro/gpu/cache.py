@@ -7,6 +7,13 @@ write-back level whose default geometry matches the paper machine's
 front of the LLC, matching the Ivy Bridge SoC's actual arrangement
 (Figure 2 shows the GPU sharing LLC slices with the CPU cores over the
 ring interconnect).
+
+The access path is vectorized: a batch of addresses is processed in
+*rounds* -- the i-th access of every referenced set is handled in one
+numpy step, which is exact because distinct sets never interact and
+within one set the accesses are still applied in stream order.  The
+per-address walk survives as :meth:`CacheSimulator.access_reference`,
+the oracle the equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -71,6 +78,29 @@ class CacheStats:
             writebacks=self.writebacks + other.writebacks,
         )
 
+    def minus(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise difference (e.g. a per-dispatch delta)."""
+        return CacheStats(
+            accesses=self.accesses - other.accesses,
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            writebacks=self.writebacks - other.writebacks,
+        )
+
+    def scaled(self, repeats: int) -> "CacheStats":
+        """Counter-wise multiple (``repeats`` identical batches)."""
+        return CacheStats(
+            accesses=self.accesses * repeats,
+            hits=self.hits * repeats,
+            misses=self.misses * repeats,
+            evictions=self.evictions * repeats,
+            writebacks=self.writebacks * repeats,
+        )
+
+    def copy(self) -> "CacheStats":
+        return dataclasses.replace(self)
+
 
 class CacheSimulator:
     """Single-level set-associative LRU cache, write-allocate/write-back."""
@@ -84,6 +114,16 @@ class CacheSimulator:
         self._lru = np.zeros((n_sets, ways), dtype=np.int64)
         self._clock = 0
         self.stats = CacheStats()
+        #: Bumped whenever the canonical (recency-order) contents may
+        #: have changed; lets callers cache derived state signatures.
+        #: Pure clock advances (``fast_forward``) do not count -- the
+        #: canonical state is clock-invariant.
+        self.mutations = 0
+        # line_bytes is a power of two by construction; when n_sets is
+        # too, address splitting is shifts and masks instead of div/mod.
+        self._line_shift = self.config.line_bytes.bit_length() - 1
+        self._set_mask = n_sets - 1 if n_sets & (n_sets - 1) == 0 else None
+        self._set_shift = n_sets.bit_length() - 1
 
     def reset(self) -> None:
         self._tags.fill(-1)
@@ -91,6 +131,137 @@ class CacheSimulator:
         self._lru.fill(0)
         self._clock = 0
         self.stats = CacheStats()
+        self.mutations += 1
+
+    def _split(self, addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Byte addresses -> (set index, tag) arrays."""
+        lines = np.asarray(addresses, dtype=np.int64) >> self._line_shift
+        return self._split_lines(lines)
+
+    def _split_lines(self, lines: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Line numbers -> (set index, tag) arrays."""
+        if self._set_mask is not None:
+            return lines & self._set_mask, lines >> self._set_shift
+        n_sets = self.config.n_sets
+        return lines % n_sets, lines // n_sets
+
+    def access_stream(
+        self, addresses: np.ndarray, writes: np.ndarray | bool
+    ) -> StreamOutcome:
+        """Run a batch through the cache, returning per-access outcomes.
+
+        ``writes`` is either one bool for the whole batch or a per-access
+        bool array (mixed read/write streams, e.g. the interleaved sends
+        of one basic-block execution).  Results are identical to feeding
+        the addresses one at a time through the reference walk: sets are
+        independent, and within a set the accesses are applied in stream
+        order (round r handles the r-th access of every active set).
+        """
+        if addresses.ndim != 1:
+            raise ValueError("addresses must be a 1-D array")
+        m = addresses.size
+        hit = np.zeros(m, dtype=bool)
+        evictions = 0
+        writebacks = 0
+        if m == 0:
+            return StreamOutcome(hit, evictions, writebacks)
+        self.mutations += 1
+        lines = np.asarray(addresses, dtype=np.int64) >> self._line_shift
+
+        # Collapse runs of consecutive equal lines: after a run's first
+        # access the line is resident until the run ends (nothing
+        # intervenes), so the rest are hits; the way's final LRU stamp is
+        # the run's last access; dirty is set if any access wrote.  SIMD
+        # sends make such runs long (16 channels often share one line),
+        # and collapsing them is what keeps the round loop short.
+        first = np.empty(m, dtype=bool)
+        first[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=first[1:])
+        if first.all():
+            # No runs (e.g. random streams): the reduced stream is the
+            # stream itself, and after sorting both a run head's stream
+            # index and its surviving LRU stamp position are ``order``.
+            k = m
+            r_sets, r_tags = self._split_lines(lines)
+            if isinstance(writes, np.ndarray):
+                r_writes = writes
+            else:
+                r_writes = np.full(k, bool(writes), dtype=bool)
+            order = np.argsort(r_sets, kind="stable")
+            sorted_heads = sorted_stamps = order
+        else:
+            starts_of_runs = np.flatnonzero(first)
+            k = starts_of_runs.size
+            last_of_runs = np.empty(k, dtype=np.int64)
+            last_of_runs[:-1] = starts_of_runs[1:] - 1
+            last_of_runs[-1] = m - 1
+            r_sets, r_tags = self._split_lines(lines[starts_of_runs])
+            if isinstance(writes, np.ndarray):
+                r_writes = np.logical_or.reduceat(writes, starts_of_runs)
+            else:
+                r_writes = np.full(k, bool(writes), dtype=bool)
+            hit.fill(True)  # non-first accesses of a run always hit
+            order = np.argsort(r_sets, kind="stable")
+            sorted_heads = starts_of_runs[order]
+            sorted_stamps = last_of_runs[order]
+
+        # Stream position of the r-th access of each set: stable-sort by
+        # set, then rank within each run of equal sets.  All per-access
+        # arrays are gathered into sorted order once, so each round only
+        # slices with ``sel`` instead of double-indirecting through
+        # ``order``.
+        sorted_sets = r_sets[order]
+        sorted_tags = r_tags[order]
+        sorted_writes = r_writes[order]
+        boundary = np.empty(k, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_sets[1:], sorted_sets[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        run_lengths = np.empty(starts.size, dtype=np.int64)
+        run_lengths[:-1] = starts[1:] - starts[:-1]
+        run_lengths[-1] = k - starts[-1]
+        clock_base = self._clock
+        tags_arr, dirty, lru = self._tags, self._dirty, self._lru
+        for r in range(int(run_lengths.max())):
+            sel = starts[r < run_lengths] + r
+            ai = sorted_heads[sel]  # stream index of the run's head
+            s = sorted_sets[sel]
+            t = sorted_tags[sel]
+            hit_map = tags_arr[s] == t[:, None]
+            is_hit = hit_map.any(axis=1)
+            way = np.argmax(hit_map, axis=1)
+            miss = ~is_hit
+            if miss.any():
+                ms, mt = s[miss], t[miss]
+                # An empty way always carries its set's strictly smallest
+                # LRU stamps, in way order (0 before any fill; the lowest
+                # stable-sort ranks after restore_state), and np.argmin
+                # breaks ties toward the first index -- so a single argmin
+                # reproduces the reference's "first empty way, else first
+                # least-recently-used way" victim choice.
+                fill_way = np.argmin(lru[ms], axis=1)
+                evictions += int(
+                    np.count_nonzero(tags_arr[ms, fill_way] != -1)
+                )
+                # A dirty way is never empty, so dirty victims are
+                # exactly the evicted-and-dirty ones.
+                writebacks += int(np.count_nonzero(dirty[ms, fill_way]))
+                tags_arr[ms, fill_way] = mt
+                dirty[ms, fill_way] = False
+                way[miss] = fill_way
+            hit[ai] = is_hit
+            w = sorted_writes[sel]
+            if w.any():
+                dirty[s[w], way[w]] = True
+            # The reference increments the clock before each access, so
+            # stream position p gets LRU stamp base + p + 1; a collapsed
+            # run's surviving stamp is its last access's.
+            lru[s, way] = clock_base + 1 + sorted_stamps[sel]
+        self._clock = clock_base + m
+
+        outcome = StreamOutcome(hit, evictions, writebacks)
+        self.stats = self.stats.merge(outcome.to_stats())
+        return outcome
 
     def access(self, addresses: np.ndarray, is_write: bool) -> CacheStats:
         """Run a batch of byte addresses through the cache, in order.
@@ -98,12 +269,21 @@ class CacheSimulator:
         Returns the stats delta for this batch (also folded into
         ``self.stats``).
         """
+        return self.access_stream(addresses, is_write).to_stats()
+
+    def access_reference(
+        self, addresses: np.ndarray, is_write: bool
+    ) -> CacheStats:
+        """The original per-address Python walk (the behaviour oracle).
+
+        Kept for the scalar reference engine and for the equivalence
+        tests that pin :meth:`access_stream` to it.
+        """
         if addresses.ndim != 1:
             raise ValueError("addresses must be a 1-D array")
-        cfg = self.config
-        lines = np.asarray(addresses, dtype=np.int64) // cfg.line_bytes
-        sets = lines % cfg.n_sets
-        tags = lines // cfg.n_sets
+        sets, tags = self._split(addresses)
+        if addresses.size:
+            self.mutations += 1
 
         batch = CacheStats()
         tags_arr, dirty, lru = self._tags, self._dirty, self._lru
@@ -142,16 +322,119 @@ class CacheSimulator:
         Used by :class:`CacheHierarchy` to forward misses to the next
         level in reference order.
         """
-        if addresses.ndim != 1:
-            raise ValueError("addresses must be a 1-D array")
-        missed: list[int] = []
-        batch = CacheStats()
-        for address in addresses.tolist():
-            one = self.access(np.array([address], dtype=np.int64), is_write)
-            batch = batch.merge(one)
-            if one.misses:
-                missed.append(address)
-        return batch, np.array(missed, dtype=np.int64)
+        outcome = self.access_stream(addresses, is_write)
+        missed = np.asarray(addresses, dtype=np.int64)[~outcome.hit]
+        return outcome.to_stats(), missed
+
+    # -- state snapshots (engine memoization support) ----------------------
+
+    def canonical_state(self) -> "CacheState":
+        """A position-independent snapshot of the cache contents.
+
+        The absolute LRU clock values are replaced by per-set recency
+        *ranks*: two caches with equal canonical states behave
+        identically on any future access stream, regardless of how many
+        accesses produced them.
+        """
+        # argsort of the sort permutation is its inverse: the rank of
+        # each way in its set's recency order.
+        order = np.argsort(self._lru, axis=1, kind="stable")
+        ranks = np.argsort(order, axis=1, kind="stable")
+        return CacheState(
+            tags=self._tags.copy(), dirty=self._dirty.copy(), ranks=ranks
+        )
+
+    def set_signature(self, set_indices: np.ndarray) -> bytes:
+        """Canonical signature of the given sets' rows only.
+
+        A future access stream that touches no other sets behaves
+        identically whenever this signature matches: tags and dirty bits
+        are compared directly, LRU only through per-set recency order.
+        """
+        tag_rows = self._tags[set_indices]
+        dirty_rows = self._dirty[set_indices]
+        lru_rows = self._lru[set_indices]
+        order = np.argsort(lru_rows, axis=1, kind="stable")
+        return (
+            tag_rows.tobytes()
+            + dirty_rows.tobytes()
+            + order.astype(np.int8).tobytes()
+        )
+
+    def fast_forward(self, batch: CacheStats, repeats: int) -> None:
+        """Account ``repeats`` more copies of an already-applied batch.
+
+        Used when a batch provably returns the cache to the state it
+        started in (steady state): tags, dirty bits, and relative LRU
+        order are already correct, so only the stats and the clock need
+        to advance.  Future stamps remain strictly newer than every
+        existing one because the clock only moves forward.
+        """
+        if repeats <= 0:
+            return
+        s = self.stats
+        self.stats = CacheStats(
+            accesses=s.accesses + batch.accesses * repeats,
+            hits=s.hits + batch.hits * repeats,
+            misses=s.misses + batch.misses * repeats,
+            evictions=s.evictions + batch.evictions * repeats,
+            writebacks=s.writebacks + batch.writebacks * repeats,
+        )
+        self._clock += batch.accesses * repeats
+
+    def restore_state(self, state: "CacheState", accesses: int) -> None:
+        """Install a canonical snapshot, advancing the clock past it.
+
+        ``accesses`` is how many accesses produced the snapshot; the
+        clock jumps over them (plus the rank span) so every future LRU
+        stamp stays strictly newer than the restored ones.
+        """
+        self._tags = state.tags.copy()
+        self._dirty = state.dirty.copy()
+        self._lru = self._clock + 1 + state.ranks
+        self._clock += max(accesses, self.config.ways + 1)
+        self.mutations += 1
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamOutcome:
+    """Results of one :meth:`CacheSimulator.access_stream` batch.
+
+    Hits are per-access (latency attribution needs them); evictions and
+    writebacks only ever feed aggregate stats, so they are counts.
+    """
+
+    hit: np.ndarray  # (n,) bool
+    evictions: int
+    writebacks: int
+
+    def to_stats(self) -> CacheStats:
+        n = int(self.hit.size)
+        hits = int(np.count_nonzero(self.hit))
+        return CacheStats(
+            accesses=n,
+            hits=hits,
+            misses=n - hits,
+            evictions=self.evictions,
+            writebacks=self.writebacks,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheState:
+    """Canonical cache contents: tags, dirty bits, per-set LRU ranks."""
+
+    tags: np.ndarray
+    dirty: np.ndarray
+    ranks: np.ndarray
+
+    def signature(self) -> bytes:
+        """A compact byte string identifying this state."""
+        return (
+            self.tags.tobytes()
+            + self.dirty.tobytes()
+            + self.ranks.tobytes()
+        )
 
 
 @dataclasses.dataclass(frozen=True)

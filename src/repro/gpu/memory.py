@@ -83,6 +83,44 @@ def expand_addresses(
     return surface.base_address + offsets
 
 
+def expand_addresses_batched(
+    message: SendMessage,
+    exec_size: int,
+    n_executions: int,
+    surface: Surface = DEFAULT_SURFACE,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Addresses for ``n_executions`` *independent* executions of a send.
+
+    Equivalent to concatenating ``n_executions`` calls of
+    :func:`expand_addresses` with ``n_executions=1`` (the detailed
+    simulator's per-execution convention, where sequential and strided
+    streams restart at the surface origin every execution), but emitted
+    in one call: deterministic patterns tile one execution's stream, and
+    RANDOM draws all executions' indices in a single ``rng.integers``
+    call -- numpy generators produce the same values whether ``k`` draws
+    happen in one call or split across calls, so the stream is
+    bit-identical to the per-execution expansion.
+    """
+    if n_executions < 0:
+        raise ValueError(f"n_executions must be >= 0, got {n_executions}")
+    if n_executions == 0:
+        return np.empty(0, dtype=np.int64)
+    if message.pattern is AccessPattern.RANDOM:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        element = message.bytes_per_channel
+        n_elements = max(1, surface.size_bytes // element)
+        idx = rng.integers(
+            0, n_elements, size=n_executions * exec_size, dtype=np.int64
+        )
+        return surface.base_address + idx * element
+    one = expand_addresses(message, exec_size, 1, surface, rng=rng)
+    if n_executions == 1:
+        return one
+    return np.tile(one, n_executions)
+
+
 def stream_bytes(message: SendMessage, exec_size: int, n_executions: int) -> int:
     """Total bytes moved by ``n_executions`` of a send instruction."""
     return message.bytes_moved(exec_size) * n_executions

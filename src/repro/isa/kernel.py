@@ -18,9 +18,9 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.isa.basic_block import BasicBlock
-from repro.isa.instruction import EXEC_SIZES
+from repro.isa.instruction import EXEC_SIZES, AccessPattern, SendMessage
 from repro.isa.opcodes import FIGURE_4A_ORDER, OpClass
-from repro.isa.program import Node, block_ids
+from repro.isa.program import Node, block_ids, has_jitter
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,6 +63,81 @@ class KernelArrays:
             for w, width in enumerate(EXEC_SIZES):
                 wid[i, w] = s.width_counts[width]
         return KernelArrays(instr, cycles, br, bw, sends, cls, wid)
+
+
+@dataclasses.dataclass(frozen=True)
+class SendSite:
+    """One send instruction's static footprint inside a block.
+
+    The detailed simulator's batched stepping iterates these instead of
+    re-scanning every instruction of every dynamic block execution.
+    """
+
+    message: SendMessage
+    exec_size: int
+
+    @property
+    def is_random(self) -> bool:
+        return self.message.pattern is AccessPattern.RANDOM
+
+    @property
+    def addresses_per_execution(self) -> int:
+        """Stream length of one execution (matches expand_addresses)."""
+        if self.message.pattern is AccessPattern.BROADCAST:
+            return 1
+        return self.exec_size
+
+
+@dataclasses.dataclass(frozen=True)
+class SendPlan:
+    """Precomputed per-block send footprints of one kernel binary."""
+
+    #: Per block id: its send instructions, in program order.
+    sites: tuple[tuple[SendSite, ...], ...]
+    #: Per block id: True if any of its sends draws RANDOM addresses.
+    random_blocks: tuple[bool, ...]
+    #: True if any send draws RANDOM addresses (consumes RNG state).
+    has_random_sends: bool
+    #: Per block id: RNG indices one execution's RANDOM sends consume.
+    random_draws: tuple[int, ...]
+    #: ``bytes_per_channel`` shared by every RANDOM site of the kernel,
+    #: or None if they disagree.  When set, all random draws of an
+    #: invocation target one element grid, so they can be fused into a
+    #: single generator call (numpy generators emit the same values
+    #: whether draws are fused or split).
+    uniform_random_bytes: int | None
+
+    @staticmethod
+    def of(blocks: Sequence[BasicBlock]) -> "SendPlan":
+        sites = tuple(
+            tuple(
+                SendSite(message=i.send, exec_size=i.exec_size)
+                for i in block.instructions
+                if i.is_send and i.send is not None
+            )
+            for block in blocks
+        )
+        random_blocks = tuple(
+            any(site.is_random for site in block) for block in sites
+        )
+        random_draws = tuple(
+            sum(s.exec_size for s in block if s.is_random) for block in sites
+        )
+        random_bytes = {
+            s.message.bytes_per_channel
+            for block in sites
+            for s in block
+            if s.is_random
+        }
+        return SendPlan(
+            sites=sites,
+            random_blocks=random_blocks,
+            has_random_sends=any(random_blocks),
+            random_draws=random_draws,
+            uniform_random_bytes=(
+                random_bytes.pop() if len(random_bytes) == 1 else None
+            ),
+        )
 
 
 class KernelBinary:
@@ -125,6 +200,8 @@ class KernelBinary:
         self.source_lines = source_lines
         self.metadata = dict(metadata or {})
         self._arrays: KernelArrays | None = None
+        self._send_plan: SendPlan | None = None
+        self._is_deterministic: bool | None = None
 
     # -- structure ----------------------------------------------------------
 
@@ -144,6 +221,28 @@ class KernelBinary:
         if self._arrays is None:
             self._arrays = KernelArrays.of(self.blocks)
         return self._arrays
+
+    @property
+    def send_plan(self) -> SendPlan:
+        """Cached per-block send footprints (see :class:`SendPlan`)."""
+        if self._send_plan is None:
+            self._send_plan = SendPlan.of(self.blocks)
+        return self._send_plan
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True if simulating an invocation consumes no RNG state.
+
+        Holds when no loop trip is jittered and no send uses a RANDOM
+        address pattern; such kernels' simulation results are a pure
+        function of (arguments, global work size, cache state), which
+        enables invocation memoization.
+        """
+        if self._is_deterministic is None:
+            self._is_deterministic = not has_jitter(self.program) and not (
+                self.send_plan.has_random_sends
+            )
+        return self._is_deterministic
 
     # -- static statistics ----------------------------------------------------
 

@@ -122,6 +122,27 @@ def _collect_ids(node: Node, out: set[int]) -> None:
         raise TypeError(f"unknown program node {node!r}")
 
 
+def has_jitter(node: Node) -> bool:
+    """True if any loop in the tree resolves trips with RNG noise.
+
+    A jitter-free tree consumes no RNG state in
+    :func:`execution_counts`, which is what makes an invocation's block
+    counts a pure function of its arguments (the property the simulation
+    engine's invocation memoization relies on).
+    """
+    if isinstance(node, Block):
+        return False
+    if isinstance(node, Seq):
+        return any(has_jitter(child) for child in node.children)
+    if isinstance(node, Loop):
+        return node.trip.jitter > 0 or has_jitter(node.body)
+    if isinstance(node, Branch):
+        return has_jitter(node.taken) or (
+            node.not_taken is not None and has_jitter(node.not_taken)
+        )
+    raise TypeError(f"unknown program node {node!r}")  # pragma: no cover
+
+
 def execution_counts(
     node: Node,
     args: ArgValues,

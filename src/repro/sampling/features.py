@@ -20,7 +20,10 @@ treat it as a modelled design decision (see DESIGN.md).
 from __future__ import annotations
 
 import enum
+import itertools
 from typing import Hashable, Sequence
+
+import numpy as np
 
 from repro.gtpin.tools.invocations import InvocationLog, InvocationProfile
 from repro.sampling.intervals import Interval
@@ -163,6 +166,100 @@ def feature_vector(
     return vector
 
 
+def _block_vectors_batched(
+    log: InvocationLog,
+    intervals: Sequence[Interval],
+    kind: FeatureKind,
+    weighted: bool,
+) -> list[FeatureVector]:
+    """BB-family vectors with per-kernel matrix sums instead of per-block
+    dict accumulation.
+
+    Bit-identical to :func:`feature_vector`: every contribution is an
+    integer (block counts times static per-block integers), and each of
+    the scalar path's partial float sums is an exactly representable
+    integer, so summing in int64 and converting once yields the same
+    floats.  Key *insertion order* is reconstructed exactly -- the scalar
+    path inserts a key at the first invocation that executes the block,
+    ascending block id within an invocation, which is precisely the sort
+    by (first executing invocation, block id).
+    """
+    # One pass groups invocations by kernel; intervals are contiguous
+    # invocation ranges, so a per-kernel prefix-sum matrix turns any
+    # interval's summed block counts into a single subtraction -- and all
+    # intervals of one kernel process as single array operations.
+    groups: dict[str, list[int]] = {}
+    for i, profile in enumerate(log.invocations):
+        groups.setdefault(profile.kernel_name, []).append(i)
+    starts = np.asarray([iv.start for iv in intervals], dtype=np.int64)
+    stops = np.asarray([iv.stop for iv in intervals], dtype=np.int64)
+    chunks: list[list] = [[] for _ in intervals]
+    for kernel, idx_list in groups.items():
+        positions = np.asarray(idx_list, dtype=np.int64)
+        counts = np.vstack(
+            [log.invocations[i].block_counts for i in idx_list]
+        )
+        n_inv, n_blocks = counts.shape
+        prefix = np.zeros((n_inv + 1, n_blocks), dtype=np.int64)
+        np.cumsum(counts, axis=0, out=prefix[1:])
+        # nxt[r, b]: first row >= r executing block b (n_inv = never).
+        present = counts > 0
+        nxt = np.empty((n_inv + 1, n_blocks), dtype=np.int64)
+        nxt[n_inv] = n_inv
+        for r in range(n_inv - 1, -1, -1):
+            nxt[r] = np.where(present[r], r, nxt[r + 1])
+        arrays = log.binary(kernel).arrays
+
+        lo = np.searchsorted(positions, starts)
+        hi = np.searchsorted(positions, stops)
+        active = np.nonzero(hi > lo)[0]
+        if active.size == 0:
+            continue
+        summed = prefix[hi[active]] - prefix[lo[active]]
+        rows, blocks = np.nonzero(summed)
+        if rows.size == 0:
+            continue
+        firsts = positions[nxt[lo[active[rows]], blocks]]
+        hot = summed[rows, blocks]
+        base = hot * arrays.instruction_counts[blocks] if weighted else hot
+        reads = hot * arrays.bytes_read[blocks]
+        writes = hot * arrays.bytes_written[blocks]
+        occurrences = list(
+            zip(
+                firsts.tolist(),
+                blocks.tolist(),
+                itertools.repeat(kernel),
+                base.tolist(),
+                reads.tolist(),
+                writes.tolist(),
+            )
+        )
+        # ``np.nonzero`` is row-major: each active interval's occurrences
+        # form one contiguous run, delimited by where ``rows`` steps.
+        bounds = np.searchsorted(rows, np.arange(active.size + 1))
+        for j, iv_idx in enumerate(active.tolist()):
+            if bounds[j] != bounds[j + 1]:
+                chunks[iv_idx].extend(occurrences[bounds[j]:bounds[j + 1]])
+
+    vectors: list[FeatureVector] = []
+    for flat in chunks:
+        # (first executing invocation, block id) is unique across the
+        # interval's occurrences, so the plain tuple sort never compares
+        # the kernel names behind them.
+        flat.sort()
+        vector: FeatureVector = {}
+        for _, block_id, kernel, base, read, write in flat:
+            vector[("bb", kernel, block_id)] = float(base)
+            if kind in (FeatureKind.BB_R, FeatureKind.BB_R_W):
+                vector[("bb_r", kernel, block_id)] = float(read)
+            if kind in (FeatureKind.BB_W, FeatureKind.BB_R_W):
+                vector[("bb_w", kernel, block_id)] = float(write)
+            if kind is FeatureKind.BB_R_PLUS_W:
+                vector[("bb_rw", kernel, block_id)] = float(read + write)
+        vectors.append(vector)
+    return vectors
+
+
 def build_feature_vectors(
     log: InvocationLog,
     intervals: Sequence[Interval],
@@ -173,5 +270,11 @@ def build_feature_vectors(
 
     ``weighted=False`` disables the instruction-count weighting -- kept
     for the ablation study of that design choice.
+
+    Block-family kinds run through the batched builder (bit-identical to
+    the per-invocation accumulation, including key order); kernel-family
+    kinds are one event per invocation and stay scalar.
     """
+    if kind.is_block_based:
+        return _block_vectors_batched(log, intervals, kind, weighted)
     return [feature_vector(log, iv, kind, weighted) for iv in intervals]

@@ -95,19 +95,36 @@ def project_features(
     vector is the frequency-weighted sum of its keys' directions.
     """
     keys: dict[Hashable, int] = {}
-    for vector in vectors:
-        for key in vector:
-            if key not in keys:
-                keys[key] = len(keys)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i, vector in enumerate(vectors):
+        for key, value in vector.items():
+            idx = keys.get(key)
+            if idx is None:
+                idx = len(keys)
+                keys[key] = idx
+            rows.append(i)
+            cols.append(idx)
+            vals.append(value)
     rng = np.random.default_rng(seed)
     directions = rng.uniform(-1.0, 1.0, size=(max(1, len(keys)), dim))
     projected = np.zeros((len(vectors), dim), dtype=np.float64)
-    for i, vector in enumerate(vectors):
-        total = sum(vector.values())
-        if total <= 0:
-            continue
-        for key, value in vector.items():
-            projected[i] += (value / total) * directions[keys[key]]
+    if not rows:
+        return projected
+    # One unbuffered scatter-add over all (interval, key) occurrences.
+    # Occurrences are emitted in the same order the scalar loop visited
+    # them, and ``np.add.at`` (like ``bincount``) accumulates in element
+    # order, so the result is bit-identical to per-key accumulation.
+    row_arr = np.asarray(rows, dtype=np.int64)
+    col_arr = np.asarray(cols, dtype=np.int64)
+    val_arr = np.asarray(vals, dtype=np.float64)
+    totals = np.bincount(row_arr, weights=val_arr, minlength=len(vectors))
+    keep = totals[row_arr] > 0
+    if not keep.all():
+        row_arr, col_arr, val_arr = row_arr[keep], col_arr[keep], val_arr[keep]
+    coeffs = val_arr / totals[row_arr]
+    np.add.at(projected, row_arr, coeffs[:, None] * directions[col_arr])
     return projected
 
 

@@ -77,13 +77,14 @@ def simulate_selection_microkernels(
     loop_reduction: float = 4.0,
     cache_config: CacheConfig | None = None,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> MicroKernelResult:
     """Sampled simulation with loop-reduced micro-kernels."""
     if loop_reduction < 1.0:
         raise ValueError(
             f"loop_reduction must be >= 1, got {loop_reduction}"
         )
-    simulator = DetailedGPUSimulator(device, cache_config)
+    simulator = DetailedGPUSimulator(device, cache_config, engine=engine)
     rng = np.random.default_rng(seed)
     projected = 0.0
     simulated_total = 0

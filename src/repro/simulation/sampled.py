@@ -102,10 +102,11 @@ def simulate_selection(
     device: DeviceSpec,
     cache_config: CacheConfig | None = None,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> SampledSimulationResult:
     """Detailed-simulate the selected intervals only, then extrapolate."""
     tm = telemetry.get()
-    simulator = DetailedGPUSimulator(device, cache_config)
+    simulator = DetailedGPUSimulator(device, cache_config, engine=engine)
     projected = 0.0
     stepped_total = 0
     wall_total = 0.0
@@ -151,9 +152,10 @@ def simulate_full(
     device: DeviceSpec,
     cache_config: CacheConfig | None = None,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> FullSimulationResult:
     """Detailed-simulate every invocation (the cost the method avoids)."""
-    simulator = DetailedGPUSimulator(device, cache_config)
+    simulator = DetailedGPUSimulator(device, cache_config, engine=engine)
     indices = list(range(len(log.invocations)))
     with telemetry.get().span(
         "simulation.full", category="simulation",

@@ -150,6 +150,37 @@ def test_trace_command_jsonl_and_simulate_workflow(tmp_path, capsys):
     assert "simulation.wall_seconds" in counters
 
 
+def test_sim_engine_flag(tmp_path, capsys):
+    """--sim-engine selects the engine; the simulation counters (model
+    outputs, not wall-clock) are identical across engines."""
+    model_counters = (
+        "simulation.stepped_instructions",
+        "simulation.fast_forwarded_instructions",
+        "simulation.simulated_invocations",
+        "simulation.simulated_seconds",
+    )
+    outputs = {}
+    for engine in ("reference", "vectorized"):
+        out = tmp_path / f"{engine}.json"
+        assert main(
+            ["trace", "cb-gaussian-image", "--scale", "0.5",
+             "--workflow", "simulate", "--sim-engine", engine,
+             "--out", str(out)]
+        ) == 0
+        printed = capsys.readouterr().out
+        outputs[engine] = [
+            line.strip() for line in printed.splitlines()
+            if line.strip().startswith(model_counters)
+        ]
+    assert len(outputs["reference"]) == len(model_counters)
+    assert outputs["reference"] == outputs["vectorized"]
+
+
+def test_sim_engine_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["trace", "cb-gaussian-image", "--sim-engine", "warp"])
+
+
 def test_telemetry_flag_on_existing_subcommand(tmp_path, capsys):
     out = tmp_path / "select_trace.json"
     assert main(

@@ -116,6 +116,111 @@ def test_rejects_2d_input():
         _sim().access(np.zeros((2, 2)), is_write=False)
 
 
+class TestStreamEngine:
+    """access_stream (vectorized) vs access_reference (scalar oracle)."""
+
+    def _configs(self):
+        return [
+            CacheConfig(size_bytes=1024, line_bytes=64, ways=2),
+            CacheConfig(size_bytes=8192, line_bytes=32, ways=4),
+            # Non-power-of-two set count exercises the %// split fallback.
+            CacheConfig(size_bytes=3 * 4096, line_bytes=64, ways=4),
+            CacheConfig(size_bytes=64 * 1024, line_bytes=128, ways=8),
+        ]
+
+    def _streams(self, rng):
+        yield rng.integers(0, 1 << 22, size=500), rng.random(500) < 0.3
+        yield np.arange(0, 64 * 500, 64) % (1 << 14), np.zeros(500, bool)
+        # Heavy same-line repetition exercises the run-collapsing path.
+        base = rng.integers(0, 1 << 12, size=50)
+        yield np.repeat(base, 10), rng.random(500) < 0.5
+        yield np.zeros(64, dtype=np.int64), np.ones(64, bool)
+
+    def test_stream_matches_reference_walk(self):
+        rng = np.random.default_rng(42)
+        for config in self._configs():
+            for addresses, writes in self._streams(rng):
+                addresses = np.asarray(addresses, dtype=np.int64)
+                vec = CacheSimulator(config)
+                ref = CacheSimulator(config)
+                outcome = vec.access_stream(addresses, writes)
+                ref_hits = np.zeros(addresses.size, dtype=bool)
+                for i in range(addresses.size):
+                    batch = ref.access_reference(
+                        addresses[i:i + 1], is_write=bool(writes[i])
+                    )
+                    ref_hits[i] = batch.hits == 1
+                assert (outcome.hit == ref_hits).all()
+                assert vec.stats.hits == ref.stats.hits
+                assert vec.stats.misses == ref.stats.misses
+                assert vec.stats.evictions == ref.stats.evictions
+                assert vec.stats.writebacks == ref.stats.writebacks
+                # Identical replacement state, not just identical counts.
+                assert (
+                    vec.canonical_state().signature()
+                    == ref.canonical_state().signature()
+                )
+
+    def test_empty_stream(self):
+        sim = _sim()
+        outcome = sim.access_stream(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        assert outcome.hit.size == 0
+        assert outcome.evictions == 0 and outcome.writebacks == 0
+        assert sim.stats.accesses == 0
+
+    def test_scalar_writes_flag(self):
+        sim = _sim(size=1024, line=64, ways=2)
+        n_sets = sim.config.n_sets
+        addrs = np.array([0, n_sets * 64, 2 * n_sets * 64])
+        sim.access_stream(addrs, True)  # all writes, fills + evicts dirty
+        assert sim.stats.writebacks == 1
+
+
+class TestMutationCounter:
+    def test_accesses_bump_mutations(self):
+        sim = _sim()
+        before = sim.mutations
+        sim.access_stream(np.array([0, 64]), np.array([False, False]))
+        assert sim.mutations > before
+        before = sim.mutations
+        sim.access_reference(np.array([128]), is_write=False)
+        assert sim.mutations > before
+
+    def test_empty_access_does_not_bump(self):
+        sim = _sim()
+        before = sim.mutations
+        sim.access_stream(np.empty(0, dtype=np.int64), np.empty(0, bool))
+        sim.access_reference(np.empty(0, dtype=np.int64), is_write=False)
+        assert sim.mutations == before
+
+    def test_fast_forward_does_not_bump(self):
+        """Replaying a fixed point advances clocks and stats but leaves
+        the canonical (recency-order) contents untouched."""
+        sim = _sim()
+        sim.access(np.array([0]), is_write=False)
+        sig = sim.canonical_state().signature()
+        before = sim.mutations
+        sim.fast_forward(CacheStats(accesses=4, hits=4), repeats=3)
+        assert sim.mutations == before
+        assert sim.canonical_state().signature() == sig
+        assert sim.stats.accesses == 1 + 12
+        assert sim.stats.hits == 12
+
+    def test_reset_and_restore_bump(self):
+        sim = _sim()
+        sim.access(np.array([0]), is_write=False)
+        state = sim.canonical_state()
+        before = sim.mutations
+        sim.reset()
+        assert sim.mutations > before
+        before = sim.mutations
+        sim.restore_state(state, accesses=1)
+        assert sim.mutations > before
+        assert sim.canonical_state().signature() == state.signature()
+
+
 class TestHierarchy:
     def _hier(self):
         from repro.gpu.cache import CacheHierarchy

@@ -180,6 +180,28 @@ def test_cache_repeat_pass_hits_when_fitting(addresses):
     assert second.hits == second.accesses
 
 
+@given(
+    st.lists(st.integers(0, 1 << 18), min_size=1, max_size=120),
+    st.lists(st.booleans(), min_size=120, max_size=120),
+    st.sampled_from([(1024, 64, 2), (4096, 64, 4), (3 * 1024, 64, 4)]),
+)
+@settings(max_examples=30, deadline=None)
+def test_cache_stream_matches_reference_walk(addresses, writes, geometry):
+    """The vectorized stream engine equals the per-access oracle walk."""
+    size, line, ways = geometry
+    config = CacheConfig(size_bytes=size, line_bytes=line, ways=ways)
+    arr = np.array(addresses, dtype=np.int64)
+    w = np.array(writes[: arr.size], dtype=bool)
+    vec = CacheSimulator(config)
+    ref = CacheSimulator(config)
+    outcome = vec.access_stream(arr, w)
+    for i in range(arr.size):
+        batch = ref.access_reference(arr[i:i + 1], is_write=bool(w[i]))
+        assert (batch.hits == 1) == bool(outcome.hit[i])
+    assert vec.stats == ref.stats
+    assert vec.canonical_state().signature() == ref.canonical_state().signature()
+
+
 # -- SimPoint invariants -------------------------------------------------------------
 
 

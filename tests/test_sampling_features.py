@@ -153,3 +153,32 @@ def test_vectors_differ_across_phases(log):
         set(a) != set(b) or a != b
         for a, b in zip(vectors, vectors[1:])
     )
+
+
+class TestBatchedEquivalence:
+    """The batched BB builder is bit-identical to the scalar path --
+    values AND dict key order (key order feeds the random projection)."""
+
+    @pytest.mark.parametrize(
+        "kind", [k for k in ALL_FEATURE_KINDS if k.is_block_based]
+    )
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_all_block_kinds_and_schemes(self, log, kind, weighted):
+        for scheme in IntervalScheme:
+            intervals = divide(log, scheme)
+            batched = build_feature_vectors(log, intervals, kind, weighted)
+            scalar = [
+                feature_vector(log, iv, kind, weighted) for iv in intervals
+            ]
+            assert len(batched) == len(scalar)
+            for got, want in zip(batched, scalar):
+                assert list(got.keys()) == list(want.keys())
+                assert got == want  # exact float equality, not approx
+
+    def test_kernel_kinds_unchanged(self, log, intervals):
+        for kind in ALL_FEATURE_KINDS:
+            if kind.is_block_based:
+                continue
+            built = build_feature_vectors(log, intervals, kind)
+            scalar = [feature_vector(log, iv, kind) for iv in intervals]
+            assert built == scalar

@@ -235,3 +235,54 @@ def test_result_validation():
             bic_by_k={},
             projected=np.zeros((3, 2)),
         )
+
+
+def _project_reference(vectors, dim, seed):
+    """The original scalar projection loop, kept as the equivalence
+    oracle for the vectorized ``project_features``."""
+    keys = {}
+    for vector in vectors:
+        for key in vector:
+            if key not in keys:
+                keys[key] = len(keys)
+    rng = np.random.default_rng(seed)
+    directions = rng.uniform(-1.0, 1.0, size=(max(1, len(keys)), dim))
+    projected = np.zeros((len(vectors), dim), dtype=np.float64)
+    for i, vector in enumerate(vectors):
+        total = sum(vector.values())
+        if total <= 0:
+            continue
+        for key, value in vector.items():
+            projected[i] += (value / total) * directions[keys[key]]
+    return projected
+
+
+def test_projection_matches_scalar_reference():
+    """Vectorized projection is bit-identical to the scalar loop."""
+    vectors, _ = _two_phase_vectors()
+    # Add shared keys across phases and a many-key vector so the key
+    # table and the scatter-add see interleaved first-appearances.
+    rng = np.random.default_rng(5)
+    vectors.append(
+        {("bb", "a", j): float(rng.integers(1, 500)) for j in range(40)}
+    )
+    vectors.append({("bb", "b", 0): 7.0, ("bb", "a", 3): 2.0})
+    for dim, seed in [(15, 493575226), (8, 0), (1, 99)]:
+        got = project_features(vectors, dim, seed)
+        want = _project_reference(vectors, dim, seed)
+        np.testing.assert_array_equal(got, want)  # exact, not allclose
+
+
+def test_projection_zero_total_vector():
+    """An all-zero vector projects to the origin without dividing by 0."""
+    vectors = [{("x",): 0.0}, {("x",): 5.0, ("y",): 5.0}]
+    got = project_features(vectors, dim=4, seed=1)
+    want = _project_reference(vectors, dim=4, seed=1)
+    np.testing.assert_array_equal(got, want)
+    assert (got[0] == 0.0).all()
+
+
+def test_projection_empty_vectors():
+    got = project_features([{}, {}], dim=3, seed=0)
+    assert got.shape == (2, 3)
+    assert (got == 0.0).all()

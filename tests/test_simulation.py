@@ -89,6 +89,79 @@ def test_sampled_simulation_speedup_and_accuracy(small_workload, small_app):
     assert error < 20.0
 
 
+def test_dispatch_cache_stats_are_per_dispatch_deltas():
+    """Regression: ``SimulatedDispatch.cache`` must cover only that
+    dispatch, not the simulator's lifetime-cumulative stats."""
+    kernel = build_tiny_kernel()
+    simulator = DetailedGPUSimulator(
+        HD4000, CacheConfig(size_bytes=64 * 1024)
+    )
+    rng = np.random.default_rng(0)
+    first = simulator.simulate(kernel, {"iters": 10.0, "n": 64.0}, 64, rng)
+    second = simulator.simulate(kernel, {"iters": 10.0, "n": 64.0}, 64, rng)
+    # Each dispatch issues the same number of accesses; a cumulative
+    # second result would report twice as many.
+    assert second.cache.accesses == first.cache.accesses
+    # The deltas sum to the lifetime totals.
+    lifetime = simulator.cache.stats
+    assert first.cache.accesses + second.cache.accesses == lifetime.accesses
+    assert first.cache.hits + second.cache.hits == lifetime.hits
+    assert first.cache.misses + second.cache.misses == lifetime.misses
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_dispatch_cache_delta_both_engines(engine):
+    kernel = build_tiny_kernel()
+    simulator = DetailedGPUSimulator(
+        HD4000, CacheConfig(size_bytes=64 * 1024), engine=engine
+    )
+    rng = np.random.default_rng(0)
+    results = [
+        simulator.simulate(kernel, {"iters": 8.0, "n": 64.0}, 64, rng)
+        for _ in range(3)
+    ]
+    assert sum(r.cache.accesses for r in results) == simulator.cache.stats.accesses
+    assert sum(r.cache.misses for r in results) == simulator.cache.stats.misses
+
+
+def test_simulate_selection_engine_parameter(small_workload, small_app):
+    """`engine=` threads through the sampled entry points unchanged."""
+    result = select_simpoints(small_workload, options=FAST_OPTIONS)
+    cache = CacheConfig(size_bytes=64 * 1024)
+    by_engine = {
+        engine: simulate_selection(
+            small_app.name, small_app.sources, small_workload.log,
+            result.selection, HD4000, cache, engine=engine,
+        )
+        for engine in ("reference", "vectorized")
+    }
+    ref, vec = by_engine["reference"], by_engine["vectorized"]
+    assert vec.projected_spi == ref.projected_spi
+    assert vec.simulated_instructions == ref.simulated_instructions
+    assert vec.fast_forwarded_instructions == ref.fast_forwarded_instructions
+
+
+def test_microkernels_engine_parameter(small_workload, small_app):
+    from repro.simulation.microkernels import simulate_selection_microkernels
+
+    result = select_simpoints(small_workload, options=FAST_OPTIONS)
+    outcomes = {
+        engine: simulate_selection_microkernels(
+            small_app.name, small_app.sources, small_workload.log,
+            result.selection, HD4000, loop_reduction=2.0, engine=engine,
+        )
+        for engine in ("reference", "vectorized")
+    }
+    assert (
+        outcomes["vectorized"].projected_spi
+        == outcomes["reference"].projected_spi
+    )
+    assert (
+        outcomes["vectorized"].stepped_instructions
+        == outcomes["reference"].stepped_instructions
+    )
+
+
 def test_sampled_fast_forward_accounting(small_workload, small_app):
     result = select_simpoints(small_workload, options=FAST_OPTIONS)
     sampled = simulate_selection(
