@@ -21,7 +21,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import __version__, telemetry
+from repro import __version__, faults, telemetry
+from repro.faults import FaultPlan
 from repro.analysis import (
     characterize_app,
     characterize_suite,
@@ -91,6 +92,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="reuse profiled workloads from an on-disk cache (optional "
         "DIR; default location ~/.cache/repro/profiles, also enabled "
         "via $REPRO_PROFILE_CACHE)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="enable deterministic fault injection, e.g. "
+        "'seed=42;jit.build=0.1;dispatch.resources=0.05:3' (also via "
+        f"${faults.FAULTS_ENV}); see docs/robustness.md",
     )
     parser.add_argument(
         "--telemetry", action="store_true",
@@ -287,6 +294,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"({best.error_percent:.3f}% error, "
         f"{best.simulation_speedup:.1f}x speedup)"
     )
+    if exploration.health is not None and not exploration.health.ok:
+        print(
+            "PARTIAL PROFILE: "
+            + ", ".join(exploration.health.flags)
+        )
     for config, error in exploration.errors.items():
         print(f"FAILED {config.label}: {error}")
     return 0 if not exploration.errors else 1
@@ -489,8 +501,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _run(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
     if not getattr(args, "telemetry", False):
@@ -507,6 +518,20 @@ def main(argv: Sequence[str] | None = None) -> int:
               "in chrome://tracing or https://ui.perfetto.dev)")
     finally:
         telemetry.disable()
+    return status
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    spec = getattr(args, "faults", None)
+    plan = FaultPlan.parse(spec) if spec else FaultPlan.from_env()
+    if plan is None:
+        return _run(args)
+    print(plan.describe())
+    with faults.session(plan) as injector:
+        status = _run(args)
+        print()
+        print(injector.summary())
     return status
 
 

@@ -15,6 +15,8 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.driver.jit import JITCompiler, KernelSource
+from repro.faults.errors import FaultError
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_transient
 from repro.gpu.execution import GPUDevice, KernelDispatch
 from repro.isa.kernel import KernelBinary
 from repro.opencl.errors import InvalidKernelName
@@ -26,9 +28,14 @@ BinaryRewriter = Callable[[KernelBinary], KernelBinary]
 class GPUDriver:
     """Driver for one GPU device."""
 
-    def __init__(self, device: GPUDevice) -> None:
+    def __init__(
+        self,
+        device: GPUDevice,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ) -> None:
         self.device = device
         self.jit = JITCompiler()
+        self.retry_policy = retry_policy
         self._rewriter: BinaryRewriter | None = None
         self._binaries: dict[str, KernelBinary] = {}
 
@@ -51,13 +58,35 @@ class GPUDriver:
 
     # -- build & dispatch ---------------------------------------------------
 
-    def build_program(self, sources: Mapping[str, KernelSource]) -> None:
-        """``clBuildProgram``: JIT-compile every kernel in the program."""
+    def build_program(
+        self, sources: Mapping[str, KernelSource]
+    ) -> tuple[str, ...]:
+        """``clBuildProgram``: JIT-compile every kernel in the program.
+
+        Transient JIT failures (the ``jit.build`` fault site) are retried
+        with bounded backoff.  Kernels whose build still fails after
+        retries are *skipped* -- their names are returned so the runtime
+        can drop their enqueues instead of aborting the run.
+        """
+        failed: list[str] = []
         for name, source in sources.items():
-            binary = self.jit.compile(source)
-            if self._rewriter is not None:
-                binary = self._rewriter(binary)
+            try:
+                binary = retry_transient(
+                    lambda src=source: self._compile_one(src),
+                    policy=self.retry_policy,
+                    site="jit.build",
+                )
+            except FaultError:
+                failed.append(name)
+                continue
             self._binaries[name] = binary
+        return tuple(failed)
+
+    def _compile_one(self, source: KernelSource) -> KernelBinary:
+        binary = self.jit.compile(source)
+        if self._rewriter is not None:
+            binary = self._rewriter(binary)
+        return binary
 
     def binary(self, kernel_name: str) -> KernelBinary:
         """The device-ready (possibly instrumented) binary for a kernel."""

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import faults
+from repro.faults.errors import InjectedBuildFailure
 from repro.isa.kernel import KernelBinary
 
 
@@ -43,7 +45,17 @@ class JITCompiler:
         self.compile_count = 0
 
     def compile(self, source: KernelSource) -> KernelBinary:
-        """Lower a kernel source to a machine-specific binary."""
+        """Lower a kernel source to a machine-specific binary.
+
+        Under an active fault plan the ``jit.build`` site can make a
+        compile attempt fail transiently (the driver retries; see
+        :meth:`repro.driver.driver.GPUDriver.build_program`).
+        """
+        fi = faults.get()
+        if fi.enabled and fi.draw("jit.build") is not None:
+            raise InjectedBuildFailure(
+                f"transient JIT failure compiling kernel {source.name!r}"
+            )
         self.compile_count += 1
         return source.body.with_blocks(
             source.body.blocks,

@@ -1,0 +1,101 @@
+"""repro.faults: deterministic fault injection with recovery policies.
+
+GT-Pin's value is profiling *native* runs, and native stacks fail:
+driver JIT builds abort, allocations hit ``CL_OUT_OF_RESOURCES``,
+completion events get lost, the shared trace buffer truncates a flush
+(all failure points Section III's tooling had to survive).  This
+package makes those failures first-class and *reproducible*:
+
+* :mod:`~repro.faults.plan` -- the fault taxonomy
+  (:data:`~repro.faults.plan.SITE_SPECS`), :class:`FaultRule` /
+  :class:`FaultPlan`, and the ``--faults`` / ``REPRO_FAULTS`` spec
+  format;
+* :mod:`~repro.faults.injector` -- the seed-driven injector whose
+  decisions are pure functions of (seed, scope, site, ordinal), plus
+  the process-global registry (a zero-overhead no-op singleton when
+  disabled, like :mod:`repro.telemetry`);
+* :mod:`~repro.faults.errors` -- typed injected faults that *are* the
+  OpenCL errors they model, and :class:`FaultEvent` run records;
+* :mod:`~repro.faults.retry` -- bounded exponential-backoff retry for
+  the transient class;
+* :mod:`~repro.faults.health` -- :class:`ProfileHealth`, the flagged
+  partial-profile record that graceful degradation attaches to
+  results.
+
+See ``docs/robustness.md`` for the full taxonomy and semantics.
+"""
+
+from repro.faults.errors import (
+    DispatchTimeoutError,
+    FaultError,
+    FaultEvent,
+    InjectedAllocFailure,
+    InjectedBuildFailure,
+    InjectedOutOfResources,
+    SweepTaskFault,
+    TransientFaultError,
+    is_transient,
+)
+from repro.faults.health import HEALTHY, ProfileHealth
+from repro.faults.injector import (
+    DISABLED,
+    DisabledFaultInjector,
+    FaultInjector,
+    InjectedFault,
+    Injection,
+    disable,
+    enable,
+    get,
+    is_enabled,
+    session,
+)
+from repro.faults.plan import (
+    DEGRADATION_SITES,
+    FAULTS_ENV,
+    SITE_SPECS,
+    SITES,
+    TRANSIENT_SITES,
+    FaultPlan,
+    FaultRule,
+    SiteSpec,
+)
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    retry_transient,
+)
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "DEGRADATION_SITES",
+    "DISABLED",
+    "DisabledFaultInjector",
+    "DispatchTimeoutError",
+    "FAULTS_ENV",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "HEALTHY",
+    "InjectedAllocFailure",
+    "InjectedBuildFailure",
+    "InjectedFault",
+    "InjectedOutOfResources",
+    "Injection",
+    "ProfileHealth",
+    "RetryPolicy",
+    "SITES",
+    "SITE_SPECS",
+    "SiteSpec",
+    "SweepTaskFault",
+    "TRANSIENT_SITES",
+    "TransientFaultError",
+    "disable",
+    "enable",
+    "get",
+    "is_enabled",
+    "is_transient",
+    "retry_transient",
+    "session",
+]

@@ -1,0 +1,81 @@
+"""Typed injected faults and the run-level fault event record.
+
+Injected failures double as the OpenCL error they model: an injected
+build failure *is a* :class:`~repro.opencl.errors.BuildProgramFailure`,
+so uninstrumented callers see exactly the error a real driver would
+raise -- while recovery code can still discriminate injected/transient
+failures via the :class:`FaultError` mixin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.opencl.errors import (
+    BuildProgramFailure,
+    MemObjectAllocationFailure,
+    OutOfResources,
+)
+
+
+class FaultError(RuntimeError):
+    """Mixin/base for every injected fault."""
+
+    #: The fault site that produced this error.
+    site = ""
+    #: Transient errors are retryable (bounded exponential backoff).
+    transient = False
+
+
+class TransientFaultError(FaultError):
+    transient = True
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether a retry policy may re-attempt after this error."""
+    return bool(getattr(exc, "transient", False))
+
+
+class InjectedBuildFailure(BuildProgramFailure, TransientFaultError):
+    """The driver JIT failed to compile a kernel (transient)."""
+
+    site = "jit.build"
+
+
+class InjectedAllocFailure(MemObjectAllocationFailure, TransientFaultError):
+    """A buffer/image allocation failed with an OOM (transient)."""
+
+    site = "alloc.buffer"
+
+
+class InjectedOutOfResources(OutOfResources, TransientFaultError):
+    """Kernel submission hit a transient ``CL_OUT_OF_RESOURCES``."""
+
+    site = "dispatch.resources"
+
+
+class DispatchTimeoutError(TransientFaultError):
+    """A dispatch exceeded the per-dispatch timeout and was cancelled."""
+
+    site = "dispatch.hang"
+
+
+class SweepTaskFault(TransientFaultError):
+    """Transient failure evaluating one exploration configuration."""
+
+    site = "sampling.config"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One *unrecovered* fault that degraded a program run.
+
+    Recovered faults leave no event -- that is the point of recovery --
+    they are only visible in the ``faults.injected.*`` /
+    ``faults.recovered.*`` counters.
+    """
+
+    site: str
+    detail: str
+    #: API-call or dispatch index the fault struck, -1 when n/a.
+    index: int = -1

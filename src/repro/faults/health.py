@@ -1,0 +1,128 @@
+"""Profile health: what a fault-degraded run actually delivered.
+
+A faulted kernel or lost trace data no longer aborts a sweep -- it
+yields a *flagged partial profile*.  :class:`ProfileHealth` is the
+flag: attached to :class:`~repro.gtpin.profiler.GTPinReport`,
+:class:`~repro.sampling.pipeline.ProfiledWorkload`, and
+:class:`~repro.sampling.explorer.ExplorationResult`, and surfaced in
+the CLI exit summary.  A healthy profile is the all-zero instance
+(:data:`HEALTHY`), so the field costs nothing when faults are off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.errors import FaultEvent
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileHealth:
+    """Per-profile damage accounting, all-zero when nothing went wrong."""
+
+    #: Kernels whose JIT build exhausted its retries (their enqueues
+    #: were dropped).
+    failed_kernels: tuple[str, ...] = ()
+    #: Dispatches dropped after retry exhaustion (resources / timeout).
+    dropped_dispatches: int = 0
+    #: Buffer/image allocations that failed permanently and were
+    #: degraded to no-ops.
+    degraded_allocs: int = 0
+    #: Kernel-complete events lost (their timings read zero).
+    lost_events: int = 0
+    #: Kernel-complete events delivered late (timings inflated).
+    late_events: int = 0
+    #: SPI timing reads that glitched during capture.
+    flaky_timings: int = 0
+    #: Trace records whose counters were scrambled (discarded).
+    corrupted_records: int = 0
+    #: Trace records lost to truncated buffer flushes.
+    truncated_records: int = 0
+    #: Invocations dropped while re-aligning the profiling log with the
+    #: timing trace after record loss.
+    realigned_invocations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff the profile is complete and undamaged."""
+        return self == HEALTHY
+
+    @property
+    def flags(self) -> tuple[str, ...]:
+        """Non-zero damage fields as ``name:count`` strings."""
+        out: list[str] = []
+        if self.failed_kernels:
+            out.append(f"failed_kernels:{len(self.failed_kernels)}")
+        for field in (
+            "dropped_dispatches",
+            "degraded_allocs",
+            "lost_events",
+            "late_events",
+            "flaky_timings",
+            "corrupted_records",
+            "truncated_records",
+            "realigned_invocations",
+        ):
+            value = getattr(self, field)
+            if value:
+                out.append(f"{field}:{value}")
+        return tuple(out)
+
+    def union(self, other: "ProfileHealth") -> "ProfileHealth":
+        """Field-wise max / set union: "this workload experienced these
+        faults".  ``union`` (not a sum) because the recording and
+        profiling passes replay the *same* fault stream -- adding their
+        per-pass counts would double-count every shared fault."""
+        return ProfileHealth(
+            failed_kernels=tuple(
+                sorted(set(self.failed_kernels) | set(other.failed_kernels))
+            ),
+            dropped_dispatches=max(
+                self.dropped_dispatches, other.dropped_dispatches
+            ),
+            degraded_allocs=max(self.degraded_allocs, other.degraded_allocs),
+            lost_events=max(self.lost_events, other.lost_events),
+            late_events=max(self.late_events, other.late_events),
+            flaky_timings=max(self.flaky_timings, other.flaky_timings),
+            corrupted_records=max(
+                self.corrupted_records, other.corrupted_records
+            ),
+            truncated_records=max(
+                self.truncated_records, other.truncated_records
+            ),
+            realigned_invocations=max(
+                self.realigned_invocations, other.realigned_invocations
+            ),
+        )
+
+    @classmethod
+    def from_events(
+        cls, events: Iterable["FaultEvent"]
+    ) -> "ProfileHealth":
+        """Fold a run's unrecovered fault events into health counters."""
+        failed_kernels: list[str] = []
+        dropped = allocs = lost = late = 0
+        for event in events:
+            if event.site == "jit.build":
+                failed_kernels.append(event.detail)
+            elif event.site in ("dispatch.resources", "dispatch.hang"):
+                dropped += 1
+            elif event.site == "alloc.buffer":
+                allocs += 1
+            elif event.site == "event.lost":
+                lost += 1
+            elif event.site == "event.late":
+                late += 1
+        return cls(
+            failed_kernels=tuple(sorted(set(failed_kernels))),
+            dropped_dispatches=dropped,
+            degraded_allocs=allocs,
+            lost_events=lost,
+            late_events=late,
+        )
+
+
+#: The healthy profile (shared, all-zero).
+HEALTHY = ProfileHealth()

@@ -1,0 +1,215 @@
+"""The deterministic fault injector.
+
+Injection decisions are pure functions of
+``(plan seed, scope, site, ordinal)``:
+
+* the **scope** is reset by each instrumented run
+  (``run/<program>/<seed>`` for the OpenCL runtime,
+  ``timings/<program>/<seed>`` for the CoFluent timing capture), so the
+  recording pass and the profiling pass of the same program draw the
+  *same* fault sequence -- their dispatch streams stay aligned even
+  when faults drop kernels;
+* the **ordinal** is a per-(scope, site) counter that advances on every
+  draw, injected or not, so the decision stream is independent of what
+  other sites do.
+
+Every draw hashes those four values into a fresh
+``numpy.random.Generator``; the first uniform decides injection, and
+the same generator supplies any fault magnitudes (hang duration, spike
+factor, truncation length).  Two runs under the same plan therefore
+produce identical injected-fault sequences -- asserted by
+``tests/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import zlib
+from typing import Iterator
+
+import numpy as np
+
+from repro import telemetry
+from repro.faults.plan import FaultPlan
+
+
+def _crc(text: str) -> int:
+    """Stable 32-bit hash (``hash()`` is salted per process; CRC is not)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectedFault:
+    """One injected fault, as recorded in the injector's log."""
+
+    scope: str
+    site: str
+    ordinal: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Injection:
+    """A positive injection decision plus its magnitude generator."""
+
+    site: str
+    ordinal: int
+    #: Deterministic per-decision generator for fault magnitudes.
+    rng: np.random.Generator
+
+
+class FaultInjector:
+    """A live injector for one :class:`FaultPlan`."""
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._scope = ""
+        self._ordinals: dict[tuple[str, str], int] = {}
+        #: site -> total injections (all scopes).
+        self.injected: dict[str, int] = {}
+        #: site -> operations that faulted but ultimately succeeded.
+        self.recovered: dict[str, int] = {}
+        #: Every injection, in order (the reproducibility artifact).
+        self.log: list[InjectedFault] = []
+
+    # -- scoping -------------------------------------------------------------
+
+    def begin_scope(self, tag: str) -> None:
+        """Enter a replay scope: ordinals for ``tag`` restart from zero.
+
+        Entering the same scope twice replays the same decision stream,
+        which is what keeps a program's recording and profiling passes
+        fault-aligned.
+        """
+        self._scope = tag
+        self._ordinals = {
+            key: value
+            for key, value in self._ordinals.items()
+            if key[0] != tag
+        }
+
+    # -- decisions -----------------------------------------------------------
+
+    def draw(self, site: str) -> Injection | None:
+        """One injection opportunity at ``site``; ``None`` = no fault."""
+        rule = self.plan.rule_for(site)
+        if rule is None or rule.probability == 0.0:
+            return None
+        key = (self._scope, site)
+        ordinal = self._ordinals.get(key, 0)
+        self._ordinals[key] = ordinal + 1
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                (self.plan.seed, _crc(self._scope), _crc(site), ordinal)
+            )
+        )
+        if float(rng.random()) >= rule.probability:
+            return None
+        if (
+            rule.max_injections is not None
+            and self.injected.get(site, 0) >= rule.max_injections
+        ):
+            return None
+        self.injected[site] = self.injected.get(site, 0) + 1
+        self.log.append(InjectedFault(self._scope, site, ordinal))
+        telemetry.get().inc(f"faults.injected.{site}")
+        return Injection(site=site, ordinal=ordinal, rng=rng)
+
+    def note_recovered(self, site: str) -> None:
+        """An operation that faulted at ``site`` ultimately succeeded."""
+        self.recovered[site] = self.recovered.get(site, 0) + 1
+        telemetry.get().inc(f"faults.recovered.{site}")
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def recovered_total(self) -> int:
+        return sum(self.recovered.values())
+
+    def summary(self) -> str:
+        """One-screen injected/recovered accounting (the CLI exit summary)."""
+        lines = [
+            f"fault injection (seed {self.plan.seed}): "
+            f"{self.injected_total} injected, "
+            f"{self.recovered_total} recovered"
+        ]
+        for site in sorted(set(self.injected) | set(self.recovered)):
+            lines.append(
+                f"  {site}: {self.injected.get(site, 0)} injected, "
+                f"{self.recovered.get(site, 0)} recovered"
+            )
+        return "\n".join(lines)
+
+
+class DisabledFaultInjector:
+    """The no-op singleton active by default.
+
+    Hot paths guard on ``enabled``, so with faults off every hook costs
+    one attribute check and never touches an RNG -- results are
+    bit-identical to a build without the fault layer.
+    """
+
+    enabled = False
+    plan = None
+
+    def begin_scope(self, tag: str) -> None:
+        pass
+
+    def draw(self, site: str) -> None:
+        return None
+
+    def note_recovered(self, site: str) -> None:
+        pass
+
+    injected_total = 0
+    recovered_total = 0
+
+    def summary(self) -> str:
+        return "fault injection disabled"
+
+
+#: The one disabled injector (identity-comparable in tests).
+DISABLED = DisabledFaultInjector()
+
+_active: FaultInjector | DisabledFaultInjector = DISABLED
+
+
+def get() -> FaultInjector | DisabledFaultInjector:
+    """The active injector.  Hot paths hoist this once per operation."""
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active.enabled
+
+
+def enable(plan: FaultPlan) -> FaultInjector:
+    """Activate a fresh injector for ``plan`` and return it."""
+    global _active
+    _active = FaultInjector(plan)
+    return _active
+
+
+def disable() -> None:
+    """Deactivate injection; the no-op singleton becomes active again."""
+    global _active
+    _active = DISABLED
+
+
+@contextlib.contextmanager
+def session(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Enable ``plan`` for a ``with`` block, then restore the previously
+    active injector (enabled or not)."""
+    global _active
+    previous = _active
+    _active = FaultInjector(plan)
+    try:
+        yield _active
+    finally:
+        _active = previous

@@ -1,0 +1,97 @@
+"""Bounded exponential-backoff retry for transient fault classes.
+
+The recovery side of the fault layer: transient failures (injected or
+otherwise marked ``transient``) are retried up to
+``RetryPolicy.max_attempts`` with exponentially growing, capped delays.
+An operation that faulted but ultimately succeeded counts as
+*recovered* (``faults.recovered.<site>``); one that exhausts its
+attempts re-raises the last error for the caller's degradation policy
+to handle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable
+
+from repro import telemetry
+from repro.faults import injector as _registry
+
+# Module-style import: retry is pulled in by repro.opencl.runtime while
+# repro.faults.errors is still mid-import (errors -> opencl -> runtime ->
+# here), so its names resolve lazily at call time.
+from repro.faults import errors as _errors
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * multiplier**(attempt-1)``,
+    capped at ``max_delay_seconds``, for at most ``max_attempts`` total
+    attempts (the first attempt included)."""
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.001
+    multiplier: float = 2.0
+    max_delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay_seconds(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(
+            self.base_delay_seconds * self.multiplier ** (attempt - 1),
+            self.max_delay_seconds,
+        )
+
+
+#: The stack-wide default recovery policy.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_transient(
+    fn: Callable[[], Any],
+    *,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    site: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Call ``fn`` with bounded-backoff retries of transient failures.
+
+    Non-transient exceptions propagate immediately.  On eventual
+    success after >= 1 failure, each distinct faulted site is counted
+    as recovered.  On exhaustion the last error is re-raised.
+    """
+    tm = telemetry.get()
+    faulted_sites: set[str] = set()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            value = fn()
+        except Exception as exc:
+            if not _errors.is_transient(exc):
+                raise
+            faulted_sites.add(getattr(exc, "site", "") or site or "unknown")
+            if attempt >= policy.max_attempts:
+                tm.inc("faults.retry.exhausted")
+                raise
+            tm.inc("faults.retry.attempts")
+            delay = policy.delay_seconds(attempt)
+            if delay > 0:
+                sleep(delay)
+            continue
+        if faulted_sites:
+            injector = _registry.get()
+            for faulted in sorted(faulted_sites):
+                injector.note_recovered(faulted)
+        return value
+    raise AssertionError("unreachable")  # pragma: no cover

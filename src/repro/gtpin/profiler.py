@@ -20,6 +20,7 @@ from typing import Any, Iterator, Mapping, Protocol, Sequence
 
 from repro import telemetry
 from repro.driver.driver import GPUDriver
+from repro.faults.health import HEALTHY, ProfileHealth
 from repro.driver.jit import KernelSource
 from repro.gpu.device import HD4000, DeviceSpec
 from repro.gpu.execution import GPUDevice
@@ -54,6 +55,9 @@ class GTPinReport:
     record_count: int
     overflow_drains: int
     rewritten_kernels: int
+    #: Fault-degradation accounting; :data:`~repro.faults.HEALTHY` (the
+    #: all-zero record) whenever nothing was injected.
+    health: ProfileHealth = HEALTHY
 
     def __getitem__(self, tool_name: str) -> Any:
         try:
@@ -102,13 +106,19 @@ class GTPinSession:
     def detach(self, runtime: OpenCLRuntime) -> None:
         runtime.driver.install_rewriter(None)
 
-    def post_process(self) -> GTPinReport:
-        """CPU-side drain + per-tool analysis (Figure 1's last step)."""
+    def post_process(self, run: ProgramRun | None = None) -> GTPinReport:
+        """CPU-side drain + per-tool analysis (Figure 1's last step).
+
+        Records the ``trace.corrupt`` site flagged are discarded before
+        any tool sees them; pass the profiled ``run`` so its degradation
+        events fold into the report's :class:`ProfileHealth`.
+        """
         tm = telemetry.get()
         with tm.span(
             "gtpin.post_process", category="gtpin", tools=len(self.tools)
         ):
-            records = self.trace_buffer.drain()
+            drained = self.trace_buffer.drain()
+            records = [r for r in drained if not r.corrupted]
             context = ProfileContext(
                 original_binaries=dict(self.rewriter.original_binaries),
                 records=records,
@@ -123,11 +133,20 @@ class GTPinSession:
                     "gtpin.instrumented_instructions",
                     _instrumented_instructions(context, records),
                 )
+            health = ProfileHealth(
+                corrupted_records=self.trace_buffer.corrupted_records,
+                truncated_records=self.trace_buffer.lost_records,
+            )
+            if run is not None:
+                health = health.union(
+                    ProfileHealth.from_events(run.fault_events)
+                )
             return GTPinReport(
                 results=results,
                 record_count=len(records),
                 overflow_drains=self.trace_buffer.overflow_drains,
                 rewritten_kernels=self.rewriter.rewritten_count,
+                health=health,
             )
 
 
@@ -194,7 +213,7 @@ def profile(
         )
         runtime = build_runtime(application, device_spec, timing_params, session)
         run = runtime.run(application.host_program, trial_seed=trial_seed)
-        report = session.post_process()
+        report = session.post_process(run)
         span.annotate(
             records=report.record_count,
             rewritten_kernels=report.rewritten_kernels,

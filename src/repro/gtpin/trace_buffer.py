@@ -20,7 +20,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +46,9 @@ class TraceRecord:
     #: replay/simulation needs them to reproduce data-dependent control
     #: flow).  NOT used by feature vectors.
     data_values: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    #: True when the ``trace.corrupt`` fault site scrambled this record's
+    #: counters; the profiler discards such records before analysis.
+    corrupted: bool = False
 
     @property
     def record_bytes(self) -> int:
@@ -79,6 +82,15 @@ class TraceBuffer:
         self.overflow_drains = 0
         #: Total records ever written (drains do not reset this).
         self.total_records = 0
+        #: Total bytes ever written (the conservation-law numerator:
+        #: ``total_bytes_written == drained + resident + lost_bytes``).
+        self.total_bytes_written = 0
+        #: Records whose counters the ``trace.corrupt`` site scrambled.
+        self.corrupted_records = 0
+        #: Records lost to ``trace.truncate`` flush truncation.
+        self.lost_records = 0
+        #: Bytes those lost records occupied.
+        self.lost_bytes = 0
         self._drained: list[TraceRecord] = []
         #: An admitted record alone exceeded capacity; its forced drain
         #: was already counted, so the next implicit drain must not
@@ -89,13 +101,55 @@ class TraceBuffer:
     def resident_bytes(self) -> int:
         return self._resident_bytes
 
+    def _apply_corruption(self, record: TraceRecord) -> TraceRecord:
+        """``trace.corrupt``: scramble the record's counters in place.
+
+        The scramble preserves the byte footprint (same counter shape) so
+        buffer accounting is unaffected; the ``corrupted`` flag is what
+        downstream consumers act on.
+        """
+        fi = faults.get()
+        if not fi.enabled:
+            return record
+        glitch = fi.draw("trace.corrupt")
+        if glitch is None:
+            return record
+        counts = record.block_counts
+        scrambled = glitch.rng.permutation(counts) if counts.size else counts
+        self.corrupted_records += 1
+        return dataclasses.replace(
+            record, block_counts=scrambled, corrupted=True
+        )
+
+    def _truncate_flush(self, records: list[TraceRecord]) -> list[TraceRecord]:
+        """``trace.truncate``: a flush loses its tail records.
+
+        Models the CPU read-back racing the GPU's final writes: the last
+        ``k`` records of the flushed batch never make it out of the
+        shared region.  Lost records and bytes are accounted so the
+        conservation law ``total_bytes_written == drained + resident +
+        lost_bytes`` stays exact.
+        """
+        fi = faults.get()
+        if not fi.enabled or not records:
+            return records
+        cut = fi.draw("trace.truncate")
+        if cut is None:
+            return records
+        k = int(cut.rng.integers(1, len(records) + 1))
+        kept, lost = records[:-k], records[-k:]
+        self.lost_records += len(lost)
+        self.lost_bytes += sum(r.record_bytes for r in lost)
+        return kept
+
     def write(self, record: TraceRecord) -> None:
         """GPU-side append of one invocation's instrumentation output."""
+        record = self._apply_corruption(record)
         size = record.record_bytes
         tm = telemetry.get()
         if self._resident_bytes + size > self.capacity_bytes and self._records:
             # Buffer full: the CPU drains mid-run (costed as an overflow).
-            self._drained.extend(self._records)
+            self._drained.extend(self._truncate_flush(self._records))
             self._records.clear()
             self._resident_bytes = 0
             if self._oversized_pending:
@@ -108,6 +162,7 @@ class TraceBuffer:
         self._records.append(record)
         self._resident_bytes += size
         self.total_records += 1
+        self.total_bytes_written += size
         if size > self.capacity_bytes:
             # The record exceeds capacity even in an empty buffer: the
             # driver must sync and the CPU drain it right after the
@@ -125,7 +180,7 @@ class TraceBuffer:
         """CPU-side read-out: all records so far, in write order."""
         tm = telemetry.get()
         with tm.span("gtpin.trace_buffer.drain", category="gtpin") as span:
-            out = self._drained + self._records
+            out = self._drained + self._truncate_flush(self._records)
             self._drained = []
             self._records = []
             self._resident_bytes = 0

@@ -43,3 +43,11 @@ class BuildProgramFailure(CLError):
 
 class InvalidMemObject(CLError):
     status = "CL_INVALID_MEM_OBJECT"
+
+
+class OutOfResources(CLError):
+    status = "CL_OUT_OF_RESOURCES"
+
+
+class MemObjectAllocationFailure(CLError):
+    status = "CL_MEM_OBJECT_ALLOCATION_FAILURE"

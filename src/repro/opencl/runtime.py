@@ -24,7 +24,13 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
+
+# Module-style fault imports: this module sits inside the import cycle
+# repro.faults.errors -> repro.opencl -> runtime, so injected-error names
+# must resolve lazily at call time rather than at import time.
+from repro.faults import errors as fault_errors
+from repro.faults import retry as fault_retry
 from repro.gpu.execution import KernelDispatch
 from repro.opencl.api import KERNEL_ENQUEUE, APICall
 from repro.opencl.errors import (
@@ -72,6 +78,9 @@ class ProgramRun:
     sync_call_indices: tuple[int, ...]
     trial_seed: int
     device_name: str
+    #: Unrecovered injected faults this run degraded through (empty when
+    #: faults are disabled or every fault was retried away).
+    fault_events: tuple[fault_errors.FaultEvent, ...] = ()
 
     @property
     def total_instructions(self) -> int:
@@ -108,6 +117,8 @@ class OpenCLRuntime:
         self._kernel_args: dict[str, dict[str, float]] = {}
         self._queue: list[_PendingEnqueue] = []
         self._built = False
+        self._failed_kernels: set[str] = set()
+        self._fault_events: list[fault_errors.FaultEvent] = []
         # Device-memory contents the host has written (buffer payload
         # scalars); data-dependent kernel control flow reads these.  Keys
         # use the reserved "__" prefix so they can never collide with
@@ -153,6 +164,15 @@ class OpenCLRuntime:
         self._queue.clear()
         self._built = False
         self._data_env.clear()
+        self._failed_kernels: set[str] = set()
+        self._fault_events: list[fault_errors.FaultEvent] = []
+        # Same program + same trial seed => same fault-scope tag, so the
+        # CoFluent recording pass and the GT-Pin profiling pass of one
+        # workload replay an *identical* injected-fault sequence and their
+        # dispatch streams stay aligned.
+        fi = faults.get()
+        if fi.enabled:
+            fi.begin_scope(f"run/{program.name}/{trial_seed}")
 
         executed_calls: list[APICall] = []
         dispatches: list[KernelDispatch] = []
@@ -197,6 +217,7 @@ class OpenCLRuntime:
             sync_call_indices=tuple(sync_indices),
             trial_seed=trial_seed,
             device_name=self.driver.device.spec.name,
+            fault_events=tuple(self._fault_events),
         )
 
     # -- handlers ------------------------------------------------------------
@@ -221,6 +242,17 @@ class OpenCLRuntime:
             raise InvalidKernelArgs(
                 f"kernel {kernel_name!r} enqueued with unset arguments {missing}"
             )
+        if kernel_name in self._failed_kernels:
+            # Graceful degradation: this kernel's JIT build exhausted its
+            # retries, so its work is dropped rather than aborting the run.
+            self._fault_events.append(
+                fault_errors.FaultEvent(
+                    site="jit.build",
+                    detail=kernel_name,
+                    index=call_index,
+                )
+            )
+            return
         self._queue.append(
             _PendingEnqueue(
                 kernel_name=kernel_name,
@@ -238,7 +270,12 @@ class OpenCLRuntime:
                     "clBuildProgram with no program sources loaded; call "
                     "load_sources() with the application's kernels first"
                 )
-            self.driver.build_program(self._sources)
+            failed = self.driver.build_program(self._sources)
+            for kernel_name in failed:
+                self._failed_kernels.add(kernel_name)
+                self._fault_events.append(
+                    fault_errors.FaultEvent(site="jit.build", detail=kernel_name)
+                )
             self._built = True
         elif call.name in ("clCreateBuffer", "clCreateImage"):
             size = int(call.args.get("size", 1))
@@ -246,6 +283,7 @@ class OpenCLRuntime:
                 raise InvalidMemObject(
                     f"{call.name} with non-positive size {size}"
                 )
+            self._allocate(call)
         elif call.name == "clCreateKernel":
             kernel_name = call.args.get("kernel", "")
             self._arg_names(kernel_name)  # validates existence
@@ -271,6 +309,125 @@ class OpenCLRuntime:
         # profiling queries, releases) have no device-visible semantics in
         # this model; they are recorded by interceptors above.
 
+    def _allocate(self, call: APICall) -> None:
+        """Model ``clCreateBuffer`` / ``clCreateImage`` memory allocation.
+
+        The ``alloc.buffer`` fault site can fail an allocation attempt
+        transiently; the runtime retries with bounded backoff.  On
+        exhaustion the allocation is *degraded* to a no-op -- the model
+        carries no buffer payloads, so execution proceeds with a recorded
+        :class:`fault_errors.FaultEvent` instead of aborting.
+        """
+        fi = faults.get()
+        if not fi.enabled:
+            return
+
+        def _attempt() -> None:
+            if fi.draw("alloc.buffer") is not None:
+                raise fault_errors.InjectedAllocFailure(
+                    f"transient allocation failure in {call.name}"
+                )
+
+        try:
+            fault_retry.retry_transient(
+                _attempt,
+                policy=self.driver.retry_policy,
+                site="alloc.buffer",
+            )
+        except fault_errors.FaultError:
+            self._fault_events.append(
+                fault_errors.FaultEvent(site="alloc.buffer", detail=call.name)
+            )
+
+    def _dispatch_pending(
+        self,
+        pending: _PendingEnqueue,
+        sync_epoch: int,
+        rng: np.random.Generator,
+    ) -> KernelDispatch | None:
+        """Dispatch one pending enqueue; None if it was dropped to faults.
+
+        Injected dispatch faults (``dispatch.resources`` transient errors
+        and ``dispatch.hang`` timeouts) are raised *before* the device
+        executes, so a failed attempt never consumes the trial RNG and
+        deterministic replay stays aligned.
+        """
+        fi = faults.get()
+
+        def _attempt() -> KernelDispatch:
+            if fi.enabled:
+                if fi.draw("dispatch.resources") is not None:
+                    raise fault_errors.InjectedOutOfResources(
+                        f"transient dispatch failure for kernel "
+                        f"{pending.kernel_name!r}"
+                    )
+                hang = fi.draw("dispatch.hang")
+                if hang is not None:
+                    timeout = fi.plan.dispatch_timeout_seconds
+                    hang_seconds = timeout * (1.0 + 3.0 * hang.rng.uniform())
+                    raise fault_errors.DispatchTimeoutError(
+                        f"kernel {pending.kernel_name!r} exceeded the "
+                        f"{timeout:.3f}s dispatch timeout (simulated hang "
+                        f"of {hang_seconds:.3f}s)"
+                    )
+            return self.driver.dispatch(
+                pending.kernel_name,
+                pending.arg_values,
+                pending.global_work_size,
+                rng,
+                enqueue_call_index=pending.enqueue_call_index,
+                sync_epoch=sync_epoch,
+                data_env=pending.data_env,
+            )
+
+        try:
+            dispatch = fault_retry.retry_transient(
+                _attempt,
+                policy=self.driver.retry_policy,
+                site="dispatch.resources",
+            )
+        except fault_errors.FaultError as exc:
+            self._fault_events.append(
+                fault_errors.FaultEvent(
+                    site=getattr(exc, "site", "dispatch.resources"),
+                    detail=pending.kernel_name,
+                    index=pending.enqueue_call_index,
+                )
+            )
+            return None
+        if fi.enabled:
+            self._perturb_completion_event(pending, dispatch, fi)
+        return dispatch
+
+    def _perturb_completion_event(
+        self,
+        pending: _PendingEnqueue,
+        dispatch: KernelDispatch,
+        fi: "faults.FaultInjector",
+    ) -> None:
+        """Model lost / late kernel-complete events after a dispatch."""
+        lost = fi.draw("event.lost")
+        if lost is not None:
+            dispatch.time_seconds = 0.0
+            self._fault_events.append(
+                fault_errors.FaultEvent(
+                    site="event.lost",
+                    detail=pending.kernel_name,
+                    index=pending.enqueue_call_index,
+                )
+            )
+            return
+        late = fi.draw("event.late")
+        if late is not None:
+            dispatch.time_seconds *= 1.0 + 3.0 * late.rng.uniform()
+            self._fault_events.append(
+                fault_errors.FaultEvent(
+                    site="event.late",
+                    detail=pending.kernel_name,
+                    index=pending.enqueue_call_index,
+                )
+            )
+
     def _flush(
         self, sync_epoch: int, rng: np.random.Generator
     ) -> list[KernelDispatch]:
@@ -285,15 +442,10 @@ class OpenCLRuntime:
                 global_work_size=pending.global_work_size,
                 sync_epoch=sync_epoch,
             ) as span:
-                dispatch = self.driver.dispatch(
-                    pending.kernel_name,
-                    pending.arg_values,
-                    pending.global_work_size,
-                    rng,
-                    enqueue_call_index=pending.enqueue_call_index,
-                    sync_epoch=sync_epoch,
-                    data_env=pending.data_env,
-                )
+                dispatch = self._dispatch_pending(pending, sync_epoch, rng)
+                if dispatch is None:
+                    span.annotate(dropped=True)
+                    continue
                 span.annotate(instructions=dispatch.instruction_count)
             if tm.enabled:
                 tm.inc("opencl.dispatches")

@@ -47,7 +47,7 @@ from repro import telemetry
 CACHE_ENV = "REPRO_PROFILE_CACHE"
 
 #: Bump to invalidate every existing entry when the stored layout changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _ENABLE_VALUES = {"1", "on", "yes", "true"}
 _DISABLE_VALUES = {"", "0", "off", "no", "false"}

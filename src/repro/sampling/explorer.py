@@ -23,8 +23,11 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.cofluent.timing import TimingTrace
+from repro.faults.errors import SweepTaskFault
+from repro.faults.health import ProfileHealth
+from repro.faults.retry import retry_transient
 from repro.gtpin.tools.invocations import InvocationLog
 from repro.parallel.pool import parallel_map, resolve_jobs
 from repro.sampling.error import arrays_from_profile, spi_error_percent
@@ -96,6 +99,9 @@ class ExplorationResult:
     errors: Mapping[SelectionConfig, str] = dataclasses.field(
         default_factory=dict
     )
+    #: The underlying workload's fault-degradation record, when the
+    #: exploration ran over a flagged partial profile.
+    health: ProfileHealth | None = None
 
     def __getitem__(self, config: SelectionConfig) -> ConfigResult:
         return self.results[config]
@@ -136,7 +142,23 @@ def evaluate_config(
     weighted_features: bool = True,
     application_name: str = "",
 ) -> ConfigResult:
-    """Divide, featurize, cluster, select, and score one configuration."""
+    """Divide, featurize, cluster, select, and score one configuration.
+
+    The ``sampling.config`` fault site models a sweep task dying on a
+    transient (worker OOM, spurious signal): the gate retries with
+    backoff, and on exhaustion the raised :class:`SweepTaskFault`
+    propagates to :func:`explore`, which records the config under
+    ``ExplorationResult.errors`` instead of killing the sweep.
+    """
+    fi = faults.get()
+    if fi.enabled:
+        def _gate() -> None:
+            if fi.draw("sampling.config") is not None:
+                raise SweepTaskFault(
+                    f"transient sweep-task failure for config {config.label}"
+                )
+
+        retry_transient(_gate, site="sampling.config")
     tm = telemetry.get()
     with tm.span(
         "select.config", category="sampling", config=config.label
@@ -174,6 +196,7 @@ def explore(
     options: SimPointOptions | None = None,
     weighted_features: bool = True,
     jobs: int | None = None,
+    health: ProfileHealth | None = None,
 ) -> ExplorationResult:
     """Score every configuration from one profile + one timing trace.
 
@@ -188,6 +211,10 @@ def explore(
     """
     configs = tuple(configs)
     n_jobs = resolve_jobs(jobs)
+    if faults.is_enabled():
+        # The injector is process-global state workers do not inherit;
+        # injection runs serial so every draw stays deterministic.
+        n_jobs = 1
     tm = telemetry.get()
     results: dict[SelectionConfig, ConfigResult] = {}
     errors: dict[SelectionConfig, str] = {}
@@ -236,6 +263,7 @@ def explore(
         results=results,
         total_instructions=log.total_instructions,
         errors=errors,
+        health=health,
     )
 
 

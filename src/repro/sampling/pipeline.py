@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.cofluent.recorder import CoFluentRecording, record
 from repro.cofluent.timing import TimingTrace, capture_timings
+from repro.faults.health import HEALTHY, ProfileHealth
 from repro.gpu.device import HD4000, DeviceSpec
 from repro.gpu.timing import TimingParameters
 from repro.gtpin.profiler import Application, GTPinSession, build_runtime
@@ -49,6 +50,9 @@ class ProfiledWorkload:
     timings: TimingTrace
     device: DeviceSpec
     trial_seed: int
+    #: Fault-degradation accounting for both passes;
+    #: :data:`~repro.faults.HEALTHY` when nothing was injected.
+    health: ProfileHealth = HEALTHY
 
 
 def profile_workload(
@@ -68,8 +72,12 @@ def profile_workload(
     With ``cache`` set, a previously stored profile of the same
     (workload, device, seed, code version) is returned without
     re-running either pass; a fresh profile is stored on the way out.
+    The cache is bypassed entirely while fault injection is active --
+    faulted partial profiles must never be served as clean ones.
     """
     tm = telemetry.get()
+    if faults.is_enabled():
+        cache = None
     cache_key = ""
     if cache is not None:
         cache_key = cache.key(application, device, trial_seed, timing_params)
@@ -87,20 +95,65 @@ def profile_workload(
         with tm.span("pipeline.profile", category="sampling"):
             session = GTPinSession([InvocationLogTool()])
             runtime = build_runtime(recording, device, timing_params, session)
-            runtime.run(recording.host_program, trial_seed=trial_seed)
-            log = session.post_process()["invocations"]
+            profile_run = runtime.run(
+                recording.host_program, trial_seed=trial_seed
+            )
+            report = session.post_process(profile_run)
+            log = report["invocations"]
         tm.inc("pipeline.workloads_profiled")
+    timings = capture_timings(timed_run)
+    log, timings, realigned = _reconcile(log, timings)
+    health = report.health.union(
+        ProfileHealth.from_events(timed_run.fault_events)
+    ).union(
+        ProfileHealth(
+            flaky_timings=timings.flaky_count,
+            realigned_invocations=realigned,
+        )
+    )
     workload = ProfiledWorkload(
         application_name=application.name,
         recording=recording,
         log=log,
-        timings=capture_timings(timed_run),
+        timings=timings,
         device=device,
         trial_seed=trial_seed,
+        health=health,
     )
     if cache is not None:
         cache.store(cache_key, workload)
     return workload
+
+
+def _reconcile(
+    log: InvocationLog, timings: TimingTrace
+) -> tuple[InvocationLog, TimingTrace, int]:
+    """Re-align the profiling log with the timing trace by dispatch index.
+
+    The two passes replay the same fault stream, so device-side drops
+    match; but trace-buffer faults (corruption, truncated flushes) only
+    lose *profile* records.  Selection needs a one-to-one
+    log <-> timing pairing, so entries present on one side only are
+    dropped; the count of dropped entries feeds
+    ``ProfileHealth.realigned_invocations``.
+    """
+    log_indices = {p.index for p in log.invocations}
+    timing_indices = {t.index for t in timings.timings}
+    if log_indices == timing_indices:
+        return log, timings, 0
+    common = log_indices & timing_indices
+    realigned = len(log_indices ^ timing_indices)
+    new_log = InvocationLog(
+        invocations=tuple(
+            p for p in log.invocations if p.index in common
+        ),
+        binaries=log.binaries,
+    )
+    new_timings = dataclasses.replace(
+        timings,
+        timings=tuple(t for t in timings.timings if t.index in common),
+    )
+    return new_log, new_timings, realigned
 
 
 def select_simpoints(
@@ -150,4 +203,5 @@ def explore_application(
             approx_size=approx_size,
             options=options,
             jobs=jobs,
+            health=None if workload.health.ok else workload.health,
         )

@@ -11,9 +11,26 @@ from repro.isa.kernel import KernelBinary
 from repro.isa.program import TripCount
 from repro.opencl.api import KERNEL_ENQUEUE, APICall
 from repro.opencl.host_program import HostProgram
-from repro.sampling.pipeline import ProfiledWorkload, profile_workload
+from repro.sampling.explorer import ExplorationResult, explore
+from repro.sampling.pipeline import (
+    ProfiledWorkload,
+    explore_application,
+    profile_workload,
+)
+from repro.sampling.simpoint import SimPointOptions
+from repro.workloads import load_app
 from repro.workloads.generator import SyntheticApplication, generate_application
 from repro.workloads.spec import AppSpec
+
+#: Cheap SimPoint settings shared by the end-to-end tests; accurate
+#: enough for the suite's qualitative assertions, much faster than the
+#: defaults.
+FAST_OPTIONS = SimPointOptions(max_k=8, restarts=1, max_iterations=50)
+
+#: The deterministic mini-suite the golden-file and fault-storm tests
+#: sweep: small scale, mixed buffer/image pipelines, fixed order.
+MINI_SUITE = ("cb-gaussian-buffer", "cb-gaussian-image", "cb-histogram-buffer")
+MINI_SUITE_SCALE = 0.2
 
 
 def build_tiny_kernel(
@@ -140,6 +157,42 @@ def small_app() -> SyntheticApplication:
 def small_workload(small_app) -> ProfiledWorkload:
     """A profiled workload shared across sampling tests (read-only)."""
     return profile_workload(small_app, trial_seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_exploration(small_workload) -> ExplorationResult:
+    """All 30 configs scored over the small synthetic workload."""
+    return explore(
+        small_workload.application_name,
+        small_workload.log,
+        small_workload.timings,
+        approx_size=200_000,
+        options=SimPointOptions(max_k=6, restarts=1, max_iterations=40),
+    )
+
+
+@pytest.fixture(scope="session")
+def gaussian_app():
+    """The suite's cb-gaussian-buffer application at full scale."""
+    return load_app("cb-gaussian-buffer", scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def gaussian_workload(gaussian_app) -> ProfiledWorkload:
+    return profile_workload(gaussian_app, trial_seed=0)
+
+
+@pytest.fixture(scope="session")
+def gaussian_exploration(gaussian_workload) -> ExplorationResult:
+    return explore_application(gaussian_workload, options=FAST_OPTIONS)
+
+
+@pytest.fixture(scope="session")
+def mini_suite():
+    """Three small suite applications, loaded once per session."""
+    return tuple(
+        load_app(name, scale=MINI_SUITE_SCALE) for name in MINI_SUITE
+    )
 
 
 @pytest.fixture

@@ -13,12 +13,14 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
+#: Fast examples run plain; the multi-second end-to-end sweeps carry the
+#: ``slow`` marker and only run in the full lane (``pytest -m ""``).
 CHEAP_EXAMPLES = (
     "quickstart.py",
-    "select_simulation_points.py",
-    "cross_architecture_study.py",
+    pytest.param("select_simulation_points.py", marks=pytest.mark.slow),
+    pytest.param("cross_architecture_study.py", marks=pytest.mark.slow),
     "custom_gtpin_tool.py",
-    "sampled_simulation.py",
+    pytest.param("sampled_simulation.py", marks=pytest.mark.slow),
     "phase_analysis.py",
 )
 

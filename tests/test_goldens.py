@@ -1,0 +1,144 @@
+"""Golden-file regression tests for the paper's headline outputs.
+
+Table I (the benchmark roster) and the Figure 3 / Figure 4
+characterization statistics are deterministic functions of the suite
+specs and the seeded workload generator, so their values are pinned to
+JSON goldens checked into ``tests/goldens/``.  Integer statistics must
+match exactly; floating-point statistics match to a relative tolerance
+of 1e-6 (tight enough to catch any algorithmic change, loose enough to
+survive reassociation across numpy versions).
+
+To regenerate after an *intentional* output change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens.py
+
+then review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.characterize import characterize_suite
+from repro.workloads import SUITE_SPECS
+
+from conftest import MINI_SUITE, MINI_SUITE_SCALE
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+REGEN_ENV = "REPRO_REGEN_GOLDENS"
+
+FLOAT_REL_TOL = 1e-6
+
+
+def _table1_snapshot() -> dict:
+    """Table I is pure spec data: source suite, application, domain."""
+    return {
+        "applications": [
+            {"suite": s.suite, "name": s.name, "domain": s.domain}
+            for s in SUITE_SPECS
+        ]
+    }
+
+
+def _characterization_snapshot(mini_suite) -> dict:
+    """Every Figure 3a-4c statistic over the deterministic mini-suite."""
+    chars = characterize_suite(mini_suite, trial_seed=0)
+    apps = {}
+    for a in chars:
+        apps[a.name] = {
+            # Figure 3a: API call breakdown.
+            "api_total_calls": a.api.total_calls,
+            "api_kernel_calls": a.api.kernel_calls,
+            "api_sync_calls": a.api.synchronization_calls,
+            # Figure 3b: program structure.
+            "unique_kernels": a.structure.unique_kernels,
+            "unique_basic_blocks": a.structure.unique_basic_blocks,
+            "static_instructions": a.structure.static_instructions,
+            # Figure 3c: dynamic work.
+            "kernel_invocations": a.instructions.kernel_invocations,
+            "dynamic_basic_blocks": a.instructions.dynamic_basic_blocks,
+            "dynamic_instructions": a.instructions.dynamic_instructions,
+            # Figure 4a: dynamic opcode mix.
+            "opcode_mix": {
+                cls.value: frac
+                for cls, frac in a.opcode_mix.dynamic_fractions().items()
+            },
+            # Figure 4b: SIMD width histogram.
+            "simd_dynamic_counts": {
+                str(w): c for w, c in sorted(a.simd.dynamic_counts.items())
+            },
+            # Figure 4c: memory traffic.
+            "bytes_read": a.memory.bytes_read,
+            "bytes_written": a.memory.bytes_written,
+        }
+    return {
+        "scale": MINI_SUITE_SCALE,
+        "trial_seed": 0,
+        "apps": apps,
+        "aggregates": {
+            "mean_kernel_call_fraction": chars.mean_kernel_call_fraction(),
+            "mean_sync_call_fraction": chars.mean_sync_call_fraction(),
+            "mean_unique_kernels": chars.mean_unique_kernels(),
+            "mean_unique_blocks": chars.mean_unique_blocks(),
+            "mean_kernel_invocations": chars.mean_kernel_invocations(),
+            "mean_dynamic_instructions": chars.mean_dynamic_instructions(),
+            "mean_bytes_read": chars.mean_bytes_read(),
+            "mean_bytes_written": chars.mean_bytes_written(),
+            "suite_mix_fractions": {
+                cls.value: frac
+                for cls, frac in chars.suite_mix_fractions().items()
+            },
+        },
+    }
+
+
+def _assert_matches(actual, golden, path: str = "$") -> None:
+    """Structural comparison: ints exact, floats to FLOAT_REL_TOL."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected object"
+        assert sorted(actual) == sorted(golden), (
+            f"{path}: keys differ: {sorted(actual)} vs {sorted(golden)}"
+        )
+        for key in golden:
+            _assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), f"{path}: expected array"
+        assert len(actual) == len(golden), f"{path}: length differs"
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            _assert_matches(a, g, f"{path}[{i}]")
+    elif isinstance(golden, bool) or golden is None or isinstance(golden, str):
+        assert actual == golden, f"{path}: {actual!r} != {golden!r}"
+    elif isinstance(golden, int):
+        assert actual == golden, f"{path}: {actual} != {golden} (exact)"
+    else:
+        assert actual == pytest.approx(golden, rel=FLOAT_REL_TOL), (
+            f"{path}: {actual} != {golden} (rel {FLOAT_REL_TOL})"
+        )
+
+
+def _check_golden(name: str, snapshot: dict) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get(REGEN_ENV, "").strip() in ("1", "on", "yes", "true"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated golden {path.name}")
+    assert path.is_file(), (
+        f"missing golden {path}; run with {REGEN_ENV}=1 to create it"
+    )
+    golden = json.loads(path.read_text())
+    _assert_matches(snapshot, golden)
+
+
+def test_table1_matches_golden():
+    _check_golden("table1", _table1_snapshot())
+
+
+def test_mini_suite_characterization_matches_golden(mini_suite):
+    assert tuple(a.name for a in mini_suite) == MINI_SUITE
+    _check_golden(
+        "mini_suite_characterization", _characterization_snapshot(mini_suite)
+    )

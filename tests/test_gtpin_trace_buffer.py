@@ -123,3 +123,120 @@ def test_explicit_drain_clears_pending_oversized_flag():
     # ...and a genuine overflow afterwards still counts normally.
     buffer.write(_record(2))
     assert buffer.overflow_drains == 2
+
+
+# -- property tests (hypothesis) ---------------------------------------------
+#
+# The buffer's contract, under *arbitrary* record sizes and capacities:
+# records are never split or reordered across flushes, overflow
+# accounting matches a greedy-packing oracle, and bytes are conserved
+# exactly -- ``total_bytes_written == drained + resident + lost_bytes``
+# -- even when fault injection truncates flushes or corrupts records.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+
+_block_counts = st.lists(
+    st.integers(min_value=0, max_value=120), min_size=1, max_size=30
+)
+_capacities = st.integers(min_value=80, max_value=1500)
+
+
+def _records_of(n_blocks_list):
+    return [_record(i, n_blocks=n) for i, n in enumerate(n_blocks_list)]
+
+
+@settings(deadline=None, max_examples=60)
+@given(n_blocks_list=_block_counts, capacity=_capacities, data=st.data())
+def test_property_no_record_split_or_reorder(n_blocks_list, capacity, data):
+    """Every record lands in exactly one drain batch, in write order."""
+    buffer = TraceBuffer(capacity_bytes=capacity)
+    batches = []
+    for record in _records_of(n_blocks_list):
+        buffer.write(record)
+        if data.draw(st.booleans(), label="drain now"):
+            batches.append(buffer.drain())
+    batches.append(buffer.drain())
+    indices = [r.dispatch_index for batch in batches for r in batch]
+    assert indices == list(range(len(n_blocks_list)))
+    assert buffer.resident_bytes == 0 and len(buffer) == 0
+
+
+@settings(deadline=None, max_examples=60)
+@given(n_blocks_list=_block_counts, capacity=_capacities)
+def test_property_overflow_accounting_matches_oracle(n_blocks_list, capacity):
+    """Overflow drains equal a greedy bin-packing oracle's count."""
+    records = _records_of(n_blocks_list)
+    buffer = TraceBuffer(capacity_bytes=capacity)
+    expected = 0
+    resident = 0
+    pending_oversized = False
+    for record in records:
+        size = record.record_bytes
+        if resident + size > capacity and resident > 0:
+            resident = 0
+            if pending_oversized:
+                pending_oversized = False
+            else:
+                expected += 1
+        resident += size
+        if size > capacity:
+            expected += 1
+            pending_oversized = True
+        buffer.write(record)
+    assert buffer.overflow_drains == expected
+
+
+@settings(deadline=None, max_examples=60)
+@given(n_blocks_list=_block_counts, capacity=_capacities)
+def test_property_bytes_conserved_without_faults(n_blocks_list, capacity):
+    records = _records_of(n_blocks_list)
+    buffer = TraceBuffer(capacity_bytes=capacity)
+    written = 0
+    for record in records:
+        buffer.write(record)
+        written += record.record_bytes
+    assert buffer.total_bytes_written == written
+    drained = buffer.drain()
+    assert sum(r.record_bytes for r in drained) == written
+    assert buffer.lost_bytes == 0 and buffer.lost_records == 0
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    n_blocks_list=_block_counts,
+    capacity=_capacities,
+    fault_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_bytes_conserved_under_trace_faults(
+    n_blocks_list, capacity, fault_seed
+):
+    """Conservation holds exactly through corrupted + truncated flushes."""
+    plan = faults.FaultPlan(
+        seed=fault_seed,
+        rules=(
+            faults.FaultRule("trace.truncate", 0.5),
+            faults.FaultRule("trace.corrupt", 0.3),
+        ),
+    )
+    with faults.session(plan):
+        records = _records_of(n_blocks_list)
+        buffer = TraceBuffer(capacity_bytes=capacity)
+        for record in records:
+            buffer.write(record)
+        drained = buffer.drain()
+    written = sum(r.record_bytes for r in records)
+    drained_bytes = sum(r.record_bytes for r in drained)
+    # Corruption scrambles counters in place, never the byte footprint.
+    assert buffer.total_bytes_written == written
+    assert drained_bytes + buffer.lost_bytes == written
+    assert len(drained) + buffer.lost_records == len(records)
+    # Survivors are a subsequence of the write order (tail-drops only).
+    indices = [r.dispatch_index for r in drained]
+    assert indices == sorted(indices)
+    # Every surviving corrupted record is counted; the count may exceed
+    # the survivors because corrupted records can be truncated away too.
+    assert buffer.corrupted_records >= sum(1 for r in drained if r.corrupted)
+    assert buffer.corrupted_records <= len(records)

@@ -1,73 +1,62 @@
-"""Whole-system integration: the paper's workflow, end to end."""
+"""Whole-system integration: the paper's workflow, end to end.
 
-import pytest
+The gaussian_* session fixtures in conftest.py supply the application,
+profiled workload, and 30-config exploration shared with other
+end-to-end test modules.
+"""
 
 from repro.analysis.characterize import characterize_app
 from repro.gpu.device import HD4000, HD4600
-from repro.sampling import (
-    FeatureKind,
-    IntervalScheme,
-    explore_application,
-    profile_workload,
-)
-from repro.sampling.simpoint import SimPointOptions
+from repro.sampling import FeatureKind, IntervalScheme
 from repro.sampling.validation import (
     cross_architecture_errors,
     cross_frequency_errors,
     cross_trial_errors,
 )
-from repro.workloads import load_app
-
-FAST_OPTIONS = SimPointOptions(max_k=8, restarts=1, max_iterations=50)
 
 
-@pytest.fixture(scope="module")
-def app():
-    return load_app("cb-gaussian-buffer", scale=1.0)
-
-
-@pytest.fixture(scope="module")
-def workload(app):
-    return profile_workload(app, trial_seed=0)
-
-
-@pytest.fixture(scope="module")
-def exploration(workload):
-    return explore_application(workload, options=FAST_OPTIONS)
-
-
-def test_characterization_consistent_with_profile(app, workload):
-    char = characterize_app(app, trial_seed=0)
+def test_characterization_consistent_with_profile(
+    gaussian_app, gaussian_workload
+):
+    char = characterize_app(gaussian_app, trial_seed=0)
     assert (
         char.instructions.dynamic_instructions
-        == workload.log.total_instructions
+        == gaussian_workload.log.total_instructions
     )
-    assert char.instructions.kernel_invocations == len(workload.log.invocations)
+    assert char.instructions.kernel_invocations == len(
+        gaussian_workload.log.invocations
+    )
 
 
-def test_exploration_produces_usable_selection(exploration):
-    best = exploration.minimize_error()
+def test_exploration_produces_usable_selection(gaussian_exploration):
+    best = gaussian_exploration.minimize_error()
     assert best.error_percent < 10.0
     assert best.selection.k <= 10
     assert best.simulation_speedup > 1.0
 
 
-def test_best_config_beats_median(exploration):
-    errors = sorted(r.error_percent for r in exploration.results.values())
-    best = exploration.minimize_error().error_percent
+def test_best_config_beats_median(gaussian_exploration):
+    errors = sorted(
+        r.error_percent for r in gaussian_exploration.results.values()
+    )
+    best = gaussian_exploration.minimize_error().error_percent
     median = errors[len(errors) // 2]
     assert best <= median
 
 
-def test_figure8_style_validation(workload, exploration):
-    selection = exploration.minimize_error().selection
+def test_figure8_style_validation(gaussian_workload, gaussian_exploration):
+    selection = gaussian_exploration.minimize_error().selection
     trials = cross_trial_errors(
-        workload.recording, selection, HD4000, trial_seeds=[101, 102, 103]
+        gaussian_workload.recording, selection, HD4000,
+        trial_seeds=[101, 102, 103],
     )
     freqs = cross_frequency_errors(
-        workload.recording, selection, HD4000, frequencies_mhz=(850.0, 350.0)
+        gaussian_workload.recording, selection, HD4000,
+        frequencies_mhz=(850.0, 350.0),
     )
-    arch = cross_architecture_errors(workload.recording, selection, HD4600)
+    arch = cross_architecture_errors(
+        gaussian_workload.recording, selection, HD4600
+    )
     # The paper's qualitative claim: selections transfer; most errors
     # stay single-digit.
     assert trials.mean_error_percent < 10
@@ -75,30 +64,36 @@ def test_figure8_style_validation(workload, exploration):
     assert arch.points[0].error_percent < 15
 
 
-def test_selection_metadata_traceable(exploration, workload):
+def test_selection_metadata_traceable(gaussian_exploration, gaussian_workload):
     """Selected intervals map back to real invocations of real kernels."""
-    best = exploration.minimize_error()
+    best = gaussian_exploration.minimize_error()
     for chosen in best.selection.selected:
         for i in chosen.interval.invocation_indices():
-            profile = workload.log.invocations[i]
-            assert profile.kernel_name in workload.log.binaries
+            profile = gaussian_workload.log.invocations[i]
+            assert profile.kernel_name in gaussian_workload.log.binaries
 
 
-def test_sync_scheme_never_splits_epochs(workload, exploration):
-    for config, result in exploration.results.items():
+def test_sync_scheme_never_splits_epochs(
+    gaussian_workload, gaussian_exploration
+):
+    for config, result in gaussian_exploration.results.items():
         if config.scheme is not IntervalScheme.SYNC:
             continue
         for chosen in result.selection.selected:
             epochs = {
-                workload.log.invocations[i].sync_epoch
+                gaussian_workload.log.invocations[i].sync_epoch
                 for i in chosen.interval.invocation_indices()
             }
             assert len(epochs) == 1
 
 
-def test_kernel_based_and_block_based_both_work(exploration):
+def test_kernel_based_and_block_based_both_work(gaussian_exploration):
     from repro.sampling.selection import SelectionConfig
 
-    kn = exploration[SelectionConfig(IntervalScheme.SYNC, FeatureKind.KN)]
-    bb = exploration[SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB)]
+    kn = gaussian_exploration[
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.KN)
+    ]
+    bb = gaussian_exploration[
+        SelectionConfig(IntervalScheme.SYNC, FeatureKind.BB)
+    ]
     assert kn.error_percent >= 0 and bb.error_percent >= 0

@@ -15,16 +15,8 @@ from repro.sampling.simpoint import SimPointOptions
 
 FAST_OPTIONS = SimPointOptions(max_k=6, restarts=1, max_iterations=40)
 
-
-@pytest.fixture(scope="module")
-def exploration(small_workload):
-    return explore(
-        small_workload.application_name,
-        small_workload.log,
-        small_workload.timings,
-        approx_size=200_000,
-        options=FAST_OPTIONS,
-    )
+# The 30-config exploration over the small workload is the session-scoped
+# small_exploration fixture in conftest.py.
 
 
 def test_thirty_configurations():
@@ -34,35 +26,35 @@ def test_thirty_configurations():
     assert len(schemes) == 3 and len(features) == 10
 
 
-def test_exploration_covers_all_configs(exploration):
-    assert set(exploration.results) == set(ALL_CONFIGS)
+def test_exploration_covers_all_configs(small_exploration):
+    assert set(small_exploration.results) == set(ALL_CONFIGS)
 
 
-def test_every_config_produces_valid_result(exploration):
-    for config, result in exploration.results.items():
+def test_every_config_produces_valid_result(small_exploration):
+    for config, result in small_exploration.results.items():
         assert result.config == config
         assert result.error_percent >= 0
         assert 0 < result.selection_fraction <= 1
         assert result.simulation_speedup >= 1
 
 
-def test_minimize_error_is_minimal(exploration):
-    best = exploration.minimize_error()
+def test_minimize_error_is_minimal(small_exploration):
+    best = small_exploration.minimize_error()
     assert all(
         best.error_percent <= r.error_percent
-        for r in exploration.results.values()
+        for r in small_exploration.results.values()
     )
 
 
-def test_co_optimize_respects_threshold(exploration):
-    best_error = exploration.minimize_error().error_percent
+def test_co_optimize_respects_threshold(small_exploration):
+    best_error = small_exploration.minimize_error().error_percent
     threshold = max(5.0, best_error + 1.0)
-    chosen = exploration.co_optimize(threshold)
+    chosen = small_exploration.co_optimize(threshold)
     assert chosen.error_percent <= threshold
     # Chosen is the smallest selection among eligible configs.
     eligible = [
         r
-        for r in exploration.results.values()
+        for r in small_exploration.results.values()
         if r.error_percent <= threshold
     ]
     assert chosen.selection_fraction == min(
@@ -70,30 +62,31 @@ def test_co_optimize_respects_threshold(exploration):
     )
 
 
-def test_co_optimize_speedup_monotone_in_threshold(exploration):
+def test_co_optimize_speedup_monotone_in_threshold(small_exploration):
     speedups = [
-        exploration.co_optimize(t).simulation_speedup
+        small_exploration.co_optimize(t).simulation_speedup
         for t in (1.0, 3.0, 10.0)
     ]
     assert speedups == sorted(speedups)
 
 
-def test_co_optimize_falls_back_to_min_error(exploration):
+def test_co_optimize_falls_back_to_min_error(small_exploration):
     """Impossible threshold -> min-error config regardless of size."""
-    chosen = exploration.co_optimize(-1.0)
-    assert chosen.error_percent == exploration.minimize_error().error_percent
+    chosen = small_exploration.co_optimize(-1.0)
+    best = small_exploration.minimize_error()
+    assert chosen.error_percent == best.error_percent
 
 
-def test_single_kernel_intervals_give_biggest_speedups(exploration):
+def test_single_kernel_intervals_give_biggest_speedups(small_exploration):
     """Smaller intervals allow smaller selections (Section V-B trend)."""
     single = [
         r
-        for c, r in exploration.results.items()
+        for c, r in small_exploration.results.items()
         if c.scheme is IntervalScheme.SINGLE_KERNEL
     ]
     sync = [
         r
-        for c, r in exploration.results.items()
+        for c, r in small_exploration.results.items()
         if c.scheme is IntervalScheme.SYNC
     ]
     assert max(r.simulation_speedup for r in single) > max(
@@ -124,8 +117,8 @@ def test_unweighted_features_supported(small_workload):
     assert result.error_percent >= 0
 
 
-def test_threshold_sweep_shape(exploration):
-    points = threshold_sweep([exploration], thresholds=(1, 3, 10))
+def test_threshold_sweep_shape(small_exploration):
+    points = threshold_sweep([small_exploration], thresholds=(1, 3, 10))
     assert len(points) == 4  # min-error + 3 thresholds
     assert points[0].threshold_percent is None
     assert points[0].label == "min-error"
