@@ -30,13 +30,29 @@ def test_fig5_config_space(benchmark, suite_explorations):
     text = benchmark.pedantic(
         figure5_config_space, args=(sample,), rounds=1, iterations=1
     )
-    save_result("fig5_config_space", text)
-
-    # "No single combination ... is 'best' across all applications."
     best_configs = {
         ex.application_name: ex.minimize_error().config.label
         for ex in suite_explorations.values()
     }
+    save_result(
+        "fig5_config_space",
+        text,
+        data={
+            "sample_apps": {
+                ex.application_name: {
+                    config.label: {
+                        "error_percent": result.error_percent,
+                        "selection_fraction": result.selection_fraction,
+                    }
+                    for config, result in ex.results.items()
+                }
+                for ex in sample
+            },
+            "best_config_per_app": best_configs,
+        },
+    )
+
+    # "No single combination ... is 'best' across all applications."
     assert len(set(best_configs.values())) > 1
 
     # "Basic block based features tend to outperform kernel based

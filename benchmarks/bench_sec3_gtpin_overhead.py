@@ -70,6 +70,19 @@ def test_sec3_gtpin_overhead(benchmark, suite_apps):
             ["Application", "Native", "Counter tools", "+Memory tracing"],
             rows,
         ),
+        data={
+            "apps": [
+                {
+                    "name": name,
+                    "native_seconds": reports[name].native_seconds,
+                    "counter_overhead_factor": reports[name].overhead_factor,
+                    "tracing_overhead_factor": heavy[name].overhead_factor,
+                }
+                for name in SAMPLE_APPS
+            ],
+            "counter_factor_range": [min(factors), max(factors)],
+            "tracing_factor_range": [min(heavy_factors), max(heavy_factors)],
+        },
     )
 
     # Every run costs more than native but sits orders of magnitude below

@@ -10,5 +10,20 @@ def test_table1_suite(benchmark):
     text = benchmark.pedantic(
         table1_suite, args=(SUITE_SPECS,), rounds=1, iterations=1
     )
-    save_result("table1_suite", text)
+    save_result(
+        "table1_suite",
+        text,
+        data={
+            "apps": [
+                {
+                    "name": s.name,
+                    "suite": s.suite,
+                    "domain": s.domain,
+                    "kernels": s.n_kernels,
+                    "invocations": s.n_invocations,
+                }
+                for s in SUITE_SPECS
+            ]
+        },
+    )
     assert len(SUITE_SPECS) == 25

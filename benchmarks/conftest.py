@@ -20,8 +20,10 @@ profiles across harness invocations -- see ``docs/parallel.md``.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import re
 
 import pytest
 
@@ -52,10 +54,69 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 
 
-def save_result(name: str, text: str) -> None:
-    """Persist a rendered table and echo it."""
+def _parse_tables(text: str) -> list[dict]:
+    """Recover structured (title, headers, rows) from render_table text.
+
+    ``render_table`` output is fixed-width with a dash separator line
+    whose dash runs give the exact column extents, so the parse is
+    lossless even when cells contain internal double spaces.
+    """
+    lines = text.splitlines()
+    tables: list[dict] = []
+    i = block_start = 0
+    while i < len(lines):
+        line = lines[i]
+        is_rule = (
+            line.startswith("-")
+            and set(line) <= {"-", " "}
+            and i > 0
+            and bool(lines[i - 1].strip())
+        )
+        if not is_rule:
+            i += 1
+            continue
+        spans = [(m.start(), m.end()) for m in re.finditer(r"-+", line)]
+
+        def cells(raw: str) -> list[str]:
+            return [
+                raw[a : (b if j < len(spans) - 1 else len(raw))].strip()
+                for j, (a, b) in enumerate(spans)
+            ]
+
+        headers = cells(lines[i - 1])
+        rows = []
+        j = i + 1
+        while j < len(lines) and lines[j].strip():
+            rows.append(cells(lines[j]))
+            j += 1
+        title = "\n".join(
+            l for l in lines[block_start : i - 1] if l.strip()
+        )
+        tables.append({"title": title, "headers": headers, "rows": rows})
+        block_start = i = j
+    return tables
+
+
+def save_result(name: str, text: str, data: dict | None = None) -> None:
+    """Persist a rendered table, a machine-readable twin, and echo it.
+
+    Every result gets ``<name>.json`` next to ``<name>.txt``: the
+    generic table parse plus, when the benchmark passes ``data``, its
+    exact numeric payload (preferred by downstream consumers -- the
+    parsed tables carry formatted strings).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload: dict = {
+        "name": name,
+        "scale": bench_scale(),
+        "tables": _parse_tables(text),
+    }
+    if data is not None:
+        payload["data"] = data
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
     print()
     print(text)
 

@@ -109,6 +109,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="where --telemetry writes the Chrome trace "
         "(default: gtpin_trace.json)",
     )
+    parser.add_argument(
+        "--report", default=None, metavar="FILE.html",
+        help="run the command under telemetry + event capture and write "
+        "a self-contained HTML run report (see docs/reports.md)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -149,7 +154,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "report",
-        help="run the full Sections IV+V evaluation and write one report",
+        help="run the full Sections IV+V evaluation and write one report "
+        "(a .html --out produces the self-contained HTML run report)",
     )
     p.add_argument("--out", default="gtpin_report.txt")
     _add_common(p)
@@ -319,6 +325,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.study import render_study, run_full_study
 
+    if args.out.endswith((".html", ".htm")):
+        return _cmd_report_html(args)
     results = run_full_study(
         scale=args.scale, seed=args.seed, device=_device(args.device),
         jobs=args.jobs, cache=_cache(args),
@@ -328,6 +336,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
         out.write(text)
     print(text)
     print(f"(report written to {args.out})")
+    return 0
+
+
+def _cmd_report_html(args: argparse.Namespace) -> int:
+    """``report --out x.html``: the full study under telemetry + event
+    capture, rendered as one self-contained HTML page."""
+    from repro.analysis.study import render_study, run_full_study
+    from repro.obs import events as obs_events
+    from repro.obs.report import write_report
+
+    # Reuse registries a --telemetry / --report wrapper already enabled.
+    tm, log = telemetry.get(), obs_events.get()
+    enabled_tm = enabled_log = False
+    if not tm.enabled:
+        tm, enabled_tm = telemetry.enable(), True
+    if not log.enabled:
+        log, enabled_log = obs_events.enable(), True
+    try:
+        results = run_full_study(
+            scale=args.scale, seed=args.seed, device=_device(args.device),
+            jobs=args.jobs, cache=_cache(args),
+        )
+        write_report(
+            args.out, tm, log=log, study=results,
+            title=f"GT-Pin full study (scale {args.scale:g}, "
+            f"{args.device})",
+        )
+    finally:
+        if enabled_tm:
+            telemetry.disable()
+        if enabled_log:
+            obs_events.disable()
+    print(render_study(results))
+    print(f"(HTML report written to {args.out})")
     return 0
 
 
@@ -504,20 +546,36 @@ def _dispatch(args: argparse.Namespace) -> int:
 def _run(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
-    if not getattr(args, "telemetry", False):
+    want_trace = getattr(args, "telemetry", False)
+    report_out = getattr(args, "report", None)
+    if not want_trace and not report_out:
         return _dispatch(args)
-    # --telemetry: run the command under a capturing registry, then
-    # export the Chrome trace and a one-screen summary.
+    # --telemetry / --report: run the command under capturing registries,
+    # then export the Chrome trace / HTML report and a one-screen summary.
+    from repro.obs import events as obs_events
+
     tm = telemetry.enable()
+    log = obs_events.enable() if report_out else None
     try:
         status = _dispatch(args)
-        telemetry.write_chrome_trace(tm, args.telemetry_out)
-        print()
-        print(telemetry.span_tree_summary(tm))
-        print(f"(telemetry trace written to {args.telemetry_out}; open it "
-              "in chrome://tracing or https://ui.perfetto.dev)")
+        if want_trace:
+            telemetry.write_chrome_trace(tm, args.telemetry_out)
+            print()
+            print(telemetry.span_tree_summary(tm))
+            print(f"(telemetry trace written to {args.telemetry_out}; open "
+                  "it in chrome://tracing or https://ui.perfetto.dev)")
+        if report_out:
+            from repro.obs.report import write_report
+
+            write_report(
+                report_out, tm, log=log,
+                title=f"gtpin {args.command} run report",
+            )
+            print(f"(HTML run report written to {report_out})")
     finally:
         telemetry.disable()
+        if report_out:
+            obs_events.disable()
     return status
 
 

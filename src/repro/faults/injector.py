@@ -32,6 +32,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.faults.plan import FaultPlan
+from repro.obs import events as _events
 
 
 def _crc(text: str) -> int:
@@ -115,12 +116,16 @@ class FaultInjector:
         self.injected[site] = self.injected.get(site, 0) + 1
         self.log.append(InjectedFault(self._scope, site, ordinal))
         telemetry.get().inc(f"faults.injected.{site}")
+        _events.get().warn(
+            "fault.injected", site=site, scope=self._scope, ordinal=ordinal
+        )
         return Injection(site=site, ordinal=ordinal, rng=rng)
 
     def note_recovered(self, site: str) -> None:
         """An operation that faulted at ``site`` ultimately succeeded."""
         self.recovered[site] = self.recovered.get(site, 0) + 1
         telemetry.get().inc(f"faults.recovered.{site}")
+        _events.get().info("fault.recovered", site=site)
 
     # -- reporting -----------------------------------------------------------
 

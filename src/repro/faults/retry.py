@@ -17,6 +17,7 @@ from typing import Any, Callable
 
 from repro import telemetry
 from repro.faults import injector as _registry
+from repro.obs import events as _events
 
 # Module-style import: retry is pulled in by repro.opencl.runtime while
 # repro.faults.errors is still mid-import (errors -> opencl -> runtime ->
@@ -83,9 +84,16 @@ def retry_transient(
             faulted_sites.add(getattr(exc, "site", "") or site or "unknown")
             if attempt >= policy.max_attempts:
                 tm.inc("faults.retry.exhausted")
+                _events.get().error(
+                    "fault.retry_exhausted",
+                    site=site or getattr(exc, "site", "") or "unknown",
+                    attempts=attempt,
+                )
                 raise
             tm.inc("faults.retry.attempts")
             delay = policy.delay_seconds(attempt)
+            if tm.enabled:
+                tm.observe_hist("faults.retry_backoff_seconds", delay, "s")
             if delay > 0:
                 sleep(delay)
             continue

@@ -22,6 +22,8 @@ import dataclasses
 
 import numpy as np
 
+from repro import telemetry
+
 
 @dataclasses.dataclass(frozen=True)
 class CacheConfig:
@@ -260,7 +262,18 @@ class CacheSimulator:
         self._clock = clock_base + m
 
         outcome = StreamOutcome(hit, evictions, writebacks)
-        self.stats = self.stats.merge(outcome.to_stats())
+        batch = outcome.to_stats()
+        self.stats = self.stats.merge(batch)
+        tm = telemetry.get()
+        if tm.enabled:
+            tm.inc("gpu.cache.accesses", batch.accesses)
+            tm.inc("gpu.cache.hits", batch.hits)
+            # Line-run lengths are the quantity the run-collapsing
+            # optimization exploits; their distribution is what decides
+            # whether the vectorized path pays off for a workload.
+            tm.histogram("gpu.cache.run_length", "accesses").observe_array(
+                np.diff(np.flatnonzero(first), append=m)
+            )
         return outcome
 
     def access(self, addresses: np.ndarray, is_write: bool) -> CacheStats:
@@ -312,6 +325,10 @@ class CacheSimulator:
             lru[set_idx, way] = self._clock
 
         self.stats = self.stats.merge(batch)
+        tm = telemetry.get()
+        if tm.enabled:
+            tm.inc("gpu.cache.accesses", batch.accesses)
+            tm.inc("gpu.cache.hits", batch.hits)
         return batch
 
     def access_with_misses(

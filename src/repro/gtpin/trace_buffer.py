@@ -175,6 +175,7 @@ class TraceBuffer:
             tm.inc("gtpin.trace_buffer.records")
             tm.inc("gtpin.trace_buffer.bytes", size)
             tm.observe("gtpin.trace_buffer.resident_bytes", self._resident_bytes)
+            tm.observe_hist("gtpin.trace_buffer.record_bytes", size, "B")
 
     def drain(self) -> list[TraceRecord]:
         """CPU-side read-out: all records so far, in write order."""
@@ -188,6 +189,10 @@ class TraceBuffer:
             # record's pre-counted implicit drain will never happen.
             self._oversized_pending = False
             span.annotate(records=len(out))
+        if tm.enabled:
+            tm.observe_hist(
+                "gtpin.trace_buffer.drain_records", len(out), "records"
+            )
         tm.inc("gtpin.trace_buffer.drains")
         return out
 

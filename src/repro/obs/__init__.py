@@ -1,0 +1,47 @@
+"""repro.obs: run observability -- event log, HTML reports, bench gate.
+
+The telemetry layer (:mod:`repro.telemetry`) answers *how long* and
+*how many*; this package answers *what happened* and *is it getting
+worse*:
+
+* :mod:`~repro.obs.events` -- a leveled structured event log (one JSON
+  object per event, carrying the active telemetry span id) so fault
+  injections, degradations, cache bypasses, and reseeds are queryable
+  records instead of log prose;
+* :mod:`~repro.obs.report` -- a single self-contained HTML run report
+  (span timeline, counter/histogram tables, hit rates, fault health,
+  Table I stats) rendered with nothing but the stdlib;
+* :mod:`~repro.obs.bench` -- the continuous-benchmark baseline schema
+  and the noise-tolerant regression gate CI runs against it.
+
+Only :mod:`~repro.obs.events` is imported eagerly: instrumented code
+paths must stay importable without pulling in the report renderer.
+"""
+
+from repro.obs.events import (
+    DISABLED_EVENTS,
+    DisabledEventLog,
+    EventLog,
+    EventRecord,
+    LEVELS,
+    disable,
+    enable,
+    get,
+    is_enabled,
+    session,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "DISABLED_EVENTS",
+    "DisabledEventLog",
+    "EventLog",
+    "EventRecord",
+    "LEVELS",
+    "disable",
+    "enable",
+    "get",
+    "is_enabled",
+    "session",
+    "write_events_jsonl",
+]

@@ -1,0 +1,374 @@
+"""Continuous-benchmark baselines and the regression gate.
+
+The harness in ``benchmarks/`` answers "how fast is it today"; this
+module answers "did it get slower since last time".  A *baseline* is one
+schema'd JSON file -- ``BENCH_<date>.json`` at the repo root -- holding
+a few headline metrics (detailed-simulation throughput, parallel-sweep
+wall time) plus the host fingerprint they were measured on.  The gate
+compares a fresh measurement against the newest prior baseline with
+noise-tolerant thresholds and direction-aware semantics: throughput
+regresses *down*, wall time regresses *up*.
+
+Two deliberate softenings keep the gate honest rather than noisy:
+
+* **No prior baseline** -- first run on a branch, fresh clone -- is a
+  warning, never a failure; the fresh file becomes the baseline.
+* **Different host fingerprint** (platform / core count / Python)
+  downgrades every verdict to advisory: cross-machine wall-clock deltas
+  measure the machines, not the code.
+
+``benchmarks/bench_report.py`` is the runner that produces the
+measurements; this module is pure policy (schema, discovery, compare)
+so tests can drive it with synthetic numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import json
+import os
+import platform
+import re
+import time
+from typing import Any, Mapping
+
+#: Schema identifier embedded in (and required of) every baseline file.
+SCHEMA = "gtpin-bench/v1"
+
+#: Fractional change tolerated before a metric counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+#: Baseline filename shape; the ISO date makes lexical order == age order.
+BASELINE_GLOB = "BENCH_*.json"
+_BASELINE_RE = re.compile(r"BENCH_(\d{4}-\d{2}-\d{2})\.json$")
+
+_DIRECTIONS = ("higher", "lower")  # which way is *better*
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """What this machine looks like, for cross-run comparability."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchMetric:
+    """One headline measurement.
+
+    ``direction`` says which way is better: ``"higher"`` for
+    throughputs, ``"lower"`` for wall times.
+    """
+
+    name: str
+    value: float
+    unit: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not (self.value == self.value):  # NaN
+            raise ValueError(f"metric {self.name!r} is NaN")
+
+
+def make_baseline(
+    metrics: list[BenchMetric],
+    scale: float,
+    generated_unix: float | None = None,
+) -> dict[str, Any]:
+    """Assemble the baseline payload (the thing that becomes JSON)."""
+    return {
+        "schema": SCHEMA,
+        "generated_unix": (
+            time.time() if generated_unix is None else generated_unix
+        ),
+        "scale": scale,
+        "host": host_fingerprint(),
+        "metrics": {
+            m.name: {
+                "value": m.value,
+                "unit": m.unit,
+                "direction": m.direction,
+            }
+            for m in metrics
+        },
+    }
+
+
+def validate_baseline(payload: Mapping[str, Any], source: str = "") -> None:
+    """Raise ``ValueError`` unless ``payload`` is a usable baseline."""
+    where = f" in {source}" if source else ""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported schema {payload.get('schema')!r}{where} "
+            f"(expected {SCHEMA!r})"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        raise ValueError(f"baseline{where} has no metrics")
+    for name, entry in metrics.items():
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"metric {name!r}{where} is not an object")
+        if entry.get("direction") not in _DIRECTIONS:
+            raise ValueError(
+                f"metric {name!r}{where} has direction "
+                f"{entry.get('direction')!r}"
+            )
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or value != value:
+            raise ValueError(f"metric {name!r}{where} has value {value!r}")
+    if not isinstance(payload.get("host"), Mapping):
+        raise ValueError(f"baseline{where} has no host fingerprint")
+
+
+def baseline_path(root: str, date: str | None = None) -> str:
+    """Where today's (or ``date``'s, ``YYYY-MM-DD``) baseline lives."""
+    stamp = date or time.strftime("%Y-%m-%d")
+    if not re.fullmatch(r"\d{4}-\d{2}-\d{2}", stamp):
+        raise ValueError(f"date must be YYYY-MM-DD, got {stamp!r}")
+    return os.path.join(root, f"BENCH_{stamp}.json")
+
+
+def write_baseline(
+    payload: Mapping[str, Any], root: str, date: str | None = None
+) -> str:
+    """Validate and write one baseline file; returns its path."""
+    validate_baseline(payload)
+    path = baseline_path(root, date)
+    with open(path, "w") as out:
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return path
+
+
+def find_baselines(root: str) -> list[str]:
+    """All well-named baseline files under ``root``, oldest first."""
+    hits = [
+        path
+        for path in glob.glob(os.path.join(root, BASELINE_GLOB))
+        if _BASELINE_RE.search(os.path.basename(path))
+    ]
+    return sorted(hits)
+
+
+def newest_baseline(root: str, exclude: str | None = None) -> str | None:
+    """The newest baseline path, optionally skipping the one just written."""
+    skip = os.path.abspath(exclude) if exclude else None
+    for path in reversed(find_baselines(root)):
+        if skip is None or os.path.abspath(path) != skip:
+            return path
+    return None
+
+
+def load_baseline(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    validate_baseline(payload, source=os.path.basename(path))
+    return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's fate under the gate."""
+
+    name: str
+    unit: str
+    direction: str
+    baseline_value: float | None
+    current_value: float | None
+    #: ``current / baseline`` (None when either side is missing).
+    ratio: float | None
+    #: "ok" | "regressed" | "improved" | "missing" | "new"
+    status: str
+
+    def describe(self) -> str:
+        if self.status == "new":
+            return f"{self.name}: new metric ({self.current_value:g} {self.unit})"
+        if self.status == "missing":
+            return f"{self.name}: missing from current run"
+        arrow = {"ok": "~", "improved": "+", "regressed": "!"}[self.status]
+        return (
+            f"{self.name}: {self.baseline_value:g} -> "
+            f"{self.current_value:g} {self.unit} "
+            f"(x{self.ratio:.3f}, {self.direction} is better) [{arrow}]"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class GateResult:
+    """The regression gate's full verdict."""
+
+    verdicts: tuple[MetricVerdict, ...]
+    threshold: float
+    baseline_source: str | None
+    #: Advisory mode: findings are reported but never fail the gate.
+    advisory: bool = False
+    advisory_reasons: tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> tuple[MetricVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == "regressed")
+
+    @property
+    def ok(self) -> bool:
+        """False only for enforceable (non-advisory) regressions."""
+        if self.advisory:
+            return True
+        return not self.regressions and not any(
+            v.status == "missing" for v in self.verdicts
+        )
+
+    def render(self) -> str:
+        if self.baseline_source is None and not self.verdicts:
+            return (
+                "bench gate: no prior baseline found -- nothing to "
+                "compare against (this run's file becomes the baseline)"
+            )
+        lines = [
+            "bench gate: comparing against "
+            f"{self.baseline_source or 'baseline'} "
+            f"(threshold {self.threshold * 100:.0f}%)"
+        ]
+        for reason in self.advisory_reasons:
+            lines.append(f"  advisory: {reason}")
+        for verdict in self.verdicts:
+            lines.append(f"  {verdict.describe()}")
+        if self.advisory and self.regressions:
+            lines.append(
+                "RESULT: advisory only -- regressions reported above are "
+                "not enforced on this host"
+            )
+        elif not self.ok:
+            lines.append(
+                f"RESULT: FAIL -- {len(self.regressions)} metric(s) "
+                f"regressed beyond {self.threshold * 100:.0f}%"
+            )
+        else:
+            lines.append("RESULT: ok")
+        return "\n".join(lines)
+
+
+def _fingerprint_drift(
+    current: Mapping[str, Any], baseline: Mapping[str, Any]
+) -> list[str]:
+    """Host-fingerprint fields that differ between the two payloads."""
+    ours, theirs = current.get("host", {}), baseline.get("host", {})
+    return sorted(
+        key
+        for key in set(ours) | set(theirs)
+        if ours.get(key) != theirs.get(key)
+    )
+
+
+def compare(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    baseline_source: str | None = None,
+) -> GateResult:
+    """Gate ``current`` against ``baseline``.
+
+    Direction-aware: a "higher"-is-better metric regresses when it falls
+    below ``baseline * (1 - threshold)``; a "lower"-is-better metric
+    when it rises above ``baseline * (1 + threshold)``.  Comparisons
+    across different hosts or workload scales are advisory only.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    reasons = []
+    drift = _fingerprint_drift(current, baseline)
+    if drift:
+        reasons.append(
+            "host fingerprint differs (" + ", ".join(drift) + "); "
+            "wall-clock deltas measure the machines, not the code"
+        )
+    if current.get("scale") != baseline.get("scale"):
+        reasons.append(
+            f"workload scale differs ({baseline.get('scale')} -> "
+            f"{current.get('scale')})"
+        )
+
+    ours = current.get("metrics", {})
+    theirs = baseline.get("metrics", {})
+    verdicts: list[MetricVerdict] = []
+    for name in sorted(set(ours) | set(theirs)):
+        mine, base = ours.get(name), theirs.get(name)
+        if base is None:
+            verdicts.append(
+                MetricVerdict(
+                    name, mine["unit"], mine["direction"], None,
+                    float(mine["value"]), None, "new",
+                )
+            )
+            continue
+        if mine is None:
+            verdicts.append(
+                MetricVerdict(
+                    name, base["unit"], base["direction"],
+                    float(base["value"]), None, None, "missing",
+                )
+            )
+            continue
+        base_value = float(base["value"])
+        value = float(mine["value"])
+        direction = str(base["direction"])
+        ratio = value / base_value if base_value else float("inf")
+        if direction == "higher":
+            if value < base_value * (1.0 - threshold):
+                status = "regressed"
+            elif value > base_value * (1.0 + threshold):
+                status = "improved"
+            else:
+                status = "ok"
+        else:
+            if value > base_value * (1.0 + threshold):
+                status = "regressed"
+            elif value < base_value * (1.0 - threshold):
+                status = "improved"
+            else:
+                status = "ok"
+        verdicts.append(
+            MetricVerdict(
+                name, str(base["unit"]), direction, base_value, value,
+                ratio, status,
+            )
+        )
+    return GateResult(
+        verdicts=tuple(verdicts),
+        threshold=threshold,
+        baseline_source=baseline_source,
+        advisory=bool(reasons),
+        advisory_reasons=tuple(reasons),
+    )
+
+
+def gate_against_newest(
+    current: Mapping[str, Any],
+    root: str,
+    exclude: str | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> GateResult:
+    """Compare ``current`` against the newest baseline under ``root``.
+
+    ``exclude`` skips the file the current run just wrote.  With no
+    prior baseline the result is empty-but-ok (first-run warning).
+    """
+    prior = newest_baseline(root, exclude=exclude)
+    if prior is None:
+        return GateResult(
+            verdicts=(), threshold=threshold, baseline_source=None
+        )
+    return compare(
+        current,
+        load_baseline(prior),
+        threshold=threshold,
+        baseline_source=os.path.basename(prior),
+    )

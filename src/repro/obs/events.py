@@ -1,0 +1,206 @@
+"""Leveled structured event log, correlated with the telemetry trace.
+
+Spans and counters describe the *shape* of a run; events describe its
+*incidents*: a fault injected here, a dispatch dropped there, a profile
+cache bypassed, an empty cluster reseeded.  Each event is one
+:class:`EventRecord` -- a level, a dotted name, a wall-clock timestamp,
+free-form scalar fields, and the id of the telemetry span that was open
+when it fired -- so ``jq`` can answer "which kernel's span absorbed the
+event.lost faults" without parsing prose.
+
+The registry mirrors :mod:`repro.telemetry.registry` exactly: one
+process-global active log, a no-op :data:`DISABLED_EVENTS` singleton by
+default, ``enable()/disable()/session()`` to switch.  Emit sites guard
+on ``log.enabled`` where they sit inside hot loops, so the off cost is
+one attribute check.
+
+Worker processes run their own session (the parallel pool ships worker
+records back with each task result and the parent folds them in -- see
+:mod:`repro.parallel.pool`), so the merged log is complete under
+``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import threading
+import time
+from typing import IO, Any, Iterator
+
+from repro import telemetry
+
+#: Recognized severity levels, in increasing order.
+LEVELS = ("DEBUG", "INFO", "WARN", "ERROR")
+
+_LEVEL_RANK = {level: rank for rank, level in enumerate(LEVELS)}
+
+
+@dataclasses.dataclass(frozen=True)
+class EventRecord:
+    """One structured event (picklable for cross-process shipping)."""
+
+    ts_unix: float
+    level: str
+    name: str
+    span_id: int | None
+    fields: tuple[tuple[str, Any], ...]
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "ts_unix": self.ts_unix,
+            "level": self.level,
+            "name": self.name,
+            "span_id": self.span_id,
+        }
+        out.update(self.fields)
+        return out
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class EventLog:
+    """A live (recording) event log."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[EventRecord] = []
+
+    def emit(self, level: str, name: str, **fields: Any) -> None:
+        """Record one event at ``level`` (one of :data:`LEVELS`)."""
+        if level not in _LEVEL_RANK:
+            raise ValueError(
+                f"level must be one of {LEVELS}, got {level!r}"
+            )
+        record = EventRecord(
+            ts_unix=time.time(),
+            level=level,
+            name=name,
+            span_id=telemetry.get().current_span_id(),
+            fields=tuple(
+                (key, _scalar(value)) for key, value in fields.items()
+            ),
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def debug(self, name: str, **fields: Any) -> None:
+        self.emit("DEBUG", name, **fields)
+
+    def info(self, name: str, **fields: Any) -> None:
+        self.emit("INFO", name, **fields)
+
+    def warn(self, name: str, **fields: Any) -> None:
+        self.emit("WARN", name, **fields)
+
+    def error(self, name: str, **fields: Any) -> None:
+        self.emit("ERROR", name, **fields)
+
+    def records(self, min_level: str = "DEBUG") -> list[EventRecord]:
+        """All events at or above ``min_level``, in emission order."""
+        floor = _LEVEL_RANK[min_level]
+        with self._lock:
+            return [
+                r for r in self._records if _LEVEL_RANK[r.level] >= floor
+            ]
+
+    def absorb(self, records: Iterator[EventRecord] | list[EventRecord]) -> None:
+        """Fold shipped worker records in (emission order preserved
+        per worker; workers interleave in merge order)."""
+        with self._lock:
+            self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class DisabledEventLog:
+    """The no-op singleton active by default."""
+
+    enabled = False
+
+    def emit(self, level: str, name: str, **fields: Any) -> None:
+        pass
+
+    def debug(self, name: str, **fields: Any) -> None:
+        pass
+
+    def info(self, name: str, **fields: Any) -> None:
+        pass
+
+    def warn(self, name: str, **fields: Any) -> None:
+        pass
+
+    def error(self, name: str, **fields: Any) -> None:
+        pass
+
+    def records(self, min_level: str = "DEBUG") -> list[EventRecord]:
+        return []
+
+    def absorb(self, records: Any) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The one disabled log (identity-comparable in tests).
+DISABLED_EVENTS = DisabledEventLog()
+
+_active: EventLog | DisabledEventLog = DISABLED_EVENTS
+
+
+def get() -> EventLog | DisabledEventLog:
+    """The active event log.  Hot paths hoist this once per operation."""
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active.enabled
+
+
+def enable() -> EventLog:
+    """Activate a fresh recording log and return it."""
+    global _active
+    _active = EventLog()
+    return _active
+
+
+def disable() -> None:
+    """Deactivate recording; the no-op singleton becomes active again."""
+    global _active
+    _active = DISABLED_EVENTS
+
+
+@contextlib.contextmanager
+def session() -> Iterator[EventLog]:
+    """Enable for a ``with`` block, then restore the previous log."""
+    global _active
+    previous = _active
+    _active = EventLog()
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def write_events_jsonl(
+    log: EventLog | DisabledEventLog,
+    path_or_file: str | IO[str],
+    min_level: str = "DEBUG",
+) -> None:
+    """One JSON object per event line -- grep/jq-friendly."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as out:
+            write_events_jsonl(log, out, min_level)
+        return
+    for record in log.records(min_level):
+        path_or_file.write(json.dumps(record.to_json()))
+        path_or_file.write("\n")

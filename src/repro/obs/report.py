@@ -1,0 +1,456 @@
+"""Self-contained HTML run reports.
+
+One call turns a run's observability state -- the telemetry registry
+(spans, counters, gauges, histograms), the structured event log, and
+optionally a full :class:`~repro.analysis.study.StudyResults` -- into a
+single HTML file with zero external references: stdlib templating
+(f-strings + ``html.escape``), inline CSS, and an inline-SVG span
+timeline.  The file opens identically from a CI artifact tab, a mail
+attachment, or ``file://``.
+
+Sections, in order: run metadata, span-tree timeline, per-workload
+Table I statistics (when a study is supplied), cache/memo hit rates,
+histogram quantiles, counters and gauges, fault & health summary,
+and the WARN/ERROR event tail.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Iterable
+
+from repro.faults.health import HEALTHY, ProfileHealth
+from repro.obs.events import DisabledEventLog, EventLog, LEVELS
+from repro.telemetry.export import unit_for
+from repro.telemetry.registry import Telemetry
+from repro.telemetry.spans import SpanRecord
+
+#: Timeline span cap: beyond it only the longest spans are drawn (the
+#: point of the timeline is phase structure, not per-invocation detail),
+#: so report size stays bounded for arbitrarily long runs.
+MAX_TIMELINE_SPANS = 800
+
+#: Event-tail cap per level table.
+MAX_EVENT_ROWS = 200
+
+_SVG_WIDTH = 1140
+_ROW_HEIGHT = 14
+_LANE_GAP = 8
+
+#: Category -> fill color; unknown categories rotate through the tail.
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#9c755f", "#bab0ac", "#d37295",
+)
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric rendering for table cells."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def _table(
+    headers: Iterable[str], rows: Iterable[Iterable[Any]], klass: str = ""
+) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f'<table class="{klass}"><thead><tr>{head}</tr></thead>'
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def _section(title: str, body: str, note: str = "") -> str:
+    note_html = f'<p class="note">{_esc(note)}</p>' if note else ""
+    return f"<section><h2>{_esc(title)}</h2>{note_html}{body}</section>"
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 1200px; color: #1a1a2e;
+       background: #fafafa; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #4e79a7;
+     padding-bottom: .4rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; color: #2a2a4e; }
+table { border-collapse: collapse; font-size: .82rem; margin: .6rem 0;
+        background: #fff; }
+th, td { border: 1px solid #ddd; padding: .25rem .55rem;
+         text-align: left; white-space: nowrap; }
+th { background: #eef1f6; }
+td:first-child { font-family: ui-monospace, monospace; }
+.num td { text-align: right; }
+.num td:first-child { text-align: left; }
+.note { color: #666; font-size: .8rem; margin: .2rem 0; }
+.ok { color: #2e7d32; font-weight: 600; }
+.bad { color: #c62828; font-weight: 600; }
+.timeline { background: #fff; border: 1px solid #ddd; }
+.lvl-WARN { color: #b26a00; }
+.lvl-ERROR { color: #c62828; }
+"""
+
+
+# -- timeline ----------------------------------------------------------------
+
+
+def _timeline_svg(tm: Telemetry) -> str:
+    spans = tm.spans()
+    if not spans:
+        return '<p class="note">(no spans recorded)</p>'
+    dropped = 0
+    if len(spans) > MAX_TIMELINE_SPANS:
+        keep = sorted(spans, key=lambda s: -s.duration_ns)[
+            :MAX_TIMELINE_SPANS
+        ]
+        dropped = len(spans) - len(keep)
+        spans = sorted(keep, key=lambda s: s.start_ns)
+
+    origin = min(s.start_ns for s in spans)
+    extent = max(max(s.end_ns for s in spans) - origin, 1)
+
+    # One band per thread; rows inside a band by span depth.
+    threads: dict[int, int] = {}
+    for span in spans:
+        depth_rows = max(span.depth + 1, threads.get(span.thread_id, 1))
+        threads[span.thread_id] = depth_rows
+    band_top: dict[int, int] = {}
+    y = 0
+    for thread_id in sorted(
+        threads, key=lambda t: min(
+            s.start_ns for s in spans if s.thread_id == t
+        )
+    ):
+        band_top[thread_id] = y
+        y += threads[thread_id] * _ROW_HEIGHT + _LANE_GAP
+    height = max(y, _ROW_HEIGHT)
+
+    categories = sorted({s.category or "repro" for s in spans})
+    colors = {
+        cat: _PALETTE[i % len(_PALETTE)]
+        for i, cat in enumerate(categories)
+    }
+
+    rects: list[str] = []
+    for span in spans:
+        x = (span.start_ns - origin) / extent * _SVG_WIDTH
+        w = max(span.duration_ns / extent * _SVG_WIDTH, 0.5)
+        ry = band_top[span.thread_id] + span.depth * _ROW_HEIGHT
+        color = colors[span.category or "repro"]
+        label = _esc(f"{span.name} ({span.duration_ns / 1e6:.3f} ms)")
+        rects.append(
+            f'<rect x="{x:.2f}" y="{ry}" width="{w:.2f}" '
+            f'height="{_ROW_HEIGHT - 2}" fill="{color}">'
+            f"<title>{label}</title></rect>"
+        )
+    legend = " &nbsp; ".join(
+        f'<span style="color:{colors[cat]}">&#9632;</span> {_esc(cat)}'
+        for cat in categories
+    )
+    note = (
+        f"{dropped} shorter spans omitted (cap {MAX_TIMELINE_SPANS})."
+        if dropped
+        else ""
+    )
+    svg = (
+        f'<svg class="timeline" viewBox="0 0 {_SVG_WIDTH} {height}" '
+        f'width="100%" height="{min(height, 600)}">{"".join(rects)}</svg>'
+    )
+    body = f'<p class="note">{legend}</p>{svg}'
+    return _section("Span timeline", body, note)
+
+
+# -- tables ------------------------------------------------------------------
+
+
+def _histogram_section(tm: Telemetry) -> str:
+    histograms = tm.counters.histograms
+    if not histograms:
+        return _section(
+            "Histograms", '<p class="note">(no histograms recorded)</p>'
+        )
+    rows = []
+    for name in sorted(histograms):
+        h = histograms[name]
+        pct = h.percentiles()
+        rows.append(
+            (
+                name,
+                unit_for(name, h.unit),
+                _fmt(h.count),
+                _fmt(h.mean),
+                _fmt(pct["p50"]),
+                _fmt(pct["p90"]),
+                _fmt(pct["p99"]),
+                _fmt(pct["max"]),
+            )
+        )
+    return _section(
+        "Histograms",
+        _table(
+            ("histogram", "unit", "count", "mean", "p50", "p90", "p99",
+             "max"),
+            rows,
+            klass="num",
+        ),
+        note=(
+            "Log-bucketed quantile estimates "
+            "(~19% relative bucket width)."
+        ),
+    )
+
+
+def _counters_section(tm: Telemetry) -> str:
+    counters = tm.counters
+    parts: list[str] = []
+    if counters.counters:
+        rows = [
+            (name, unit_for(name), _fmt(counters.counters[name].value))
+            for name in sorted(counters.counters)
+        ]
+        parts.append(_table(("counter", "unit", "value"), rows, "num"))
+    if counters.gauges:
+        rows = [
+            (
+                name,
+                unit_for(name),
+                _fmt(g.count),
+                _fmt(g.last),
+                _fmt(g.mean),
+                _fmt(g.minimum),
+                _fmt(g.maximum),
+            )
+            for name, g in sorted(counters.gauges.items())
+        ]
+        parts.append(
+            _table(
+                ("gauge", "unit", "n", "last", "mean", "min", "max"),
+                rows,
+                "num",
+            )
+        )
+    if not parts:
+        parts.append('<p class="note">(no counters recorded)</p>')
+    return _section("Counters and gauges", "".join(parts))
+
+
+def _ratio(counters, hits_name: str, total_name: str) -> float | None:
+    hits = counters.value(hits_name)
+    total = counters.value(total_name)
+    if total <= 0:
+        return None
+    return hits / total
+
+
+def _hit_rates_section(tm: Telemetry) -> str:
+    counters = tm.counters
+    memo_hits = counters.value("simulation.memo_hits")
+    memo_total = memo_hits + counters.value("simulation.memo_misses")
+    pc_hits = counters.value("sampling.profile_cache.hits")
+    pc_total = pc_hits + counters.value("sampling.profile_cache.misses")
+    candidates = (
+        ("GPU cache (sim)",
+         _ratio(counters, "gpu.cache.hits", "gpu.cache.accesses")),
+        ("Invocation memo",
+         memo_hits / memo_total if memo_total else None),
+        ("Profile cache",
+         pc_hits / pc_total if pc_total else None),
+    )
+    rows = [
+        (label, f"{rate * 100.0:.2f}%")
+        for label, rate in candidates
+        if rate is not None
+    ]
+    if not rows:
+        return ""
+    return _section("Hit rates", _table(("cache", "hit rate"), rows, "num"))
+
+
+# -- faults / health ---------------------------------------------------------
+
+
+def _study_health(study) -> ProfileHealth:
+    combined = HEALTHY
+    for workload in study.workloads.values():
+        if workload.health is not None:
+            combined = combined.union(workload.health)
+    for exploration in study.explorations.values():
+        if exploration.health is not None:
+            combined = combined.union(exploration.health)
+    return combined
+
+
+def _fault_section(
+    tm: Telemetry, log: EventLog | DisabledEventLog, study=None
+) -> str:
+    counters = tm.counters
+    fault_counters = [
+        (name, _fmt(counters.counters[name].value))
+        for name in sorted(counters.counters)
+        if name.startswith("faults.")
+    ]
+    health = _study_health(study) if study is not None else None
+
+    parts: list[str] = []
+    if health is not None:
+        if health.ok:
+            parts.append('<p class="ok">All profiles healthy.</p>')
+        else:
+            parts.append(
+                '<p class="bad">Partial profiles: '
+                + _esc(", ".join(health.flags))
+                + "</p>"
+            )
+    if fault_counters:
+        parts.append(_table(("counter", "value"), fault_counters, "num"))
+    incidents = [
+        r for r in log.records(min_level="WARN")
+    ][-MAX_EVENT_ROWS:]
+    if incidents:
+        rows = [
+            (
+                time.strftime("%H:%M:%S", time.localtime(r.ts_unix)),
+                r.level,
+                r.name,
+                ", ".join(f"{k}={v}" for k, v in r.fields),
+            )
+            for r in incidents
+        ]
+        parts.append(_table(("time", "level", "event", "fields"), rows))
+    if not parts:
+        parts.append(
+            '<p class="ok">No faults injected, no incidents recorded.</p>'
+        )
+    return _section("Faults and health", "".join(parts))
+
+
+def _events_section(log: EventLog | DisabledEventLog) -> str:
+    records = log.records()
+    if not records:
+        return _section(
+            "Event log", '<p class="note">(no events recorded)</p>'
+        )
+    by_level = {level: 0 for level in LEVELS}
+    for record in records:
+        by_level[record.level] += 1
+    summary = _table(
+        ("level", "events"),
+        [(level, _fmt(count)) for level, count in by_level.items()],
+        "num",
+    )
+    return _section(
+        "Event log",
+        summary,
+        note=f"{len(records)} events total; "
+        "WARN/ERROR detail appears under Faults and health.",
+    )
+
+
+# -- Table I -----------------------------------------------------------------
+
+
+def _table1_section(study) -> str:
+    from repro.workloads.suite import SUITE_SPECS
+
+    specs = {spec.name: spec for spec in SUITE_SPECS}
+    best = dict(study.error_minimizing)
+    rows = []
+    for name, workload in study.workloads.items():
+        spec = specs.get(name)
+        result = best.get(name)
+        rows.append(
+            (
+                name,
+                spec.suite if spec else "-",
+                spec.domain if spec else "-",
+                _fmt(spec.n_kernels) if spec else "-",
+                _fmt(len(workload.log)),
+                _fmt(workload.log.total_instructions),
+                result.config.label if result else "-",
+                f"{result.error_percent:.2f}" if result else "-",
+                f"{result.selection.simulation_speedup:.1f}x"
+                if result
+                else "-",
+                "ok" if workload.health.ok else "partial",
+            )
+        )
+    return _section(
+        "Per-workload statistics (Table I)",
+        _table(
+            (
+                "application", "source", "domain", "kernels",
+                "invocations", "instructions", "best config", "error %",
+                "speedup", "profile",
+            ),
+            rows,
+            "num",
+        ),
+        note=f"Workload scale {study.scale:g}, device {study.device}.",
+    )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def render_report(
+    tm: Telemetry,
+    log: EventLog | DisabledEventLog | None = None,
+    study=None,
+    title: str = "GT-Pin run report",
+) -> str:
+    """Render one self-contained HTML document from run state."""
+    log = DisabledEventLog() if log is None else log
+    spans = tm.spans()
+    meta_rows = [
+        ("generated",
+         time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(time.time()))),
+        ("spans", _fmt(len(spans))),
+        ("counters", _fmt(len(tm.counters.counters))),
+        ("gauges", _fmt(len(tm.counters.gauges))),
+        ("histograms", _fmt(len(tm.counters.histograms))),
+        ("events", _fmt(len(log.records()))),
+    ]
+    sections = [
+        _section("Run", _table(("field", "value"), meta_rows)),
+        _timeline_svg(tm),
+    ]
+    if study is not None:
+        sections.append(_table1_section(study))
+    hit_rates = _hit_rates_section(tm)
+    if hit_rates:
+        sections.append(hit_rates)
+    sections.append(_histogram_section(tm))
+    sections.append(_counters_section(tm))
+    sections.append(_fault_section(tm, log, study))
+    sections.append(_events_section(log))
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_report(
+    path: str,
+    tm: Telemetry,
+    log: EventLog | DisabledEventLog | None = None,
+    study=None,
+    title: str = "GT-Pin run report",
+) -> None:
+    """Render and write the HTML report to ``path``."""
+    with open(path, "w") as out:
+        out.write(render_report(tm, log, study, title=title))

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 import numpy as np
 
 from repro import faults, telemetry
+from repro.obs import events as obs_events
 
 # Module-style fault imports: this module sits inside the import cycle
 # repro.faults.errors -> repro.opencl -> runtime, so injected-error names
@@ -245,7 +246,7 @@ class OpenCLRuntime:
         if kernel_name in self._failed_kernels:
             # Graceful degradation: this kernel's JIT build exhausted its
             # retries, so its work is dropped rather than aborting the run.
-            self._fault_events.append(
+            self._note_degraded(
                 fault_errors.FaultEvent(
                     site="jit.build",
                     detail=kernel_name,
@@ -273,7 +274,7 @@ class OpenCLRuntime:
             failed = self.driver.build_program(self._sources)
             for kernel_name in failed:
                 self._failed_kernels.add(kernel_name)
-                self._fault_events.append(
+                self._note_degraded(
                     fault_errors.FaultEvent(site="jit.build", detail=kernel_name)
                 )
             self._built = True
@@ -335,9 +336,20 @@ class OpenCLRuntime:
                 site="alloc.buffer",
             )
         except fault_errors.FaultError:
-            self._fault_events.append(
+            self._note_degraded(
                 fault_errors.FaultEvent(site="alloc.buffer", detail=call.name)
             )
+
+    def _note_degraded(self, event: fault_errors.FaultEvent) -> None:
+        """Record a degradation: the run continues without the faulted
+        work, and the incident becomes a queryable WARN event."""
+        self._fault_events.append(event)
+        obs_events.get().warn(
+            "runtime.degraded",
+            site=event.site,
+            detail=event.detail,
+            index=event.index,
+        )
 
     def _dispatch_pending(
         self,
@@ -387,7 +399,7 @@ class OpenCLRuntime:
                 site="dispatch.resources",
             )
         except fault_errors.FaultError as exc:
-            self._fault_events.append(
+            self._note_degraded(
                 fault_errors.FaultEvent(
                     site=getattr(exc, "site", "dispatch.resources"),
                     detail=pending.kernel_name,
@@ -409,7 +421,7 @@ class OpenCLRuntime:
         lost = fi.draw("event.lost")
         if lost is not None:
             dispatch.time_seconds = 0.0
-            self._fault_events.append(
+            self._note_degraded(
                 fault_errors.FaultEvent(
                     site="event.lost",
                     detail=pending.kernel_name,
@@ -420,7 +432,7 @@ class OpenCLRuntime:
         late = fi.draw("event.late")
         if late is not None:
             dispatch.time_seconds *= 1.0 + 3.0 * late.rng.uniform()
-            self._fault_events.append(
+            self._note_degraded(
                 fault_errors.FaultEvent(
                     site="event.late",
                     detail=pending.kernel_name,
@@ -435,6 +447,9 @@ class OpenCLRuntime:
         tm = telemetry.get()
         if tm.enabled:
             tm.observe("opencl.queue_depth", len(self._queue))
+            tm.observe_hist(
+                "opencl.flush_batch_kernels", len(self._queue), "kernels"
+            )
         flushed: list[KernelDispatch] = []
         for pending in self._queue:
             with tm.span(
@@ -450,6 +465,9 @@ class OpenCLRuntime:
             if tm.enabled:
                 tm.inc("opencl.dispatches")
                 tm.inc("opencl.instructions", dispatch.instruction_count)
+                tm.observe_hist(
+                    "opencl.dispatch_seconds", span.duration_seconds, "s"
+                )
             flushed.append(dispatch)
         self._queue.clear()
         return flushed

@@ -29,10 +29,13 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import os
+import time
 import traceback
 from typing import Any, Callable, Sequence
 
 from repro import telemetry
+from repro.obs import events as obs_events
+from repro.obs.events import EventRecord
 from repro.telemetry.snapshot import TelemetrySnapshot, capture_snapshot
 
 #: Job-count environment control (``0`` = all cores).
@@ -88,12 +91,14 @@ class _WorkerResult:
     error: str | None
     traceback: str | None
     snapshot: TelemetrySnapshot | None
+    events: tuple[EventRecord, ...] = ()
 
 
 def _run_task(
     fn: Callable[..., Any], args: tuple, capture: bool
 ) -> _WorkerResult:
-    """Worker-side wrapper: run one task under a fresh telemetry session."""
+    """Worker-side wrapper: run one task under fresh telemetry and
+    event-log sessions; both are shipped back for the parent to merge."""
     os.environ[WORKER_ENV] = "1"
     if not capture:
         try:
@@ -102,17 +107,27 @@ def _run_task(
             return _WorkerResult(
                 None, _format_error(exc), traceback.format_exc(), None
             )
-    with telemetry.session() as tm:
+    with telemetry.session() as tm, obs_events.session() as log:
+        start = time.perf_counter()
         try:
             value = fn(*args)
         except Exception as exc:
+            tm.observe_hist(
+                "parallel.task_seconds", time.perf_counter() - start, "s"
+            )
             return _WorkerResult(
                 None,
                 _format_error(exc),
                 traceback.format_exc(),
                 capture_snapshot(tm),
+                tuple(log.records()),
             )
-        return _WorkerResult(value, None, None, capture_snapshot(tm))
+        tm.observe_hist(
+            "parallel.task_seconds", time.perf_counter() - start, "s"
+        )
+        return _WorkerResult(
+            value, None, None, capture_snapshot(tm), tuple(log.records())
+        )
 
 
 def _format_error(exc: BaseException) -> str:
@@ -124,8 +139,10 @@ def _serial_map(
 ) -> list[TaskOutcome]:
     """In-process execution; telemetry records directly into the caller's
     registry, so no snapshot plumbing is needed."""
+    tm = telemetry.get()
     outcomes: list[TaskOutcome] = []
     for index, args in enumerate(tasks):
+        start = time.perf_counter()
         try:
             outcomes.append(TaskOutcome(index, value=fn(*args)))
         except Exception as exc:
@@ -135,6 +152,10 @@ def _serial_map(
                     error=_format_error(exc),
                     traceback=traceback.format_exc(),
                 )
+            )
+        if tm.enabled:
+            tm.observe_hist(
+                "parallel.task_seconds", time.perf_counter() - start, "s"
             )
     return outcomes
 
@@ -159,7 +180,7 @@ def parallel_map(
     n_jobs = min(resolve_jobs(jobs), max(1, len(task_tuples)))
     tm = telemetry.get()
     if capture_telemetry is None:
-        capture_telemetry = tm.enabled
+        capture_telemetry = tm.enabled or obs_events.is_enabled()
     with tm.span(
         label, category="parallel", tasks=len(task_tuples), jobs=n_jobs
     ) as span:
@@ -195,6 +216,7 @@ def _pool_map(
     parent_span_id = tm.current_span_id()
     outcomes: list[TaskOutcome | None] = [None] * len(tasks)
     snapshots: list[TelemetrySnapshot | None] = [None] * len(tasks)
+    worker_events: list[tuple[EventRecord, ...]] = [()] * len(tasks)
     with executor:
         futures = {
             executor.submit(_run_task, fn, args, capture): index
@@ -221,9 +243,15 @@ def _pool_map(
                 traceback=result.traceback,
             )
             snapshots[index] = result.snapshot
+            worker_events[index] = result.events
     if capture and tm.enabled:
         # Deterministic merge order: task order, not completion order.
         for snapshot in snapshots:
             if snapshot is not None:
                 telemetry.merge_snapshot(tm, snapshot, parent_span_id)
+    if capture:
+        log = obs_events.get()
+        if log.enabled:
+            for records in worker_events:
+                log.absorb(records)
     return [o for o in outcomes if o is not None]

@@ -165,6 +165,12 @@ def evaluate_config(
     ) as span:
         with tm.span("select.divide", category="sampling"):
             intervals = divide(log, config.scheme, approx_size)
+        if tm.enabled:
+            tm.histogram(
+                "sampling.interval_instructions", "instructions"
+            ).observe_array(
+                np.array([iv.instruction_count for iv in intervals])
+            )
         with tm.span("select.featurize", category="sampling"):
             vectors = build_feature_vectors(
                 log, intervals, config.feature, weighted=weighted_features
@@ -183,6 +189,10 @@ def evaluate_config(
                 selection, seconds, instructions, workload=application_name
             )
         span.annotate(k=selection.k, error_percent=round(error, 4))
+    if tm.enabled:
+        tm.observe_hist(
+            "sampling.config_seconds", span.duration_seconds, "s"
+        )
     tm.inc("sampling.configs_evaluated")
     return ConfigResult(selection=selection, error_percent=error)
 

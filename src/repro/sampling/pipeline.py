@@ -26,6 +26,7 @@ from repro.gpu.device import HD4000, DeviceSpec
 from repro.gpu.timing import TimingParameters
 from repro.gtpin.profiler import Application, GTPinSession, build_runtime
 from repro.gtpin.tools.invocations import InvocationLog, InvocationLogTool
+from repro.obs import events as obs_events
 from repro.parallel.cache import ProfileCache
 from repro.sampling.explorer import (
     ALL_CONFIGS,
@@ -77,6 +78,12 @@ def profile_workload(
     """
     tm = telemetry.get()
     if faults.is_enabled():
+        if cache is not None:
+            obs_events.get().info(
+                "profile_cache.bypass",
+                app=application.name,
+                reason="faults_active",
+            )
         cache = None
     cache_key = ""
     if cache is not None:

@@ -28,6 +28,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro.obs import events as _events
 from repro.sampling.features import FeatureVector
 
 
@@ -194,6 +195,11 @@ def _lloyd(
                 farthest = int(current_d2.min(axis=1).argmax())
                 centroids[j] = points[farthest]
                 new_labels[farthest] = j
+                log = _events.get()
+                if log.enabled:
+                    log.debug(
+                        "simpoint.reseed", cluster=j, point=farthest
+                    )
         if np.array_equal(new_labels, labels):
             labels = new_labels
             break

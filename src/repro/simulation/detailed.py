@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import math
+import time
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -250,8 +251,18 @@ class DetailedGPUSimulator:
             )
 
         tm = telemetry.get()
-        key = self._memo_key(binary, arg_values, global_work_size, rng)
-        entry = self._memo.get(key)
+        if tm.enabled:
+            lookup_start = time.perf_counter()
+            key = self._memo_key(binary, arg_values, global_work_size, rng)
+            entry = self._memo.get(key)
+            tm.observe_hist(
+                "simulation.memo_lookup_seconds",
+                time.perf_counter() - lookup_start,
+                "s",
+            )
+        else:
+            key = self._memo_key(binary, arg_values, global_work_size, rng)
+            entry = self._memo.get(key)
         if entry is not None:
             self.memo_hits += 1
             self.memo_stepped_avoided += entry.result.simulated_instructions
@@ -349,6 +360,12 @@ class DetailedGPUSimulator:
             binary.program, arg_values, rng, binary.n_blocks
         )
 
+        tm = telemetry.get()
+        if tm.enabled:
+            tm.histogram(
+                "simulation.block_steps", "instructions"
+            ).observe_array(per_thread * binary.arrays.instruction_counts)
+
         issue_cycles = 0.0
         latency_terms: list[float] = []
         stepped = 0
@@ -408,6 +425,14 @@ class DetailedGPUSimulator:
         issue_cycles = float(per_thread @ arrays.issue_cycles)
         stepped = int(per_thread @ arrays.instruction_counts)
         stats_before = self.cache.stats
+        tm = telemetry.get()
+        if tm.enabled:
+            # Per-block stepped-instruction distribution: both engines
+            # observe the same products, so the histogram is engine-
+            # independent like every other reported quantity.
+            tm.histogram(
+                "simulation.block_steps", "instructions"
+            ).observe_array(per_thread * arrays.instruction_counts)
 
         # Latency terms accumulate as ordered pieces (lists/iterators),
         # flattened once into fsum.  Random blocks' streams are *pended*

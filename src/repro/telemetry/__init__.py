@@ -26,8 +26,16 @@ from repro.telemetry.export import (
     jsonl_events,
     span_tree_summary,
     to_chrome_trace,
+    unit_for,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.telemetry.histograms import (
+    GROWTH,
+    Histogram,
+    HistogramSnapshot,
+    bucket_index,
+    bucket_midpoint,
 )
 from repro.telemetry.registry import (
     DISABLED,
@@ -63,8 +71,11 @@ __all__ = [
     "CounterSnapshot",
     "DISABLED",
     "DisabledTelemetry",
+    "GROWTH",
     "Gauge",
     "GaugeSnapshot",
+    "Histogram",
+    "HistogramSnapshot",
     "NULL_SPAN",
     "NullSpan",
     "Sample",
@@ -73,6 +84,8 @@ __all__ = [
     "Telemetry",
     "TelemetrySnapshot",
     "Timer",
+    "bucket_index",
+    "bucket_midpoint",
     "capture_snapshot",
     "chrome_trace_events",
     "counters_summary",
@@ -86,6 +99,7 @@ __all__ = [
     "span_tree_summary",
     "to_chrome_trace",
     "traced",
+    "unit_for",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -16,6 +16,8 @@ import dataclasses
 import threading
 import time
 
+from repro.telemetry.histograms import Histogram
+
 #: Per-series sample cap before thinning kicks in.
 MAX_SAMPLES = 8192
 
@@ -103,6 +105,7 @@ class CounterSet:
         self._lock = threading.Lock()
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         try:
@@ -118,10 +121,19 @@ class CounterSet:
             with self._lock:
                 return self.gauges.setdefault(name, Gauge(name))
 
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            with self._lock:
+                return self.histograms.setdefault(
+                    name, Histogram(name, unit)
+                )
+
     def value(self, name: str) -> float:
         """Current value of a counter (0.0 if it never incremented)."""
         counter = self.counters.get(name)
         return counter.value if counter is not None else 0.0
 
     def __len__(self) -> int:
-        return len(self.counters) + len(self.gauges)
+        return len(self.counters) + len(self.gauges) + len(self.histograms)

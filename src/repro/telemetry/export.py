@@ -146,6 +146,21 @@ def jsonl_events(telemetry: Telemetry) -> list[dict[str, Any]]:
                 "max": gauge.maximum,
             }
         )
+    for hist in telemetry.counters.histograms.values():
+        pct = hist.percentiles()
+        events.append(
+            {
+                "type": "histogram",
+                "name": hist.name,
+                "unit": hist.unit,
+                "count": hist.count,
+                "mean": hist.mean,
+                "p50": pct["p50"],
+                "p90": pct["p90"],
+                "p99": pct["p99"],
+                "max": pct["max"],
+            }
+        )
     return events
 
 
@@ -182,7 +197,9 @@ def span_tree_summary(telemetry: Telemetry, max_depth: int = 12) -> str:
         groups: dict[str, list[SpanRecord]] = {}
         for span in siblings:
             groups.setdefault(span.name, []).append(span)
-        for name, members in groups.items():
+        # Sort sibling groups by name: output must be byte-stable across
+        # runs whose spans raced each other (goldens diff these).
+        for name, members in sorted(groups.items()):
             total_ms = sum(m.duration_ns for m in members) / 1e6
             label = name if len(members) == 1 else f"{name} x{len(members)}"
             indent = "  " * depth
@@ -199,22 +216,60 @@ def span_tree_summary(telemetry: Telemetry, max_depth: int = 12) -> str:
     return "\n".join(lines)
 
 
+#: Name-suffix conventions -> display unit, checked longest-first.
+_UNIT_SUFFIXES = (
+    ("_seconds", "s"),
+    (".seconds", "s"),
+    ("_bytes", "B"),
+    (".bytes", "B"),
+    ("_ns", "ns"),
+    (".ns", "ns"),
+)
+
+
+def unit_for(name: str, declared: str = "") -> str:
+    """Display unit for a series: declared unit, else name convention."""
+    if declared:
+        return declared
+    for suffix, unit in _UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return unit
+    return ""
+
+
 def counters_summary(telemetry: Telemetry) -> str:
-    """Plain-text table of final counter values and gauge statistics."""
+    """Plain-text table of final counter values, gauge statistics, and
+    histogram quantiles.  Every section is name-sorted and unit-tagged
+    so the output diffs cleanly across runs."""
     lines = ["counters:"]
     counters = telemetry.counters
-    if not counters.counters and not counters.gauges:
+    if not (counters.counters or counters.gauges or counters.histograms):
         return "counters: (none)"
     for name in sorted(counters.counters):
         value = counters.counters[name].value
         rendered = f"{int(value)}" if value == int(value) else f"{value:.6g}"
-        lines.append(f"  {name:<44} {rendered:>14}")
+        unit = unit_for(name)
+        lines.append(f"  {name:<44} {rendered:>14} {unit}".rstrip())
     for name in sorted(counters.gauges):
         gauge = counters.gauges[name]
+        unit = unit_for(name)
+        suffix = f" [{unit}]" if unit else ""
         lines.append(
             f"  {name:<44} last={gauge.last:.6g} mean={gauge.mean:.6g} "
-            f"n={gauge.count}"
+            f"n={gauge.count}{suffix}"
         )
+    if counters.histograms:
+        lines.append("histograms:")
+        for name in sorted(counters.histograms):
+            hist = counters.histograms[name]
+            unit = unit_for(name, hist.unit)
+            suffix = f" [{unit}]" if unit else ""
+            pct = hist.percentiles()
+            lines.append(
+                f"  {name:<44} n={hist.count} mean={hist.mean:.4g} "
+                f"p50={pct['p50']:.4g} p90={pct['p90']:.4g} "
+                f"p99={pct['p99']:.4g} max={pct['max']:.4g}{suffix}"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,219 @@
+"""Log-bucketed histograms: distributions the counters cannot capture.
+
+A :class:`Gauge` keeps min/mean/max -- enough for queue depths, useless
+for latency tails.  :class:`Histogram` buckets observations on a
+logarithmic grid (each bucket is ``GROWTH``x wider than the previous,
+so relative resolution is constant across nine orders of magnitude) and
+estimates quantiles by walking the bucket counts.  Three properties are
+load-bearing for the run-report layer:
+
+* **Exact conservation** -- ``count`` and ``total`` are plain sums, so
+  they are exact for any observation stream and survive any sequence of
+  :meth:`merge` calls bit-for-bit (merging is bucket-wise integer
+  addition).  The cross-process snapshot tests pin this.
+* **Bounded memory** -- the bucket dict holds at most one entry per
+  occupied bucket (~150 span the range from nanoseconds to hours), so a
+  histogram's footprint is independent of how many values it absorbed.
+* **Cheap observation** -- ``observe`` is one ``math.log`` plus a dict
+  increment; :meth:`observe_array` amortizes whole numpy batches through
+  one vectorized bucketing pass (bit-identical bucket indices).
+
+Quantiles are estimates: a quantile lands in the bucket whose
+cumulative count crosses it and is reported as that bucket's geometric
+midpoint, clamped to the observed ``[minimum, maximum]``.  The relative
+error is bounded by the bucket width (~19% with the default growth),
+which is exactly the precision profile tails need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Mapping
+
+#: Per-bucket growth factor: 2**(1/4) = four buckets per octave, ~19%
+#: relative bucket width.
+GROWTH = 2.0 ** 0.25
+
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Quantiles every summary/report renders, in render order.
+REPORT_QUANTILES = (0.50, 0.90, 0.99)
+
+
+def bucket_index(value: float) -> int:
+    """The log-grid bucket of a positive value.
+
+    Bucket ``i`` covers ``[GROWTH**i, GROWTH**(i+1))``.  Non-positive
+    values are the caller's problem (they go to ``zero_count``).
+    """
+    return math.floor(math.log(value) / _LOG_GROWTH)
+
+
+def bucket_midpoint(index: int) -> float:
+    """Geometric midpoint of bucket ``index`` (the quantile estimate)."""
+    return GROWTH ** (index + 0.5)
+
+
+class Histogram:
+    """A log-bucketed distribution of non-negative observations.
+
+    ``unit`` is a display label ("s", "B", "count"); it rides along so
+    summaries and HTML reports never have to guess.
+    """
+
+    __slots__ = (
+        "name", "unit", "count", "total", "minimum", "maximum",
+        "zero_count", "buckets",
+    )
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        #: Observations <= 0 (a run length cannot be, a duration can
+        #: round to, zero); they occupy a dedicated slot below every
+        #: log bucket.
+        self.zero_count = 0
+        self.buckets: dict[int, int] = {}
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0.0:
+            self.zero_count += 1
+            return
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def observe_array(self, values) -> None:
+        """Record a whole numpy batch in one vectorized pass.
+
+        Bucket indices match :meth:`observe` bit-for-bit: both compute
+        ``floor(log(v) / log(GROWTH))`` in float64.
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=np.float64)
+        n = int(values.size)
+        if n == 0:
+            return
+        self.count += n
+        self.total += float(values.sum())
+        low = float(values.min())
+        high = float(values.max())
+        if low < self.minimum:
+            self.minimum = low
+        if high > self.maximum:
+            self.maximum = high
+        positive = values[values > 0.0]
+        self.zero_count += n - int(positive.size)
+        if not positive.size:
+            return
+        indices = np.floor(np.log(positive) / _LOG_GROWTH).astype(np.int64)
+        uniq, counts = np.unique(indices, return_counts=True)
+        buckets = self.buckets
+        for index, bucket_count in zip(uniq.tolist(), counts.tolist()):
+            buckets[index] = buckets.get(index, 0) + bucket_count
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the quantile observation, 1-based, ceiling -- the same
+        # "smallest value with cumulative count >= q*n" convention the
+        # merge tests replay by hand.
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return min(self.minimum, 0.0)
+        remaining = rank - self.zero_count
+        for index in sorted(self.buckets):
+            remaining -= self.buckets[index]
+            if remaining <= 0:
+                estimate = bucket_midpoint(index)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - conservation makes
+        # the loop always terminate inside a bucket
+
+    def percentiles(self) -> dict[str, float]:
+        """The report quantiles plus max, keyed ``p50``/``p90``/``p99``."""
+        out = {
+            f"p{int(q * 100)}": self.quantile(q) for q in REPORT_QUANTILES
+        }
+        out["max"] = self.maximum if self.count else 0.0
+        return out
+
+    # -- merge ---------------------------------------------------------------
+
+    def merge(self, other: "Histogram | HistogramSnapshot") -> None:
+        """Fold another histogram (or its snapshot) into this one.
+
+        Bucket-wise integer addition: ``count`` and ``total`` stay exact,
+        quantile estimates behave as if every observation had landed
+        here directly.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.zero_count += other.zero_count
+        buckets = self.buckets
+        other_buckets: Iterable[tuple[int, int]]
+        if isinstance(other.buckets, Mapping):
+            other_buckets = other.buckets.items()
+        else:
+            other_buckets = other.buckets
+        for index, bucket_count in other_buckets:
+            buckets[index] = buckets.get(index, 0) + bucket_count
+        if not self.unit and other.unit:
+            self.unit = other.unit
+
+    def snapshot(self) -> "HistogramSnapshot":
+        """A picklable reduction for cross-process shipping."""
+        return HistogramSnapshot(
+            name=self.name,
+            unit=self.unit,
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            zero_count=self.zero_count,
+            buckets=tuple(sorted(self.buckets.items())),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramSnapshot:
+    """One worker-side histogram, reduced to picklable parts."""
+
+    name: str
+    unit: str
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    zero_count: int
+    buckets: tuple[tuple[int, int], ...]

@@ -36,6 +36,7 @@ import time
 from typing import Any, Callable, Iterator, TypeVar
 
 from repro.telemetry.counters import Counter, CounterSet, Gauge
+from repro.telemetry.histograms import Histogram
 from repro.telemetry.spans import (
     NULL_SPAN,
     ActiveSpan,
@@ -93,6 +94,14 @@ class Telemetry:
     def observe(self, name: str, value: float) -> None:
         self.counters.gauge(name).observe(value)
 
+    def observe_hist(self, name: str, value: float, unit: str = "") -> None:
+        """One observation into the named log-bucketed histogram."""
+        self.counters.histogram(name, unit).observe(value)
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        """The named histogram (created on first use)."""
+        return self.counters.histogram(name, unit)
+
     def counter_value(self, name: str) -> float:
         return self.counters.value(name)
 
@@ -122,6 +131,14 @@ class DisabledTelemetry:
 
     def observe(self, name: str, value: float) -> None:
         pass
+
+    def observe_hist(self, name: str, value: float, unit: str = "") -> None:
+        pass
+
+    def histogram(self, name: str, unit: str = "") -> "Histogram":
+        # Never reached by instrumented code (hot paths guard on
+        # ``enabled``); exists so ad-hoc callers don't crash.
+        return Histogram(name, unit)
 
     def counter_value(self, name: str) -> float:
         return 0.0

@@ -24,6 +24,7 @@ import dataclasses
 import os
 
 from repro.telemetry.counters import Sample
+from repro.telemetry.histograms import HistogramSnapshot
 from repro.telemetry.registry import Telemetry
 from repro.telemetry.spans import SpanRecord
 
@@ -59,6 +60,7 @@ class TelemetrySnapshot:
     spans: tuple[SpanRecord, ...]
     counters: tuple[CounterSnapshot, ...]
     gauges: tuple[GaugeSnapshot, ...]
+    histograms: tuple[HistogramSnapshot, ...] = ()
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -87,6 +89,9 @@ def capture_snapshot(telemetry: Telemetry) -> TelemetrySnapshot:
                 samples=tuple(g.samples),
             )
             for g in counters.gauges.values()
+        ),
+        histograms=tuple(
+            h.snapshot() for h in counters.histograms.values()
         ),
     )
 
@@ -160,3 +165,5 @@ def merge_snapshot(
         merged.samples.extend(
             Sample(s.ts_ns + delta_ns, s.value) for s in gauge.samples
         )
+    for hist in snapshot.histograms:
+        target.counters.histogram(hist.name, hist.unit).merge(hist)

@@ -1,0 +1,181 @@
+"""repro.obs.bench: baseline schema and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+def _metrics(instr_per_s=1e6, sweep_s=2.0):
+    return [
+        bench.BenchMetric(
+            "detailed_sim.instr_per_second", instr_per_s, "instr/s", "higher"
+        ),
+        bench.BenchMetric(
+            "parallel_sweep.wall_seconds", sweep_s, "s", "lower"
+        ),
+    ]
+
+
+def _baseline(instr_per_s=1e6, sweep_s=2.0, scale=0.25):
+    return bench.make_baseline(_metrics(instr_per_s, sweep_s), scale=scale)
+
+
+# -- schema ------------------------------------------------------------------
+
+
+def test_make_baseline_shape():
+    payload = _baseline()
+    assert payload["schema"] == bench.SCHEMA
+    assert payload["scale"] == 0.25
+    assert set(payload["host"]) >= {"platform", "cpu_count", "python"}
+    entry = payload["metrics"]["detailed_sim.instr_per_second"]
+    assert entry == {
+        "value": 1e6, "unit": "instr/s", "direction": "higher"
+    }
+    bench.validate_baseline(payload)
+
+
+def test_metric_rejects_bad_direction_and_nan():
+    with pytest.raises(ValueError, match="direction"):
+        bench.BenchMetric("m", 1.0, "s", "sideways")
+    with pytest.raises(ValueError, match="NaN"):
+        bench.BenchMetric("m", float("nan"), "s", "lower")
+
+
+def test_validate_rejects_malformed_payloads():
+    with pytest.raises(ValueError, match="schema"):
+        bench.validate_baseline({"schema": "other/v9"})
+    with pytest.raises(ValueError, match="no metrics"):
+        bench.validate_baseline({"schema": bench.SCHEMA, "metrics": {}})
+    bad = _baseline()
+    bad["metrics"]["parallel_sweep.wall_seconds"]["direction"] = "up"
+    with pytest.raises(ValueError, match="direction"):
+        bench.validate_baseline(bad)
+
+
+def test_write_find_and_load_roundtrip(tmp_path):
+    root = str(tmp_path)
+    first = bench.write_baseline(_baseline(), root, date="2026-08-01")
+    second = bench.write_baseline(_baseline(), root, date="2026-08-06")
+    (tmp_path / "BENCH_garbage.json").write_text("{}")  # ignored: bad name
+    assert bench.find_baselines(root) == [first, second]
+    assert bench.newest_baseline(root) == second
+    assert bench.newest_baseline(root, exclude=second) == first
+    loaded = bench.load_baseline(second)
+    assert loaded["metrics"] == _baseline()["metrics"]
+    with pytest.raises(ValueError, match="date"):
+        bench.baseline_path(root, "06/08/2026")
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def test_within_threshold_is_ok():
+    result = bench.compare(
+        _baseline(instr_per_s=0.9e6, sweep_s=2.2), _baseline(),
+        baseline_source="BENCH_2026-08-01.json",
+    )
+    assert result.ok
+    assert {v.status for v in result.verdicts} == {"ok"}
+    assert "RESULT: ok" in result.render()
+
+
+def test_direction_aware_regressions():
+    # Throughput fell 30% -> regression; wall time fell 30% -> improvement.
+    result = bench.compare(
+        _baseline(instr_per_s=0.7e6, sweep_s=1.4), _baseline()
+    )
+    statuses = {v.name: v.status for v in result.verdicts}
+    assert statuses["detailed_sim.instr_per_second"] == "regressed"
+    assert statuses["parallel_sweep.wall_seconds"] == "improved"
+    assert not result.ok
+    assert "FAIL" in result.render()
+
+    # And the mirror image: wall time rose 30% -> regression.
+    result = bench.compare(
+        _baseline(instr_per_s=1.4e6, sweep_s=2.6), _baseline()
+    )
+    statuses = {v.name: v.status for v in result.verdicts}
+    assert statuses["detailed_sim.instr_per_second"] == "improved"
+    assert statuses["parallel_sweep.wall_seconds"] == "regressed"
+    assert not result.ok
+
+
+def test_threshold_is_tunable():
+    current, base = _baseline(instr_per_s=0.7e6), _baseline()
+    assert not bench.compare(current, base, threshold=0.2).ok
+    assert bench.compare(current, base, threshold=0.5).ok
+    with pytest.raises(ValueError, match="threshold"):
+        bench.compare(current, base, threshold=1.5)
+
+
+def test_missing_and_new_metrics():
+    current = bench.make_baseline(
+        _metrics()[:1]
+        + [bench.BenchMetric("brand.new_seconds", 1.0, "s", "lower")],
+        scale=0.25,
+    )
+    result = bench.compare(current, _baseline())
+    statuses = {v.name: v.status for v in result.verdicts}
+    assert statuses["parallel_sweep.wall_seconds"] == "missing"
+    assert statuses["brand.new_seconds"] == "new"
+    assert not result.ok  # a vanished metric is an enforceable failure
+
+
+def test_cross_host_comparison_is_advisory():
+    base = _baseline(instr_per_s=2e6)  # current is a 50% "regression"
+    base["host"] = dict(base["host"], cpu_count=999, platform="other-os")
+    result = bench.compare(_baseline(), base)
+    assert result.advisory
+    assert result.regressions  # still reported...
+    assert result.ok  # ...but not enforced
+    assert "advisory" in result.render()
+
+
+def test_cross_scale_comparison_is_advisory():
+    result = bench.compare(_baseline(scale=0.1), _baseline(scale=1.0))
+    assert result.advisory
+    assert any("scale differs" in r for r in result.advisory_reasons)
+
+
+# -- the gate ----------------------------------------------------------------
+
+
+def test_gate_with_no_prior_baseline_warns_but_passes(tmp_path):
+    result = bench.gate_against_newest(_baseline(), str(tmp_path))
+    assert result.ok
+    assert result.baseline_source is None
+    assert "no prior baseline" in result.render()
+
+
+def test_gate_excludes_the_file_just_written(tmp_path):
+    root = str(tmp_path)
+    bench.write_baseline(_baseline(), root, date="2026-08-01")
+    today = bench.write_baseline(
+        _baseline(instr_per_s=0.5e6), root, date="2026-08-06"
+    )
+    # Excluding today's file, the slow run gates against the older
+    # (faster) baseline and fails; without exclusion it self-compares.
+    result = bench.gate_against_newest(
+        bench.load_baseline(today), root, exclude=today
+    )
+    assert result.baseline_source == "BENCH_2026-08-01.json"
+    assert not result.ok
+
+
+def test_gate_result_render_lists_every_metric(tmp_path):
+    root = str(tmp_path)
+    bench.write_baseline(_baseline(), root, date="2026-08-01")
+    result = bench.gate_against_newest(_baseline(), root)
+    text = result.render()
+    assert "detailed_sim.instr_per_second" in text
+    assert "parallel_sweep.wall_seconds" in text
+    assert "threshold 20%" in text
+
+
+def test_baseline_files_are_valid_json_on_disk(tmp_path):
+    path = bench.write_baseline(_baseline(), str(tmp_path))
+    payload = json.loads(open(path).read())
+    assert payload["schema"] == bench.SCHEMA

@@ -1,0 +1,122 @@
+"""repro.obs.events: the leveled structured event log."""
+
+import io
+import json
+
+import pytest
+
+from repro import faults, telemetry
+from repro.faults import FaultPlan
+from repro.obs import events as obs_events
+from repro.obs.events import DISABLED_EVENTS, EventRecord
+
+
+@pytest.fixture
+def log():
+    active = obs_events.enable()
+    yield active
+    obs_events.disable()
+
+
+def test_registry_lifecycle_mirrors_telemetry():
+    assert obs_events.get() is DISABLED_EVENTS
+    assert not obs_events.is_enabled()
+    live = obs_events.enable()
+    try:
+        assert obs_events.get() is live
+        assert obs_events.is_enabled()
+    finally:
+        obs_events.disable()
+    assert obs_events.get() is DISABLED_EVENTS
+
+
+def test_session_restores_previous_log(log):
+    log.info("outer")
+    with obs_events.session() as inner:
+        inner.info("inner")
+        assert obs_events.get() is inner
+        assert len(inner) == 1
+    assert obs_events.get() is log
+    assert [r.name for r in log.records()] == ["outer"]
+
+
+def test_levels_and_min_level_filtering(log):
+    log.debug("a")
+    log.info("b")
+    log.warn("c")
+    log.error("d")
+    assert [r.name for r in log.records()] == ["a", "b", "c", "d"]
+    assert [r.name for r in log.records("WARN")] == ["c", "d"]
+    assert [r.level for r in log.records("ERROR")] == ["ERROR"]
+    with pytest.raises(ValueError, match="level"):
+        log.emit("FATAL", "nope")
+
+
+def test_fields_are_scalarized_and_ordered(log):
+    log.info("evt", count=3, site="jit.build", extra=[1, 2])
+    (record,) = log.records()
+    fields = dict(record.fields)
+    assert fields["count"] == 3
+    assert fields["site"] == "jit.build"
+    assert fields["extra"] == "[1, 2]"  # non-scalars stored as repr
+    assert record.ts_unix > 0
+
+
+def test_events_capture_the_active_span_id(log):
+    tm = telemetry.enable()
+    try:
+        log.info("outside")
+        with tm.span("work") as span:
+            log.warn("inside")
+        records = {r.name: r for r in log.records()}
+        assert records["outside"].span_id is None
+        assert records["inside"].span_id == span.span_id
+    finally:
+        telemetry.disable()
+
+
+def test_absorb_preserves_worker_order(log):
+    log.info("local")
+    shipped = (
+        EventRecord(1.0, "WARN", "w1", None, ()),
+        EventRecord(2.0, "INFO", "w2", None, (("k", "v"),)),
+    )
+    log.absorb(shipped)
+    assert [r.name for r in log.records()] == ["local", "w1", "w2"]
+    assert len(log) == 3
+
+
+def test_write_events_jsonl(log):
+    log.info("first", x=1)
+    log.error("second")
+    out = io.StringIO()
+    obs_events.write_events_jsonl(log, out)
+    lines = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert [l["name"] for l in lines] == ["first", "second"]
+    assert lines[0]["x"] == 1
+    assert lines[1]["level"] == "ERROR"
+
+    filtered = io.StringIO()
+    obs_events.write_events_jsonl(log, filtered, min_level="ERROR")
+    assert len(filtered.getvalue().splitlines()) == 1
+
+
+def test_disabled_log_is_inert():
+    obs_events.disable()
+    log = obs_events.get()
+    log.info("dropped", a=1)
+    log.error("dropped too")
+    log.absorb([EventRecord(1.0, "INFO", "x", None, ())])
+    assert log.records() == []
+    assert len(log) == 0
+
+
+def test_fault_injection_becomes_queryable_events(log):
+    """A faulted run leaves WARN records naming site and ordinal."""
+    plan = FaultPlan.parse("seed=3;jit.build=1.0:1")
+    with faults.session(plan) as injector:
+        assert injector.draw("jit.build") is not None
+    warns = log.records("WARN")
+    assert any(r.name == "fault.injected" for r in warns)
+    fields = dict(next(r for r in warns if r.name == "fault.injected").fields)
+    assert fields["site"] == "jit.build"

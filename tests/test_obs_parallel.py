@@ -1,0 +1,101 @@
+"""Cross-process merge of histograms and events under the worker pool.
+
+The parallel pool ships each worker's telemetry snapshot (now carrying
+histograms) and event records back with the task result; the parent
+merges them in task order.  These tests drive real profiled workloads
+through ``parallel_map`` with ``jobs=2`` *while a fault plan is active
+inside each worker* and assert the merged registry conserves histogram
+count/sum exactly against the serial run, and that fault incidents and
+health flags survive the process boundary.
+"""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.faults import FaultPlan
+from repro.gpu.device import HD4000
+from repro.obs import events as obs_events
+from repro.parallel.pool import parallel_map
+from repro.sampling.pipeline import profile_workload
+from repro.workloads import load_app
+
+#: High-rate plan across degradation sites so every task records damage.
+FAULT_SPEC = "seed=11;event.lost=0.4;trace.truncate=0.4"
+
+
+def _profile_under_faults(app_name: str, scale: float, spec: str):
+    """Worker body: profile one app with fault injection active.
+
+    Runs inside the worker's own telemetry + event-log session (the
+    pool establishes both when capture is on); the fault session is
+    process-local, so each worker enables its own from the spec.
+    """
+    app = load_app(app_name, scale=scale)
+    with faults.session(FaultPlan.parse(spec)):
+        workload = profile_workload(app, HD4000, 0)
+    return workload.health.flags
+
+
+TASKS = [
+    ("cb-gaussian-buffer", 0.1, FAULT_SPEC),
+    ("cb-gaussian-image", 0.1, FAULT_SPEC),
+]
+
+#: Histograms whose observations are deterministic quantities (bytes,
+#: record counts), so serial and parallel sums must match bit-for-bit.
+DETERMINISTIC_HISTS = (
+    "gtpin.trace_buffer.record_bytes",
+    "gtpin.trace_buffer.drain_records",
+    "opencl.flush_batch_kernels",
+)
+
+
+def _run(jobs: int):
+    """One full fan-out; returns (flags per task, histogram table, events)."""
+    with telemetry.session() as tm, obs_events.session() as log:
+        outcomes = parallel_map(
+            _profile_under_faults, TASKS, jobs=jobs, label="test.fanout"
+        )
+        assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+        hists = {
+            name: (h.count, h.total, dict(h.buckets))
+            for name, h in tm.counters.histograms.items()
+        }
+        events = log.records()
+    return [o.value for o in outcomes], hists, events
+
+
+@pytest.mark.slow
+def test_parallel_histogram_merge_conserves_count_and_sum():
+    serial_flags, serial_hists, serial_events = _run(jobs=1)
+    parallel_flags, parallel_hists, parallel_events = _run(jobs=2)
+
+    # The damaged-profile flags are a pure function of (app, seed, plan),
+    # so the two runs degrade identically -- and actually degrade.
+    assert serial_flags == parallel_flags
+    for flags in parallel_flags:
+        assert flags, "fault plan injected nothing; test is vacuous"
+
+    # Same histogram families on both sides...
+    assert set(serial_hists) == set(parallel_hists)
+    assert set(DETERMINISTIC_HISTS) <= set(parallel_hists)
+    for name in serial_hists:
+        s_count, s_total, s_buckets = serial_hists[name]
+        p_count, p_total, p_buckets = parallel_hists[name]
+        # ...with exact count conservation across the process boundary.
+        assert p_count == s_count, name
+        if name in DETERMINISTIC_HISTS:
+            # Value-deterministic quantities conserve the sum and the
+            # full bucket distribution too (timing histograms only
+            # conserve counts -- wall clocks differ between runs).
+            assert p_total == pytest.approx(s_total), name
+            assert p_buckets == s_buckets, name
+
+    # Fault incidents crossed the process boundary as queryable events.
+    injected = [e for e in parallel_events if e.name == "fault.injected"]
+    assert injected
+    assert len(injected) == len(
+        [e for e in serial_events if e.name == "fault.injected"]
+    )
+    sites = {dict(e.fields).get("site") for e in injected}
+    assert sites <= {"event.lost", "trace.truncate"}

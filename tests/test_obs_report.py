@@ -1,0 +1,161 @@
+"""repro.obs.report: the self-contained HTML run report."""
+
+import types
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.faults.health import HEALTHY, ProfileHealth
+from repro.obs import events as obs_events
+from repro.obs.report import render_report, write_report
+
+
+@pytest.fixture
+def tm():
+    registry = telemetry.enable()
+    yield registry
+    telemetry.disable()
+
+
+@pytest.fixture
+def log():
+    active = obs_events.enable()
+    yield active
+    obs_events.disable()
+
+
+def _recorded(tm, log):
+    with tm.span("root", category="cli"):
+        with tm.span("work", category="sampling"):
+            tm.inc("demo.counter", 7)
+            tm.observe("demo.gauge_bytes", 1024)
+            for v in (0.001, 0.004, 0.016, 0.064):
+                tm.observe_hist("demo.latency_seconds", v, "s")
+            log.info("demo.started", app="x")
+            log.warn("fault.injected", site="jit.build", ordinal=0)
+
+
+def test_report_is_self_contained_html(tm, log):
+    _recorded(tm, log)
+    html = render_report(tm, log=log, title="unit test <run>")
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    # Self-contained: no external fetches of any kind.
+    assert "http://" not in html and "https://" not in html
+    assert "<script" not in html
+    assert "unit test &lt;run&gt;" in html  # titles are escaped
+
+
+def test_report_sections_cover_run_state(tm, log):
+    _recorded(tm, log)
+    html = render_report(tm, log=log)
+    assert "Span timeline" in html and "<svg" in html and "<rect" in html
+    assert "demo.latency_seconds" in html
+    for column in ("p50", "p90", "p99"):
+        assert column in html
+    assert "demo.counter" in html
+    assert "demo.gauge_bytes" in html
+    assert "Faults and health" in html
+    assert "fault.injected" in html  # WARN incidents are listed
+    assert "Event log" in html
+
+
+def test_report_without_events_or_study(tm):
+    with tm.span("only", category="t"):
+        tm.observe_hist("h.seconds", 0.5, "s")
+    html = render_report(tm)
+    assert "no events recorded" in html
+    assert "Table I" not in html
+
+
+def test_report_timeline_caps_span_count(tm):
+    for _ in range(900):
+        with tm.span("tick", category="t"):
+            pass
+    html = render_report(tm)
+    assert html.count("<rect") <= 800
+
+
+def _fake_study(health=HEALTHY):
+    # len() goes through the class, so build a tiny log type.
+    class _Log:
+        total_instructions = 12345
+
+        def __len__(self):
+            return 42
+
+    workload = types.SimpleNamespace(log=_Log(), health=health)
+    selection = types.SimpleNamespace(
+        config=types.SimpleNamespace(label="Sync-BB"),
+        simulation_speedup=53.0,
+    )
+    result = types.SimpleNamespace(
+        selection=selection,
+        error_percent=1.5,
+        config=selection.config,
+    )
+    return types.SimpleNamespace(
+        scale=0.1,
+        device="HD4000",
+        workloads={"cb-gaussian-buffer": workload},
+        explorations={
+            "cb-gaussian-buffer": types.SimpleNamespace(health=None)
+        },
+        error_minimizing=[("cb-gaussian-buffer", result)],
+    )
+
+
+def test_report_table1_rows(tm, log):
+    _recorded(tm, log)
+    html = render_report(tm, log=log, study=_fake_study())
+    assert "Per-workload statistics (Table I)" in html
+    assert "cb-gaussian-buffer" in html
+    assert "Sync-BB" in html
+    assert "53.0x" in html
+    assert "1.50" in html
+
+
+def test_report_flags_partial_profiles(tm, log):
+    damaged = ProfileHealth(lost_events=3)
+    html = render_report(tm, log=log, study=_fake_study(damaged))
+    assert "lost_events:3" in html
+    assert "partial" in html
+
+
+def test_write_report(tm, log, tmp_path):
+    _recorded(tm, log)
+    out = tmp_path / "run.html"
+    write_report(str(out), tm, log=log)
+    assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+@pytest.mark.slow
+def test_cli_explore_with_report_flag(tmp_path, capsys):
+    out = tmp_path / "explore.html"
+    assert main(
+        ["explore", "cb-gaussian-buffer", "--scale", "0.1",
+         "--report", str(out)]
+    ) == 0
+    assert f"(HTML run report written to {out})" in capsys.readouterr().out
+    html = out.read_text()
+    assert "Span timeline" in html
+    assert "opencl.dispatch_seconds" in html
+    assert "sampling.config_seconds" in html
+    # Registries are restored after the run.
+    assert not telemetry.get().enabled
+    assert not obs_events.is_enabled()
+
+
+@pytest.mark.slow
+def test_cli_trace_style_report_under_faults(tmp_path, capsys):
+    """--report composes with --faults: incidents land in the report."""
+    out = tmp_path / "faulted.html"
+    assert main(
+        ["select", "cb-gaussian-buffer", "--scale", "0.2",
+         "--faults", "seed=11;event.lost=0.3",
+         "--report", str(out)]
+    ) == 0
+    html = out.read_text()
+    assert "Faults and health" in html
+    assert "fault.injected" in html
