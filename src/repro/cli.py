@@ -114,6 +114,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run the command under telemetry + event capture and write "
         "a self-contained HTML run report (see docs/reports.md)",
     )
+    parser.add_argument(
+        "--live-port", type=int, default=None, metavar="PORT",
+        help="serve live Prometheus-style metrics and a JSON health "
+        "document on 127.0.0.1:PORT while the command runs (0 = pick an "
+        "ephemeral port; also via $REPRO_LIVE_PORT); watch with "
+        "'gtpin top' -- see docs/live.md",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -150,7 +157,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("overhead", help="measure GT-Pin profiling overhead")
     p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument(
+        "--self", dest="self_overhead", action="store_true",
+        help="measure the observability stack's own overhead instead: "
+        "run the workflow with telemetry off then on and print the "
+        "Section III-style per-site attribution table",
+    )
     _add_common(p)
+
+    p = sub.add_parser(
+        "top",
+        help="terminal view of a live run: poll another gtpin process's "
+        "--live-port endpoint and render progress, instr/s, worker "
+        "lanes, and recent events",
+    )
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="live endpoint port (default: $REPRO_LIVE_PORT)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2s)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render one frame without ANSI escapes and exit "
+        "(scripting / CI smoke tests)",
+    )
 
     p = sub.add_parser(
         "report",
@@ -312,6 +346,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
     app = load_app(args.app, scale=args.scale)
+    if getattr(args, "self_overhead", False):
+        return _cmd_self_overhead(args, app)
     report = measure_overhead(app, _device(args.device), trial_seed=args.seed)
     print(f"Application:            {report.application_name}")
     print(f"Native execution:       {report.native_seconds * 1e3:.2f} ms")
@@ -319,6 +355,22 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     print(f"Host drain/post-proc:   {report.host_drain_seconds * 1e3:.2f} ms")
     print(f"Overhead factor:        {report.overhead_factor:.2f}x "
           f"(paper band: 2-10x)")
+    return 0
+
+
+def _cmd_self_overhead(args: argparse.Namespace, app) -> int:
+    """``overhead --self``: Section III-C pointed at our own stack."""
+    from repro.gtpin.overhead import measure_self_overhead
+    from repro.gtpin.profiler import profile
+
+    device = _device(args.device)
+    report = measure_self_overhead(
+        lambda: profile(app, device, trial_seed=args.seed)
+    )
+    print(f"Self-overhead attribution for 'gtpin profile {args.app}' "
+          f"(observability off vs on):")
+    print()
+    print(report.table())
     return 0
 
 
@@ -543,19 +595,50 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import live as obs_live
+    from repro.obs.top import run_top
+
+    port = obs_live.resolve_port(args.port)
+    if port is None:
+        print("gtpin top: no port; pass --port or set "
+              f"${obs_live.PORT_ENV} (start the run with --live-port)")
+        return 2
+    return run_top(
+        host=args.host, port=port, interval=args.interval, once=args.once
+    )
+
+
 def _run(args: argparse.Namespace) -> int:
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    from repro.obs import live as obs_live
+
     want_trace = getattr(args, "telemetry", False)
     report_out = getattr(args, "report", None)
-    if not want_trace and not report_out:
+    live_port = obs_live.resolve_port(getattr(args, "live_port", None))
+    if not want_trace and not report_out and live_port is None:
         return _dispatch(args)
-    # --telemetry / --report: run the command under capturing registries,
-    # then export the Chrome trace / HTML report and a one-screen summary.
+    # --telemetry / --report / --live-port: run the command under
+    # capturing registries (live serving needs them too), then export
+    # the Chrome trace / HTML report and a one-screen summary.
     from repro.obs import events as obs_events
 
     tm = telemetry.enable()
-    log = obs_events.enable() if report_out else None
+    log = (
+        obs_events.enable()
+        if (report_out or live_port is not None)
+        else None
+    )
+    hub = None
+    if live_port is not None:
+        hub = obs_live.enable(port=live_port)
+        hub.set_command(f"gtpin {args.command}")
+        print(f"(live endpoint: http://127.0.0.1:{hub.server.port}"
+              "/metrics and /health -- watch with "
+              f"'gtpin top --port {hub.server.port}')")
     try:
         status = _dispatch(args)
         if want_trace:
@@ -573,8 +656,10 @@ def _run(args: argparse.Namespace) -> int:
             )
             print(f"(HTML run report written to {report_out})")
     finally:
+        if hub is not None:
+            obs_live.disable()
         telemetry.disable()
-        if report_out:
+        if log is not None:
             obs_events.disable()
     return status
 

@@ -68,6 +68,9 @@ class FaultInjector:
         self.plan = plan
         self._scope = ""
         self._ordinals: dict[tuple[str, str], int] = {}
+        #: Total draw() calls, injected or not -- the operation count the
+        #: self-overhead attribution layer costs per fault check.
+        self.draws = 0
         #: site -> total injections (all scopes).
         self.injected: dict[str, int] = {}
         #: site -> operations that faulted but ultimately succeeded.
@@ -95,6 +98,7 @@ class FaultInjector:
 
     def draw(self, site: str) -> Injection | None:
         """One injection opportunity at ``site``; ``None`` = no fault."""
+        self.draws += 1
         rule = self.plan.rule_for(site)
         if rule is None or rule.probability == 0.0:
             return None
@@ -162,6 +166,7 @@ class DisabledFaultInjector:
 
     enabled = False
     plan = None
+    draws = 0
 
     def begin_scope(self, tag: str) -> None:
         pass

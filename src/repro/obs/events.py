@@ -22,9 +22,11 @@ records back with each task result and the parent folds them in -- see
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import dataclasses
 import json
+import os
 import threading
 import time
 from typing import IO, Any, Iterator
@@ -34,7 +36,23 @@ from repro import telemetry
 #: Recognized severity levels, in increasing order.
 LEVELS = ("DEBUG", "INFO", "WARN", "ERROR")
 
+#: Ring-buffer capacity override (events kept in memory per log).
+CAPACITY_ENV = "REPRO_EVENTS_CAP"
+
+#: Default ring-buffer capacity.  Week-long runs emit events without
+#: bound; the ring keeps the newest ``DEFAULT_CAPACITY`` and counts the
+#: rest in ``dropped`` (mirrored as the ``events.dropped`` telemetry
+#: counter), so the log's memory stays flat no matter how long the run.
+DEFAULT_CAPACITY = 65536
+
+#: Cap of the WARN/ERROR reserve: incidents evicted from the main ring
+#: are parked here instead of lost, so high-volume DEBUG/INFO chatter
+#: can never flush a run's few important records (fault injections,
+#: degradations) out of reports and the live endpoint.
+INCIDENT_RESERVE = 1024
+
 _LEVEL_RANK = {level: rank for rank, level in enumerate(LEVELS)}
+_WARN_RANK = _LEVEL_RANK["WARN"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,14 +82,66 @@ def _scalar(value: Any) -> Any:
     return repr(value)
 
 
+def _resolve_capacity(capacity: int | None) -> int:
+    if capacity is not None:
+        return max(1, int(capacity))
+    raw = os.environ.get(CAPACITY_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"{CAPACITY_ENV} must be an integer, got {raw!r}"
+            ) from None
+    return DEFAULT_CAPACITY
+
+
 class EventLog:
-    """A live (recording) event log."""
+    """A live (recording) event log.
+
+    Storage is a bounded ring (:data:`DEFAULT_CAPACITY` records, or the
+    ``REPRO_EVENTS_CAP`` override): when full, the oldest record is
+    evicted to admit the newest and ``dropped`` increments -- so the log
+    of an arbitrarily long run occupies bounded memory while the *count*
+    of what was lost stays exact.  Eviction is severity-aware: a
+    WARN/ERROR record pushed out of the main ring parks in a small
+    bounded reserve (:data:`INCIDENT_RESERVE`) instead of vanishing, so
+    chatty DEBUG loops cannot flush the incidents that reports and the
+    live endpoint exist to surface.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
         self._lock = threading.Lock()
-        self._records: list[EventRecord] = []
+        self.capacity = _resolve_capacity(capacity)
+        self._records: collections.deque[EventRecord] = collections.deque()
+        self._reserve_capacity = min(INCIDENT_RESERVE, self.capacity)
+        self._reserve: collections.deque[EventRecord] = collections.deque()
+        #: Records truly lost (evicted past the reserve); exact forever.
+        self.dropped = 0
+        # Absorbed worker records may carry timestamps older than
+        # already-recorded parent events; sort lazily on read.
+        self._needs_sort = False
+
+    def _drop_one(self) -> None:
+        self.dropped += 1
+        tm = telemetry.get()
+        if tm.enabled:
+            tm.inc("events.dropped")
+
+    def _admit(self, record: EventRecord) -> None:
+        """Append under the lock, evicting when the ring is full."""
+        if len(self._records) >= self.capacity:
+            evicted = self._records.popleft()
+            if _LEVEL_RANK[evicted.level] >= _WARN_RANK:
+                if len(self._reserve) >= self._reserve_capacity:
+                    self._reserve.popleft()
+                    self._drop_one()
+                self._reserve.append(evicted)
+            else:
+                self._drop_one()
+        self._records.append(record)
 
     def emit(self, level: str, name: str, **fields: Any) -> None:
         """Record one event at ``level`` (one of :data:`LEVELS`)."""
@@ -89,7 +159,7 @@ class EventLog:
             ),
         )
         with self._lock:
-            self._records.append(record)
+            self._admit(record)
 
     def debug(self, name: str, **fields: Any) -> None:
         self.emit("DEBUG", name, **fields)
@@ -104,27 +174,58 @@ class EventLog:
         self.emit("ERROR", name, **fields)
 
     def records(self, min_level: str = "DEBUG") -> list[EventRecord]:
-        """All events at or above ``min_level``, in emission order."""
+        """All retained events at or above ``min_level``, chronological.
+
+        Local emissions are already time-ordered; after an
+        :meth:`absorb` the merged deque is re-sorted by timestamp
+        (stable, so same-timestamp records keep their per-source
+        emission order) -- interleaved worker/parent events therefore
+        read chronologically in JSONL exports and reports.
+        """
         floor = _LEVEL_RANK[min_level]
         with self._lock:
-            return [
-                r for r in self._records if _LEVEL_RANK[r.level] >= floor
-            ]
+            if self._needs_sort:
+                self._records = collections.deque(
+                    sorted(self._records, key=lambda r: r.ts_unix)
+                )
+                self._needs_sort = False
+            if self._reserve:
+                # Reserved incidents predate everything still in the
+                # main ring (they were evicted first); listing them
+                # ahead keeps the stable sort's tie order = admit order.
+                merged = sorted(
+                    list(self._reserve) + list(self._records),
+                    key=lambda r: r.ts_unix,
+                )
+            else:
+                merged = self._records
+            return [r for r in merged if _LEVEL_RANK[r.level] >= floor]
 
     def absorb(self, records: Iterator[EventRecord] | list[EventRecord]) -> None:
-        """Fold shipped worker records in (emission order preserved
-        per worker; workers interleave in merge order)."""
+        """Fold shipped worker records in.
+
+        Worker wall clocks are comparable to the parent's (both are
+        ``time.time``), so absorbed records merge chronologically with
+        local ones -- the sort happens lazily on the next read.
+        """
         with self._lock:
-            self._records.extend(records)
+            absorbed = False
+            for record in records:
+                self._admit(record)
+                absorbed = True
+            if absorbed:
+                self._needs_sort = True
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) + len(self._reserve)
 
 
 class DisabledEventLog:
     """The no-op singleton active by default."""
 
     enabled = False
+    dropped = 0
+    capacity = 0
 
     def emit(self, level: str, name: str, **fields: Any) -> None:
         pass
@@ -166,10 +267,10 @@ def is_enabled() -> bool:
     return _active.enabled
 
 
-def enable() -> EventLog:
+def enable(capacity: int | None = None) -> EventLog:
     """Activate a fresh recording log and return it."""
     global _active
-    _active = EventLog()
+    _active = EventLog(capacity)
     return _active
 
 
@@ -180,11 +281,11 @@ def disable() -> None:
 
 
 @contextlib.contextmanager
-def session() -> Iterator[EventLog]:
+def session(capacity: int | None = None) -> Iterator[EventLog]:
     """Enable for a ``with`` block, then restore the previous log."""
     global _active
     previous = _active
-    _active = EventLog()
+    _active = EventLog(capacity)
     try:
         yield _active
     finally:

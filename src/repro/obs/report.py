@@ -276,6 +276,59 @@ def _hit_rates_section(tm: Telemetry) -> str:
     return _section("Hit rates", _table(("cache", "hit rate"), rows, "num"))
 
 
+# -- self-overhead attribution -----------------------------------------------
+
+
+def _overhead_section(
+    tm: Telemetry, log: EventLog | DisabledEventLog
+) -> str:
+    """Section III-style attribution of the observability stack's own
+    cost, from the run's exact operation tallies (see
+    :mod:`repro.gtpin.overhead`)."""
+    from repro.gtpin.overhead import attribute_self_overhead
+
+    report = attribute_self_overhead(tm, log)
+    rows = [
+        (
+            site.site,
+            _fmt(site.operations),
+            f"{site.unit_cost_seconds * 1e6:.3f}",
+            f"{site.total_seconds * 1e3:.3f}",
+        )
+        for site in report.sites
+    ]
+    parts = [
+        _table(
+            ("site", "operations", "unit cost (us)", "total (ms)"),
+            rows,
+            "num",
+        )
+    ]
+    if report.tools:
+        parts.append(
+            _table(
+                ("tool", "spans", "measured seconds"),
+                [
+                    (f"gtpin.tool.{t.tool}", _fmt(t.spans),
+                     f"{t.seconds:.6f}")
+                    for t in report.tools
+                ],
+                "num",
+            )
+        )
+    return _section(
+        "Self-overhead attribution",
+        "".join(parts),
+        note=(
+            "Estimated observability cost: exact per-site operation "
+            f"counts x calibrated unit costs "
+            f"({report.attributed_seconds * 1e3:.2f} ms attributed). "
+            "Run 'gtpin overhead APP --self' for a measured "
+            "walltime-delta reconciliation."
+        ),
+    )
+
+
 # -- faults / health ---------------------------------------------------------
 
 
@@ -431,6 +484,7 @@ def render_report(
         sections.append(hit_rates)
     sections.append(_histogram_section(tm))
     sections.append(_counters_section(tm))
+    sections.append(_overhead_section(tm, log))
     sections.append(_fault_section(tm, log, study))
     sections.append(_events_section(log))
     return (

@@ -1,0 +1,199 @@
+"""``gtpin top``: a terminal view of a live run.
+
+Polls the live endpoint's ``/health`` JSON document (see
+:mod:`repro.obs.live`) and redraws a one-screen summary -- progress,
+instruction throughput, cache/memo hit rates, per-worker task lanes,
+recent WARN/ERROR events.  Deliberately curses-free: the refresh is a
+plain ANSI clear-and-home, so it works in any terminal, in CI logs, and
+under ``script``.  ``--once`` renders a single frame with no escape
+codes at all (scripting / smoke tests).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, IO
+
+#: ANSI clear-screen + cursor-home, the whole "TUI framework".
+CLEAR = "\x1b[2J\x1b[H"
+
+DEFAULT_INTERVAL_SECONDS = 2.0
+
+
+def fetch_health(host: str, port: int, timeout: float = 3.0) -> dict[str, Any]:
+    """One ``/health`` poll; raises ``OSError`` flavors when unreachable."""
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/health", timeout=timeout
+    ) as response:
+        return json.loads(response.read().decode())
+
+
+def _fmt_count(value: float) -> str:
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f}{suffix}"
+    return f"{value:.0f}"
+
+
+def _fmt_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def _progress_bar(done: int, total: int, width: int = 28) -> str:
+    if total <= 0:
+        return "[" + "-" * width + "]"
+    filled = int(width * min(done / total, 1.0))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_top(health: dict[str, Any]) -> str:
+    """One frame from a ``/health`` document.  Pure function: testable
+    without a server, reused verbatim by ``--once`` and the live loop."""
+    lines: list[str] = []
+    tasks = health.get("tasks", {})
+    done = int(tasks.get("done", 0))
+    total = int(tasks.get("total", 0))
+    failed = int(tasks.get("failed", 0))
+    status = health.get("status", "?")
+    command = health.get("command") or "(no command label)"
+    lines.append(
+        f"gtpin top -- {command} -- {status} -- "
+        f"up {_fmt_duration(health.get('uptime_seconds'))}"
+    )
+    bar = _progress_bar(done, total)
+    pct = f"{100.0 * done / total:5.1f}%" if total else "   --"
+    failed_note = f"  ({failed} failed)" if failed else ""
+    lines.append(
+        f"tasks {bar} {done}/{total} {pct}"
+        f"  eta {_fmt_duration(health.get('eta_seconds'))}{failed_note}"
+    )
+    instr = health.get("instructions", {})
+    rate_line = (
+        f"instr  {_fmt_count(instr.get('total', 0.0))} total"
+        f"  {_fmt_count(instr.get('per_second', 0.0))}/s"
+    )
+    rates = health.get("hit_rates", {})
+    if rates:
+        rate_line += "   " + "  ".join(
+            f"{name} {value:.0%}" for name, value in sorted(rates.items())
+        )
+    lines.append(rate_line)
+    flags = health.get("flags", [])
+    dropped = health.get("events", {}).get("dropped", 0)
+    if flags or dropped or health.get("faults_injected"):
+        notes = []
+        if health.get("faults_injected"):
+            notes.append(f"faults injected: {int(health['faults_injected'])}")
+        if dropped:
+            notes.append(f"events dropped: {dropped}")
+        if flags:
+            notes.append("flags: " + ", ".join(flags[:4]))
+        lines.append("!      " + "; ".join(notes))
+    spans = health.get("active_spans", [])
+    if spans:
+        lines.append("")
+        lines.append("active spans:")
+        for span in spans[:6]:
+            lines.append(
+                f"  {span.get('seconds', 0.0):8.2f}s  "
+                f"[{span.get('category', '')}] {span.get('name', '')}"
+            )
+    workers = health.get("workers", [])
+    if workers:
+        lines.append("")
+        lines.append(f"{'worker':<12} {'heartbeats':>10} {'age':>7}  task")
+        for lane in workers[:12]:
+            marker = "*" if lane.get("final") else " "
+            lines.append(
+                f"{lane.get('source', ''):<12} "
+                f"{lane.get('heartbeats', 0):>10} "
+                f"{_fmt_duration(lane.get('age_seconds', 0)):>7} "
+                f"{marker} {lane.get('task', '')}"
+            )
+    recent = [
+        event
+        for event in health.get("events", {}).get("recent", [])
+        if event.get("level") in ("WARN", "ERROR")
+    ]
+    if recent:
+        lines.append("")
+        lines.append("recent WARN/ERROR events:")
+        for event in recent[-8:]:
+            stamp = time.strftime(
+                "%H:%M:%S", time.localtime(event.get("ts_unix", 0))
+            )
+            extras = ", ".join(
+                f"{key}={value}"
+                for key, value in event.items()
+                if key not in ("ts_unix", "level", "name", "span_id")
+            )
+            lines.append(
+                f"  {stamp} {event.get('level', ''):<5} "
+                f"{event.get('name', '')}"
+                + (f"  ({extras})" if extras else "")
+            )
+    counts = health.get("events", {}).get("counts", {})
+    if counts:
+        lines.append("")
+        lines.append(
+            "events: "
+            + "  ".join(
+                f"{level} {counts.get(level, 0)}"
+                for level in ("DEBUG", "INFO", "WARN", "ERROR")
+            )
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    interval: float = DEFAULT_INTERVAL_SECONDS,
+    once: bool = False,
+    stream: IO[str] | None = None,
+) -> int:
+    """The polling loop behind ``gtpin top``.
+
+    ``--once`` renders exactly one frame (exit 1 if the endpoint is
+    unreachable); otherwise redraws every ``interval`` seconds until
+    interrupted, riding out transient endpoint errors (the run may not
+    have opened its port yet, or may have just finished).
+    """
+    out = stream or sys.stdout
+    misses = 0
+    while True:
+        try:
+            health = fetch_health(host, port)
+        except (OSError, urllib.error.URLError, ValueError) as exc:
+            if once:
+                out.write(f"live endpoint http://{host}:{port}/health "
+                          f"unreachable: {exc}\n")
+                return 1
+            misses += 1
+            if misses >= 5:
+                out.write(f"{CLEAR}waiting for live endpoint "
+                          f"http://{host}:{port}/health ...\n")
+            time.sleep(interval)
+            continue
+        misses = 0
+        frame = render_top(health)
+        if once:
+            out.write(frame + "\n")
+            return 0
+        out.write(CLEAR + frame + "\n")
+        try:
+            out.flush()
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0

@@ -29,14 +29,21 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import os
+import queue as queue_module
+import threading
 import time
 import traceback
 from typing import Any, Callable, Sequence
 
 from repro import telemetry
 from repro.obs import events as obs_events
+from repro.obs import live as obs_live
 from repro.obs.events import EventRecord
-from repro.telemetry.snapshot import TelemetrySnapshot, capture_snapshot
+from repro.telemetry.snapshot import (
+    DeltaTracker,
+    TelemetrySnapshot,
+    capture_snapshot,
+)
 
 #: Job-count environment control (``0`` = all cores).
 JOBS_ENV = "REPRO_JOBS"
@@ -92,13 +99,46 @@ class _WorkerResult:
     traceback: str | None
     snapshot: TelemetrySnapshot | None
     events: tuple[EventRecord, ...] = ()
+    #: Heartbeat source name, so the parent can retire the source's
+    #: in-flight live-hub contribution after merging the final snapshot.
+    source: str = ""
+
+
+def _heartbeat_loop(
+    heartbeat_queue: Any,
+    tracker: DeltaTracker,
+    tm: Any,
+    log: Any,
+    stop: threading.Event,
+    interval: float,
+) -> None:
+    """Worker-side ticker: ship a delta every ``interval`` seconds while
+    the task runs.  Any channel failure ends heartbeating quietly -- the
+    end-of-task snapshot still delivers everything."""
+    while not stop.wait(interval):
+        try:
+            delta = tracker.capture(tm, log)
+            if delta is not None:
+                heartbeat_queue.put(delta)
+        except Exception:
+            return
 
 
 def _run_task(
-    fn: Callable[..., Any], args: tuple, capture: bool
+    fn: Callable[..., Any],
+    args: tuple,
+    capture: bool,
+    heartbeat: Any = None,
 ) -> _WorkerResult:
     """Worker-side wrapper: run one task under fresh telemetry and
-    event-log sessions; both are shipped back for the parent to merge."""
+    event-log sessions; both are shipped back for the parent to merge.
+
+    With a ``heartbeat`` spec, a daemon ticker thread additionally
+    streams :class:`~repro.telemetry.snapshot.TelemetryDelta` heartbeats
+    over the side channel while the task runs, ending with a ``final``
+    delta -- the live endpoint's in-flight view (see
+    :mod:`repro.obs.live`).
+    """
     os.environ[WORKER_ENV] = "1"
     if not capture:
         try:
@@ -108,25 +148,50 @@ def _run_task(
                 None, _format_error(exc), traceback.format_exc(), None
             )
     with telemetry.session() as tm, obs_events.session() as log:
+        tracker = stop = ticker = None
+        source = ""
+        if heartbeat is not None:
+            try:
+                heartbeat_queue, source, task_label, interval = heartbeat
+                tracker = DeltaTracker(source, task=task_label)
+                stop = threading.Event()
+                ticker = threading.Thread(
+                    target=_heartbeat_loop,
+                    args=(heartbeat_queue, tracker, tm, log, stop, interval),
+                    name="repro-heartbeat",
+                    daemon=True,
+                )
+                ticker.start()
+            except Exception:
+                tracker = stop = ticker = None
+                source = ""
         start = time.perf_counter()
+        error = tb = None
         try:
             value = fn(*args)
         except Exception as exc:
-            tm.observe_hist(
-                "parallel.task_seconds", time.perf_counter() - start, "s"
-            )
-            return _WorkerResult(
-                None,
-                _format_error(exc),
-                traceback.format_exc(),
-                capture_snapshot(tm),
-                tuple(log.records()),
-            )
+            value = None
+            error = _format_error(exc)
+            tb = traceback.format_exc()
         tm.observe_hist(
             "parallel.task_seconds", time.perf_counter() - start, "s"
         )
+        if tracker is not None:
+            stop.set()
+            ticker.join(timeout=5.0)
+            try:
+                final = tracker.capture(tm, log, final=True)
+                if final is not None:
+                    heartbeat_queue.put(final)
+            except Exception:
+                pass
         return _WorkerResult(
-            value, None, None, capture_snapshot(tm), tuple(log.records())
+            value,
+            error,
+            tb,
+            capture_snapshot(tm),
+            tuple(log.records()),
+            source,
         )
 
 
@@ -135,11 +200,14 @@ def _format_error(exc: BaseException) -> str:
 
 
 def _serial_map(
-    fn: Callable[..., Any], tasks: Sequence[tuple]
+    fn: Callable[..., Any], tasks: Sequence[tuple], batch_id: int = -1
 ) -> list[TaskOutcome]:
     """In-process execution; telemetry records directly into the caller's
-    registry, so no snapshot plumbing is needed."""
+    registry, so no snapshot plumbing is needed (and the live endpoint
+    reads the caller's registry directly -- serial runs are inherently
+    live)."""
     tm = telemetry.get()
+    hub = obs_live.get()
     outcomes: list[TaskOutcome] = []
     for index, args in enumerate(tasks):
         start = time.perf_counter()
@@ -157,6 +225,8 @@ def _serial_map(
             tm.observe_hist(
                 "parallel.task_seconds", time.perf_counter() - start, "s"
             )
+        if hub.enabled:
+            hub.task_done(batch_id, ok=outcomes[-1].ok)
     return outcomes
 
 
@@ -179,17 +249,25 @@ def parallel_map(
     task_tuples = [tuple(args) for args in tasks]
     n_jobs = min(resolve_jobs(jobs), max(1, len(task_tuples)))
     tm = telemetry.get()
+    hub = obs_live.get()
     if capture_telemetry is None:
         capture_telemetry = tm.enabled or obs_events.is_enabled()
+    batch_id = (
+        hub.begin_batch(label, len(task_tuples)) if hub.enabled else -1
+    )
     with tm.span(
         label, category="parallel", tasks=len(task_tuples), jobs=n_jobs
     ) as span:
-        if n_jobs == 1:
-            outcomes = _serial_map(fn, task_tuples)
-        else:
-            outcomes = _pool_map(
-                fn, task_tuples, n_jobs, bool(capture_telemetry)
-            )
+        try:
+            if n_jobs == 1:
+                outcomes = _serial_map(fn, task_tuples, batch_id)
+            else:
+                outcomes = _pool_map(
+                    fn, task_tuples, n_jobs, bool(capture_telemetry), batch_id
+                )
+        finally:
+            if hub.enabled:
+                hub.end_batch(batch_id)
         failed = sum(1 for o in outcomes if not o.ok)
         span.annotate(failed=failed)
     if tm.enabled:
@@ -199,29 +277,99 @@ def parallel_map(
     return outcomes
 
 
+def _drain_heartbeats(
+    heartbeat_queue: Any, hub: Any, stop: threading.Event
+) -> None:
+    """Parent-side drain: apply worker deltas to the live hub as they
+    arrive.  Runs until ``stop`` is set *and* the queue is empty --
+    every final delta is put before the worker's result is returned, so
+    a post-``stop`` drain-to-empty consumes everything."""
+    while True:
+        try:
+            delta = heartbeat_queue.get(timeout=0.25)
+        except queue_module.Empty:
+            if stop.is_set():
+                return
+            continue
+        except Exception:
+            # Manager torn down; nothing more will arrive.
+            return
+        if delta is None:
+            return
+        try:
+            hub.apply_delta(delta)
+        except Exception:
+            pass
+
+
+def _start_heartbeat_channel(
+    hub: Any,
+) -> tuple[Any, Any, threading.Event, threading.Thread] | None:
+    """Build the side channel: a Manager queue (proxy objects pickle
+    into ProcessPoolExecutor tasks, plain multiprocessing queues do
+    not) plus the parent drain thread.  ``None`` -- live view degrades
+    to end-of-task merges only -- when no Manager can start."""
+    try:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        heartbeat_queue = manager.Queue()
+    except Exception:
+        tm = telemetry.get()
+        if tm.enabled:
+            tm.inc("parallel.heartbeat_fallbacks")
+        return None
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=_drain_heartbeats,
+        args=(heartbeat_queue, hub, stop),
+        name="repro-heartbeat-drain",
+        daemon=True,
+    )
+    thread.start()
+    return manager, heartbeat_queue, stop, thread
+
+
 def _pool_map(
     fn: Callable[..., Any],
     tasks: list[tuple],
     n_jobs: int,
     capture: bool,
+    batch_id: int = -1,
 ) -> list[TaskOutcome]:
     tm = telemetry.get()
+    hub = obs_live.get()
     try:
         executor = concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs)
     except (OSError, ValueError, ImportError, NotImplementedError):
         # No usable multiprocessing (restricted sandboxes, missing
         # semaphores): the serial path produces identical results.
         tm.inc("parallel.pool_fallbacks")
-        return _serial_map(fn, tasks)
+        return _serial_map(fn, tasks, batch_id)
+    channel = None
+    if capture and hub.enabled:
+        channel = _start_heartbeat_channel(hub)
+    interval = obs_live.heartbeat_interval() if channel else 0.0
+    task_name = getattr(fn, "__name__", "task")
     parent_span_id = tm.current_span_id()
     outcomes: list[TaskOutcome | None] = [None] * len(tasks)
     snapshots: list[TelemetrySnapshot | None] = [None] * len(tasks)
     worker_events: list[tuple[EventRecord, ...]] = [()] * len(tasks)
+    sources: list[str] = [""] * len(tasks)
     with executor:
-        futures = {
-            executor.submit(_run_task, fn, args, capture): index
-            for index, args in enumerate(tasks)
-        }
+        futures = {}
+        for index, args in enumerate(tasks):
+            heartbeat = None
+            if channel is not None:
+                heartbeat = (
+                    channel[1],
+                    f"b{batch_id}.t{index}",
+                    f"{task_name}[{index}]",
+                    interval,
+                )
+            futures[
+                executor.submit(_run_task, fn, args, capture, heartbeat)
+            ] = index
         for future in concurrent.futures.as_completed(futures):
             index = futures[future]
             try:
@@ -235,6 +383,8 @@ def _pool_map(
                     error=_format_error(exc),
                     traceback=traceback.format_exc(),
                 )
+                if hub.enabled:
+                    hub.task_done(batch_id, ok=False)
                 continue
             outcomes[index] = TaskOutcome(
                 index,
@@ -244,11 +394,31 @@ def _pool_map(
             )
             snapshots[index] = result.snapshot
             worker_events[index] = result.events
+            sources[index] = result.source
+            if hub.enabled:
+                hub.task_done(batch_id, ok=result.error is None)
+    if channel is not None:
+        # Every final delta was enqueued before its task's result came
+        # back, so drain-to-empty here is complete -- and it must finish
+        # BEFORE sources are retired below, or a late delta would
+        # resurrect a retired source and double count.
+        manager, _, stop, thread = channel
+        stop.set()
+        thread.join(timeout=10.0)
+        try:
+            manager.shutdown()
+        except Exception:
+            pass
     if capture and tm.enabled:
         # Deterministic merge order: task order, not completion order.
-        for snapshot in snapshots:
+        # Retiring each source right after its snapshot merges keeps the
+        # live totals monotonic: the worker's contribution moves from
+        # the accumulator into the parent registry, never vanishing.
+        for index, snapshot in enumerate(snapshots):
             if snapshot is not None:
                 telemetry.merge_snapshot(tm, snapshot, parent_span_id)
+                if sources[index] and hub.enabled:
+                    hub.retire_source(sources[index])
     if capture:
         log = obs_events.get()
         if log.enabled:

@@ -50,7 +50,10 @@ from repro.telemetry.registry import (
 )
 from repro.telemetry.snapshot import (
     CounterSnapshot,
+    DeltaAccumulator,
+    DeltaTracker,
     GaugeSnapshot,
+    TelemetryDelta,
     TelemetrySnapshot,
     capture_snapshot,
     merge_snapshot,
@@ -70,6 +73,8 @@ __all__ = [
     "CounterSet",
     "CounterSnapshot",
     "DISABLED",
+    "DeltaAccumulator",
+    "DeltaTracker",
     "DisabledTelemetry",
     "GROWTH",
     "Gauge",
@@ -82,6 +87,7 @@ __all__ = [
     "SpanCollector",
     "SpanRecord",
     "Telemetry",
+    "TelemetryDelta",
     "TelemetrySnapshot",
     "Timer",
     "bucket_index",

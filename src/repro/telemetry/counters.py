@@ -53,16 +53,24 @@ class _Series:
 
 
 class Counter(_Series):
-    """A monotonically-increasing named total."""
+    """A monotonically-increasing named total.
 
-    __slots__ = ("value",)
+    ``ops`` tallies how many times ``inc`` ran (the *value* can grow by
+    arbitrary amounts per call); the self-overhead attribution layer
+    multiplies it by a calibrated per-call cost (Section III-C applied
+    to our own instrumentation).
+    """
+
+    __slots__ = ("value", "ops")
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self.value = 0.0
+        self.ops = 0
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
+        self.ops += 1
         self._sample(self.value)
 
 

@@ -136,11 +136,21 @@ class Histogram:
         return self.total / self.count
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (0 <= q <= 1) of the observations."""
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observations.
+
+        The extremes are exact: ``quantile(0.0)`` is the observed
+        minimum and ``quantile(1.0)`` the observed maximum -- both are
+        tracked directly, so neither is subject to bucket-midpoint
+        estimation error.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
         # Rank of the quantile observation, 1-based, ceiling -- the same
         # "smallest value with cumulative count >= q*n" convention the
         # merge tests replay by hand.
@@ -155,6 +165,16 @@ class Histogram:
                 return min(max(estimate, self.minimum), self.maximum)
         return self.maximum  # pragma: no cover - conservation makes
         # the loop always terminate inside a bucket
+
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` on the 0-100 percentile scale.
+
+        ``percentile(0)`` / ``percentile(100)`` return the exact
+        observed minimum / maximum, never a bucket edge or midpoint.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
 
     def percentiles(self) -> dict[str, float]:
         """The report quantiles plus max, keyed ``p50``/``p90``/``p99``."""

@@ -77,6 +77,14 @@ class Telemetry:
         """All completed spans, in completion order."""
         return self._collector.records()
 
+    def open_spans(self) -> list[ActiveSpan]:
+        """Spans currently open on any thread, oldest first.
+
+        The live-observability endpoint renders these as the "what is
+        the process doing right now" view.
+        """
+        return self._collector.open_spans()
+
     def current_span_id(self) -> int | None:
         """Id of the innermost span open on the calling thread, if any.
 
@@ -121,6 +129,9 @@ class DisabledTelemetry:
         return Timer()
 
     def spans(self) -> list[SpanRecord]:
+        return []
+
+    def open_spans(self) -> list[ActiveSpan]:
         return []
 
     def current_span_id(self) -> int | None:

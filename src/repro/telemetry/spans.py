@@ -63,13 +63,20 @@ class _ThreadStack(threading.local):
 
 
 class SpanCollector:
-    """Accumulates finished spans; thread-safe."""
+    """Accumulates finished spans; thread-safe.
+
+    Currently-open spans are additionally tracked in a cross-thread
+    table (the per-thread stacks are thread-local and cannot be
+    enumerated from outside), so the live-observability endpoint can
+    report what the process is doing *right now*.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[SpanRecord] = []
         self._next_id = 0
         self._stacks = _ThreadStack()
+        self._open: dict[int, "ActiveSpan"] = {}
 
     def allocate_id(self) -> int:
         with self._lock:
@@ -77,9 +84,23 @@ class SpanCollector:
             self._next_id += 1
             return span_id
 
+    def open(self, span: "ActiveSpan") -> int:
+        """Allocate an id for ``span`` and register it as open."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._open[span_id] = span
+            return span_id
+
+    def open_spans(self) -> list["ActiveSpan"]:
+        """Spans currently open on any thread, oldest first."""
+        with self._lock:
+            return sorted(self._open.values(), key=lambda s: s.start_ns)
+
     def record(self, record: SpanRecord) -> None:
         with self._lock:
             self._records.append(record)
+            self._open.pop(record.span_id, None)
 
     def records(self) -> list[SpanRecord]:
         """Completed spans in completion order."""
@@ -139,7 +160,7 @@ class ActiveSpan:
         stack = self._collector._stacks.stack
         self.parent_id = stack[-1].span_id if stack else None
         self.depth = len(stack)
-        self.span_id = self._collector.allocate_id()
+        self.span_id = self._collector.open(self)
         self.thread_id = threading.get_ident()
         stack.append(self)
         self.start_ns = time.perf_counter_ns()

@@ -217,3 +217,63 @@ def test_disasm_unknown_kernel(capsys):
          "--kernel", "nope"]
     ) == 1
     assert "unknown kernel" in capsys.readouterr().out
+
+
+def test_top_without_port_is_a_usage_error(monkeypatch, capsys):
+    from repro.obs import live
+
+    monkeypatch.delenv(live.PORT_ENV, raising=False)
+    assert main(["top", "--once"]) == 2
+    assert "--port" in capsys.readouterr().out
+
+
+def test_top_once_against_dead_endpoint(monkeypatch):
+    monkeypatch.delenv("REPRO_LIVE_PORT", raising=False)
+    # Nothing listens on port 1; --once must fail fast, not loop.
+    assert main(["top", "--once", "--port", "1"]) == 1
+
+
+def test_live_port_flag_serves_during_run(capsys):
+    import json
+    import urllib.request
+
+    from repro.obs import live
+
+    class _Probe:
+        port = None
+        health = None
+
+    real_enable = live.enable
+
+    def probing_enable(port=None, host="127.0.0.1"):
+        hub = real_enable(port=port, host=host)
+        _Probe.port = hub.server.port
+        return hub
+
+    live.enable = probing_enable
+    real_disable = live.disable
+
+    def probing_disable():
+        # Scrape just before teardown: the run is complete, so totals
+        # equal the final merged telemetry.
+        if _Probe.port is not None and live.get().enabled:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{_Probe.port}/health", timeout=5
+            ) as response:
+                _Probe.health = json.loads(response.read().decode())
+        real_disable()
+
+    live.disable = probing_disable
+    try:
+        assert main(
+            ["profile", "cb-gaussian-image", "--scale", "0.2",
+             "--live-port", "0"]
+        ) == 0
+    finally:
+        live.enable = real_enable
+        live.disable = real_disable
+    out = capsys.readouterr().out
+    assert "live endpoint" in out
+    assert _Probe.health is not None
+    assert _Probe.health["instructions"]["total"] > 0
+    assert _Probe.health["command"] == "gtpin profile"

@@ -216,3 +216,46 @@ def test_histogram_math_survives_extreme_magnitudes():
     assert h.count == 3
     assert math.isfinite(h.quantile(0.5))
     assert h.maximum == 1e300
+
+
+# -- exact percentile extremes -----------------------------------------------
+
+
+def test_percentile_extremes_are_exact_observed_min_max():
+    """p0/p100 are the tracked extremes, never a bucket midpoint."""
+    h = Histogram("t", "s")
+    values = [0.0012, 0.37, 5.2, 19.0]
+    for v in values:
+        h.observe(v)
+    assert h.quantile(0.0) == min(values)
+    assert h.quantile(1.0) == max(values)
+    assert h.percentile(0) == min(values)
+    assert h.percentile(100) == max(values)
+    # The extremes are exact even though bucket estimation is not:
+    # 19.0's bucket midpoint lands elsewhere in the log bucket.
+    assert bucket_midpoint(bucket_index(19.0)) != 19.0
+    # Interior percentiles are delegated to quantile().
+    assert h.percentile(50) == h.quantile(0.5)
+
+
+def test_percentile_extremes_survive_merge():
+    a = Histogram("t", "s")
+    b = Histogram("t", "s")
+    a.observe(3.0)
+    b.observe(0.25)
+    b.observe(40.0)
+    a.merge(b.snapshot())
+    assert a.percentile(0) == 0.25
+    assert a.percentile(100) == 40.0
+
+
+def test_percentile_validates_range_and_handles_empty():
+    h = Histogram("t", "s")
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == 0.0
+    with pytest.raises(ValueError, match="percentile"):
+        h.percentile(-1)
+    with pytest.raises(ValueError, match="percentile"):
+        h.percentile(100.5)
+    with pytest.raises(ValueError, match="quantile"):
+        h.quantile(1.5)

@@ -1,0 +1,454 @@
+"""Live observability: streaming deltas, the hub, the endpoint, gtpin top.
+
+The conservation properties here are the load-bearing ones: heartbeat
+deltas ship *cumulative* per-series state with per-source sequence
+numbers, so the receiver-side merge must be idempotent, order
+independent, and bit-exact against the worker registry's final values.
+The endpoint tests then assert the acceptance criterion end to end: the
+scraped totals equal the end-of-run merged telemetry exactly.
+"""
+
+import io
+import json
+import os
+import queue
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults, telemetry
+from repro.faults import FaultPlan
+from repro.gpu.device import HD4000
+from repro.obs import events as obs_events
+from repro.obs import live
+from repro.obs.metrics import metric_name, parse_exposition
+from repro.obs.top import render_top, run_top
+from repro.parallel.pool import WORKER_ENV, _run_task, parallel_map
+from repro.sampling.pipeline import profile_workload
+from repro.telemetry.registry import Telemetry
+from repro.telemetry.snapshot import DeltaAccumulator, DeltaTracker
+from repro.workloads import load_app
+
+
+@pytest.fixture
+def hub():
+    active = live.enable()
+    yield active
+    live.disable()
+
+
+@pytest.fixture
+def served_hub():
+    active = live.enable(port=0)
+    yield active
+    live.disable()
+
+
+def _url(hub, path):
+    return f"http://127.0.0.1:{hub.server.port}{path}"
+
+
+def _get(hub, path):
+    with urllib.request.urlopen(_url(hub, path), timeout=5) as response:
+        return response.read().decode()
+
+
+# -- delta conservation properties -------------------------------------------
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["inc", "gauge", "hist"]),
+        st.sampled_from(["alpha", "beta", "gamma"]),
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def _apply_ops(tm, ops):
+    for kind, name, value in ops:
+        if kind == "inc":
+            tm.inc(name, value)
+        elif kind == "gauge":
+            tm.observe(name, value)
+        else:
+            tm.observe_hist(name, value, "u")
+
+
+def _capture_all(tm, tracker, ops, n_chunks):
+    """Apply ``ops`` in ``n_chunks`` slices, capturing after each."""
+    deltas = []
+    size = max(1, len(ops) // n_chunks)
+    for start in range(0, len(ops), size):
+        _apply_ops(tm, ops[start:start + size])
+        delta = tracker.capture(tm)
+        if delta is not None:
+            deltas.append(delta)
+    final = tracker.capture(tm, final=True)
+    if final is not None:
+        deltas.append(final)
+    return deltas
+
+
+def _assert_conserves(acc, tm):
+    """Accumulator totals must equal the registry's finals bit-exactly."""
+    assert acc.counter_totals() == {
+        name: c.value for name, c in tm.counters.counters.items()
+    }
+    gauges = acc.gauge_totals()
+    assert set(gauges) == set(tm.counters.gauges)
+    for name, gauge in tm.counters.gauges.items():
+        got = gauges[name]
+        assert (got.count, got.total, got.minimum, got.maximum) == (
+            gauge.count, gauge.total, gauge.minimum, gauge.maximum
+        )
+        assert got.last == gauge.last
+    hists = acc.histogram_totals()
+    assert set(hists) == set(tm.counters.histograms)
+    for name, hist in tm.counters.histograms.items():
+        got = hists[name]
+        assert (got.count, got.total, got.minimum, got.maximum) == (
+            hist.count, hist.total, hist.minimum, hist.maximum
+        )
+        assert got.buckets == hist.buckets
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS, data=st.data())
+def test_delta_merge_is_exact_idempotent_and_order_independent(ops, data):
+    tm = Telemetry()
+    tracker = DeltaTracker("w0")
+    deltas = _capture_all(
+        tm, tracker, ops, n_chunks=data.draw(st.integers(1, 5))
+    )
+    assert deltas, "final capture must always produce a delta"
+
+    order = data.draw(st.permutations(range(len(deltas))))
+    duplicates = data.draw(
+        st.lists(
+            st.integers(0, len(deltas) - 1), min_size=0, max_size=5
+        )
+    )
+    acc = DeltaAccumulator()
+    for index in list(order) + duplicates:
+        acc.apply(deltas[index])
+    _assert_conserves(acc, tm)
+
+    # Replaying the entire stream again changes nothing (idempotence).
+    for delta in deltas:
+        acc.apply(delta)
+    _assert_conserves(acc, tm)
+
+
+def test_delta_totals_sum_across_sources_exactly():
+    acc = DeltaAccumulator()
+    registries = []
+    for worker in range(3):
+        tm = Telemetry()
+        tracker = DeltaTracker(f"w{worker}")
+        _apply_ops(tm, [("inc", "jobs", 1.0 + worker)])
+        tm.observe_hist("size", 2.0 * (worker + 1), "B")
+        for delta in _capture_all(tm, tracker, [], 1):
+            acc.apply(delta)
+        registries.append(tm)
+    totals = acc.counter_totals()
+    assert totals["jobs"] == sum(
+        r.counter_value("jobs") for r in registries
+    )
+    merged = acc.histogram_totals()["size"]
+    assert merged.count == 3
+    assert merged.minimum == 2.0
+    assert merged.maximum == 6.0
+    assert acc.sources() == {"w0", "w1", "w2"}
+    acc.drop_source("w1")
+    assert acc.counter_totals()["jobs"] == pytest.approx(1.0 + 3.0)
+
+
+def test_stale_delta_never_regresses_a_newer_one():
+    tm = Telemetry()
+    tracker = DeltaTracker("w0")
+    tm.inc("steps", 5)
+    early = tracker.capture(tm)
+    tm.inc("steps", 7)
+    late = tracker.capture(tm, final=True)
+    acc = DeltaAccumulator()
+    assert acc.apply(late)
+    assert not acc.apply(early)  # stale: every series already newer
+    assert acc.counter_totals()["steps"] == 12.0
+    assert acc.duplicates == 1
+
+
+def test_tracker_ships_only_changed_series_and_event_tail():
+    tm = Telemetry()
+    with obs_events.session() as log:
+        tracker = DeltaTracker("w0", task="demo")
+        tm.inc("a")
+        tm.inc("b")
+        first = tracker.capture(tm, log)
+        assert {c.name for c in first.counters} == {"a", "b"}
+        tm.inc("a")
+        log.warn("trouble", k=1)
+        second = tracker.capture(tm, log)
+        assert {c.name for c in second.counters} == {"a"}
+        assert [e.name for e in second.events] == ["trouble"]
+        assert second.seq == 1
+        # Nothing changed: no heartbeat at all.
+        assert tracker.capture(tm, log) is None
+        final = tracker.capture(tm, log, final=True)
+        assert final is not None and final.final
+
+
+# -- the heartbeat path through _run_task ------------------------------------
+
+
+def _noisy_task(n):
+    tm = telemetry.get()
+    for i in range(n):
+        tm.inc("live.work")
+        tm.observe_hist("live.sizes", i + 1.0, "B")
+    obs_events.get().warn("live.trouble", n=n)
+    return n
+
+
+def test_run_task_ships_final_delta_over_the_side_channel():
+    channel = queue.Queue()
+    heartbeat = (channel, "src0", "noisy[0]", 0.02)
+    try:
+        result = _run_task(_noisy_task, (25,), True, heartbeat)
+    finally:
+        os.environ.pop(WORKER_ENV, None)
+    assert result.value == 25
+    assert result.source == "src0"
+    deltas = []
+    while not channel.empty():
+        deltas.append(channel.get_nowait())
+    assert deltas and deltas[-1].final
+    acc = DeltaAccumulator()
+    for delta in deltas:
+        acc.apply(delta)
+    assert acc.counter_totals()["live.work"] == 25.0
+    hist = acc.histogram_totals()["live.sizes"]
+    assert (hist.count, hist.minimum, hist.maximum) == (25, 1.0, 25.0)
+    # The end-of-task snapshot carries the same finals (the delta path
+    # is a preview, never a replacement).
+    snap = {c.name: c.value for c in result.snapshot.counters}
+    assert snap["live.work"] == 25.0
+
+
+# -- hub behavior ------------------------------------------------------------
+
+
+def test_hub_progress_batches_and_health(hub):
+    batch = hub.begin_batch("test.batch", 4)
+    hub.task_done(batch)
+    hub.task_done(batch, ok=False)
+    doc = hub.health_doc()
+    assert doc["tasks"] == {"done": 2, "total": 4, "failed": 1}
+    assert doc["status"] == "running"
+    assert doc["eta_seconds"] is not None
+    hub.task_done(batch)
+    hub.task_done(batch)
+    hub.end_batch(batch)
+    doc = hub.health_doc()
+    assert doc["tasks"]["done"] == 4
+    assert doc["status"] == "done"
+    assert doc["eta_seconds"] is None
+
+
+def test_hub_merges_parent_registry_with_unretired_sources(hub):
+    with telemetry.session() as tm:
+        tm.inc("demo.counter", 10)
+        tracker = DeltaTracker("w7")
+        worker_tm = Telemetry()
+        worker_tm.inc("demo.counter", 5)
+        hub.apply_delta(tracker.capture(worker_tm, final=True))
+        parsed = parse_exposition(hub.metrics_text())
+        name = metric_name("demo.counter") + "_total"
+        assert parsed[name] == 15.0
+        assert [w["source"] for w in hub.health_doc()["workers"]] == ["w7"]
+        # Simulate the pool's end-of-task merge + retire: no double count.
+        tm.inc("demo.counter", 5)
+        hub.retire_source("w7")
+        parsed = parse_exposition(hub.metrics_text())
+        assert parsed[name] == 15.0
+        assert hub.health_doc()["workers"] == []
+
+
+def test_disabled_hub_is_inert():
+    assert live.get() is live.DISABLED_HUB
+    assert not live.is_enabled()
+    assert live.get().begin_batch("x", 3) == -1
+    live.get().task_done(-1)
+    live.get().retire_source("nope")
+
+
+# -- the HTTP endpoint -------------------------------------------------------
+
+
+def test_endpoint_serves_metrics_health_and_events(served_hub):
+    with telemetry.session() as tm, obs_events.session() as log:
+        tm.inc("endpoint.counter", 3)
+        tm.observe_hist("endpoint.sizes", 7.0, "B")
+        log.warn("endpoint.warned", k=2)
+        served_hub.set_command("gtpin test")
+
+        metrics = _get(served_hub, "/metrics")
+        parsed = parse_exposition(metrics)
+        assert parsed[metric_name("endpoint.counter") + "_total"] == 3.0
+        assert parsed[metric_name("endpoint.sizes") + "_count"] == 1.0
+        assert parsed[metric_name("endpoint.sizes") + "_min"] == 7.0
+        assert metric_name("uptime_seconds") in metrics
+
+        health = json.loads(_get(served_hub, "/health"))
+        assert health["command"] == "gtpin test"
+        assert health["events"]["counts"]["WARN"] == 1
+        assert [e["name"] for e in health["events"]["recent"]] == [
+            "endpoint.warned"
+        ]
+
+        events = json.loads(_get(served_hub, "/events"))
+        assert [e["name"] for e in events] == ["endpoint.warned"]
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(served_hub, "/nope")
+        assert err.value.code == 404
+
+
+def test_endpoint_port_zero_binds_ephemeral(served_hub):
+    assert served_hub.server.port > 0
+
+
+def test_resolve_port_env(monkeypatch):
+    monkeypatch.delenv(live.PORT_ENV, raising=False)
+    assert live.resolve_port(None) is None
+    assert live.resolve_port(9000) == 9000
+    monkeypatch.setenv(live.PORT_ENV, "9100")
+    assert live.resolve_port(None) == 9100
+    monkeypatch.setenv(live.PORT_ENV, "nope")
+    with pytest.raises(ValueError):
+        live.resolve_port(None)
+
+
+# -- gtpin top ---------------------------------------------------------------
+
+
+def _sample_health():
+    return {
+        "status": "running",
+        "command": "gtpin explore demo",
+        "uptime_seconds": 12.5,
+        "tasks": {"done": 3, "total": 10, "failed": 1},
+        "eta_seconds": 42.0,
+        "instructions": {"total": 1.5e6, "per_second": 1.2e5},
+        "hit_rates": {"gpu_cache": 0.82},
+        "active_spans": [
+            {"name": "sampling.explore", "category": "sampling",
+             "seconds": 3.2},
+        ],
+        "workers": [
+            {"source": "b0.t1", "task": "score[1]", "age_seconds": 0.4,
+             "heartbeats": 7, "final": False},
+        ],
+        "events": {
+            "counts": {"DEBUG": 0, "INFO": 4, "WARN": 2, "ERROR": 0},
+            "dropped": 0,
+            "recent": [
+                {"ts_unix": 1700000000.0, "level": "WARN",
+                 "name": "fault.injected", "span_id": 3, "site": "jit.build"},
+            ],
+        },
+        "flags": ["fault.injected"],
+        "faults_injected": 2,
+    }
+
+
+def test_render_top_is_pure_and_complete():
+    frame = render_top(_sample_health())
+    for expected in (
+        "gtpin explore demo", "3/10", "eta 42s", "120.00k/s",
+        "gpu_cache 82%", "b0.t1", "score[1]", "fault.injected",
+        "faults injected: 2", "sampling.explore",
+    ):
+        assert expected in frame, expected
+    assert "\x1b" not in frame  # frames carry no escapes; the loop does
+
+
+def test_run_top_once_renders_live_endpoint(served_hub):
+    with telemetry.session() as tm:
+        tm.inc("gtpin.instrumented_instructions", 1000)
+        served_hub.set_command("gtpin once")
+        out = io.StringIO()
+        status = run_top(
+            port=served_hub.server.port, once=True, stream=out
+        )
+    assert status == 0
+    assert "gtpin once" in out.getvalue()
+    assert "\x1b" not in out.getvalue()
+
+
+def test_run_top_once_unreachable_is_an_error():
+    out = io.StringIO()
+    status = run_top(port=1, once=True, stream=out)
+    assert status == 1
+    assert "unreachable" in out.getvalue()
+
+
+# -- end-to-end: jobs=2 sweep under faults vs the endpoint -------------------
+
+FAULT_SPEC = "seed=11;event.lost=0.4;trace.truncate=0.4"
+
+
+def _profile_under_faults(app_name, scale, spec):
+    app = load_app(app_name, scale=scale)
+    with faults.session(FaultPlan.parse(spec)):
+        workload = profile_workload(app, HD4000, 0)
+    return workload.health.flags
+
+
+@pytest.mark.slow
+def test_endpoint_totals_match_merged_telemetry_under_parallel_faults():
+    tasks = [
+        ("cb-gaussian-buffer", 0.1, FAULT_SPEC),
+        ("cb-gaussian-image", 0.1, FAULT_SPEC),
+    ]
+    with telemetry.session() as tm, obs_events.session() as log:
+        hub = live.enable(port=0)
+        try:
+            outcomes = parallel_map(
+                _profile_under_faults, tasks, jobs=2, label="live.fanout"
+            )
+            assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+            assert any(o.value for o in outcomes), "no degradation flags"
+
+            parsed = parse_exposition(_get(hub, "/metrics"))
+            health = json.loads(_get(hub, "/health"))
+        finally:
+            live.disable()
+
+        # Acceptance: scraped totals equal merged telemetry EXACTLY.
+        for name, counter in tm.counters.counters.items():
+            metric = metric_name(name) + "_total"
+            assert parsed[metric] == counter.value, name
+        for name, hist in tm.counters.histograms.items():
+            assert parsed[metric_name(name) + "_count"] == hist.count, name
+            assert parsed[metric_name(name) + "_sum"] == hist.total, name
+            assert parsed[metric_name(name) + "_min"] == hist.minimum, name
+            assert parsed[metric_name(name) + "_max"] == hist.maximum, name
+
+        assert health["tasks"] == {"done": 2, "total": 2, "failed": 0}
+        instructions = tm.counter_value(
+            "gtpin.instrumented_instructions"
+        ) + tm.counter_value("simulation.stepped_instructions")
+        assert health["instructions"]["total"] == instructions
+        assert health["instructions"]["per_second"] > 0
+
+        # Fault incidents that crossed the process boundary are visible.
+        warn_count = len(
+            [r for r in log.records() if r.name == "fault.injected"]
+        )
+        assert warn_count
+        assert health["events"]["counts"]["WARN"] >= warn_count

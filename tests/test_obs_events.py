@@ -75,14 +75,14 @@ def test_events_capture_the_active_span_id(log):
         telemetry.disable()
 
 
-def test_absorb_preserves_worker_order(log):
-    log.info("local")
+def test_absorb_merges_chronologically(log):
+    log.info("local")  # stamped now, after the synthetic worker stamps
     shipped = (
         EventRecord(1.0, "WARN", "w1", None, ()),
         EventRecord(2.0, "INFO", "w2", None, (("k", "v"),)),
     )
     log.absorb(shipped)
-    assert [r.name for r in log.records()] == ["local", "w1", "w2"]
+    assert [r.name for r in log.records()] == ["w1", "w2", "local"]
     assert len(log) == 3
 
 
@@ -120,3 +120,84 @@ def test_fault_injection_becomes_queryable_events(log):
     assert any(r.name == "fault.injected" for r in warns)
     fields = dict(next(r for r in warns if r.name == "fault.injected").fields)
     assert fields["site"] == "jit.build"
+
+
+# -- bounded ring buffer -----------------------------------------------------
+
+
+def test_ring_buffer_caps_memory_and_counts_drops():
+    with obs_events.session(capacity=4) as log:
+        for i in range(10):
+            log.info("evt", i=i)
+        assert log.capacity == 4
+        assert len(log) == 4
+        assert log.dropped == 6
+        # Newest survive; oldest were evicted.
+        assert [dict(r.fields)["i"] for r in log.records()] == [6, 7, 8, 9]
+
+
+def test_ring_capacity_env_override(monkeypatch):
+    monkeypatch.setenv(obs_events.CAPACITY_ENV, "3")
+    with obs_events.session() as log:
+        assert log.capacity == 3
+        for i in range(5):
+            log.info("evt", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+    monkeypatch.setenv(obs_events.CAPACITY_ENV, "not-a-number")
+    with pytest.raises(ValueError, match=obs_events.CAPACITY_ENV):
+        obs_events.enable()
+
+
+def test_drops_mirror_into_telemetry_counter():
+    with telemetry.session() as tm, obs_events.session(capacity=2) as log:
+        for _ in range(5):
+            log.info("evt")
+        assert log.dropped == 3
+        assert tm.counter_value("events.dropped") == 3.0
+
+
+def test_absorbed_events_sort_chronologically_with_stable_ties(log):
+    log.info("local")  # time.time() stamp, far after the synthetic ones
+    log.absorb(
+        [
+            EventRecord(2.0, "INFO", "late", None, ()),
+            EventRecord(1.0, "WARN", "tie-first", None, ()),
+            EventRecord(1.0, "INFO", "tie-second", None, ()),
+        ]
+    )
+    names = [r.name for r in log.records()]
+    # Timestamp order across processes; equal stamps keep absorb order.
+    assert names == ["tie-first", "tie-second", "late", "local"]
+    # A later absorb re-merges rather than appending.
+    log.absorb([EventRecord(1.5, "INFO", "between", None, ())])
+    names = [r.name for r in log.records()]
+    assert names == ["tie-first", "tie-second", "between", "late", "local"]
+
+
+def test_warn_incidents_survive_debug_floods():
+    """Chatty DEBUG loops cannot flush incidents out of the ring."""
+    with telemetry.session() as tm, obs_events.session(capacity=8) as log:
+        log.warn("fault.injected", site="jit.build")
+        for i in range(100):
+            log.debug("chatter", i=i)
+        warns = log.records("WARN")
+        assert [r.name for r in warns] == ["fault.injected"]
+        # Only DEBUG records were truly lost: the WARN parked in the
+        # reserve when evicted, and the main ring kept the last 8.
+        assert log.dropped == 100 - 8
+        assert tm.counter_value("events.dropped") == log.dropped
+        # Accounting is conservation-exact: every emission is either
+        # retained or counted dropped.
+        assert len(log) + log.dropped == 101
+
+
+def test_incident_reserve_is_itself_bounded():
+    with obs_events.session(capacity=2) as log:
+        for i in range(10):
+            log.warn("incident", i=i)
+        # capacity 2 main + reserve capped at min(INCIDENT_RESERVE, 2).
+        assert len(log) == 4
+        assert log.dropped == 6
+        kept = [dict(r.fields)["i"] for r in log.records()]
+        assert kept == [6, 7, 8, 9]
