@@ -1,8 +1,9 @@
 """Continuous-benchmark runner: measure, baseline, and gate.
 
-Runs quick versions of the two headline benches -- detailed-simulation
-throughput (``bench_detailed_throughput``) and the sweep wall time
-(``bench_parallel_scaling``) -- then writes a schema'd baseline file
+Runs quick versions of the headline benches -- detailed-simulation
+throughput (``bench_detailed_throughput``), the sweep wall time
+(``bench_parallel_scaling``), and the ``gtpin serve`` client/daemon
+loop (``bench_serve_load``) -- then writes a schema'd baseline file
 ``BENCH_<date>.json`` at the repo root and compares it against the
 newest *prior* baseline with the noise-tolerant regression gate
 (:mod:`repro.obs.bench`).
@@ -75,6 +76,8 @@ def measure(scale: float) -> list[obs_bench.BenchMetric]:
         explore_application(workload, options=GATE_SIMPOINT, jobs=1)
         sweep_walls.append(time.perf_counter() - start)
 
+    from bench_serve_load import measure_serve_load
+
     return [
         obs_bench.BenchMetric(
             name="detailed_sim.instr_per_second",
@@ -88,6 +91,9 @@ def measure(scale: float) -> list[obs_bench.BenchMetric]:
             unit="s",
             direction="lower",
         ),
+        # The serve loop runs at its own small fixed scale (the metric
+        # times queue + HTTP + cache round-trips, not profiling depth).
+        measure_serve_load(),
     ]
 
 

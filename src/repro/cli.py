@@ -18,6 +18,7 @@ for that run and write a Chrome trace (``--telemetry-out``, default
 from __future__ import annotations
 
 import argparse
+import errno
 import sys
 from typing import Sequence
 
@@ -84,8 +85,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for parallel sweep stages (default: "
-        "$REPRO_JOBS or 1 = serial; 0 = all cores); results are "
-        "identical to a serial run",
+        "$REPRO_JOBS or 1 = serial; 0 = all cores; negative values are "
+        "rejected); results are identical to a serial run",
     )
     parser.add_argument(
         "--profile-cache", nargs="?", const="", default=None, metavar="DIR",
@@ -184,6 +185,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="render one frame without ANSI escapes and exit "
         "(scripting / CI smoke tests)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the profiling-as-a-service daemon: accept "
+        "profile/select/explore/simulate jobs as JSON over HTTP, serve "
+        "results from the shared profile cache -- see docs/serve.md",
+    )
+    p.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="port to listen on (default 0 = pick an ephemeral port and "
+        "print it)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job slots (default 2)",
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=32, metavar="N",
+        help="bounded queue depth; submissions beyond it get HTTP 429 "
+        "(default 32)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="exit after this many seconds (default: run until "
+        "interrupted; useful for CI smoke runs)",
+    )
+    p.add_argument(
+        "--profile-cache", nargs="?", const="", default=None, metavar="DIR",
+        help="serve results from this on-disk profile cache (optional "
+        "DIR; default location ~/.cache/repro/profiles, also enabled "
+        "via $REPRO_PROFILE_CACHE)",
+    )
+    p.add_argument(
+        "--sim-engine", choices=("vectorized", "reference"),
+        default="vectorized",
+    )
+    p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="enable deterministic fault injection for every job "
+        f"(also via ${faults.FAULTS_ENV}); see docs/robustness.md",
     )
 
     p = sub.add_parser(
@@ -595,6 +638,81 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+def _port_in_use(what: str, port: int) -> int:
+    print(
+        f"gtpin: {what} cannot bind port {port}: address already in use; "
+        "pick another port (or 0 for an ephemeral one), or stop the "
+        "process currently bound to it",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``gtpin serve``: the profiling-as-a-service daemon."""
+    import time
+
+    from repro.obs import events as obs_events
+    from repro.obs import live as obs_live
+    from repro.serve.server import ServeDaemon
+
+    cache = _cache(args)
+    telemetry.enable()
+    obs_events.enable()
+    hub = obs_live.enable()
+    hub.set_command("gtpin serve")
+    try:
+        daemon = ServeDaemon(
+            port=args.port,
+            host=args.host,
+            workers=args.workers,
+            capacity=args.queue_capacity,
+            cache=cache,
+            sim_engine=args.sim_engine,
+        )
+    except OSError as exc:
+        obs_live.disable()
+        telemetry.disable()
+        obs_events.disable()
+        if exc.errno == errno.EADDRINUSE:
+            return _port_in_use("gtpin serve", args.port)
+        raise
+    daemon.start()
+    print(
+        f"gtpin serve: listening on http://{args.host}:{daemon.port} "
+        f"({args.workers} workers, queue capacity {args.queue_capacity}, "
+        f"cache {'on' if cache is not None else 'off'})"
+    )
+    print(
+        f"  submit jobs:  POST http://{args.host}:{daemon.port}/v1/jobs"
+    )
+    print(
+        f"  watch:        gtpin top --port {daemon.port}  "
+        f"(or GET /health, /metrics)"
+    )
+    sys.stdout.flush()
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive loop
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("\ngtpin serve: interrupted; draining...")
+    finally:
+        counts = daemon.queue.counts()
+        daemon.stop()
+        obs_live.disable()
+        telemetry.disable()
+        obs_events.disable()
+    print(
+        "gtpin serve: done "
+        f"({counts['done']} done, {counts['failed']} failed, "
+        f"{counts['cancelled']} cancelled)"
+    )
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import live as obs_live
     from repro.obs.top import run_top
@@ -610,8 +728,19 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    from repro.parallel.pool import resolve_jobs
+
+    try:
+        # Validate --jobs / $REPRO_JOBS up front: garbage fails with one
+        # clear line, not a traceback from deep inside a sweep.
+        resolve_jobs(getattr(args, "jobs", None))
+    except ValueError as exc:
+        print(f"gtpin: {exc}", file=sys.stderr)
+        return 2
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     from repro.obs import live as obs_live
@@ -634,7 +763,15 @@ def _run(args: argparse.Namespace) -> int:
     )
     hub = None
     if live_port is not None:
-        hub = obs_live.enable(port=live_port)
+        try:
+            hub = obs_live.enable(port=live_port)
+        except OSError as exc:
+            telemetry.disable()
+            if log is not None:
+                obs_events.disable()
+            if exc.errno == errno.EADDRINUSE:
+                return _port_in_use("--live-port", live_port)
+            raise
         hub.set_command(f"gtpin {args.command}")
         print(f"(live endpoint: http://127.0.0.1:{hub.server.port}"
               "/metrics and /health -- watch with "

@@ -129,6 +129,43 @@ class LiveHub:
         self._next_batch = 0
         self._unit_costs: dict[str, float] | None = None
         self.server: "LiveServer | None" = None
+        #: Pluggable sections: other subsystems (``gtpin serve``)
+        #: contribute a named health sub-document and extra metric
+        #: lines without this module importing them.
+        self._sections: dict[
+            str, tuple[Any | None, Any | None]
+        ] = {}
+
+    def add_section(
+        self, name: str, health: Any | None = None,
+        metrics: Any | None = None,
+    ) -> None:
+        """Register providers: ``health()`` returns a JSON-able dict
+        merged into the health document under ``name``; ``metrics()``
+        returns extra exposition lines appended to ``/metrics``."""
+        self._sections[name] = (health, metrics)
+
+    def _section_health(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for name, (health, _) in list(self._sections.items()):
+            if health is None:
+                continue
+            try:
+                out[name] = health()
+            except Exception as exc:  # a section must never kill a scrape
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    def _section_metrics(self) -> list[str]:
+        lines: list[str] = []
+        for _, (_, metrics) in list(self._sections.items()):
+            if metrics is None:
+                continue
+            try:
+                lines.extend(metrics())
+            except Exception:
+                continue
+        return lines
 
     # -- progress hooks ------------------------------------------------------
 
@@ -269,6 +306,7 @@ class LiveHub:
         log = obs_events.get()
         extra += obs_metrics.render_gauge("events_dropped", log.dropped)
         extra += self._overhead_lines(counters)
+        extra += self._section_metrics()
         return obs_metrics.exposition(
             counters, gauges, histograms, extra_lines=extra
         )
@@ -371,7 +409,7 @@ class LiveHub:
             if name.startswith("faults.injected.")
         )
         eta = self._eta_seconds()
-        return {
+        doc = {
             "status": "running" if total > done or total == 0 else "done",
             "command": self.command,
             "generated_unix": now,
@@ -394,6 +432,8 @@ class LiveHub:
             "faults_injected": faults_injected,
             "hit_rates": self._hit_rates(counters),
         }
+        doc.update(self._section_health())
+        return doc
 
     @staticmethod
     def _hit_rates(counters: dict[str, float]) -> dict[str, float]:
@@ -440,6 +480,12 @@ class DisabledLiveHub:
         pass
 
     def retire_source(self, source: str) -> None:
+        pass
+
+    def add_section(
+        self, name: str, health: Any | None = None,
+        metrics: Any | None = None,
+    ) -> None:
         pass
 
 

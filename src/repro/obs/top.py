@@ -89,6 +89,25 @@ def render_top(health: dict[str, Any]) -> str:
             f"{name} {value:.0%}" for name, value in sorted(rates.items())
         )
     lines.append(rate_line)
+    serve = health.get("serve")
+    if serve:
+        jobs = serve.get("jobs", {})
+        serve_line = (
+            f"serve  queued {jobs.get('queued', 0)}"
+            f"  running {jobs.get('running', 0)}"
+            f"/{serve.get('workers', '?')}"
+            f"  done {jobs.get('done', 0)}"
+            f"  failed {jobs.get('failed', 0)}"
+            f"  cancelled {jobs.get('cancelled', 0)}"
+            f"  cap {serve.get('capacity', '?')}"
+        )
+        cache = serve.get("cache")
+        if cache:
+            serve_line += (
+                f"   cache {cache.get('entries', 0)} entries"
+                f" {cache.get('hit_rate', 0.0):.0%} hit"
+            )
+        lines.append(serve_line)
     flags = health.get("flags", [])
     dropped = health.get("events", {}).get("dropped", 0)
     if flags or dropped or health.get("faults_injected"):

@@ -17,8 +17,10 @@ speedup while preserving three guarantees the sweep drivers rely on:
   complete under parallel runs (see :mod:`repro.telemetry.snapshot`).
 
 Job count comes from the explicit ``jobs`` argument, else the
-``REPRO_JOBS`` environment variable, else 1 (serial).  ``jobs <= 0``
-means "all cores".  ``jobs=1`` -- and any pool that fails to start --
+``REPRO_JOBS`` environment variable, else 1 (serial).  ``jobs=0``
+means "all cores"; anything else non-positive (or non-integer) is
+rejected with a clear :class:`ValueError` rather than silently
+misbehaving.  ``jobs=1`` -- and any pool that fails to start --
 runs the exact same tasks serially in-process.  Workers export
 ``REPRO_PARALLEL_WORKER=1`` so nested sweeps inside a worker always
 resolve to serial instead of forking grandchild pools.
@@ -56,24 +58,42 @@ def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve the effective worker count.
 
     Explicit ``jobs`` wins; ``None`` falls back to ``REPRO_JOBS``; unset
-    means 1 (serial).  Zero or negative values mean "all cores".  Inside
-    a worker process the answer is always 1.
+    means 1 (serial).  ``0`` means "all cores".  Anything else --
+    non-integers, negative counts -- raises ``ValueError`` with a
+    message naming the offending source, so ``REPRO_JOBS=abc`` or
+    ``--jobs -3`` fail loudly instead of silently doing something the
+    caller didn't ask for.  Inside a worker process the answer is
+    always 1.
     """
     if os.environ.get(WORKER_ENV):
         return 1
+    source = "jobs"
     if jobs is None:
         raw = os.environ.get(JOBS_ENV, "").strip()
         if not raw:
             return 1
+        source = JOBS_ENV
         try:
             jobs = int(raw)
         except ValueError:
             raise ValueError(
-                f"{JOBS_ENV} must be an integer, got {raw!r}"
+                f"{JOBS_ENV} must be a non-negative integer "
+                f"(0 = all cores), got {raw!r}"
             ) from None
-    if jobs <= 0:
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a non-negative integer (0 = all cores), "
+            f"got {jobs!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(
+            f"{source} must be >= 0 (0 = all cores), got {jobs}"
+        )
+    if jobs == 0:
         jobs = os.cpu_count() or 1
-    return max(1, int(jobs))
+    return jobs
 
 
 @dataclasses.dataclass(frozen=True)

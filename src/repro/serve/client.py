@@ -1,0 +1,153 @@
+"""Stdlib client for a running ``gtpin serve`` daemon.
+
+Wraps the JSON-over-HTTP protocol in plain method calls; the only
+dependency is ``urllib``.  Backpressure is part of the contract: a 429
+(queue full) surfaces as :class:`QueueFullError`, and
+:meth:`ServeClient.submit_with_retry` turns it into bounded
+exponential backoff -- the polite client loop the acceptance workload
+("N concurrent clients, zero lost jobs") runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.serve.protocol import JobState
+
+#: Default poll period while waiting on a job.
+POLL_SECONDS = 0.15
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error from the daemon."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class QueueFullError(ServeError):
+    """The daemon's bounded queue rejected the submission (429)."""
+
+
+class ServeClient:
+    """One daemon connection (host/port pair; requests are stateless)."""
+
+    def __init__(
+        self, port: int, host: str = "127.0.0.1", timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw request ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> Any:
+        url = f"http://{self.host}:{self.port}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get("error", "")
+            except Exception:
+                message = exc.reason
+            if exc.code == 429:
+                raise QueueFullError(exc.code, message) from None
+            raise ServeError(exc.code, message) from None
+
+    # -- protocol calls ------------------------------------------------------
+
+    def submit(self, kind: str, app: str, **spec: Any) -> dict[str, Any]:
+        """Submit one job; returns its view.  Raises
+        :class:`QueueFullError` on backpressure."""
+        return self._request(
+            "POST", "/v1/jobs", {"kind": kind, "app": app, **spec}
+        )
+
+    def submit_with_retry(
+        self,
+        kind: str,
+        app: str,
+        retries: int = 20,
+        backoff_seconds: float = 0.1,
+        **spec: Any,
+    ) -> dict[str, Any]:
+        """Submit, backing off (bounded, exponential-ish) through 429s."""
+        delay = backoff_seconds
+        for attempt in range(retries + 1):
+            try:
+                return self.submit(kind, app, **spec)
+            except QueueFullError:
+                if attempt == retries:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 1.5, 2.0)
+        raise AssertionError("unreachable")
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> dict[str, Any]:
+        """``{"jobs": [...], "counts": {...}}``."""
+        return self._request("GET", "/v1/jobs")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def job_events(self, job_id: str) -> list[dict[str, Any]]:
+        return self._request("GET", f"/v1/jobs/{job_id}/events")["events"]
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/cache")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def metrics_text(self) -> str:
+        url = f"http://{self.host}:{self.port}/metrics"
+        with urllib.request.urlopen(url, timeout=self.timeout) as response:
+            return response.read().decode()
+
+    # -- convenience ---------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_seconds: float = POLL_SECONDS,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in JobState.TERMINAL:
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']} after {timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    def run(self, kind: str, app: str, timeout: float = 120.0,
+            **spec: Any) -> dict[str, Any]:
+        """Submit (with backpressure retry) and wait for the result."""
+        view = self.submit_with_retry(kind, app, **spec)
+        return self.wait(view["id"], timeout=timeout)

@@ -1,0 +1,241 @@
+"""Multi-tenant ProfileCache: cross-process races, eviction, tmp leaks.
+
+The cache directory is shared state between the ``gtpin serve`` daemon
+and any number of CLI processes, so the properties here are the
+contract that makes that safe: concurrent store/load on the same key
+never yields a corrupt read (atomic replace, last writer wins),
+eviction never snatches data out from under an active reader (POSIX
+unlink semantics), and crashed stores cannot grow the directory
+forever (the age-gated ``.profile-*.tmp`` sweep).
+
+Payloads are plain dicts -- the cache pickles any object, and small
+payloads keep the two-process hammering rounds fast.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.parallel.cache import (
+    MAX_AGE_ENV,
+    MAX_MB_ENV,
+    ProfileCache,
+    TMP_SWEEP_AGE_SECONDS,
+)
+
+ROUNDS = 25
+
+
+# -- cross-process store/load races ------------------------------------------
+# (worker functions live at module level so any start method can import
+# them; the default context is fine on Linux and macOS alike)
+
+
+def _hammer_same_key(root: str, writer: int, rounds: int, out) -> None:
+    """Store/load loop on one shared key; reports malformed reads."""
+    cache = ProfileCache(root)
+    bad = 0
+    for round_no in range(rounds):
+        cache.store("shared", {"writer": writer, "round": round_no})
+        value = cache.load("shared")
+        # A read may see either writer's latest value -- but never a
+        # torn/corrupt one, and never a shape we didn't write.
+        if value is None or set(value) != {"writer", "round"}:
+            bad += 1
+    out.put((writer, bad))
+
+
+def _store_own_keys(root: str, writer: int, count: int, out) -> None:
+    cache = ProfileCache(root)
+    for index in range(count):
+        cache.store(f"w{writer}-k{index}", {"writer": writer, "i": index})
+    out.put((writer, count))
+
+
+def test_two_processes_racing_one_key_never_corrupt(tmp_path):
+    root = str(tmp_path / "cache")
+    out: multiprocessing.Queue = multiprocessing.Queue()
+    procs = [
+        multiprocessing.Process(
+            target=_hammer_same_key, args=(root, writer, ROUNDS, out)
+        )
+        for writer in (1, 2)
+    ]
+    for proc in procs:
+        proc.start()
+    reports = [out.get(timeout=60.0) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+    assert sorted(writer for writer, _ in reports) == [1, 2]
+    assert all(bad == 0 for _, bad in reports), reports
+    # Last writer wins: the surviving entry is one writer's final round.
+    cache = ProfileCache(root)
+    final = cache.load("shared")
+    assert final is not None
+    assert final["round"] == ROUNDS - 1
+    assert final["writer"] in (1, 2)
+    assert len(cache) == 1
+
+
+def test_two_processes_on_distinct_keys_all_entries_land(tmp_path):
+    root = str(tmp_path / "cache")
+    out: multiprocessing.Queue = multiprocessing.Queue()
+    procs = [
+        multiprocessing.Process(
+            target=_store_own_keys, args=(root, writer, 5, out)
+        )
+        for writer in (1, 2)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60.0)
+        assert proc.exitcode == 0
+    cache = ProfileCache(root)
+    assert len(cache) == 10
+    for writer in (1, 2):
+        for index in range(5):
+            value = cache.load(f"w{writer}-k{index}")
+            assert value == {"writer": writer, "i": index}
+    stats = cache.stats()
+    assert stats["entries"] == 10
+    assert stats["bytes"] > 0
+
+
+# -- eviction ----------------------------------------------------------------
+
+
+def test_eviction_never_breaks_an_active_reader(tmp_path):
+    """An entry evicted mid-read stays readable through the already-open
+    descriptor (POSIX unlink semantics): the path disappears, the data
+    does not."""
+    cache = ProfileCache(tmp_path, max_age_seconds=0.05)
+    cache.store("victim", {"payload": list(range(100))})
+    path = cache.path_for("victim")
+    with open(path, "rb") as reader:
+        time.sleep(0.1)
+        removed = cache.evict()
+        assert removed == 1
+        assert not path.exists()
+        # The reader's descriptor still sees the full entry.
+        assert pickle.load(reader) == {"payload": list(range(100))}
+    assert cache.load("victim") is None  # subsequent opens miss
+
+
+def test_store_evicts_by_size_but_never_its_own_entry(tmp_path):
+    cache = ProfileCache(tmp_path, max_bytes=1)
+    cache.store("first", {"blob": "x" * 1000})
+    assert len(cache) == 1  # over budget, but the new entry is protected
+    time.sleep(0.02)  # distinct mtimes so eviction order is stable
+    with telemetry.session() as tm:
+        cache.store("second", {"blob": "y" * 1000})
+        assert tm.counter_value("sampling.profile_cache.evictions") == 1
+    assert len(cache) == 1
+    assert cache.load("first") is None
+    assert cache.load("second") == {"blob": "y" * 1000}
+
+
+def test_age_eviction_expires_old_entries(tmp_path):
+    cache = ProfileCache(tmp_path, max_age_seconds=0.05)
+    cache.store("old", {"n": 1})
+    time.sleep(0.1)
+    cache.store("new", {"n": 2})
+    assert cache.load("old") is None
+    assert cache.load("new") == {"n": 2}
+    assert len(cache) == 1
+
+
+def test_read_touch_protects_hot_entries_from_lru_eviction(tmp_path):
+    entry = {"blob": "x" * 500}
+    size = len(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+    cache = ProfileCache(tmp_path, max_bytes=2 * size + 16)
+    cache.store("a", entry)
+    time.sleep(0.02)
+    cache.store("b", entry)
+    time.sleep(0.02)
+    assert cache.load("a") is not None  # touch: "a" is now most recent
+    time.sleep(0.02)
+    cache.store("c", entry)  # budget forces one eviction: "b", not "a"
+    assert cache.load("b") is None
+    assert cache.load("a") is not None
+    assert cache.load("c") is not None
+
+
+def test_env_budgets_configure_the_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(MAX_MB_ENV, "2")
+    monkeypatch.setenv(MAX_AGE_ENV, "3600")
+    cache = ProfileCache(tmp_path)
+    assert cache.max_bytes == 2 * 1024 * 1024
+    assert cache.max_age_seconds == 3600.0
+    monkeypatch.setenv(MAX_MB_ENV, "nope")
+    with pytest.raises(ValueError):
+        ProfileCache(tmp_path)
+
+
+# -- tmp-file leak regression (the store() satellite) ------------------------
+
+
+def _orphan_tmp(root, name: str, age_seconds: float):
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / name
+    path.write_bytes(b"half-written profile")
+    stamp = time.time() - age_seconds
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_init_sweeps_only_stale_tmp_droppings(tmp_path):
+    root = tmp_path / "cache"
+    old = _orphan_tmp(root, ".profile-dead.tmp", TMP_SWEEP_AGE_SECONDS + 60)
+    fresh = _orphan_tmp(root, ".profile-live.tmp", 0.0)
+    with telemetry.session() as tm:
+        cache = ProfileCache(root)
+        assert tm.counter_value("sampling.profile_cache.tmp_swept") == 1
+    assert not old.exists()  # crashed-store leak reclaimed
+    assert fresh.exists()  # in-flight store spared
+    assert len(cache) == 0  # droppings were never entries
+
+
+def test_clear_sweeps_every_tmp_dropping_unconditionally(tmp_path):
+    root = tmp_path / "cache"
+    cache = ProfileCache(root)
+    cache.store("real", {"n": 1})
+    fresh = _orphan_tmp(root, ".profile-live.tmp", 0.0)
+    assert cache.clear() == 1  # one *entry* removed...
+    assert not fresh.exists()  # ...and the fresh dropping went too
+    assert len(cache) == 0
+
+
+def test_failed_store_leaves_no_tmp_dropping(tmp_path):
+    cache = ProfileCache(tmp_path)
+    with pytest.raises(Exception):
+        cache.store("bad", lambda: None)  # lambdas don't pickle
+    assert list(tmp_path.glob(".profile-*.tmp")) == []
+    assert len(cache) == 0
+
+
+def test_len_and_stats_count_only_real_entries(tmp_path):
+    cache = ProfileCache(tmp_path)
+    cache.store("one", {"n": 1})
+    _orphan_tmp(tmp_path, ".profile-noise.tmp", 0.0)
+    (tmp_path / ".lock").touch()
+    assert len(cache) == 1
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] == cache.path_for("one").stat().st_size
+
+
+def test_load_miss_does_not_create_the_cache_directory(tmp_path):
+    root = tmp_path / "never-created"
+    cache = ProfileCache(root)
+    with telemetry.session() as tm:
+        assert cache.load("nothing") is None
+        assert tm.counter_value("sampling.profile_cache.misses") == 1
+    assert not root.exists()

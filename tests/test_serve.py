@@ -1,0 +1,695 @@
+"""``gtpin serve``: protocol, queue scheduling, HTTP endpoint, CLI.
+
+The fast tests drive the queue and the HTTP surface with a stub
+execute function (no profiling), so scheduling semantics -- priority
+order, cross-client fairness, bounded-queue backpressure, cooperative
+cancellation -- are asserted deterministically.  The slow acceptance
+test at the bottom runs the real pipeline: four concurrent clients,
+a mixed mini-suite workload, an active fault plan, and the invariant
+the issue names -- zero lost jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.obs import events as obs_events
+from repro.obs import live
+from repro.obs.metrics import metric_name, parse_exposition
+from repro.obs.top import render_top
+from repro.serve import (
+    JobQueue,
+    JobSpec,
+    ProtocolError,
+    QueueFull,
+    QueueFullError,
+    ServeClient,
+    ServeDaemon,
+    ServeError,
+)
+from repro.serve.protocol import JobState, job_view
+from repro.serve.work import JobCancelled
+
+APP = "cb-gaussian-buffer"
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+def test_spec_from_json_minimal_applies_defaults():
+    spec = JobSpec.from_json({"kind": "profile", "app": APP})
+    assert spec.scale == 1.0
+    assert spec.device == "hd4000"
+    assert spec.priority == 0
+    assert spec.client == "anon"
+    assert spec.to_json()["kind"] == "profile"
+
+
+def test_spec_from_json_coerces_numeric_strings():
+    spec = JobSpec.from_json(
+        {"kind": "select", "app": APP, "scale": "0.5", "seed": "3",
+         "priority": "7"}
+    )
+    assert (spec.scale, spec.seed, spec.priority) == (0.5, 3, 7)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not an object",
+        {"app": APP},
+        {"kind": "profile"},
+        {"kind": "profile", "app": APP, "bogus": 1},
+        {"kind": "nope", "app": APP},
+        {"kind": "profile", "app": "not-an-app"},
+        {"kind": "profile", "app": APP, "scale": 0.0},
+        {"kind": "profile", "app": APP, "scale": 5.0},
+        {"kind": "profile", "app": APP, "scale": "huge"},
+        {"kind": "profile", "app": APP, "device": "rtx4090"},
+        {"kind": "profile", "app": APP, "priority": 101},
+        {"kind": "profile", "app": APP, "priority": -101},
+        {"kind": "profile", "app": APP, "jobs": -1},
+        {"kind": "select", "app": APP, "scheme": "nope"},
+        {"kind": "select", "app": APP, "feature": "nope"},
+        {"kind": "profile", "app": APP, "client": 7},
+    ],
+)
+def test_spec_rejects_malformed_payloads(payload):
+    with pytest.raises(ProtocolError):
+        JobSpec.from_json(payload)
+
+
+def test_job_view_derives_queue_and_run_seconds():
+    spec = JobSpec(kind="profile", app=APP)
+    view = job_view(
+        "j1", spec, JobState.DONE,
+        submitted_unix=10.0, started_unix=12.5, ended_unix=14.0,
+        result={"ok": True},
+    )
+    assert view["queue_seconds"] == 2.5
+    assert view["run_seconds"] == 1.5
+    assert view["result"] == {"ok": True}
+    assert JobState.DONE in JobState.TERMINAL
+    assert JobState.RUNNING not in JobState.TERMINAL
+
+
+# -- queue scheduling (stubbed work) -----------------------------------------
+
+
+class _StubWork:
+    """Deterministic execute stub driven by events, not wall clock.
+
+    Every job waits for ``release`` before completing; the completion
+    order (recorded by ``seed``) is therefore exactly the scheduler's
+    dispatch order.  ``fail_seeds`` raise; a set cancel token raises
+    :class:`JobCancelled` like the real work function's checkpoints.
+    """
+
+    def __init__(self, fail_seeds: tuple[int, ...] = ()) -> None:
+        self.release = threading.Event()
+        self.started: list[int] = []
+        self.finished: list[int] = []
+        self.fail_seeds = fail_seeds
+        self._lock = threading.Lock()
+
+    def __call__(self, spec: JobSpec, cancel: threading.Event) -> dict:
+        with self._lock:
+            self.started.append(spec.seed)
+        while not self.release.wait(timeout=0.02):
+            if cancel.is_set():
+                raise JobCancelled()
+        if cancel.is_set():
+            raise JobCancelled()
+        if spec.seed in self.fail_seeds:
+            raise RuntimeError(f"boom seed={spec.seed}")
+        with self._lock:
+            self.finished.append(spec.seed)
+        return {"seed": spec.seed}
+
+
+@pytest.fixture
+def make_queue():
+    queues = []
+
+    def factory(execute, **kwargs) -> JobQueue:
+        queue = JobQueue(execute, **kwargs)
+        queue.start()
+        queues.append(queue)
+        return queue
+
+    yield factory
+    for queue in queues:
+        queue.stop(timeout=5.0)
+
+
+def _spec(seed: int = 0, priority: int = 0, client: str = "anon") -> JobSpec:
+    return JobSpec(
+        kind="profile", app=APP, scale=0.1, seed=seed,
+        priority=priority, client=client,
+    )
+
+
+def _wait_state(queue: JobQueue, job_id: str, state: str,
+                timeout: float = 5.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        view = queue.get(job_id)
+        if view["state"] == state:
+            return view
+        time.sleep(0.01)
+    raise AssertionError(
+        f"job {job_id} never reached {state!r}: {queue.get(job_id)}"
+    )
+
+
+def test_queue_rejects_bad_construction():
+    with pytest.raises(ValueError):
+        JobQueue(lambda s, c: {}, workers=0)
+    with pytest.raises(ValueError):
+        JobQueue(lambda s, c: {}, capacity=0)
+
+
+def test_priority_orders_dispatch(make_queue):
+    work = _StubWork()
+    queue = make_queue(work, workers=1, capacity=16)
+    blocker = queue.submit(_spec(seed=1, priority=100))
+    _wait_state(queue, blocker["id"], JobState.RUNNING)
+    # Queued while the only worker is busy: dispatch order is the
+    # heap's, not arrival order.
+    queue.submit(_spec(seed=2, priority=-5))
+    queue.submit(_spec(seed=3, priority=10))
+    queue.submit(_spec(seed=4, priority=0))
+    work.release.set()
+    assert queue.join(timeout=10.0)
+    assert work.started == [1, 3, 4, 2]
+
+
+def test_fairness_interleaves_clients(make_queue):
+    work = _StubWork()
+    queue = make_queue(work, workers=1, capacity=16)
+    blocker = queue.submit(_spec(seed=1, client="warm"))
+    _wait_state(queue, blocker["id"], JobState.RUNNING)
+    # Client "bulk" floods three jobs; client "solo" submits one later.
+    # Rank (same-client jobs already pending) interleaves: bulk's
+    # first, then solo's only, then the rest of bulk's backlog.
+    queue.submit(_spec(seed=10, client="bulk"))
+    queue.submit(_spec(seed=11, client="bulk"))
+    queue.submit(_spec(seed=12, client="bulk"))
+    queue.submit(_spec(seed=20, client="solo"))
+    work.release.set()
+    assert queue.join(timeout=10.0)
+    assert work.started == [1, 10, 20, 11, 12]
+
+
+def test_backpressure_bounded_queue_raises_queue_full(make_queue):
+    work = _StubWork()
+    with telemetry.session() as tm:
+        queue = make_queue(work, workers=1, capacity=2)
+        blocker = queue.submit(_spec(seed=1))
+        _wait_state(queue, blocker["id"], JobState.RUNNING)
+        queue.submit(_spec(seed=2))
+        queue.submit(_spec(seed=3))
+        with pytest.raises(QueueFull):
+            queue.submit(_spec(seed=4))
+        assert tm.counter_value("serve.jobs_rejected") == 1
+        work.release.set()
+        assert queue.join(timeout=10.0)
+        # The rejected job was never admitted; the admitted three ran.
+        assert sorted(work.finished) == [1, 2, 3]
+        assert tm.counter_value("serve.jobs_submitted") == 3
+
+
+def test_cancel_queued_job_is_immediate(make_queue):
+    work = _StubWork()
+    queue = make_queue(work, workers=1, capacity=16)
+    blocker = queue.submit(_spec(seed=1))
+    _wait_state(queue, blocker["id"], JobState.RUNNING)
+    victim = queue.submit(_spec(seed=2))
+    view = queue.cancel(victim["id"])
+    assert view["state"] == JobState.CANCELLED
+    assert view["ended_unix"] is not None
+    work.release.set()
+    assert queue.join(timeout=10.0)
+    # The cancelled job never started.
+    assert work.started == [1]
+    assert queue.get(victim["id"])["state"] == JobState.CANCELLED
+
+
+def test_cancel_running_job_aborts_at_checkpoint(make_queue):
+    work = _StubWork()
+    queue = make_queue(work, workers=1, capacity=16)
+    job = queue.submit(_spec(seed=1))
+    _wait_state(queue, job["id"], JobState.RUNNING)
+    view = queue.cancel(job["id"])
+    assert view["cancel_requested"]
+    final = _wait_state(queue, job["id"], JobState.CANCELLED)
+    assert final["ended_unix"] is not None
+    assert work.finished == []
+
+
+def test_failed_job_reports_error(make_queue):
+    work = _StubWork(fail_seeds=(7,))
+    work.release.set()
+    queue = make_queue(work, workers=1, capacity=16)
+    job = queue.submit(_spec(seed=7))
+    view = _wait_state(queue, job["id"], JobState.FAILED)
+    assert "RuntimeError: boom seed=7" in view["error"]
+
+
+def test_every_submitted_job_reaches_exactly_one_terminal_state(make_queue):
+    """The zero-lost-jobs invariant, stubbed: submit a mixed batch
+    (successes, failures, cancellations), drain, and account for every
+    job exactly once."""
+    work = _StubWork(fail_seeds=(3, 6))
+    with telemetry.session() as tm:
+        queue = make_queue(work, workers=2, capacity=32)
+        blocker = queue.submit(_spec(seed=0, priority=100))
+        _wait_state(queue, blocker["id"], JobState.RUNNING)
+        submitted = [blocker]
+        for seed in range(1, 10):
+            submitted.append(
+                queue.submit(_spec(seed=seed, client=f"c{seed % 3}"))
+            )
+        cancelled_ids = {submitted[4]["id"], submitted[8]["id"]}
+        for job_id in cancelled_ids:
+            queue.cancel(job_id)
+        work.release.set()
+        assert queue.join(timeout=15.0)
+        views = queue.list()
+        assert len(views) == len(submitted) == 10
+        states = [v["state"] for v in views]
+        assert all(state in JobState.TERMINAL for state in states)
+        counts = queue.counts()
+        assert counts["queued"] == 0 and counts["running"] == 0
+        assert (
+            counts["done"] + counts["failed"] + counts["cancelled"] == 10
+        )
+        assert counts["failed"] == 2
+        assert counts["cancelled"] >= len(cancelled_ids)
+        assert tm.counter_value("serve.jobs_submitted") == 10
+        assert (
+            tm.counter_value("serve.jobs_completed")
+            + tm.counter_value("serve.jobs_failed")
+            + tm.counter_value("serve.jobs_cancelled")
+        ) == 10
+
+
+def test_stop_cancels_queued_work_and_rejects_new(make_queue):
+    work = _StubWork()
+    queue = make_queue(work, workers=1, capacity=16)
+    blocker = queue.submit(_spec(seed=1))
+    _wait_state(queue, blocker["id"], JobState.RUNNING)
+    queued = queue.submit(_spec(seed=2))
+    work.release.set()
+    queue.stop(timeout=5.0)
+    with pytest.raises(RuntimeError):
+        queue.submit(_spec(seed=3))
+    # stop() left no job in a non-terminal state (restart to inspect
+    # is impossible; the views were finalized before the loop closed).
+    assert queued is not None
+
+
+# -- HTTP endpoint (stubbed work) --------------------------------------------
+
+
+def _fake_execute(spec, cancel=None, cache=None, sim_engine="vectorized"):
+    if spec.seed == 666:
+        raise RuntimeError("engine exploded")
+    if spec.seed == 99 and cancel is not None:
+        cancel.wait(timeout=10.0)
+        raise JobCancelled()
+    return {"app": spec.app, "kind": spec.kind, "seed": spec.seed,
+            "engine": sim_engine}
+
+
+@pytest.fixture
+def daemon(monkeypatch):
+    import repro.serve.server as server_mod
+
+    monkeypatch.setattr(server_mod, "execute_job", _fake_execute)
+    active = ServeDaemon(port=0, workers=2, capacity=4)
+    active.start()
+    yield active
+    active.stop()
+
+
+def test_http_submit_returns_202_and_result_on_completion(daemon):
+    client = ServeClient(daemon.port)
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{daemon.port}/v1/jobs",
+        data=json.dumps({"kind": "profile", "app": APP, "seed": 5}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        assert response.status == 202
+        view = json.loads(response.read().decode())
+    assert view["state"] in (JobState.QUEUED, JobState.RUNNING)
+    done = client.wait(view["id"], timeout=10.0)
+    assert done["state"] == JobState.DONE
+    assert done["result"]["seed"] == 5
+    listing = client.jobs()
+    assert view["id"] in [j["id"] for j in listing["jobs"]]
+    assert listing["counts"]["done"] >= 1
+
+
+def test_http_malformed_specs_are_400(daemon):
+    client = ServeClient(daemon.port)
+    for bad in (
+        {"kind": "nope", "app": APP},
+        {"kind": "profile", "app": APP, "bogus": 1},
+        {"app": APP},
+    ):
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/v1/jobs", bad)
+        assert err.value.status == 400
+    # Empty and non-JSON bodies too.
+    for raw in (b"", b"{nope"):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{daemon.port}/v1/jobs",
+            data=raw, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as http_err:
+            urllib.request.urlopen(request, timeout=5)
+        assert http_err.value.code == 400
+
+
+def test_http_unknown_job_and_path_are_404(daemon):
+    client = ServeClient(daemon.port)
+    for call in (
+        lambda: client.job("j999999"),
+        lambda: client.cancel("j999999"),
+        lambda: client.job_events("j999999"),
+        lambda: client._request("GET", "/v1/nope"),
+        lambda: client._request("POST", "/v1/nope"),
+        lambda: client._request("DELETE", "/v1/nope"),
+    ):
+        with pytest.raises(ServeError) as err:
+            call()
+        assert err.value.status == 404
+
+
+def test_http_failed_job_carries_error(daemon):
+    client = ServeClient(daemon.port)
+    view = client.run("profile", APP, seed=666, timeout=10.0)
+    assert view["state"] == JobState.FAILED
+    assert "engine exploded" in view["error"]
+
+
+def test_http_cancel_running_job_via_delete(daemon):
+    client = ServeClient(daemon.port)
+    view = client.submit("profile", APP, seed=99)
+    deadline = time.monotonic() + 5.0
+    while client.job(view["id"])["state"] != JobState.RUNNING:
+        assert time.monotonic() < deadline
+        time.sleep(0.01)
+    client._request("DELETE", f"/v1/jobs/{view['id']}")
+    final = client.wait(view["id"], timeout=10.0)
+    assert final["state"] == JobState.CANCELLED
+
+
+def test_http_backpressure_429_with_retry_after(monkeypatch):
+    import repro.serve.server as server_mod
+
+    gate = threading.Event()
+
+    def blocking_execute(spec, cancel=None, cache=None,
+                         sim_engine="vectorized"):
+        gate.wait(timeout=10.0)
+        return {"seed": spec.seed}
+
+    monkeypatch.setattr(server_mod, "execute_job", blocking_execute)
+    active = ServeDaemon(port=0, workers=1, capacity=1)
+    active.start()
+    try:
+        client = ServeClient(active.port)
+        first = client.submit("profile", APP, seed=1)
+        deadline = time.monotonic() + 5.0
+        while client.job(first["id"])["state"] != JobState.RUNNING:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        client.submit("profile", APP, seed=2)  # fills the queue
+        with pytest.raises(QueueFullError):
+            client.submit("profile", APP, seed=3)
+        # The raw response advertises Retry-After.
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{active.port}/v1/jobs",
+            data=json.dumps({"kind": "profile", "app": APP}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5)
+        assert err.value.code == 429
+        assert err.value.headers["Retry-After"] is not None
+        # A polite client rides the backpressure out.
+        gate.set()
+        view = client.submit_with_retry("profile", APP, seed=4,
+                                        backoff_seconds=0.02)
+        assert client.wait(view["id"], timeout=10.0)["state"] == JobState.DONE
+    finally:
+        gate.set()
+        active.stop()
+
+
+def test_http_job_events_stream(monkeypatch):
+    import repro.serve.server as server_mod
+
+    monkeypatch.setattr(server_mod, "execute_job", _fake_execute)
+    with obs_events.session():
+        active = ServeDaemon(port=0, workers=1, capacity=4)
+        active.start()
+        try:
+            client = ServeClient(active.port)
+            view = client.run("select", APP, seed=2, timeout=10.0)
+            names = [e["name"] for e in client.job_events(view["id"])]
+        finally:
+            active.stop()
+    assert names[0] == "serve.job.queued"
+    assert "serve.job.started" in names
+    assert names[-1] == "serve.job.completed"
+
+
+# -- LiveHub integration: /health, /metrics, gtpin top -----------------------
+
+
+def test_serve_section_flows_to_health_metrics_and_top(monkeypatch, tmp_path):
+    import repro.serve.server as server_mod
+    from repro.parallel.cache import ProfileCache
+
+    monkeypatch.setattr(server_mod, "execute_job", _fake_execute)
+    with telemetry.session():
+        hub = live.enable()
+        try:
+            hub.set_command("gtpin serve")
+            active = ServeDaemon(
+                port=0, workers=2, capacity=8,
+                cache=ProfileCache(tmp_path / "profiles"),
+            )
+            active.start()
+            try:
+                client = ServeClient(active.port)
+                client.run("profile", APP, timeout=10.0)
+
+                health = client.health()
+                serve = health["serve"]
+                assert serve["workers"] == 2
+                assert serve["capacity"] == 8
+                assert serve["jobs"]["done"] == 1
+                assert serve["cache"]["entries"] == 0
+                assert 0.0 <= serve["cache"]["hit_rate"] <= 1.0
+
+                parsed = parse_exposition(client.metrics_text())
+                assert parsed[metric_name("serve.workers")] == 2.0
+                assert parsed[metric_name("serve.queue_capacity")] == 8.0
+                assert parsed[metric_name("serve.queue_depth")] == 0.0
+                assert (
+                    metric_name("serve.profile_cache_hit_rate") in parsed
+                )
+
+                frame = render_top(health)
+                assert "serve" in frame
+                assert "running 0/2" in frame
+                assert "done 1" in frame
+                assert "cap 8" in frame
+            finally:
+                active.stop()
+        finally:
+            live.disable()
+
+
+def test_hub_section_errors_never_break_health(monkeypatch):
+    hub = live.enable()
+    try:
+        hub.add_section(
+            "broken",
+            health=lambda: 1 / 0,
+            metrics=lambda: 1 / 0,
+        )
+        doc = hub.health_doc()
+        assert "error" in doc["broken"]
+        assert "repro_" in hub.metrics_text()  # metrics still render
+    finally:
+        live.disable()
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+def test_cli_rejects_negative_jobs(capsys):
+    assert main(["select", APP, "--jobs", "-3"]) == 2
+    err = capsys.readouterr().err
+    assert "jobs must be >= 0" in err
+    assert "Traceback" not in err
+
+
+def test_cli_rejects_garbage_jobs_env(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "abc")
+    assert main(["suite"]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_JOBS" in err
+    assert "Traceback" not in err
+
+
+def _occupied_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    return sock, sock.getsockname()[1]
+
+
+def test_cli_serve_port_in_use_is_one_line_error(capsys):
+    sock, port = _occupied_port()
+    try:
+        assert main(["serve", "--port", str(port), "--duration", "0"]) == 2
+    finally:
+        sock.close()
+    err = capsys.readouterr().err
+    assert "address already in use" in err
+    assert "Traceback" not in err
+
+
+def test_cli_live_port_in_use_is_one_line_error(capsys):
+    sock, port = _occupied_port()
+    try:
+        assert main(
+            ["select", APP, "--scale", "0.1", "--live-port", str(port)]
+        ) == 2
+    finally:
+        sock.close()
+    err = capsys.readouterr().err
+    assert "--live-port" in err
+    assert "address already in use" in err
+    assert "Traceback" not in err
+
+
+def test_cli_serve_smoke_with_duration(capsys):
+    assert main(["serve", "--port", "0", "--duration", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "listening on http://127.0.0.1:" in out
+    assert "gtpin top --port" in out
+    assert "done (0 done, 0 failed, 0 cancelled)" in out
+
+
+# -- acceptance: concurrent clients, faults, zero lost jobs ------------------
+
+FAULT_SPEC = "seed=7;event.lost=0.3;trace.truncate=0.3"
+
+
+def _client_workload(port: int, name: str, specs) -> list[dict]:
+    client = ServeClient(port)
+    views = []
+    for kind, app in specs:
+        view = client.submit_with_retry(
+            kind, app, scale=0.05, client=name, backoff_seconds=0.05
+        )
+        views.append(view)
+    return [client.wait(v["id"], timeout=180.0) for v in views]
+
+
+@pytest.mark.slow
+def test_four_concurrent_clients_zero_lost_jobs_under_faults(tmp_path):
+    """The issue's acceptance workload: four concurrent clients push a
+    mixed profile/select mini-suite through one daemon while a fault
+    plan is active; every job must land in a terminal state (zero lost
+    jobs) and the cache hit-rate series must be on /metrics."""
+    from repro import faults
+    from repro.faults import FaultPlan
+    from repro.parallel.cache import ProfileCache
+
+    workloads = {
+        "alice": [("profile", "cb-gaussian-buffer"),
+                  ("select", "cb-gaussian-buffer")],
+        "bob": [("profile", "cb-gaussian-image"),
+                ("select", "cb-gaussian-image")],
+        "carol": [("select", "cb-gaussian-buffer"),
+                  ("profile", "cb-gaussian-image")],
+        "dave": [("profile", "cb-gaussian-buffer"),
+                 ("profile", "cb-gaussian-image")],
+    }
+    with telemetry.session(), obs_events.session():
+        hub = live.enable()
+        try:
+            daemon = ServeDaemon(
+                port=0, workers=2, capacity=4,
+                cache=ProfileCache(tmp_path / "profiles"),
+            )
+            daemon.start()
+            results: dict[str, list] = {}
+            errors: list[BaseException] = []
+
+            def drive(name: str) -> None:
+                try:
+                    results[name] = _client_workload(
+                        daemon.port, name, workloads[name]
+                    )
+                except BaseException as exc:  # surfaced below
+                    errors.append(exc)
+
+            try:
+                with faults.session(FaultPlan.parse(FAULT_SPEC)):
+                    threads = [
+                        threading.Thread(target=drive, args=(name,))
+                        for name in workloads
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join(timeout=300.0)
+                assert not errors, errors
+                assert set(results) == set(workloads)
+
+                # Zero lost jobs: every submission is terminal, none
+                # stuck, and the daemon agrees with the clients.
+                all_views = [v for views in results.values() for v in views]
+                assert len(all_views) == 8
+                for view in all_views:
+                    assert view["state"] in JobState.TERMINAL, view
+                assert all(
+                    view["state"] == JobState.DONE for view in all_views
+                ), [v.get("error") for v in all_views]
+                counts = daemon.queue.counts()
+                assert counts["queued"] == 0 and counts["running"] == 0
+                assert counts["done"] == 8
+
+                # The serve + cache series made it onto /metrics.
+                client = ServeClient(daemon.port)
+                parsed = parse_exposition(client.metrics_text())
+                assert (
+                    metric_name("serve.profile_cache_hit_rate") in parsed
+                )
+                stats = client.cache_stats()
+                assert stats["hit_rate"] >= 0.0
+                health = client.health()
+                assert health["serve"]["jobs"]["done"] == 8
+            finally:
+                daemon.stop()
+        finally:
+            live.disable()
