@@ -70,6 +70,15 @@ def measure(scale: float) -> list[obs_bench.BenchMetric]:
         sim_walls.append(time.perf_counter() - start)
         instructions = simulator.total_simulated_instructions
 
+    batched_walls = []
+    for _ in range(ROUNDS):
+        simulator = DetailedGPUSimulator(HD4000, GATE_CACHE, engine="batched")
+        start = time.perf_counter()
+        _simulate_invocations(
+            simulator, app.sources, workload.log, indices, seed=0
+        )
+        batched_walls.append(time.perf_counter() - start)
+
     sweep_walls = []
     for _ in range(ROUNDS):
         start = time.perf_counter()
@@ -82,6 +91,12 @@ def measure(scale: float) -> list[obs_bench.BenchMetric]:
         obs_bench.BenchMetric(
             name="detailed_sim.instr_per_second",
             value=instructions / min(sim_walls),
+            unit="instr/s",
+            direction="higher",
+        ),
+        obs_bench.BenchMetric(
+            name="detailed_sim.batched_instr_per_second",
+            value=instructions / min(batched_walls),
             unit="instr/s",
             direction="higher",
         ),

@@ -76,11 +76,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="trial seed")
     parser.add_argument(
-        "--sim-engine", choices=("vectorized", "reference"),
+        "--sim-engine", choices=("vectorized", "batched", "reference"),
         default="vectorized",
-        help="detailed-simulation engine: the batched numpy engine "
-        "(default) or the scalar reference interpreter; both produce "
-        "bit-identical results (see docs/performance.md)",
+        help="detailed-simulation engine: the vectorized numpy engine "
+        "(default), the cross-dispatch batched scheduler, or the scalar "
+        "reference interpreter; all produce bit-identical results "
+        "(see docs/performance.md)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -220,7 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "via $REPRO_PROFILE_CACHE)",
     )
     p.add_argument(
-        "--sim-engine", choices=("vectorized", "reference"),
+        "--sim-engine", choices=("vectorized", "batched", "reference"),
         default="vectorized",
     )
     p.add_argument(

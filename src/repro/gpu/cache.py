@@ -103,6 +103,19 @@ class CacheStats:
     def copy(self) -> "CacheStats":
         return dataclasses.replace(self)
 
+    @staticmethod
+    def merge_all(deltas: "list[CacheStats]") -> "CacheStats":
+        """Sum a sequence of per-dispatch deltas into one epoch delta.
+
+        Counters are ints, so the sum is exact and order-independent --
+        the epoch-merge contract the batched simulation engine relies on
+        when it folds per-dispatch deltas back into lifetime stats.
+        """
+        total = CacheStats()
+        for delta in deltas:
+            total = total.merge(delta)
+        return total
+
 
 class CacheSimulator:
     """Single-level set-associative LRU cache, write-allocate/write-back."""
@@ -148,7 +161,10 @@ class CacheSimulator:
         return lines % n_sets, lines // n_sets
 
     def access_stream(
-        self, addresses: np.ndarray, writes: np.ndarray | bool
+        self,
+        addresses: np.ndarray,
+        writes: np.ndarray | bool,
+        attribute: bool = False,
     ) -> StreamOutcome:
         """Run a batch through the cache, returning per-access outcomes.
 
@@ -158,6 +174,14 @@ class CacheSimulator:
         the addresses one at a time through the reference walk: sets are
         independent, and within a set the accesses are applied in stream
         order (round r handles the r-th access of every active set).
+
+        With ``attribute`` the outcome also carries per-access eviction
+        and write-back masks (indexed like ``hit``), so a caller merging
+        several dispatches' streams into one batch can recover each
+        dispatch's exact stats delta by slicing -- see
+        :meth:`StreamOutcome.slice_stats`.  An eviction lands on the
+        *first* access of its collapsed line-run (the access that missed),
+        which is where the sequential walk counts it too.
         """
         if addresses.ndim != 1:
             raise ValueError("addresses must be a 1-D array")
@@ -165,8 +189,11 @@ class CacheSimulator:
         hit = np.zeros(m, dtype=bool)
         evictions = 0
         writebacks = 0
+        evicted = np.zeros(m, dtype=bool) if attribute else None
+        wrote_back = np.zeros(m, dtype=bool) if attribute else None
         if m == 0:
-            return StreamOutcome(hit, evictions, writebacks)
+            return StreamOutcome(hit, evictions, writebacks,
+                                 evicted, wrote_back)
         self.mutations += 1
         lines = np.asarray(addresses, dtype=np.int64) >> self._line_shift
 
@@ -242,12 +269,16 @@ class CacheSimulator:
                 # reproduces the reference's "first empty way, else first
                 # least-recently-used way" victim choice.
                 fill_way = np.argmin(lru[ms], axis=1)
-                evictions += int(
-                    np.count_nonzero(tags_arr[ms, fill_way] != -1)
-                )
+                evict_mask = tags_arr[ms, fill_way] != -1
+                evictions += int(np.count_nonzero(evict_mask))
                 # A dirty way is never empty, so dirty victims are
                 # exactly the evicted-and-dirty ones.
-                writebacks += int(np.count_nonzero(dirty[ms, fill_way]))
+                wb_mask = dirty[ms, fill_way]
+                writebacks += int(np.count_nonzero(wb_mask))
+                if attribute:
+                    miss_ai = ai[miss]
+                    evicted[miss_ai[evict_mask]] = True
+                    wrote_back[miss_ai[wb_mask]] = True
                 tags_arr[ms, fill_way] = mt
                 dirty[ms, fill_way] = False
                 way[miss] = fill_way
@@ -261,7 +292,8 @@ class CacheSimulator:
             lru[s, way] = clock_base + 1 + sorted_stamps[sel]
         self._clock = clock_base + m
 
-        outcome = StreamOutcome(hit, evictions, writebacks)
+        outcome = StreamOutcome(hit, evictions, writebacks,
+                                evicted, wrote_back)
         batch = outcome.to_stats()
         self.stats = self.stats.merge(batch)
         tm = telemetry.get()
@@ -418,12 +450,16 @@ class StreamOutcome:
     """Results of one :meth:`CacheSimulator.access_stream` batch.
 
     Hits are per-access (latency attribution needs them); evictions and
-    writebacks only ever feed aggregate stats, so they are counts.
+    writebacks feed aggregate stats as counts, with optional per-access
+    masks (``attribute=True``) for callers that merge several dispatches'
+    streams into one batch and need each dispatch's exact slice.
     """
 
     hit: np.ndarray  # (n,) bool
     evictions: int
     writebacks: int
+    evicted: np.ndarray | None = None  # (n,) bool when attributed
+    wrote_back: np.ndarray | None = None  # (n,) bool when attributed
 
     def to_stats(self) -> CacheStats:
         n = int(self.hit.size)
@@ -434,6 +470,29 @@ class StreamOutcome:
             misses=n - hits,
             evictions=self.evictions,
             writebacks=self.writebacks,
+        )
+
+    def slice_stats(self, start: int, stop: int) -> CacheStats:
+        """Exact stats of the stream slice ``[start, stop)``.
+
+        Requires the batch to have been run with ``attribute=True``.
+        Summing the slices of a partition of the stream reproduces
+        :meth:`to_stats` exactly -- the contract that lets the batched
+        engine recover per-dispatch deltas from merged streams.
+        """
+        if self.evicted is None or self.wrote_back is None:
+            raise ValueError(
+                "slice_stats needs an attributed outcome "
+                "(access_stream(..., attribute=True))"
+            )
+        n = stop - start
+        hits = int(np.count_nonzero(self.hit[start:stop]))
+        return CacheStats(
+            accesses=n,
+            hits=hits,
+            misses=n - hits,
+            evictions=int(np.count_nonzero(self.evicted[start:stop])),
+            writebacks=int(np.count_nonzero(self.wrote_back[start:stop])),
         )
 
 

@@ -66,6 +66,12 @@ class KernelDispatch:
     sync_epoch: int = -1
     #: Device-memory input state (buffer payload summaries) at dispatch.
     data_env: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    #: Host-written buffer keys this invocation's control flow consumed
+    #: (its read set) and the buffer keys it wrote (empty in the current
+    #: device model).  Dependency analysis between dispatches
+    #: (:mod:`repro.simulation.dispatch_graph`) is built on these.
+    buffer_reads: tuple[str, ...] = ()
+    buffer_writes: tuple[str, ...] = ()
 
     @property
     def total_bytes(self) -> int:
@@ -164,6 +170,10 @@ class GPUDevice:
             enqueue_call_index=enqueue_call_index,
             sync_epoch=sync_epoch,
             data_env=dict(data_env or {}),
+            buffer_reads=tuple(sorted(
+                key for key in (data_env or ())
+                if key in binary.trip_args
+            )),
         )
         self.dispatch_log.append(dispatch)
 

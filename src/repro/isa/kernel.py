@@ -20,7 +20,7 @@ import numpy as np
 from repro.isa.basic_block import BasicBlock
 from repro.isa.instruction import EXEC_SIZES, AccessPattern, SendMessage
 from repro.isa.opcodes import FIGURE_4A_ORDER, OpClass
-from repro.isa.program import Node, block_ids, has_jitter
+from repro.isa.program import Node, block_ids, has_jitter, trip_arg_names
 
 
 @dataclasses.dataclass(frozen=True)
@@ -202,6 +202,8 @@ class KernelBinary:
         self._arrays: KernelArrays | None = None
         self._send_plan: SendPlan | None = None
         self._is_deterministic: bool | None = None
+        self._counts_deterministic: bool | None = None
+        self._trip_args: frozenset[str] | None = None
 
     # -- structure ----------------------------------------------------------
 
@@ -243,6 +245,31 @@ class KernelBinary:
                 self.send_plan.has_random_sends
             )
         return self._is_deterministic
+
+    @property
+    def counts_deterministic(self) -> bool:
+        """True if per-thread block counts are a pure function of args.
+
+        Weaker than :attr:`is_deterministic`: a kernel whose sends draw
+        RANDOM addresses still has deterministic *counts* as long as no
+        trip is jittered, so its counts can be precomputed or cached
+        without touching the RNG.
+        """
+        if self._counts_deterministic is None:
+            self._counts_deterministic = not has_jitter(self.program)
+        return self._counts_deterministic
+
+    @property
+    def trip_args(self) -> frozenset[str]:
+        """Cached argument names the kernel's trip counts consume.
+
+        Intersected with the host-written ``__`` buffer namespace this
+        is the kernel's buffer *read set*: the only device-memory state
+        that can change its dynamic behaviour.
+        """
+        if self._trip_args is None:
+            self._trip_args = trip_arg_names(self.program)
+        return self._trip_args
 
     # -- static statistics ----------------------------------------------------
 

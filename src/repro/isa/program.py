@@ -143,6 +143,38 @@ def has_jitter(node: Node) -> bool:
     raise TypeError(f"unknown program node {node!r}")  # pragma: no cover
 
 
+def trip_arg_names(node: Node) -> frozenset[str]:
+    """Argument names any loop trip count in the tree reads.
+
+    These are the only inputs (besides RNG jitter) that influence
+    :func:`execution_counts`; intersected with the host-written buffer
+    keys (the reserved ``__`` namespace) they form a dispatch's buffer
+    *read set* -- what the runtime records for dependency analysis and
+    what the batched simulation engine keys its epoch partition on.
+    """
+    names: set[str] = set()
+    _collect_trip_args(node, names)
+    return frozenset(names)
+
+
+def _collect_trip_args(node: Node, out: set[str]) -> None:
+    if isinstance(node, Block):
+        return
+    if isinstance(node, Seq):
+        for child in node.children:
+            _collect_trip_args(child, out)
+    elif isinstance(node, Loop):
+        if node.trip.arg is not None:
+            out.add(node.trip.arg)
+        _collect_trip_args(node.body, out)
+    elif isinstance(node, Branch):
+        _collect_trip_args(node.taken, out)
+        if node.not_taken is not None:
+            _collect_trip_args(node.not_taken, out)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown program node {node!r}")
+
+
 def execution_counts(
     node: Node,
     args: ArgValues,

@@ -218,13 +218,26 @@ class GateResult:
         return tuple(v for v in self.verdicts if v.status == "regressed")
 
     @property
+    def metric_set_drift(self) -> tuple[MetricVerdict, ...]:
+        """Metrics present on only one side ("new" or "missing")."""
+        return tuple(
+            v for v in self.verdicts if v.status in ("new", "missing")
+        )
+
+    @property
     def ok(self) -> bool:
-        """False only for enforceable (non-advisory) regressions."""
+        """False only for enforceable (non-advisory) regressions.
+
+        Metric-set drift -- a metric added since the baseline ("new") or
+        absent from the current run ("missing") -- is advisory: it is
+        the expected state whenever the benchmark suite itself grows or
+        shrinks between runs (e.g. a branch that predates a metric
+        gating against a baseline that has it), not a performance
+        regression.  It is still reported prominently in render().
+        """
         if self.advisory:
             return True
-        return not self.regressions and not any(
-            v.status == "missing" for v in self.verdicts
-        )
+        return not self.regressions
 
     def render(self) -> str:
         if self.baseline_source is None and not self.verdicts:
@@ -241,6 +254,14 @@ class GateResult:
             lines.append(f"  advisory: {reason}")
         for verdict in self.verdicts:
             lines.append(f"  {verdict.describe()}")
+        drift = self.metric_set_drift
+        if drift and not self.advisory:
+            names = ", ".join(v.name for v in drift)
+            lines.append(
+                f"  warning: metric set drifted ({names}) -- benchmark "
+                "suites differ between the runs; drift is advisory, not "
+                "a regression"
+            )
         if self.advisory and self.regressions:
             lines.append(
                 "RESULT: advisory only -- regressions reported above are "

@@ -82,6 +82,12 @@ class ProgramRun:
     #: Unrecovered injected faults this run degraded through (empty when
     #: faults are disabled or every fault was retried away).
     fault_events: tuple[fault_errors.FaultEvent, ...] = ()
+    #: Host buffer-write log: ``(api call index, buffer key)`` for every
+    #: ``clEnqueueWrite*`` payload, in stream order.  Together with each
+    #: dispatch's ``buffer_reads``/``buffer_writes`` this is the raw
+    #: material for dispatch-dependency analysis
+    #: (:mod:`repro.simulation.dispatch_graph`).
+    host_writes: tuple[tuple[int, str], ...] = ()
 
     @property
     def total_instructions(self) -> int:
@@ -120,6 +126,7 @@ class OpenCLRuntime:
         self._built = False
         self._failed_kernels: set[str] = set()
         self._fault_events: list[fault_errors.FaultEvent] = []
+        self._host_writes: list[tuple[int, str]] = []
         # Device-memory contents the host has written (buffer payload
         # scalars); data-dependent kernel control flow reads these.  Keys
         # use the reserved "__" prefix so they can never collide with
@@ -167,6 +174,7 @@ class OpenCLRuntime:
         self._data_env.clear()
         self._failed_kernels: set[str] = set()
         self._fault_events: list[fault_errors.FaultEvent] = []
+        self._host_writes: list[tuple[int, str]] = []
         # Same program + same trial seed => same fault-scope tag, so the
         # CoFluent recording pass and the GT-Pin profiling pass of one
         # workload replay an *identical* injected-fault sequence and their
@@ -200,7 +208,7 @@ class OpenCLRuntime:
                         sync_epoch += 1
                         tm.inc("opencl.sync_calls")
                     else:
-                        self._handle_other(call)
+                        self._handle_other(call, call_index)
 
             # Work enqueued after the last synchronization call still
             # executes (the process exit implies a finish); it belongs to
@@ -219,6 +227,7 @@ class OpenCLRuntime:
             trial_seed=trial_seed,
             device_name=self.driver.device.spec.name,
             fault_events=tuple(self._fault_events),
+            host_writes=tuple(self._host_writes),
         )
 
     # -- handlers ------------------------------------------------------------
@@ -264,7 +273,7 @@ class OpenCLRuntime:
             )
         )
 
-    def _handle_other(self, call: APICall) -> None:
+    def _handle_other(self, call: APICall, call_index: int = -1) -> None:
         if call.name == "clBuildProgram":
             if not self._sources:
                 raise BuildProgramFailure(
@@ -306,6 +315,7 @@ class OpenCLRuntime:
             for key, value in call.args.items():
                 if key.startswith("__"):
                     self._data_env[key] = float(value)
+                    self._host_writes.append((call_index, key))
         # All remaining "other" calls (context/queue/buffer management,
         # profiling queries, releases) have no device-visible semantics in
         # this model; they are recorded by interceptors above.

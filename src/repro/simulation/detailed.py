@@ -25,6 +25,15 @@ Two engines produce **bit-identical** results:
   block executions fast-forward once the cache reaches a steady state,
   and whole invocations are memoized on ``(kernel, args, global work
   size, cache state, RNG state)``.
+* ``engine="batched"`` extends the vectorized engine *across*
+  dispatches: a synchronization epoch's invocations
+  (:mod:`repro.simulation.dispatch_graph`) run as one unit --
+  their pending address streams merge into shared cache calls (with
+  per-dispatch stats recovered through stream attribution), and whole
+  epochs are memoized on the per-dispatch resolved block counts plus
+  the epoch-entry cache signature.  Keying on resolved *counts* rather
+  than raw argument values means host-data drift that rounds away in
+  the trip counts cannot defeat the memo.
 
 Bit-identity across engines rests on two contracts.  Issue-cycle costs
 are integer-valued (``Opcode.issue_cycles`` is an int, width scaling is
@@ -40,11 +49,12 @@ import dataclasses
 import itertools
 import math
 import time
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro import telemetry
+from repro.obs import events as obs_events
 from repro.gpu.cache import CacheConfig, CacheSimulator, CacheState, CacheStats
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import (
@@ -63,7 +73,7 @@ MISS_LATENCY_CYCLES = 320.0
 LATENCY_HIDING = 0.75
 
 #: Supported simulation engines.
-ENGINES = ("vectorized", "reference")
+ENGINES = ("vectorized", "batched", "reference")
 
 #: Chunk of block executions drawn per RNG call when a block has RANDOM
 #: sends (no steady state to fast-forward to).
@@ -128,6 +138,21 @@ class _MemoEntry:
     rng_end_state: dict | None  #: None for deterministic kernels
 
 
+@dataclasses.dataclass
+class _EpochMemoEntry:
+    """Everything needed to replay one memoized epoch of dispatches.
+
+    Stored only for all-deterministic epochs, so no RNG state is needed;
+    each result's ``cache`` field holds that dispatch's exact delta.
+    """
+
+    results: list[SimulatedDispatch]
+    total_delta: CacheStats
+    end_state: CacheState
+    end_sig: bytes
+    stepped: int  #: sum of the results' simulated_instructions
+
+
 class DetailedGPUSimulator:
     """In-order, cache-aware, instruction-stepping GPU model."""
 
@@ -150,9 +175,17 @@ class DetailedGPUSimulator:
         #: vectorized engine counts the instructions its batches *cover*
         #: so both engines report identical totals.
         self.total_simulated_instructions = 0
-        #: Invocation memoization (vectorized engine only).
-        self.memoize = memoize and engine == "vectorized"
+        #: Invocation / epoch memoization (vectorized + batched engines).
+        self.memoize = memoize and engine in ("vectorized", "batched")
         self._memo: dict[tuple, _MemoEntry] = {}
+        #: Epoch memoization (batched engine): keyed on each dispatch's
+        #: *resolved block counts* rather than raw argument values, so
+        #: host-data drift that rounds to the same trip counts still hits.
+        self._epoch_memo: dict[tuple, _EpochMemoEntry] = {}
+        #: Resolved per-thread counts of jitter-free kernels, keyed on
+        #: (kernel name, trip-argument values) -- the inputs counts are a
+        #: pure function of (see ``KernelBinary.counts_deterministic``).
+        self._counts_cache: dict[tuple, np.ndarray] = {}
         #: (cache.mutations, canonical-state signature) -- the cache's
         #: signature is recomputed only when its contents have changed,
         #: so chains of memoized invocations never re-snapshot it.
@@ -171,10 +204,16 @@ class DetailedGPUSimulator:
         self._block_memo_entries = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.epoch_memo_hits = 0
+        self.epoch_memo_misses = 0
         #: Instructions whose stepping was skipped via memo replay.
         self.memo_stepped_avoided = 0
         #: Block executions skipped by steady-state fast-forwarding.
         self.steady_state_skips = 0
+        #: Cross-dispatch batching bookkeeping (simulate_epoch calls).
+        self.epoch_count = 0
+        self.epoch_dispatches = 0
+        self.max_batch_width = 0
 
     def simulate(
         self,
@@ -243,6 +282,12 @@ class DetailedGPUSimulator:
             return self._simulate_reference(
                 binary, arg_values, global_work_size, rng
             )
+        if self.engine == "batched":
+            # A lone simulate() call is an epoch of one: same streaming
+            # walk, but the memo keys on resolved counts, not raw args.
+            return self._epoch_dispatch(
+                [(binary, arg_values, global_work_size)], rng
+            )[0]
         # Memoizing a non-deterministic invocation is pure overhead: its
         # key includes the RNG state, which never recurs.
         if not self.memoize or not binary.is_deterministic:
@@ -310,6 +355,349 @@ class DetailedGPUSimulator:
             ),
         )
         return result
+
+    # -- batched (cross-dispatch) engine ------------------------------------
+
+    def simulate_epoch(
+        self,
+        items: Sequence[tuple[KernelBinary, Mapping[str, float], int]],
+        rng: np.random.Generator,
+        counts: Sequence[np.ndarray | None] | None = None,
+    ) -> list[SimulatedDispatch]:
+        """Simulate one hazard-free epoch of dispatches as a unit.
+
+        ``items`` holds ``(binary, arg_values, global_work_size)`` in
+        dispatch order; the caller (see
+        :mod:`repro.simulation.dispatch_graph`) guarantees no dispatch
+        depends on another.  Results are bit-identical to simulating the
+        invocations one at a time -- batching changes speed, never
+        outcomes.  ``counts`` optionally supplies precomputed per-thread
+        block counts (only valid for jitter-free kernels, e.g. resolved
+        ahead of time by a worker pool); ``None`` entries resolve here.
+
+        On non-batched engines this degrades to a per-invocation loop.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.engine != "batched":
+            return [
+                self.simulate(binary, arg_values, gws, rng)
+                for binary, arg_values, gws in items
+            ]
+        width = len(items)
+        self.epoch_count += 1
+        self.epoch_dispatches += width
+        if width > self.max_batch_width:
+            self.max_batch_width = width
+        log = obs_events.get()
+        if log.enabled:
+            log.debug(
+                "simulation.epoch",
+                width=width,
+                kernels=",".join(sorted({b.name for b, _, _ in items})),
+            )
+        tm = telemetry.get()
+        with tm.span(
+            "simulate.epoch", category="simulation", dispatches=width
+        ) as span:
+            results = self._epoch_dispatch(items, rng, counts)
+            stepped = sum(r.simulated_instructions for r in results)
+            span.annotate(stepped=stepped)
+        if tm.enabled:
+            tm.inc("simulation.epoch_count")
+            tm.inc("simulation.simulated_invocations", width)
+            tm.inc("simulation.stepped_instructions", stepped)
+            tm.observe_hist("simulation.batch_width", width, "dispatches")
+        return results
+
+    def batch_stats(self) -> dict[str, float]:
+        """Cross-dispatch batching summary over this simulator's life."""
+        epochs = self.epoch_count
+        return {
+            "epochs": epochs,
+            "dispatches": self.epoch_dispatches,
+            "mean_width": (
+                self.epoch_dispatches / epochs if epochs else 0.0
+            ),
+            "max_width": self.max_batch_width,
+            "epoch_memo_hits": self.epoch_memo_hits,
+            "epoch_memo_misses": self.epoch_memo_misses,
+        }
+
+    def _resolved_counts(
+        self,
+        binary: KernelBinary,
+        arg_values: Mapping[str, float],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-thread block counts, cached for jitter-free kernels.
+
+        Jitter-free counts are a pure function of the kernel's trip
+        arguments (missing ones resolve as 0.0, so the key uses the same
+        default), and resolving them consumes no RNG -- the cache is
+        transparent to both results and generator state.
+        """
+        if not binary.counts_deterministic:
+            return execution_counts(
+                binary.program, arg_values, rng, binary.n_blocks
+            )
+        key = (
+            binary.name,
+            tuple(
+                sorted(
+                    (name, float(arg_values.get(name, 0.0)))
+                    for name in binary.trip_args
+                )
+            ),
+        )
+        counts = self._counts_cache.get(key)
+        if counts is None:
+            if len(self._counts_cache) >= _MEMO_CAPACITY * 4:
+                self._counts_cache.clear()
+            counts = execution_counts(
+                binary.program, arg_values, rng, binary.n_blocks
+            )
+            counts.setflags(write=False)
+            self._counts_cache[key] = counts
+        return counts
+
+    def _epoch_dispatch(
+        self,
+        items: list[tuple[KernelBinary, Mapping[str, float], int]],
+        rng: np.random.Generator,
+        counts: Sequence[np.ndarray | None] | None = None,
+    ) -> list[SimulatedDispatch]:
+        """Epoch-memo lookup + streaming walk for one epoch."""
+        memoizable = self.memoize and all(
+            binary.is_deterministic for binary, _, _ in items
+        )
+        if not memoizable:
+            return self._simulate_epoch_stream(items, rng, counts)
+
+        tm = telemetry.get()
+        resolved = [
+            counts[i]
+            if counts is not None and counts[i] is not None
+            else self._resolved_counts(binary, arg_values, rng)
+            for i, (binary, arg_values, _) in enumerate(items)
+        ]
+        key = (
+            tuple(
+                (binary.name, resolved[i].tobytes(), gws)
+                for i, (binary, _, gws) in enumerate(items)
+            ),
+            self._cache_signature(),
+        )
+        entry = self._epoch_memo.get(key)
+        if entry is not None:
+            self.epoch_memo_hits += 1
+            self.memo_stepped_avoided += entry.stepped
+            self.cache.restore_state(
+                entry.end_state, entry.total_delta.accesses
+            )
+            self.cache.stats = self.cache.stats.merge(entry.total_delta)
+            self._state_sig = (self.cache.mutations, entry.end_sig)
+            self.total_simulated_instructions += entry.stepped
+            if tm.enabled:
+                tm.inc("simulation.epoch_memo_hits")
+                tm.inc("simulation.memo_stepped_avoided", entry.stepped)
+            return [
+                dataclasses.replace(result, cache=result.cache.copy())
+                for result in entry.results
+            ]
+
+        self.epoch_memo_misses += 1
+        if tm.enabled:
+            tm.inc("simulation.epoch_memo_misses")
+        stats_before = self.cache.stats
+        results = self._simulate_epoch_stream(items, rng, resolved)
+        if len(self._epoch_memo) >= _MEMO_CAPACITY:
+            self._epoch_memo.pop(next(iter(self._epoch_memo)))
+        end_state = self.cache.canonical_state()
+        end_sig = end_state.signature()
+        self._state_sig = (self.cache.mutations, end_sig)
+        self._epoch_memo[key] = _EpochMemoEntry(
+            results=[
+                dataclasses.replace(r, cache=r.cache.copy())
+                for r in results
+            ],
+            total_delta=self.cache.stats.minus(stats_before),
+            end_state=end_state,
+            end_sig=end_sig,
+            stepped=sum(r.simulated_instructions for r in results),
+        )
+        return results
+
+    def _simulate_epoch_stream(
+        self,
+        items: list[tuple[KernelBinary, Mapping[str, float], int]],
+        rng: np.random.Generator,
+        counts: Sequence[np.ndarray | None] | None = None,
+    ) -> list[SimulatedDispatch]:
+        """The vectorized walk with pending streams shared epoch-wide.
+
+        Pending pieces carry their owner dispatch's index; a flush merges
+        them into one cache call and recovers each owner's exact stats
+        slice through stream attribution
+        (:meth:`repro.gpu.cache.StreamOutcome.slice_stats`).  RNG draws
+        still happen strictly in dispatch order -- jitter resolution,
+        then the invocation's fused pool -- so generator state evolves
+        exactly as in per-invocation simulation.
+        """
+        tm = telemetry.get()
+        log = obs_events.get()
+        n = len(items)
+        term_pieces: list[list[Iterable[float]]] = [[] for _ in range(n)]
+        owner_stats: list[list[CacheStats]] = [[] for _ in range(n)]
+        pending: list[tuple] = []
+        pending_size = 0
+
+        def flush() -> None:
+            nonlocal pending, pending_size
+            if not pending:
+                return
+            owners = {piece[0] for piece in pending}
+            multi_owner = len(owners) > 1
+            if len(pending) == 1:
+                _, addresses, writes, _segments, _lens = pending[0]
+            else:
+                addresses = np.concatenate([p[1] for p in pending])
+                writes = np.concatenate([p[2] for p in pending])
+                if multi_owner and log.enabled:
+                    log.debug(
+                        "simulation.batch",
+                        owners=len(owners),
+                        pieces=len(pending),
+                        addresses=int(addresses.size),
+                    )
+            outcome = self.cache.access_stream(
+                addresses, writes, attribute=multi_owner
+            )
+            offset = 0
+            for owner, addrs, _w, segments, lens_f in pending:
+                size = addrs.size
+                term_pieces[owner].append(
+                    self._segment_terms(
+                        outcome.hit[offset:offset + size], segments, lens_f
+                    )
+                )
+                if multi_owner:
+                    owner_stats[owner].append(
+                        outcome.slice_stats(offset, offset + size)
+                    )
+                offset += size
+            if not multi_owner:
+                owner_stats[pending[0][0]].append(outcome.to_stats())
+            pending = []
+            pending_size = 0
+
+        per_thread_list: list[np.ndarray] = []
+        issue_list: list[float] = []
+        stepped_list: list[int] = []
+        n_threads_list: list[int] = []
+        for i, (binary, arg_values, global_work_size) in enumerate(items):
+            n_threads = max(
+                1, -(-global_work_size // binary.simd_width)
+            )  # ceil div
+            if counts is not None and counts[i] is not None:
+                per_thread = counts[i]
+            else:
+                per_thread = self._resolved_counts(binary, arg_values, rng)
+            arrays = binary.arrays
+            plan = binary.send_plan
+            issue_cycles = float(per_thread @ arrays.issue_cycles)
+            stepped = int(per_thread @ arrays.instruction_counts)
+            if tm.enabled:
+                tm.histogram(
+                    "simulation.block_steps", "instructions"
+                ).observe_array(per_thread * arrays.instruction_counts)
+
+            pool: np.ndarray | None = None
+            pool_cursor = 0
+            element = plan.uniform_random_bytes
+            if element is not None:
+                total_draws = 0
+                for block_id, draws_per_exec in enumerate(plan.random_draws):
+                    if draws_per_exec:
+                        total_draws += (
+                            int(per_thread[block_id]) * draws_per_exec
+                        )
+                if total_draws:
+                    n_elements = max(1, DEFAULT_SURFACE.size_bytes // element)
+                    pool = (
+                        DEFAULT_SURFACE.base_address
+                        + element * rng.integers(
+                            0, n_elements, size=total_draws, dtype=np.int64
+                        )
+                    )
+
+            for block_id, executions in enumerate(per_thread.tolist()):
+                if executions == 0 or not plan.sites[block_id]:
+                    continue
+                sites = plan.sites[block_id]
+                if plan.random_blocks[block_id]:
+                    draws = None
+                    if pool is not None:
+                        need = executions * plan.random_draws[block_id]
+                        draws = pool[pool_cursor:pool_cursor + need]
+                        pool_cursor += need
+                    for piece in self._random_pieces(
+                        sites, executions, rng, draws
+                    ):
+                        pending.append((i, *piece))
+                        pending_size += piece[0].size
+                        if pending_size >= _FLUSH_ADDRESSES:
+                            flush()
+                elif executions == 1:
+                    addresses, writes, segments, lens_f, _ = (
+                        self._det_template(sites)
+                    )
+                    pending.append((i, addresses, writes, segments, lens_f))
+                    pending_size += addresses.size
+                    if pending_size >= _FLUSH_ADDRESSES:
+                        flush()
+                elif (
+                    pending
+                    and executions <= _TILE_EXECUTIONS
+                    and executions * self._det_template(sites)[0].size
+                    <= _TILE_ADDRESSES
+                    and self._block_memo_unpromising(sites)
+                ):
+                    piece = self._tiled_det_piece(sites, executions)
+                    pending.append((i, *piece))
+                    pending_size += piece[0].size
+                    if pending_size >= _FLUSH_ADDRESSES:
+                        flush()
+                else:
+                    # The steady-state path reads live cache state, so
+                    # the shared pending batch must land first; the block
+                    # run's stats are snapshot-attributed to this owner.
+                    flush()
+                    before = self.cache.stats
+                    term_pieces[i].append(
+                        self._run_deterministic_block(sites, executions)
+                    )
+                    owner_stats[i].append(self.cache.stats.minus(before))
+            per_thread_list.append(per_thread)
+            issue_list.append(issue_cycles)
+            stepped_list.append(stepped)
+            n_threads_list.append(n_threads)
+        flush()
+
+        return [
+            self._finish(
+                binary,
+                per_thread_list[i],
+                n_threads_list[i],
+                stepped_list[i],
+                issue_list[i] + math.fsum(
+                    itertools.chain.from_iterable(term_pieces[i])
+                ),
+                CacheStats.merge_all(owner_stats[i]),
+            )
+            for i, (binary, _args, _gws) in enumerate(items)
+        ]
 
     # -- shared model pieces ------------------------------------------------
 

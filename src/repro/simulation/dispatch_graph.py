@@ -1,0 +1,190 @@
+"""Dispatch-dependency analysis: partition a run into simulation epochs.
+
+The paper's execution model (Section II) makes synchronization calls the
+only points where the host observes device state: kernel invocations
+between two sync calls are asynchronous to each other unless they touch
+the same buffers.  The batched simulation engine exploits exactly that
+structure -- it processes one *epoch* of dispatches as a unit, merging
+their cache streams and memoizing the whole group -- so the partition
+must be provably safe:
+
+* **Order is never changed.**  Epochs are contiguous slices of the
+  dispatch sequence; flattening them reproduces the input order
+  bit-for-bit.  (Simulation results therefore cannot depend on the
+  partition at all -- only speed does.)
+* **A sync boundary is always an epoch boundary.**  ``sync_epoch`` is
+  stamped by the OpenCL runtime at queue-flush time.
+* **Hazards split epochs.**  A dispatch whose buffer *read set*
+  (host-written ``__`` keys its trip counts consume) conflicts with the
+  epoch so far -- it observes a different value than the epoch
+  established (an intervening host write), or it reads a buffer some
+  epoch member wrote -- starts a new epoch, so no epoch ever contains a
+  dependent pair.
+
+Read/write sets come from the runtime's capture
+(:class:`repro.gpu.execution.KernelDispatch.buffer_reads` /
+``buffer_writes``, plus :class:`repro.opencl.runtime.ProgramRun`'s host
+write log) or are reconstructed from an
+:class:`~repro.gtpin.tools.invocations.InvocationLog` profile, whose
+per-dispatch ``data_items`` snapshots embed every host write that
+happened before the enqueue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping, Sequence
+
+#: Reserved prefix of host-written device-buffer keys (see
+#: :mod:`repro.opencl.runtime`).
+BUFFER_PREFIX = "__"
+
+
+@dataclasses.dataclass(frozen=True)
+class DispatchNode:
+    """One dispatch's dependency-relevant footprint.
+
+    ``reads`` maps buffer key -> the value the dispatch observed (the
+    value matters: a host write that did not change the observed value
+    is not an observable hazard).  ``writes`` is the set of buffer keys
+    the dispatch itself writes (empty in the current device model --
+    kernels never write host-visible ``__`` state -- but carried so the
+    partition stays correct if that changes).
+    """
+
+    index: int
+    kernel_name: str
+    sync_epoch: int
+    reads: tuple[tuple[str, float], ...] = ()
+    writes: tuple[str, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Epoch:
+    """A contiguous run of dispatches with no internal hazards."""
+
+    nodes: tuple[DispatchNode, ...]
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        return tuple(node.index for node in self.nodes)
+
+    @property
+    def width(self) -> int:
+        return len(self.nodes)
+
+
+def node_from_profile(profile, binary) -> DispatchNode:
+    """Build a node from an :class:`InvocationProfile` + its binary.
+
+    The read set is the kernel's trip arguments restricted to the
+    ``__`` buffer namespace, valued from the profile's ``data_items``
+    snapshot -- exactly the state the simulator feeds back into
+    :func:`repro.isa.program.execution_counts`.
+    """
+    consumed = binary.trip_args
+    reads = tuple(
+        (key, value)
+        for key, value in profile.data_items
+        if key.startswith(BUFFER_PREFIX) and key in consumed
+    )
+    return DispatchNode(
+        index=profile.index,
+        kernel_name=profile.kernel_name,
+        sync_epoch=profile.sync_epoch,
+        reads=reads,
+    )
+
+
+def nodes_from_log(log, indices: Sequence[int]) -> list[DispatchNode]:
+    """Nodes for the given invocation indices of an InvocationLog."""
+    return [
+        node_from_profile(
+            log.invocations[i], log.binaries[log.invocations[i].kernel_name]
+        )
+        for i in indices
+    ]
+
+
+def nodes_from_run(run, binaries: Mapping[str, object]) -> list[DispatchNode]:
+    """Nodes from a :class:`~repro.opencl.runtime.ProgramRun`'s
+    runtime-captured buffer sets (no profile reconstruction needed)."""
+    nodes = []
+    for position, dispatch in enumerate(run.dispatches):
+        binary = binaries.get(dispatch.kernel_name)
+        consumed = binary.trip_args if binary is not None else frozenset()
+        reads = tuple(
+            (key, float(value))
+            for key, value in sorted(dispatch.data_env.items())
+            if key in dispatch.buffer_reads and key in consumed
+        )
+        nodes.append(
+            DispatchNode(
+                index=position,
+                kernel_name=dispatch.kernel_name,
+                sync_epoch=dispatch.sync_epoch,
+                reads=reads,
+                writes=tuple(dispatch.buffer_writes),
+            )
+        )
+    return nodes
+
+
+def _conflicts(
+    node: DispatchNode,
+    epoch_reads: dict[str, float],
+    epoch_writes: set[str],
+) -> bool:
+    """True if ``node`` depends on (or disturbs) the epoch so far."""
+    for key, value in node.reads:
+        if key in epoch_writes:
+            return True  # RAW: reads what an epoch member wrote
+        seen = epoch_reads.get(key)
+        if seen is not None and seen != value:
+            # An intervening host write changed the buffer between two
+            # readers: the later reader must stay ordered after it.
+            return True
+    for key in node.writes:
+        if key in epoch_reads or key in epoch_writes:
+            return True  # WAR / WAW
+    return False
+
+
+def partition_epochs(
+    nodes: Iterable[DispatchNode],
+    max_width: int | None = None,
+) -> list[Epoch]:
+    """Greedy contiguous partition of ``nodes`` into hazard-free epochs.
+
+    Never reorders: ``[n for e in result for n in e.nodes]`` is the
+    input sequence.  A new epoch starts at every sync boundary, at every
+    hazard, and (optionally) whenever the current epoch reaches
+    ``max_width`` dispatches.
+    """
+    epochs: list[Epoch] = []
+    current: list[DispatchNode] = []
+    epoch_reads: dict[str, float] = {}
+    epoch_writes: set[str] = set()
+    sync = None
+    for node in nodes:
+        boundary = (
+            bool(current)
+            and (
+                node.sync_epoch != sync
+                or (max_width is not None and len(current) >= max_width)
+                or _conflicts(node, epoch_reads, epoch_writes)
+            )
+        )
+        if boundary:
+            epochs.append(Epoch(nodes=tuple(current)))
+            current = []
+            epoch_reads = {}
+            epoch_writes = set()
+        current.append(node)
+        sync = node.sync_epoch
+        for key, value in node.reads:
+            epoch_reads.setdefault(key, value)
+        epoch_writes.update(node.writes)
+    if current:
+        epochs.append(Epoch(nodes=tuple(current)))
+    return epochs

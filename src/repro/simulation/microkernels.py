@@ -35,6 +35,7 @@ from repro.gpu.cache import CacheConfig
 from repro.gpu.device import DeviceSpec
 from repro.gtpin.tools.invocations import InvocationLog
 from repro.sampling.selection import Selection
+from repro.simulation import dispatch_graph
 from repro.simulation.detailed import DetailedGPUSimulator
 
 
@@ -99,19 +100,46 @@ def simulate_selection_microkernels(
         for chosen in selection.selected:
             seconds = 0.0
             instructions = 0.0
-            for i in chosen.interval.invocation_indices():
-                profile = log.invocations[i]
-                binary = sources[profile.kernel_name].body
-                result = simulator.simulate(
-                    binary,
-                    _reduced_args(
-                        profile.arg_items, loop_reduction, profile.data_items
-                    ),
-                    profile.global_work_size,
-                    rng,
+            indices = list(chosen.interval.invocation_indices())
+            if simulator.engine == "batched":
+                # The epoch partition comes from the *original* profiles
+                # (loop reduction rescales an argument, not the buffer
+                # reads the hazard analysis keys on), and flattening it
+                # preserves invocation order, so the accumulation below
+                # matches the per-invocation loop exactly.
+                epochs = dispatch_graph.partition_epochs(
+                    dispatch_graph.nodes_from_log(log, indices)
                 )
-                seconds += result.seconds
-                instructions += result.instruction_count
+                for epoch in epochs:
+                    items = []
+                    for j in epoch.indices:
+                        profile = log.invocations[j]
+                        items.append((
+                            sources[profile.kernel_name].body,
+                            _reduced_args(
+                                profile.arg_items, loop_reduction,
+                                profile.data_items,
+                            ),
+                            profile.global_work_size,
+                        ))
+                    for result in simulator.simulate_epoch(items, rng):
+                        seconds += result.seconds
+                        instructions += result.instruction_count
+            else:
+                for i in indices:
+                    profile = log.invocations[i]
+                    binary = sources[profile.kernel_name].body
+                    result = simulator.simulate(
+                        binary,
+                        _reduced_args(
+                            profile.arg_items, loop_reduction,
+                            profile.data_items,
+                        ),
+                        profile.global_work_size,
+                        rng,
+                    )
+                    seconds += result.seconds
+                    instructions += result.instruction_count
             if instructions > 0:
                 projected += chosen.ratio * (seconds / instructions)
             simulated_total += int(instructions)

@@ -9,6 +9,14 @@ simulated SPIs.
 Fast-forwarding is modelled honestly: skipped invocations are *not*
 stepped -- their instruction counts come from the GT-Pin profile (which
 the methodology already has), at zero simulation cost.
+
+With ``engine="batched"`` the detailed intervals run through the
+cross-dispatch scheduler: invocations partition into hazard-free epochs
+(:mod:`repro.simulation.dispatch_graph`) and each epoch simulates as one
+unit, overlapping the fast-forwarded structure with the detailed work.
+``jobs`` optionally fans the pure trip-count resolution of jitter-free
+kernels out to a worker pool first (the simulation itself stays on one
+cache, so results are bit-identical at any worker count).
 """
 
 from __future__ import annotations
@@ -22,9 +30,12 @@ from repro.driver.jit import KernelSource
 from repro.gpu.cache import CacheConfig
 from repro.gpu.device import DeviceSpec
 from repro.gtpin.tools.invocations import InvocationLog
+from repro.isa.program import execution_counts
+from repro.parallel.pool import parallel_map, resolve_jobs
 from repro.sampling.selection import Selection
+from repro.simulation import dispatch_graph
 from repro.simulation.detailed import DetailedGPUSimulator
-from typing import Mapping
+from typing import Mapping, Sequence
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,12 +68,95 @@ class FullSimulationResult:
     wall_seconds: float
 
 
+def _counts_task(program, env, n_blocks):
+    """Worker-side trip-count resolution (jitter-free kernels only)."""
+    return execution_counts(program, env, None, n_blocks)
+
+
+def _precompute_epoch_counts(
+    sources: Mapping[str, KernelSource],
+    log: InvocationLog,
+    indices: Sequence[int],
+    jobs: int | None,
+) -> dict[int, np.ndarray]:
+    """Resolve jitter-free invocations' block counts on a worker pool.
+
+    Counts of ``counts_deterministic`` kernels are a pure function of
+    their trip arguments, so fanning the resolution out changes nothing
+    but wall time; jittered kernels are skipped and resolve in-stream
+    with the live RNG.  Failed tasks degrade to in-stream resolution.
+    """
+    tasks = []
+    owners = []
+    for i in indices:
+        profile = log.invocations[i]
+        binary = sources[profile.kernel_name].body
+        if not binary.counts_deterministic:
+            continue
+        env = {**dict(profile.data_items), **dict(profile.arg_items)}
+        tasks.append((binary.program, env, binary.n_blocks))
+        owners.append(i)
+    if not tasks:
+        return {}
+    outcomes = parallel_map(
+        _counts_task, tasks, jobs=jobs, label="simulation.epoch_counts"
+    )
+    return {
+        i: outcome.value
+        for i, outcome in zip(owners, outcomes)
+        if outcome.ok
+    }
+
+
+def _simulate_epochs(
+    simulator: DetailedGPUSimulator,
+    sources: Mapping[str, KernelSource],
+    log: InvocationLog,
+    indices: Sequence[int],
+    rng: np.random.Generator,
+    jobs: int | None,
+) -> tuple[float, int]:
+    """Batched-engine path: epoch partition, then one call per epoch.
+
+    Flattened epochs reproduce ``indices`` exactly, and each result is
+    accumulated in that order, so the sums are bit-identical to the
+    per-invocation loop.
+    """
+    epochs = dispatch_graph.partition_epochs(
+        dispatch_graph.nodes_from_log(log, list(indices))
+    )
+    counts_by_index: dict[int, np.ndarray] = {}
+    if resolve_jobs(jobs) > 1:
+        counts_by_index = _precompute_epoch_counts(
+            sources, log, indices, jobs
+        )
+    seconds = 0.0
+    instructions = 0
+    for epoch in epochs:
+        items = []
+        counts = []
+        for node in epoch.nodes:
+            profile = log.invocations[node.index]
+            binary = sources[profile.kernel_name].body
+            items.append((
+                binary,
+                {**dict(profile.data_items), **dict(profile.arg_items)},
+                profile.global_work_size,
+            ))
+            counts.append(counts_by_index.get(node.index))
+        for result in simulator.simulate_epoch(items, rng, counts):
+            seconds += result.seconds
+            instructions += result.instruction_count
+    return seconds, instructions
+
+
 def _simulate_invocations(
     simulator: DetailedGPUSimulator,
     sources: Mapping[str, KernelSource],
     log: InvocationLog,
     indices: list[int],
     seed: int,
+    jobs: int | None = 1,
 ) -> tuple[float, float, int]:
     """Simulate the given invocations; returns (seconds, instrs, stepped)."""
     tm = telemetry.get()
@@ -75,17 +169,22 @@ def _simulate_invocations(
         "simulation.invocations", category="simulation",
         invocations=len(indices),
     ) as timer:
-        for i in indices:
-            profile = log.invocations[i]
-            binary = sources[profile.kernel_name].body
-            result = simulator.simulate(
-                binary,
-                {**dict(profile.data_items), **dict(profile.arg_items)},
-                profile.global_work_size,
-                rng,
+        if simulator.engine == "batched":
+            sim_seconds, sim_instructions = _simulate_epochs(
+                simulator, sources, log, indices, rng, jobs
             )
-            sim_seconds += result.seconds
-            sim_instructions += result.instruction_count
+        else:
+            for i in indices:
+                profile = log.invocations[i]
+                binary = sources[profile.kernel_name].body
+                result = simulator.simulate(
+                    binary,
+                    {**dict(profile.data_items), **dict(profile.arg_items)},
+                    profile.global_work_size,
+                    rng,
+                )
+                sim_seconds += result.seconds
+                sim_instructions += result.instruction_count
     wall = timer.duration_seconds
     if tm.enabled:
         # Simulated (device) vs wall (host) clock, side by side.
@@ -103,8 +202,14 @@ def simulate_selection(
     cache_config: CacheConfig | None = None,
     seed: int = 0,
     engine: str = "vectorized",
+    jobs: int | None = 1,
 ) -> SampledSimulationResult:
-    """Detailed-simulate the selected intervals only, then extrapolate."""
+    """Detailed-simulate the selected intervals only, then extrapolate.
+
+    ``jobs`` (batched engine only) fans jitter-free trip-count
+    resolution out to a worker pool; the default 1 stays serial and
+    never consults ``REPRO_JOBS`` (pass ``None`` to opt in).
+    """
     tm = telemetry.get()
     simulator = DetailedGPUSimulator(device, cache_config, engine=engine)
     projected = 0.0
@@ -118,7 +223,7 @@ def simulate_selection(
         for chosen in selection.selected:
             indices = list(chosen.interval.invocation_indices())
             seconds, instructions, wall = _simulate_invocations(
-                simulator, sources, log, indices, seed
+                simulator, sources, log, indices, seed, jobs
             )
             wall_total += wall
             selected_instr += int(instructions)
@@ -153,6 +258,7 @@ def simulate_full(
     cache_config: CacheConfig | None = None,
     seed: int = 0,
     engine: str = "vectorized",
+    jobs: int | None = 1,
 ) -> FullSimulationResult:
     """Detailed-simulate every invocation (the cost the method avoids)."""
     simulator = DetailedGPUSimulator(device, cache_config, engine=engine)
@@ -162,7 +268,7 @@ def simulate_full(
         app=application_name, invocations=len(indices),
     ):
         seconds, instructions, wall = _simulate_invocations(
-            simulator, sources, log, indices, seed
+            simulator, sources, log, indices, seed, jobs
         )
     if instructions <= 0:
         raise ValueError("program simulated zero instructions")

@@ -1,0 +1,189 @@
+"""Dispatch-graph epoch partitioning: safety properties and capture.
+
+The batched engine's correctness must not depend on the partition (the
+engines are bit-identical regardless), but the partition has safety
+invariants of its own: it never reorders dispatches, never crosses a
+sync boundary, and never places a dependent pair in one epoch.  These
+are checked here property-style over randomized dispatch sequences,
+plus concrete tests of the runtime's buffer read-set capture.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gtpin.profiler import build_runtime
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import TripCount
+from repro.opencl.api import KERNEL_ENQUEUE, APICall
+from repro.opencl.host_program import HostProgram
+from repro.simulation.dispatch_graph import (
+    DispatchNode,
+    nodes_from_log,
+    nodes_from_run,
+    partition_epochs,
+)
+
+KEYS = ("__a", "__b", "__c")
+VALUES = (0.0, 1.0, 2.0)
+
+
+@st.composite
+def node_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    nodes = []
+    sync = 0
+    for i in range(n):
+        sync += draw(st.integers(min_value=0, max_value=1))
+        reads = draw(
+            st.lists(
+                st.tuples(st.sampled_from(KEYS), st.sampled_from(VALUES)),
+                max_size=3,
+                unique_by=lambda read: read[0],
+            )
+        )
+        writes = draw(st.lists(st.sampled_from(KEYS), max_size=2, unique=True))
+        nodes.append(
+            DispatchNode(
+                index=i,
+                kernel_name=f"k{i % 3}",
+                sync_epoch=sync,
+                reads=tuple(reads),
+                writes=tuple(writes),
+            )
+        )
+    return nodes
+
+
+def _dependent(earlier, later):
+    """True if ``later`` must stay ordered after ``earlier``."""
+    e_writes, l_writes = set(earlier.writes), set(later.writes)
+    e_reads, l_reads = dict(earlier.reads), dict(later.reads)
+    if e_writes & set(l_reads):
+        return True  # RAW
+    if l_writes & (set(e_reads) | e_writes):
+        return True  # WAR / WAW
+    shared = set(e_reads) & set(l_reads)
+    # Different observed values on a shared buffer mean a host write
+    # landed between the two dispatches: order is observable.
+    return any(e_reads[key] != l_reads[key] for key in shared)
+
+
+@settings(deadline=None, max_examples=60)
+@given(node_lists())
+def test_partition_never_reorders(nodes):
+    epochs = partition_epochs(nodes)
+    assert [n for e in epochs for n in e.nodes] == nodes
+    assert all(e.width >= 1 for e in epochs)
+
+
+@settings(deadline=None, max_examples=60)
+@given(node_lists())
+def test_sync_boundary_is_always_an_epoch_boundary(nodes):
+    for epoch in partition_epochs(nodes):
+        assert len({n.sync_epoch for n in epoch.nodes}) == 1
+
+
+@settings(deadline=None, max_examples=60)
+@given(node_lists())
+def test_no_dependent_pair_shares_an_epoch(nodes):
+    for epoch in partition_epochs(nodes):
+        for i, earlier in enumerate(epoch.nodes):
+            for later in epoch.nodes[i + 1:]:
+                assert not _dependent(earlier, later)
+
+
+@settings(deadline=None, max_examples=60)
+@given(node_lists(), st.integers(min_value=1, max_value=4))
+def test_max_width_caps_epochs_without_reordering(nodes, max_width):
+    epochs = partition_epochs(nodes, max_width=max_width)
+    assert all(e.width <= max_width for e in epochs)
+    assert [n for e in epochs for n in e.nodes] == nodes
+
+
+# -- runtime capture ----------------------------------------------------------
+
+
+def _data_kernel(name="dk"):
+    kb = KernelBuilder(name, simd_width=16, arg_names=("iters", "n"))
+    with kb.block("prologue") as b:
+        b.mov(exec_size=1)
+    with kb.loop(TripCount(base=1, arg="__complexity", scale=1.0)):
+        with kb.block("tail") as b:
+            b.alu("mul")
+            b.load()
+    with kb.block("epilogue") as b:
+        b.control("ret")
+    return kb.build()
+
+
+def _program(complexities, finish_between):
+    calls = [
+        APICall("clBuildProgram"),
+        APICall("clCreateKernel", {"kernel": "dk"}),
+        APICall("clSetKernelArg", {"kernel": "dk", "arg_index": 0, "value": 3.0}),
+        APICall("clSetKernelArg", {"kernel": "dk", "arg_index": 1, "value": 64.0}),
+    ]
+    for value in complexities:
+        calls.append(APICall("clEnqueueWriteBuffer", {"__complexity": value}))
+        calls.append(
+            APICall(KERNEL_ENQUEUE, {"kernel": "dk", "global_work_size": 64})
+        )
+        if finish_between:
+            calls.append(APICall("clFinish"))
+    calls.append(APICall("clFinish"))
+    return HostProgram(name="dg-app", calls=tuple(calls))
+
+
+class _App:
+    def __init__(self, complexities, finish_between=False):
+        from repro.driver.jit import KernelSource
+
+        self.name = "dg-app"
+        self.kernel = _data_kernel()
+        self.sources = {"dk": KernelSource(name="dk", body=self.kernel)}
+        self.host_program = _program(complexities, finish_between)
+
+
+def _nodes(complexities, finish_between=False):
+    app = _App(complexities, finish_between)
+    run = build_runtime(app).run(app.host_program)
+    return nodes_from_run(run, {"dk": app.kernel})
+
+
+def test_runtime_captures_buffer_read_sets():
+    nodes = _nodes([1.0, 5.0])
+    assert [n.reads for n in nodes] == [
+        (("__complexity", 1.0),),
+        (("__complexity", 5.0),),
+    ]
+    assert all(n.writes == () for n in nodes)
+
+
+def test_intervening_host_write_splits_an_epoch():
+    # Same sync epoch, but the host rewrote the buffer between the two
+    # readers: the observed values differ, so they may not batch.
+    drifting = partition_epochs(_nodes([1.0, 5.0]))
+    assert [e.indices for e in drifting] == [(0,), (1,)]
+    # An idempotent rewrite is not an observable hazard: one epoch.
+    stable = partition_epochs(_nodes([2.0, 2.0]))
+    assert [e.indices for e in stable] == [(0, 1)]
+
+
+def test_sync_calls_split_epochs_even_without_hazards():
+    synced = partition_epochs(_nodes([2.0, 2.0], finish_between=True))
+    assert [e.indices for e in synced] == [(0,), (1,)]
+
+
+def test_nodes_from_log_matches_runtime_capture(small_workload, small_app):
+    log = small_workload.log
+    indices = list(range(len(log.invocations)))
+    nodes = nodes_from_log(log, indices)
+    assert [n.index for n in nodes] == indices
+    for node in nodes:
+        profile = log.invocations[node.index]
+        assert node.kernel_name == profile.kernel_name
+        assert node.sync_epoch == profile.sync_epoch
+        consumed = small_app.sources[node.kernel_name].body.trip_args
+        for key, value in node.reads:
+            assert key.startswith("__") and key in consumed
+            assert dict(profile.data_items)[key] == value
