@@ -33,6 +33,7 @@ sys.path.insert(
 
 from repro.gpu.cache import CacheConfig
 from repro.gpu.device import HD4000
+from repro.gpu.providers import resolve_device
 from repro.obs import bench as obs_bench
 from repro.sampling.pipeline import explore_application, profile_workload
 from repro.sampling.simpoint import SimPointOptions
@@ -79,6 +80,24 @@ def measure(scale: float) -> list[obs_bench.BenchMetric]:
         )
         batched_walls.append(time.perf_counter() - start)
 
+    # The wave64 provider's default device: same app, 64-wide wavefront
+    # threading (fewer, wider hardware threads) and 128-byte cache
+    # lines, so this tracks simulation throughput under the non-GEN
+    # threading model.  Needs its own profile: thread counts differ.
+    w64_device = resolve_device("wave64:w64-cu28")
+    w64_workload = profile_workload(app, w64_device, 0)
+    w64_indices = list(range(len(w64_workload.log.invocations)))
+    w64_walls = []
+    w64_instructions = 0
+    for _ in range(ROUNDS):
+        simulator = DetailedGPUSimulator(w64_device, GATE_CACHE)
+        start = time.perf_counter()
+        _simulate_invocations(
+            simulator, app.sources, w64_workload.log, w64_indices, seed=0
+        )
+        w64_walls.append(time.perf_counter() - start)
+        w64_instructions = simulator.total_simulated_instructions
+
     sweep_walls = []
     for _ in range(ROUNDS):
         start = time.perf_counter()
@@ -97,6 +116,12 @@ def measure(scale: float) -> list[obs_bench.BenchMetric]:
         obs_bench.BenchMetric(
             name="detailed_sim.batched_instr_per_second",
             value=instructions / min(batched_walls),
+            unit="instr/s",
+            direction="higher",
+        ),
+        obs_bench.BenchMetric(
+            name="detailed_sim.wave64_instr_per_second",
+            value=w64_instructions / min(w64_walls),
             unit="instr/s",
             direction="higher",
         ),

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Do selections survive future hardware?  (Figure 8 in miniature.)
+"""Do selections survive future hardware -- and other vendors?
 
-Records one application with CoFluent on the Ivy Bridge HD 4000, selects
-simulation points from that single profile, then replays the recording:
+Part 1 (Figure 8 in miniature): records one application with CoFluent on
+the Ivy Bridge HD 4000, selects simulation points from that single
+profile, then replays the recording:
 
 * across fresh trials on the same machine,
 * across the Figure 8 frequency ladder (1000 -> 350 MHz),
 * on the Haswell HD 4600 (20 EUs instead of 16).
+
+Part 2 (two-vendor sweep): runs the same profile-then-select pipeline on
+every registered device provider -- the GEN devices and the AMD-like
+wave64 backend with its 64-wide wavefronts -- and then scores each
+vendor's selection on the *other* vendor's hardware.  The threading
+model, cache geometry, and timing quirks all come from the provider
+registry (see docs/providers.md).
 
 Each replay scores the original selection with the Eq. (1) SPI error.
 
@@ -14,7 +22,14 @@ Run:  python examples/cross_architecture_study.py
 """
 
 from repro.gpu.device import FIGURE_8_FREQUENCIES_MHZ, HD4000, HD4600
-from repro.sampling import explore_application, profile_workload
+from repro.gpu.providers import get_provider, list_providers
+from repro.sampling import (
+    FeatureKind,
+    IntervalScheme,
+    explore_application,
+    profile_workload,
+    select_simpoints,
+)
 from repro.sampling.validation import (
     cross_architecture_errors,
     cross_frequency_errors,
@@ -22,9 +37,12 @@ from repro.sampling.validation import (
 )
 from repro.workloads import load_app
 
+APP_NAME = "sandra-crypt-aes128"
+APP_SCALE = 0.5
 
-def main() -> None:
-    app = load_app("sandra-crypt-aes128", scale=0.5)
+
+def figure8_study(app) -> None:
+    """Part 1: the paper's single-vendor robustness ladder."""
     print(f"Recording + profiling {app.name} on {HD4000}...")
     workload = profile_workload(app, device=HD4000)
     selection = explore_application(workload).minimize_error().selection
@@ -55,6 +73,68 @@ def main() -> None:
     print("Cross-architecture error (Ivy Bridge selections on Haswell):")
     for point in arch.points:
         print(f"  {point.condition:16s} {point.error_percent:6.2f}%")
+    print()
+
+
+def two_vendor_sweep(app) -> None:
+    """Part 2: the same pipeline on every registered provider."""
+    print("=" * 64)
+    print(f"Two-vendor sweep: {', '.join(list_providers())}")
+    print("=" * 64)
+
+    per_vendor = {}
+    for name in list_providers():
+        provider = get_provider(name)
+        device = provider.default_device
+        caps = provider.capabilities
+        threading = (
+            f"{caps.wavefront_width}-wide wavefronts"
+            if caps.wavefront_width
+            else "compile-width SIMD"
+        )
+        print(
+            f"\n[{name}] profiling on {device.name}: "
+            f"{device.eu_count} {caps.compute_unit_name}s, "
+            f"{device.frequency_mhz:g} MHz, {threading}"
+        )
+        workload = profile_workload(app, device=device)
+        result = select_simpoints(
+            workload, IntervalScheme("sync"), FeatureKind("BB")
+        )
+        per_vendor[name] = (workload, result)
+        print(
+            f"  {len(workload.log.invocations)} invocations, "
+            f"{workload.log.total_instructions:,} instructions, "
+            f"native {workload.timings.total_seconds * 1e3:.3f} ms"
+        )
+        print(
+            f"  selection: k={result.selection.k} "
+            f"error={result.error_percent:.2f}% "
+            f"speedup={result.simulation_speedup:.1f}x"
+        )
+
+    print("\nCross-vendor transfer (selection scored on the other vendor):")
+    names = list_providers()
+    for src in names:
+        workload, result = per_vendor[src]
+        for dst in names:
+            if dst == src:
+                continue
+            target = get_provider(dst).default_device
+            report = cross_architecture_errors(
+                workload.recording, result.selection, target
+            )
+            for point in report.points:
+                print(
+                    f"  {src:8s} -> {dst:8s} ({target.name}): "
+                    f"{point.error_percent:6.2f}%"
+                )
+
+
+def main() -> None:
+    app = load_app(APP_NAME, scale=APP_SCALE)
+    figure8_study(app)
+    two_vendor_sweep(app)
 
 
 if __name__ == "__main__":

@@ -38,7 +38,13 @@ from repro.analysis import (
     table1_suite,
 )
 from repro.analysis.characterize import SuiteCharacterization
-from repro.gpu.device import HD4000, HD4600, DeviceSpec
+from repro.gpu.device import HD4600, DeviceSpec
+from repro.gpu.providers import (
+    get_provider,
+    known_device_tokens,
+    list_providers,
+    resolve_device,
+)
 from repro.gtpin.overhead import measure_overhead
 from repro.parallel import ProfileCache
 from repro.sampling import (
@@ -55,7 +61,12 @@ _FEATURES = {f.value: f for f in FeatureKind}
 
 
 def _device(name: str) -> DeviceSpec:
-    return {"hd4000": HD4000, "hd4600": HD4600}[name]
+    """Resolve a ``--device`` token through the provider registry."""
+    try:
+        return resolve_device(name)
+    except KeyError as exc:
+        print(f"gtpin: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _cache(args: argparse.Namespace) -> ProfileCache | None:
@@ -72,7 +83,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="workload volume scale (default 1.0; use ~0.2 for quick runs)",
     )
     parser.add_argument(
-        "--device", choices=("hd4000", "hd4600"), default="hd4000"
+        "--device", default="hd4000", metavar="[PROVIDER:]NAME[@MHz]",
+        help="target device, resolved through the provider registry: "
+        "e.g. hd4000, gen:hd4600, wave64:w64-cu28, hd4000@700MHz "
+        "(list with 'gtpin devices'; see docs/providers.md)",
     )
     parser.add_argument("--seed", type=int, default=0, help="trial seed")
     parser.add_argument(
@@ -137,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("suite", help="list the 25-application suite (Table I)")
+
+    sub.add_parser(
+        "devices",
+        help="list registered device providers and their devices "
+        "(see docs/providers.md)",
+    )
 
     p = sub.add_parser("profile", help="GT-Pin profile one application")
     p.add_argument("app", choices=SUITE_NAMES)
@@ -294,6 +314,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_suite() -> int:
     print(table1_suite(SUITE_SPECS))
+    return 0
+
+
+def _cmd_devices() -> int:
+    """``gtpin devices``: the provider registry, one row per device."""
+    rows = []
+    for provider_name in list_providers():
+        provider = get_provider(provider_name)
+        caps = provider.capabilities
+        for token, spec in provider.devices().items():
+            width = (
+                f"wave{caps.wavefront_width}"
+                if caps.wavefront_width else "compile-width"
+            )
+            rows.append((
+                f"{provider_name}:{token}",
+                spec.name,
+                f"{spec.eu_count} {spec.compute_unit_name}s",
+                f"{spec.frequency_mhz:g} MHz",
+                f"{spec.memory_bandwidth_gbps:g} GB/s",
+                f"{spec.llc_kb} KB",
+                width,
+            ))
+    print(
+        render_table(
+            "Registered device providers",
+            ["Device", "Full name", "Units", "Clock", "Bandwidth",
+             "LLC", "Threading"],
+            rows,
+        )
+    )
+    print()
+    print("Use --device with any token above (bare names work when "
+          "unambiguous; append @<freq>MHz to re-clock).")
     return 0
 
 
@@ -618,6 +672,8 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "suite":
         return _cmd_suite()
+    if args.command == "devices":
+        return _cmd_devices()
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "characterize":

@@ -23,12 +23,25 @@ from repro.gpu.execution import (
 from repro.gpu.memory import DEFAULT_SURFACE, Surface, expand_addresses, stream_bytes
 from repro.gpu.timing import KernelCost, TimingModel, TimingParameters
 
+# Providers import last: they consume the modules above and register the
+# built-in ``gen`` / ``wave64`` backends as a side effect.
+from repro.gpu.providers import (
+    DeviceProvider,
+    ProviderCapabilities,
+    get_provider,
+    list_providers,
+    provider_of,
+    register_provider,
+    resolve_device,
+)
+
 __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "CacheSimulator",
     "CacheStats",
     "DEFAULT_SURFACE",
+    "DeviceProvider",
     "DeviceSpec",
     "FIGURE_8_FREQUENCIES_MHZ",
     "GPUDevice",
@@ -39,10 +52,16 @@ __all__ = [
     "KernelDispatch",
     "ON_EXECUTE_HOOK_KEY",
     "ORIGINAL_BINARY_KEY",
+    "ProviderCapabilities",
     "Surface",
     "TimingModel",
     "TimingParameters",
     "device_by_name",
     "expand_addresses",
+    "get_provider",
+    "list_providers",
+    "provider_of",
+    "register_provider",
+    "resolve_device",
     "stream_bytes",
 ]

@@ -52,6 +52,20 @@ class CacheConfig:
     def n_sets(self) -> int:
         return self.size_bytes // (self.line_bytes * self.ways)
 
+    @classmethod
+    def for_device(cls, spec) -> "CacheConfig":
+        """The modelled LLC geometry of a device.
+
+        Capacity comes from the spec's ``llc_kb``; line size and
+        associativity come from the owning provider's capability flags
+        (:mod:`repro.gpu.providers`), so e.g. ``wave64`` devices get
+        GCN-style 128-byte lines while GEN keeps 64-byte ring-slice
+        lines.
+        """
+        from repro.gpu.providers import default_cache_config
+
+        return default_cache_config(spec)
+
 
 @dataclasses.dataclass
 class CacheStats:

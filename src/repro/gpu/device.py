@@ -6,6 +6,13 @@ Section V-E additionally validates against a Haswell **HD 4600** (20 EUs).
 :class:`DeviceSpec` captures the parameters our timing model needs, and the
 module ships both devices (plus the frequency ladder used in Figure 8's
 middle plot).
+
+Devices belong to a **provider** (:mod:`repro.gpu.providers`): the GEN
+parts above live under the ``gen`` provider, and an AMD-like 64-wide
+wavefront backend ships as ``wave64``.  The provider name is stamped on
+every spec so downstream layers (timing defaults, cache geometry,
+exec-size validation) can recover the backend's capability flags from a
+spec alone.
 """
 
 from __future__ import annotations
@@ -30,10 +37,24 @@ class DeviceSpec:
     llc_kb: int
     #: Fixed host->device dispatch cost per kernel invocation, seconds.
     kernel_launch_overhead_s: float = 8e-6
+    #: Owning provider (see :mod:`repro.gpu.providers`).
+    provider: str = "gen"
+    #: Hardware-thread width in work-items.  0 means "the kernel's compile
+    #: width" (GEN style: a SIMD16 kernel packs 16 work-items per thread);
+    #: a fixed positive value means every dispatch runs in that width
+    #: (wave64 style: 64 work-items per wavefront regardless of how the
+    #: kernel was compiled).
+    wavefront_width: int = 0
+    #: Vendor nomenclature for the ``eu_count`` axis ("EU" or "CU").
+    compute_unit_name: str = "EU"
 
     def __post_init__(self) -> None:
-        if self.eu_count <= 0:
-            raise ValueError(f"eu_count must be positive, got {self.eu_count}")
+        for field in (
+            "eu_count", "threads_per_eu", "llc_kb",
+        ):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ValueError(f"{field} must be positive, got {value}")
         if self.frequency_mhz <= 0:
             raise ValueError(
                 f"frequency_mhz must be positive, got {self.frequency_mhz}"
@@ -42,6 +63,10 @@ class DeviceSpec:
             raise ValueError(
                 "memory_bandwidth_gbps must be positive, got "
                 f"{self.memory_bandwidth_gbps}"
+            )
+        if self.wavefront_width < 0:
+            raise ValueError(
+                f"wavefront_width must be >= 0, got {self.wavefront_width}"
             )
 
     @property
@@ -57,22 +82,39 @@ class DeviceSpec:
     def memory_bandwidth_bytes_per_s(self) -> float:
         return self.memory_bandwidth_gbps * 1e9
 
+    @property
+    def base_name(self) -> str:
+        """The device name without any ``@<freq>MHz`` re-clock suffix."""
+        return self.name.split("@", 1)[0]
+
+    def items_per_thread(self, simd_width: int) -> int:
+        """Work-items one hardware thread covers for a given compile width.
+
+        GEN devices (``wavefront_width == 0``) pack work-items at the
+        kernel's compile width; fixed-wavefront devices always run
+        ``wavefront_width``-wide regardless of the compile width.
+        """
+        return self.wavefront_width if self.wavefront_width else simd_width
+
     def at_frequency(self, frequency_mhz: float) -> "DeviceSpec":
         """The same device clocked at a different GPU frequency.
 
         Used for Figure 8's cross-frequency validation (1150 down to
         350 MHz).  Memory bandwidth is unchanged: on the modelled SoC the
-        memory controller is not on the GPU clock domain.
+        memory controller is not on the GPU clock domain.  Re-clocking an
+        already re-clocked spec replaces the ``@<freq>MHz`` suffix rather
+        than stacking a second one.
         """
         return dataclasses.replace(
             self,
-            name=f"{self.name}@{frequency_mhz:g}MHz",
+            name=f"{self.base_name}@{frequency_mhz:g}MHz",
             frequency_mhz=frequency_mhz,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"{self.name} ({self.generation}, {self.eu_count} EUs, "
+            f"{self.name} ({self.generation}, "
+            f"{self.eu_count} {self.compute_unit_name}s, "
             f"{self.frequency_mhz:g} MHz)"
         )
 
@@ -104,15 +146,12 @@ FIGURE_8_FREQUENCIES_MHZ: tuple[float, ...] = (1000.0, 850.0, 700.0, 550.0, 350.
 
 
 def device_by_name(name: str) -> DeviceSpec:
-    """Resolve a known device by (case-insensitive) short or full name."""
-    table = {
-        "hd4000": HD4000,
-        "hd4600": HD4600,
-        HD4000.name.lower(): HD4000,
-        HD4600.name.lower(): HD4600,
-    }
-    try:
-        return table[name.lower().replace(" ", "")] if name.lower().replace(" ", "") in table else table[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted({"hd4000", "hd4600"}))
-        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+    """Resolve a known device by (case-insensitive) short or full name.
+
+    Delegates to the provider registry, so every registered provider's
+    devices resolve here -- including ``provider:device`` qualified
+    tokens and ``@<freq>MHz`` re-clock suffixes.
+    """
+    from repro.gpu.providers import resolve_device
+
+    return resolve_device(name)

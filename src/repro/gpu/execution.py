@@ -100,6 +100,26 @@ class GPUDevice:
         self.spec = spec
         self.timing = TimingModel(spec, timing_params)
         self.dispatch_log: list[KernelDispatch] = []
+        #: Binaries already checked against the provider's exec-size
+        #: capability set (id -> binary, keeping the key alive so a
+        #: recycled id cannot alias).
+        self._validated: dict[int, KernelBinary] = {}
+
+    def _validate_binary(self, binary: KernelBinary) -> None:
+        """Once per binary: reject exec sizes this backend cannot run."""
+        if self._validated.get(id(binary)) is binary:
+            return
+        from repro.gpu.providers import provider_of
+
+        try:
+            provider = provider_of(self.spec)
+        except KeyError:
+            # Hand-built specs with no registered provider skip the
+            # capability check (the generic model runs anything).
+            pass
+        else:
+            provider.validate_binary(binary)
+        self._validated[id(binary)] = binary
 
     def reset(self) -> None:
         """Clear the dispatch log (device state between program runs)."""
@@ -128,7 +148,9 @@ class GPUDevice:
             raise ValueError(
                 f"global_work_size must be positive, got {global_work_size}"
             )
-        n_hw_threads = max(1, math.ceil(global_work_size / binary.simd_width))
+        self._validate_binary(binary)
+        items_per_thread = self.spec.items_per_thread(binary.simd_width)
+        n_hw_threads = max(1, math.ceil(global_work_size / items_per_thread))
 
         exec_env: Mapping[str, float] = (
             {**data_env, **arg_values} if data_env else arg_values

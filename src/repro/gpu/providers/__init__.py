@@ -1,0 +1,56 @@
+"""Multi-backend device providers.
+
+One module per backend, a uniform interface
+(:class:`~repro.gpu.providers.base.DeviceProvider` +
+:class:`~repro.gpu.providers.base.ProviderCapabilities`), and a registry
+that every device token in the system resolves through.  The built-in
+backends register on import:
+
+* ``gen`` -- the paper's Intel GEN parts (HD 4000 / HD 4600);
+* ``wave64`` -- an AMD-like 64-wide wavefront backend per Kerncap.
+
+See ``docs/providers.md`` for the interface contract and how to add a
+backend; ``tests/test_provider_capabilities.py`` is the conformance
+suite every registered provider must pass.
+"""
+
+from repro.gpu.providers.base import (
+    DeviceProvider,
+    ProviderCapabilities,
+    normalize_device_token,
+)
+from repro.gpu.providers.gen import GenProvider
+from repro.gpu.providers.registry import (
+    default_cache_config,
+    default_timing_params,
+    get_provider,
+    known_device_tokens,
+    list_providers,
+    provider_of,
+    register_provider,
+    resolve_device,
+)
+from repro.gpu.providers.wave64 import W64_APU8, W64_CU28, Wave64Provider
+
+# Built-in backends; ``gen`` first so bare GEN tokens keep their meaning.
+for _provider_cls in (GenProvider, Wave64Provider):
+    if _provider_cls.name not in list_providers():
+        register_provider(_provider_cls())
+
+__all__ = [
+    "DeviceProvider",
+    "GenProvider",
+    "ProviderCapabilities",
+    "W64_APU8",
+    "W64_CU28",
+    "Wave64Provider",
+    "default_cache_config",
+    "default_timing_params",
+    "get_provider",
+    "known_device_tokens",
+    "list_providers",
+    "normalize_device_token",
+    "provider_of",
+    "register_provider",
+    "resolve_device",
+]

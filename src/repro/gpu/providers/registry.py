@@ -1,0 +1,132 @@
+"""Provider registry: register backends, resolve device tokens.
+
+The registry is the single name space the CLI (``--device``), the serve
+protocol, and the simulation layers resolve devices through.  A token is
+
+* ``"provider:device"`` -- fully qualified, e.g. ``"wave64:w64-cu28"``;
+* ``"device"`` -- bare; searched across providers in registration order
+  (``gen`` first, so the paper's short names keep their meaning); and
+* either form plus ``"@<freq>MHz"`` re-clock suffixes, which apply
+  :meth:`~repro.gpu.device.DeviceSpec.at_frequency` -- so every rung of
+  a Figure-8 ladder resolves back through the registry
+  (``"gen:hd4000@700MHz"``).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import CacheConfig
+from repro.gpu.device import DeviceSpec
+from repro.gpu.providers.base import DeviceProvider
+from repro.gpu.timing import TimingParameters
+
+_REGISTRY: dict[str, DeviceProvider] = {}
+
+
+def register_provider(
+    provider: DeviceProvider, *, replace: bool = False
+) -> DeviceProvider:
+    """Add a backend to the registry (``replace=True`` to re-register)."""
+    if not provider.name:
+        raise ValueError("provider must have a non-empty name")
+    if provider.name in _REGISTRY and not replace:
+        raise ValueError(f"provider {provider.name!r} already registered")
+    _REGISTRY[provider.name] = provider
+    return provider
+
+
+def get_provider(name: str) -> DeviceProvider:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(list_providers())
+        raise KeyError(
+            f"unknown provider {name!r}; registered providers: {known}"
+        ) from None
+
+
+def list_providers() -> tuple[str, ...]:
+    """Registered provider names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def provider_of(spec: DeviceSpec) -> DeviceProvider:
+    """The backend that owns a spec (via its ``provider`` field)."""
+    return get_provider(spec.provider)
+
+
+def known_device_tokens() -> tuple[str, ...]:
+    """Every resolvable canonical token: bare short names (first
+    provider to claim a name wins, matching bare-token resolution) plus
+    all ``provider:device`` qualified forms."""
+    tokens: dict[str, None] = {}
+    for name, provider in _REGISTRY.items():
+        for key in provider.devices():
+            tokens.setdefault(key, None)
+            tokens.setdefault(f"{name}:{key}", None)
+    return tuple(tokens)
+
+
+def _split_reclock(token: str) -> tuple[str, list[float]]:
+    """Split trailing ``@<freq>MHz`` suffixes off a device token."""
+    parts = token.split("@")
+    base, ladder = parts[0], []
+    for part in parts[1:]:
+        text = part.strip().lower()
+        if text.endswith("mhz"):
+            text = text[: -len("mhz")]
+        try:
+            ladder.append(float(text))
+        except ValueError:
+            raise KeyError(
+                f"unknown device {token!r}: bad re-clock suffix {part!r} "
+                "(expected e.g. '@700MHz')"
+            ) from None
+    return base, ladder
+
+
+def resolve_device(token: str) -> DeviceSpec:
+    """Resolve any device token to a spec (see module docstring).
+
+    Raises ``KeyError`` naming the known devices on failure.
+    """
+    text = token.strip()
+    base, ladder = _split_reclock(text)
+    if ":" in base:
+        provider_name, _, device_name = base.partition(":")
+        spec = get_provider(provider_name).device(device_name)
+    else:
+        spec = None
+        for provider in _REGISTRY.values():
+            try:
+                spec = provider.device(base)
+                break
+            except KeyError:
+                continue
+        if spec is None:
+            known = ", ".join(known_device_tokens())
+            raise KeyError(
+                f"unknown device {token!r}; known devices: {known}"
+            )
+    for mhz in ladder:
+        spec = spec.at_frequency(mhz)
+    return spec
+
+
+def default_timing_params(spec: DeviceSpec) -> TimingParameters:
+    """The owning provider's timing quirks (generic defaults when the
+    spec's provider is not registered, so hand-built test specs work)."""
+    if spec.provider in _REGISTRY:
+        return _REGISTRY[spec.provider].timing_params()
+    return TimingParameters()
+
+
+def default_cache_config(spec: DeviceSpec) -> CacheConfig:
+    """The owning provider's modelled LLC geometry for a spec.
+
+    Falls back to ``llc_kb`` with generic 64-byte/8-way geometry when
+    the spec's provider is not registered.
+    """
+    if spec.provider in _REGISTRY:
+        return _REGISTRY[spec.provider].cache_config(spec)
+    return CacheConfig(size_bytes=spec.llc_kb * 1024)

@@ -1,0 +1,87 @@
+"""The ``wave64`` provider: an AMD-like 64-wide wavefront backend.
+
+Modelled after the GCN-style targets Kerncap extracts kernels for
+(PAPERS.md, arXiv 2605.03208): compute units ("CU") instead of EUs,
+and *fixed-width threading* -- every dispatch runs in 64-work-item
+wavefronts regardless of the width the kernel was compiled at
+(``wavefront_width = 64``), so the same SIMD16 binary occupies 4x fewer
+hardware threads than on GEN.  Each CU keeps 40 resident wavefront
+slots (10 per SIMD unit x 4 SIMD units).
+
+Timing quirks differ from GEN on every roofline knob: higher clocks and
+far more bandwidth, but a lower sustained issue efficiency (the in-order
+SIMD units interleave wavefronts rather than threads) and a smaller
+occupancy knee in *wavefront* units.  The modelled L2 uses GCN's
+128-byte lines at 16-way associativity.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.providers.base import DeviceProvider, ProviderCapabilities
+from repro.gpu.timing import TimingParameters
+from repro.isa.instruction import EXEC_SIZES
+
+#: Work-items per wavefront; the provider's defining constant.
+WAVEFRONT_WIDTH = 64
+
+#: A discrete part: 28 CUs, GDDR-class bandwidth, 2 MB L2.
+W64_CU28 = DeviceSpec(
+    name="Wave64 CU28",
+    generation="w64-discrete",
+    eu_count=28,
+    threads_per_eu=40,
+    frequency_mhz=1400.0,
+    memory_bandwidth_gbps=224.0,
+    llc_kb=2048,
+    kernel_launch_overhead_s=12e-6,
+    provider="wave64",
+    wavefront_width=WAVEFRONT_WIDTH,
+    compute_unit_name="CU",
+)
+
+#: An integrated part: 8 CUs sharing system memory, 1 MB L2.
+W64_APU8 = DeviceSpec(
+    name="Wave64 APU8",
+    generation="w64-apu",
+    eu_count=8,
+    threads_per_eu=40,
+    frequency_mhz=1100.0,
+    memory_bandwidth_gbps=38.4,
+    llc_kb=1024,
+    kernel_launch_overhead_s=12e-6,
+    provider="wave64",
+    wavefront_width=WAVEFRONT_WIDTH,
+    compute_unit_name="CU",
+)
+
+
+class Wave64Provider(DeviceProvider):
+    """AMD-like wave64: the CU28 discrete part (default) and the APU8."""
+
+    name = "wave64"
+    capabilities = ProviderCapabilities(
+        vendor="amd-wave64",
+        compute_unit_name="CU",
+        thread_name="wavefront",
+        wavefront_width=WAVEFRONT_WIDTH,
+        simd_compile_widths=(8, 16),
+        # The virtual ISA's exec sizes all map onto the 64-wide SIMD
+        # units (sub-wavefront sizes execute under an execution mask).
+        exec_sizes=frozenset(EXEC_SIZES) | {32, 64},
+        cache_line_bytes=128,
+        cache_ways=16,
+        timing=TimingParameters(
+            noise_sigma=0.012,
+            bandwidth_efficiency=0.70,
+            issue_efficiency=0.80,
+            # In wavefronts: 32 resident wavefronts (~2048 work-items)
+            # before the machine is full.
+            min_occupancy_threads=32,
+        ),
+    )
+
+    def devices(self) -> Mapping[str, DeviceSpec]:
+        return {"w64-cu28": W64_CU28, "w64-apu8": W64_APU8}

@@ -82,7 +82,13 @@ class TimingModel:
         params: TimingParameters | None = None,
     ) -> None:
         self.device = device
-        self.params = params or TimingParameters()
+        if params is None:
+            # Each backend carries its own timing quirks; the registry
+            # falls back to the generic defaults for hand-built specs.
+            from repro.gpu.providers import default_timing_params
+
+            params = default_timing_params(device)
+        self.params = params
 
     def cost(
         self,

@@ -140,6 +140,27 @@ class SendPlan:
         )
 
 
+def validate_exec_sizes(
+    binary: "KernelBinary",
+    allowed: frozenset[int] | set[int],
+    provider: str = "provider",
+) -> None:
+    """Reject a binary whose exec sizes a backend cannot execute.
+
+    ``allowed`` is a provider's capability exec-size set
+    (:class:`repro.gpu.providers.ProviderCapabilities`); both the compile
+    width and every instruction execution size must be members.  Raises
+    ``ValueError`` naming the offending sizes.
+    """
+    unsupported = sorted(binary.exec_size_set - frozenset(allowed))
+    if unsupported:
+        raise ValueError(
+            f"kernel {binary.name!r} uses execution sizes {unsupported} "
+            f"not supported by provider {provider!r} "
+            f"(supported: {sorted(allowed)})"
+        )
+
+
 class KernelBinary:
     """A JIT-compiled GPU kernel: blocks + control structure + signature.
 
@@ -204,6 +225,7 @@ class KernelBinary:
         self._is_deterministic: bool | None = None
         self._counts_deterministic: bool | None = None
         self._trip_args: frozenset[str] | None = None
+        self._exec_size_set: frozenset[int] | None = None
 
     # -- structure ----------------------------------------------------------
 
@@ -258,6 +280,22 @@ class KernelBinary:
         if self._counts_deterministic is None:
             self._counts_deterministic = not has_jitter(self.program)
         return self._counts_deterministic
+
+    @property
+    def exec_size_set(self) -> frozenset[int]:
+        """Cached set of execution sizes the binary actually uses.
+
+        Includes the compile width.  Device providers check this against
+        their capability flags (:func:`validate_exec_sizes`) before
+        accepting a dispatch.
+        """
+        if self._exec_size_set is None:
+            sizes = {self.simd_width}
+            for block in self.blocks:
+                for instr in block.instructions:
+                    sizes.add(instr.exec_size)
+            self._exec_size_set = frozenset(sizes)
+        return self._exec_size_set
 
     @property
     def trip_args(self) -> frozenset[str]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Mapping
 
+from repro.gpu.providers import known_device_tokens, resolve_device
 from repro.workloads import SUITE_NAMES
 
 #: What a job can ask the daemon to run.  Each kind starts from the same
@@ -27,8 +28,9 @@ from repro.workloads import SUITE_NAMES
 #: stops there, the others post-process the profile further.
 JOB_KINDS = ("profile", "select", "explore", "simulate")
 
-#: Known device names (mirrors the CLI's ``--device`` choices).
-DEVICE_NAMES = ("hd4000", "hd4600")
+#: Canonical device tokens (mirrors the CLI's ``--device`` registry
+#: resolution; any token ``resolve_device`` accepts is a valid spec).
+DEVICE_NAMES = known_device_tokens()
 
 #: Priority band: higher runs earlier; the band is clamped-checked so a
 #: client cannot starve everyone with priority=10**9.
@@ -82,10 +84,13 @@ class JobSpec:
             raise ProtocolError(
                 f"scale must be in (0, 4], got {self.scale!r}"
             )
-        if self.device not in DEVICE_NAMES:
+        try:
+            resolve_device(self.device)
+        except KeyError:
             raise ProtocolError(
-                f"device must be one of {DEVICE_NAMES}, got {self.device!r}"
-            )
+                f"unknown device {self.device!r}; known devices: "
+                + ", ".join(DEVICE_NAMES)
+            ) from None
         if not PRIORITY_MIN <= int(self.priority) <= PRIORITY_MAX:
             raise ProtocolError(
                 f"priority must be in [{PRIORITY_MIN}, {PRIORITY_MAX}], "

@@ -22,7 +22,7 @@ import threading
 from typing import Any, Mapping
 
 from repro import telemetry
-from repro.gpu.device import HD4000, HD4600, DeviceSpec
+from repro.gpu.providers import resolve_device
 from repro.parallel.cache import ProfileCache
 from repro.sampling import (
     FeatureKind,
@@ -33,8 +33,6 @@ from repro.sampling import (
 )
 from repro.serve.protocol import JobSpec
 from repro.workloads import load_app
-
-_DEVICES: dict[str, DeviceSpec] = {"hd4000": HD4000, "hd4600": HD4600}
 
 
 class JobCancelled(Exception):
@@ -59,7 +57,8 @@ def execute_job(
         kind=spec.kind, app=spec.app, client=spec.client,
     ):
         _checkpoint(cancel)
-        device = _DEVICES[spec.device]
+        # Specs are validated at submission, so this cannot fail here.
+        device = resolve_device(spec.device)
         app = load_app(spec.app, scale=spec.scale)
         workload = profile_workload(app, device, spec.seed, cache=cache)
         _checkpoint(cancel)

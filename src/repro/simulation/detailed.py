@@ -158,7 +158,7 @@ class DetailedGPUSimulator:
 
     def __init__(
         self,
-        device: DeviceSpec,
+        device: DeviceSpec | str,
         cache_config: CacheConfig | None = None,
         engine: str = "vectorized",
         memoize: bool = True,
@@ -167,9 +167,20 @@ class DetailedGPUSimulator:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
             )
+        if isinstance(device, str):
+            # Accept registry tokens ("hd4000", "wave64:w64-cu28", ...)
+            # everywhere a spec is accepted.
+            from repro.gpu.providers import resolve_device
+
+            device = resolve_device(device)
         self.device = device
         self.engine = engine
-        self.cache = CacheSimulator(cache_config or CacheConfig())
+        # The default geometry is the device's own modelled LLC: capacity
+        # from the spec, line size / associativity from its provider's
+        # capability flags (identical to CacheConfig() on the HD 4000).
+        self.cache = CacheSimulator(
+            cache_config or CacheConfig.for_device(device)
+        )
         #: Total instructions stepped over this simulator's lifetime --
         #: the cost metric behind "simulation is ~10^6x slower".  The
         #: vectorized engine counts the instructions its batches *cover*
@@ -598,7 +609,8 @@ class DetailedGPUSimulator:
         n_threads_list: list[int] = []
         for i, (binary, arg_values, global_work_size) in enumerate(items):
             n_threads = max(
-                1, -(-global_work_size // binary.simd_width)
+                1, -(-global_work_size
+                     // self.device.items_per_thread(binary.simd_width))
             )  # ceil div
             if counts is not None and counts[i] is not None:
                 per_thread = counts[i]
@@ -742,7 +754,8 @@ class DetailedGPUSimulator:
         rng: np.random.Generator,
     ) -> SimulatedDispatch:
         n_threads = max(
-            1, -(-global_work_size // binary.simd_width)
+            1, -(-global_work_size
+                 // self.device.items_per_thread(binary.simd_width))
         )  # ceil div
         per_thread = execution_counts(
             binary.program, arg_values, rng, binary.n_blocks
@@ -799,7 +812,8 @@ class DetailedGPUSimulator:
         rng: np.random.Generator,
     ) -> SimulatedDispatch:
         n_threads = max(
-            1, -(-global_work_size // binary.simd_width)
+            1, -(-global_work_size
+                 // self.device.items_per_thread(binary.simd_width))
         )  # ceil div
         per_thread = execution_counts(
             binary.program, arg_values, rng, binary.n_blocks

@@ -74,7 +74,7 @@ def simulate_selection_microkernels(
     sources: Mapping[str, KernelSource],
     log: InvocationLog,
     selection: Selection,
-    device: DeviceSpec,
+    device: DeviceSpec | str,
     loop_reduction: float = 4.0,
     cache_config: CacheConfig | None = None,
     seed: int = 0,

@@ -198,7 +198,7 @@ def simulate_selection(
     sources: Mapping[str, KernelSource],
     log: InvocationLog,
     selection: Selection,
-    device: DeviceSpec,
+    device: DeviceSpec | str,
     cache_config: CacheConfig | None = None,
     seed: int = 0,
     engine: str = "vectorized",
@@ -254,7 +254,7 @@ def simulate_full(
     application_name: str,
     sources: Mapping[str, KernelSource],
     log: InvocationLog,
-    device: DeviceSpec,
+    device: DeviceSpec | str,
     cache_config: CacheConfig | None = None,
     seed: int = 0,
     engine: str = "vectorized",

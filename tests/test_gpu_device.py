@@ -58,3 +58,63 @@ def test_device_by_name():
     assert device_by_name("HD4600") is HD4600
     with pytest.raises(KeyError, match="unknown device"):
         device_by_name("hd9999")
+
+
+def test_device_by_name_normalizes_whitespace_and_punctuation():
+    """Marketing names resolve however the separators are written.
+
+    ``"intelhd4000"`` used to miss because lookup only stripped spaces
+    from the *registered* names, not the query.
+    """
+    for alias in ("intelhd4000", "Intel HD 4000", "intel-hd-4000",
+                  "intel_hd_4000", " Intel  HD 4000 "):
+        assert device_by_name(alias) is HD4000
+    assert device_by_name("IntelHD4600") is HD4600
+
+
+@pytest.mark.parametrize("field", ["threads_per_eu", "llc_kb"])
+@pytest.mark.parametrize("bad", [0, -1])
+def test_validation_rejects_nonpositive_capacity_fields(field, bad):
+    kwargs = dict(eu_count=16, threads_per_eu=8, frequency_mhz=1000,
+                  memory_bandwidth_gbps=25, llc_kb=256)
+    kwargs[field] = bad
+    with pytest.raises(ValueError, match=field):
+        DeviceSpec("x", "g", **kwargs)
+
+
+def test_validation_rejects_negative_wavefront_width():
+    with pytest.raises(ValueError, match="wavefront_width"):
+        DeviceSpec("x", "g", eu_count=16, threads_per_eu=8,
+                   frequency_mhz=1000, memory_bandwidth_gbps=25,
+                   llc_kb=256, wavefront_width=-64)
+
+
+def test_chained_at_frequency_does_not_stack_suffixes():
+    """Re-clocking a re-clocked device replaces the @MHz tag."""
+    twice = HD4000.at_frequency(700.0).at_frequency(350.0)
+    assert twice.frequency_mhz == 350.0
+    assert twice.name == HD4000.name + "@350MHz"
+    assert twice.name.count("@") == 1
+    assert twice.base_name == HD4000.name
+
+
+def test_figure8_ladder_rungs_resolve_through_registry():
+    """Every ladder rung's name round-trips via device_by_name."""
+    for mhz in FIGURE_8_FREQUENCIES_MHZ:
+        rung = HD4000.at_frequency(mhz)
+        resolved = device_by_name(f"hd4000@{mhz:g}MHz")
+        assert resolved == rung
+        assert resolved.frequency_mhz == mhz
+        assert resolved.provider == "gen"
+        # The rung's own display name resolves too.
+        assert device_by_name(rung.name) == rung
+
+
+def test_items_per_thread_threading_models():
+    """GEN packs by compile width; wave64 devices are fixed 64-wide."""
+    assert HD4000.items_per_thread(8) == 8
+    assert HD4000.items_per_thread(16) == 16
+    from repro.gpu.providers.wave64 import W64_CU28
+
+    assert W64_CU28.items_per_thread(8) == 64
+    assert W64_CU28.items_per_thread(16) == 64
