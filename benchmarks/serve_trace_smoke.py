@@ -1,0 +1,106 @@
+"""CI smoke: one serve job must assemble one four-domain trace.
+
+Submits a single ``simulate`` job (batched engine, ``jobs=2``) to a
+running ``gtpin serve --ledger`` daemon from *this* process -- a real
+cross-process client -- records the client-side spans into the shared
+ledger, and asserts the assembled trace covers all four execution
+domains:
+
+* **client**   -- the ``serve.client.submit`` span from this process;
+* **queue**    -- the daemon's synthesized ``serve.queue.job`` span;
+* **worker**   -- subprocess spans (synthetic negative thread ids);
+* **simulation** -- engine spans (``category == "simulation"``).
+
+Also writes the trace as JSONL (one span per line) for artifact
+upload, and prints the trace id on the last line so the caller can
+feed it to ``gtpin trace show``.  Exit status 1 names the missing
+domain; see docs/tracing.md.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_trace_smoke.py --port 8124 \
+        --ledger ./serve_runs.sqlite --out-jsonl serve_trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import telemetry
+from repro.obs.ledger import RunLedger
+from repro.serve import ServeClient
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--ledger", required=True,
+                        help="the daemon's ledger file (shared)")
+    parser.add_argument("--app", default="cb-gaussian-buffer")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--out-jsonl", default="",
+                        help="also dump the trace's spans as JSONL")
+    args = parser.parse_args()
+
+    # The client is its own process: enable telemetry here so the
+    # serve.client.submit span exists, then append it to the same
+    # ledger the daemon writes -- the cross-process assembly under test.
+    tm = telemetry.enable()
+    try:
+        client = ServeClient(args.port, timeout=60.0)
+        view = client.run(
+            "simulate", args.app, scale=args.scale, jobs=2,
+            timeout=args.timeout,
+        )
+    finally:
+        telemetry.disable()
+    if view["state"] != "done":
+        print(f"FAIL: job ended {view['state']}: {view.get('error', '')}")
+        return 1
+    trace_id = view["trace_id"]
+    ledger = RunLedger(args.ledger)
+    ledger.record_spans(
+        trace_id, tm.spans_for_trace(trace_id), tm.ns_to_unix
+    )
+
+    spans = ledger.trace(trace_id)
+    names = {span.name for span in spans}
+    domains = {
+        "client (serve.client.submit)": "serve.client.submit" in names,
+        "queue (serve.queue.job)": "serve.queue.job" in names,
+        "worker (negative thread ids)": any(
+            span.thread_id < 0 for span in spans
+        ),
+        "simulation (category)": any(
+            span.category == "simulation" for span in spans
+        ),
+    }
+    for domain, present in sorted(domains.items()):
+        print(f"  {'ok  ' if present else 'MISS'} {domain}")
+    print(f"trace spans: {len(spans)}")
+
+    if args.out_jsonl:
+        with open(args.out_jsonl, "w") as out:
+            for span in spans:
+                out.write(json.dumps(dataclasses.asdict(span)))
+                out.write("\n")
+
+    missing = [d for d, present in domains.items() if not present]
+    if missing:
+        print(f"FAIL: trace {trace_id} missing domains: {missing}")
+        return 1
+    print(trace_id)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

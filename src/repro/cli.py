@@ -137,6 +137,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "ephemeral port; also via $REPRO_LIVE_PORT); watch with "
         "'gtpin top' -- see docs/live.md",
     )
+    parser.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="append this run's record (trace id, duration, counters, "
+        "quantiles) and its trace's spans to a SQLite run ledger "
+        "(also via $REPRO_LEDGER); inspect with 'gtpin runs' and "
+        "'gtpin trace show' -- see docs/tracing.md",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -249,6 +256,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable deterministic fault injection for every job "
         f"(also via ${faults.FAULTS_ENV}); see docs/robustness.md",
     )
+    p.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="append every terminal job (and its trace's spans) to this "
+        "SQLite run ledger; survives restarts (also via $REPRO_LEDGER)",
+    )
+
+    p = sub.add_parser(
+        "runs",
+        help="inspect the SQLite run ledger: list recorded runs, show "
+        "one, or diff two (--ledger / $REPRO_LEDGER names the file)",
+    )
+    p.add_argument(
+        "action", choices=("list", "show", "diff"),
+        help="list recent runs / show one run's full record / diff two "
+        "runs' metrics",
+    )
+    p.add_argument(
+        "ids", nargs="*", type=int,
+        help="run id for 'show', two run ids for 'diff'",
+    )
+    p.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="ledger file (default: $REPRO_LEDGER)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=20,
+        help="how many runs 'list' shows (default 20)",
+    )
 
     p = sub.add_parser(
         "report",
@@ -280,10 +315,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="run a workflow with telemetry enabled; write a Chrome-trace "
-        "JSON (chrome://tracing / Perfetto) plus a span-tree summary",
+        help="run a workflow with telemetry enabled and write a "
+        "Chrome-trace JSON plus a span-tree summary; or 'trace show "
+        "<trace_id>' to render an assembled trace from the run ledger",
     )
-    p.add_argument("app", choices=SUITE_NAMES)
+    p.add_argument(
+        "app", metavar="APP|show",
+        help="application to trace, or the literal 'show' to render a "
+        "recorded trace from the run ledger",
+    )
+    p.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="with 'show': the trace id to render (see 'gtpin runs list')",
+    )
     p.add_argument("--out", default="trace.json", help="Chrome trace path")
     p.add_argument(
         "--jsonl", default="", metavar="FILE",
@@ -605,7 +649,53 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_ledger(args: argparse.Namespace):
+    """The RunLedger named by ``--ledger`` / $REPRO_LEDGER, or None."""
+    from repro.obs.ledger import RunLedger, resolve_ledger_path
+
+    path = resolve_ledger_path(getattr(args, "ledger", None))
+    if path is None:
+        return None
+    return RunLedger(path)
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    """``gtpin trace show <trace_id>``: render an assembled trace."""
+    if not args.trace_id:
+        print("gtpin trace show: missing <trace_id> "
+              "(list candidates with 'gtpin runs list')", file=sys.stderr)
+        return 2
+    ledger = _resolve_ledger(args)
+    if ledger is None:
+        print("gtpin trace show: no ledger configured; pass --ledger "
+              "FILE or set $REPRO_LEDGER", file=sys.stderr)
+        return 2
+    spans = ledger.trace(args.trace_id)
+    if not spans:
+        print(f"gtpin trace show: no spans recorded for trace "
+              f"{args.trace_id!r}", file=sys.stderr)
+        return 1
+    print(telemetry.trace_tree_summary(spans, args.trace_id))
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w") as out:
+            _json.dump(
+                telemetry.trace_chrome_trace(spans, args.trace_id), out
+            )
+        print(f"(chrome trace written to {args.out}; open it in "
+              "chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.app == "show":
+        return _cmd_trace_show(args)
+    if args.app not in SUITE_NAMES:
+        print(f"gtpin trace: unknown application {args.app!r} "
+              "(list with 'gtpin suite', or use 'gtpin trace show "
+              "<trace_id>')", file=sys.stderr)
+        return 2
     tm = telemetry.enable()
     try:
         device = _device(args.device)
@@ -647,6 +737,44 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"(JSONL event log written to {args.jsonl})")
     finally:
         telemetry.disable()
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """``gtpin runs list|show|diff``: query the run ledger."""
+    from repro.obs.ledger import render_diff, render_run, render_runs_table
+
+    ledger = _resolve_ledger(args)
+    if ledger is None:
+        print("gtpin runs: no ledger configured; pass --ledger FILE or "
+              "set $REPRO_LEDGER", file=sys.stderr)
+        return 2
+    if args.action == "list":
+        print(render_runs_table(ledger.runs(limit=args.limit)))
+        return 0
+    if args.action == "show":
+        if len(args.ids) != 1:
+            print("gtpin runs show: expected exactly one run id",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(render_run(ledger.run(args.ids[0])))
+        except KeyError:
+            print(f"gtpin runs show: no run {args.ids[0]} in the ledger",
+                  file=sys.stderr)
+            return 1
+        return 0
+    # action == "diff"
+    if len(args.ids) != 2:
+        print("gtpin runs diff: expected exactly two run ids (baseline "
+              "first)", file=sys.stderr)
+        return 2
+    try:
+        print(render_diff(ledger.diff(args.ids[0], args.ids[1])))
+    except KeyError as exc:
+        print(f"gtpin runs diff: no run {exc.args[0]} in the ledger",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -714,6 +842,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ServeDaemon
 
     cache = _cache(args)
+    ledger = _resolve_ledger(args)
     telemetry.enable()
     obs_events.enable()
     hub = obs_live.enable()
@@ -726,6 +855,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             capacity=args.queue_capacity,
             cache=cache,
             sim_engine=args.sim_engine,
+            ledger=ledger,
         )
     except OSError as exc:
         obs_live.disable()
@@ -738,7 +868,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"gtpin serve: listening on http://{args.host}:{daemon.port} "
         f"({args.workers} workers, queue capacity {args.queue_capacity}, "
-        f"cache {'on' if cache is not None else 'off'})"
+        f"cache {'on' if cache is not None else 'off'}, "
+        f"ledger {'on' if ledger is not None else 'off'})"
     )
     print(
         f"  submit jobs:  POST http://{args.host}:{daemon.port}/v1/jobs"
@@ -784,6 +915,45 @@ def _cmd_top(args: argparse.Namespace) -> int:
     )
 
 
+def _append_run_record(
+    ledger, args: argparse.Namespace, ctx, tm, started_unix: float,
+    status: int,
+) -> None:
+    """Append one CLI run (record + trace spans) to the run ledger."""
+    import time as time_mod
+
+    from repro.obs.ledger import RunRecord
+
+    trace_id = ctx.trace_id if ctx is not None else ""
+    counters = {
+        name: counter.value
+        for name, counter in tm.counters.counters.items()
+    }
+    quantiles = {
+        name: hist.percentiles()
+        for name, hist in tm.counters.histograms.items()
+        if hist.count
+    }
+    run_id = ledger.record_run(RunRecord(
+        command=args.command,
+        trace_id=trace_id,
+        app=getattr(args, "app", "") or "",
+        device=getattr(args, "device", "") or "",
+        engine=getattr(args, "sim_engine", "") or "",
+        status="ok" if status == 0 else f"exit {status}",
+        started_unix=started_unix,
+        duration_seconds=max(0.0, time_mod.time() - started_unix),
+        counters=counters,
+        quantiles=quantiles,
+    ))
+    if trace_id:
+        ledger.record_spans(
+            trace_id, tm.spans_for_trace(trace_id), tm.ns_to_unix
+        )
+    print(f"(run {run_id} recorded to ledger {ledger.path}; "
+          f"trace {trace_id})")
+
+
 def _run(args: argparse.Namespace) -> int:
     from repro.parallel.pool import resolve_jobs
 
@@ -798,6 +968,8 @@ def _run(args: argparse.Namespace) -> int:
         return _cmd_top(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     if args.command == "trace":
         return _cmd_trace(args)
     from repro.obs import live as obs_live
@@ -805,11 +977,14 @@ def _run(args: argparse.Namespace) -> int:
     want_trace = getattr(args, "telemetry", False)
     report_out = getattr(args, "report", None)
     live_port = obs_live.resolve_port(getattr(args, "live_port", None))
-    if not want_trace and not report_out and live_port is None:
+    ledger = _resolve_ledger(args)
+    if (not want_trace and not report_out and live_port is None
+            and ledger is None):
         return _dispatch(args)
-    # --telemetry / --report / --live-port: run the command under
-    # capturing registries (live serving needs them too), then export
-    # the Chrome trace / HTML report and a one-screen summary.
+    # --telemetry / --report / --live-port / --ledger: run the command
+    # under capturing registries (live serving needs them too), then
+    # export the Chrome trace / HTML report / ledger record and a
+    # one-screen summary.
     from repro.obs import events as obs_events
 
     tm = telemetry.enable()
@@ -833,19 +1008,37 @@ def _run(args: argparse.Namespace) -> int:
         print(f"(live endpoint: http://127.0.0.1:{hub.server.port}"
               "/metrics and /health -- watch with "
               f"'gtpin top --port {hub.server.port}')")
+    from repro.telemetry import context as trace_context
+
+    # With a ledger configured, the whole command is one trace: root
+    # spans opened below join this context, and the record + spans land
+    # in the ledger afterwards.
+    run_ctx = (
+        trace_context.TraceContext(telemetry.new_trace_id())
+        if ledger is not None
+        else None
+    )
+    import time as time_mod
+
+    started_unix = time_mod.time()
     try:
-        status = _dispatch(args)
+        with trace_context.activate(run_ctx):
+            status = _dispatch(args)
         if want_trace:
             telemetry.write_chrome_trace(tm, args.telemetry_out)
             print()
             print(telemetry.span_tree_summary(tm))
             print(f"(telemetry trace written to {args.telemetry_out}; open "
                   "it in chrome://tracing or https://ui.perfetto.dev)")
+        if ledger is not None:
+            _append_run_record(
+                ledger, args, run_ctx, tm, started_unix, status
+            )
         if report_out:
             from repro.obs.report import write_report
 
             write_report(
-                report_out, tm, log=log,
+                report_out, tm, log=log, ledger=ledger,
                 title=f"gtpin {args.command} run report",
             )
             print(f"(HTML run report written to {report_out})")

@@ -183,6 +183,12 @@ def _histogram_section(tm: Telemetry) -> str:
     for name in sorted(histograms):
         h = histograms[name]
         pct = h.percentiles()
+        tail = h.tail_exemplars()
+        exemplar = ""
+        if tail:
+            top = tail[0]
+            where = top.trace_id[:8] if top.trace_id else f"span {top.span_id}"
+            exemplar = f"{_fmt(top.value)} @ {where}"
         rows.append(
             (
                 name,
@@ -193,19 +199,22 @@ def _histogram_section(tm: Telemetry) -> str:
                 _fmt(pct["p90"]),
                 _fmt(pct["p99"]),
                 _fmt(pct["max"]),
+                exemplar,
             )
         )
     return _section(
         "Histograms",
         _table(
             ("histogram", "unit", "count", "mean", "p50", "p90", "p99",
-             "max"),
+             "max", "tail exemplar"),
             rows,
             klass="num",
         ),
         note=(
             "Log-bucketed quantile estimates "
-            "(~19% relative bucket width)."
+            "(~19% relative bucket width).  The tail exemplar names the "
+            "trace that produced the largest tail observation -- drill "
+            "down with 'gtpin trace show <trace_id>'."
         ),
     )
 
@@ -452,6 +461,41 @@ def _table1_section(study) -> str:
     )
 
 
+def _ledger_delta_section(ledger) -> str | None:
+    """Run-over-run deltas from the run ledger's two newest entries."""
+    try:
+        pair = ledger.latest_pair()
+    except Exception:
+        return None
+    if pair is None:
+        return None
+    prev, last = pair
+    diff = ledger.diff(prev.id, last.id)
+    rows = [
+        (name, _fmt(va), _fmt(vb), f"{delta:+g}",
+         f"x{ratio:.3f}" if ratio is not None else "-")
+        for name, va, vb, delta, ratio in diff["deltas"]
+        if delta != 0
+    ]
+    if not rows:
+        body = '<p class="note">(no metric changed between the runs)</p>'
+    else:
+        body = _table(
+            ("metric", f"run {prev.id}", f"run {last.id}", "delta",
+             "ratio"),
+            rows, "num",
+        )
+    return _section(
+        "Run-over-run (ledger)",
+        body,
+        note=(
+            f"Comparing ledger runs {prev.id} ({prev.command}) -> "
+            f"{last.id} ({last.command}); see 'gtpin runs diff "
+            f"{prev.id} {last.id}'."
+        ),
+    )
+
+
 # -- entry points ------------------------------------------------------------
 
 
@@ -460,6 +504,7 @@ def render_report(
     log: EventLog | DisabledEventLog | None = None,
     study=None,
     title: str = "GT-Pin run report",
+    ledger=None,
 ) -> str:
     """Render one self-contained HTML document from run state."""
     log = DisabledEventLog() if log is None else log
@@ -485,6 +530,10 @@ def render_report(
     sections.append(_histogram_section(tm))
     sections.append(_counters_section(tm))
     sections.append(_overhead_section(tm, log))
+    if ledger is not None:
+        delta_section = _ledger_delta_section(ledger)
+        if delta_section:
+            sections.append(delta_section)
     sections.append(_fault_section(tm, log, study))
     sections.append(_events_section(log))
     return (
@@ -504,7 +553,8 @@ def write_report(
     log: EventLog | DisabledEventLog | None = None,
     study=None,
     title: str = "GT-Pin run report",
+    ledger=None,
 ) -> None:
     """Render and write the HTML report to ``path``."""
     with open(path, "w") as out:
-        out.write(render_report(tm, log, study, title=title))
+        out.write(render_report(tm, log, study, title=title, ledger=ledger))

@@ -11,6 +11,7 @@ codes at all (scripting / smoke tests).
 
 from __future__ import annotations
 
+import http.client
 import json
 import sys
 import time
@@ -194,7 +195,13 @@ def run_top(
     while True:
         try:
             health = fetch_health(host, port)
-        except (OSError, urllib.error.URLError, ValueError) as exc:
+        except (
+            OSError, http.client.HTTPException,
+            urllib.error.URLError, ValueError,
+        ) as exc:
+            # HTTPException covers RemoteDisconnected and friends --
+            # a half-up endpoint must be a one-line error, never a
+            # traceback.
             if once:
                 out.write(f"live endpoint http://{host}:{port}/health "
                           f"unreachable: {exc}\n")

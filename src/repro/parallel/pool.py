@@ -41,6 +41,7 @@ from repro import telemetry
 from repro.obs import events as obs_events
 from repro.obs import live as obs_live
 from repro.obs.events import EventRecord
+from repro.telemetry import context as trace_context
 from repro.telemetry.snapshot import (
     DeltaTracker,
     TelemetrySnapshot,
@@ -149,9 +150,16 @@ def _run_task(
     args: tuple,
     capture: bool,
     heartbeat: Any = None,
+    trace: tuple[str, int | None] | None = None,
 ) -> _WorkerResult:
     """Worker-side wrapper: run one task under fresh telemetry and
     event-log sessions; both are shipped back for the parent to merge.
+
+    ``trace`` is the parent's ``(trace_id, fan-out span id)``: the
+    worker activates it as a :class:`~repro.telemetry.context
+    .TraceContext`, so every root span the task opens joins the
+    dispatching request's trace and parents under the fan-out span --
+    with globally-unique span ids, the merged edges need no remapping.
 
     With a ``heartbeat`` spec, a daemon ticker thread additionally
     streams :class:`~repro.telemetry.snapshot.TelemetryDelta` heartbeats
@@ -167,7 +175,11 @@ def _run_task(
             return _WorkerResult(
                 None, _format_error(exc), traceback.format_exc(), None
             )
-    with telemetry.session() as tm, obs_events.session() as log:
+    ctx = None
+    if trace is not None:
+        ctx = trace_context.TraceContext(trace[0], trace[1])
+    with telemetry.session() as tm, obs_events.session() as log, \
+            trace_context.activate(ctx):
         tracker = stop = ticker = None
         source = ""
         if heartbeat is not None:
@@ -372,6 +384,14 @@ def _pool_map(
     interval = obs_live.heartbeat_interval() if channel else 0.0
     task_name = getattr(fn, "__name__", "task")
     parent_span_id = tm.current_span_id()
+    # Hand the dispatching request's trace (and the fan-out span as the
+    # parent) to every worker; "" means "no trace", which still carries
+    # the parent edge so merged worker roots stay attached.
+    trace = (
+        (tm.current_trace_id(), parent_span_id)
+        if parent_span_id is not None
+        else None
+    )
     outcomes: list[TaskOutcome | None] = [None] * len(tasks)
     snapshots: list[TelemetrySnapshot | None] = [None] * len(tasks)
     worker_events: list[tuple[EventRecord, ...]] = [()] * len(tasks)
@@ -388,7 +408,9 @@ def _pool_map(
                     interval,
                 )
             futures[
-                executor.submit(_run_task, fn, args, capture, heartbeat)
+                executor.submit(
+                    _run_task, fn, args, capture, heartbeat, trace
+                )
             ] = index
         for future in concurrent.futures.as_completed(futures):
             index = futures[future]

@@ -72,6 +72,11 @@ class JobSpec:
     jobs: int = 1
     #: Free-form client identity; fairness interleaves across clients.
     client: str = "anon"
+    #: W3C-style trace context from the submitting side ("" = none);
+    #: see :mod:`repro.telemetry.context`.  Carried in the spec (and
+    #: accepted from the ``traceparent`` HTTP header) so the daemon can
+    #: parent the job's whole execution under the client's span.
+    traceparent: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -108,6 +113,14 @@ class JobSpec:
             raise ProtocolError(f"unknown interval scheme {self.scheme!r}")
         if self.feature not in {f.value for f in FeatureKind}:
             raise ProtocolError(f"unknown feature kind {self.feature!r}")
+        if self.traceparent:
+            from repro.telemetry.context import parse_traceparent
+
+            if parse_traceparent(self.traceparent) is None:
+                raise ProtocolError(
+                    f"malformed traceparent {self.traceparent!r} "
+                    "(expected 00-<32 hex>-<16 hex>-<2 hex>)"
+                )
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "JobSpec":
@@ -130,7 +143,7 @@ class JobSpec:
                 if field in kwargs:
                     kwargs[field] = int(kwargs[field])
             for field in ("kind", "app", "device", "scheme", "feature",
-                          "client"):
+                          "client", "traceparent"):
                 if field in kwargs and not isinstance(kwargs[field], str):
                     raise ProtocolError(
                         f"{field} must be a string, got {kwargs[field]!r}"
@@ -156,6 +169,7 @@ def job_view(
     result: Mapping[str, Any] | None = None,
     error: str | None = None,
     cancel_requested: bool = False,
+    trace_id: str = "",
 ) -> dict[str, Any]:
     """The wire representation of one job at one moment."""
     view: dict[str, Any] = {
@@ -167,6 +181,8 @@ def job_view(
         "ended_unix": ended_unix,
         "cancel_requested": cancel_requested,
     }
+    if trace_id:
+        view["trace_id"] = trace_id
     if result is not None:
         view["result"] = dict(result)
     if error is not None:

@@ -44,6 +44,8 @@ from repro import telemetry
 from repro.obs import events as obs_events
 from repro.serve.protocol import JobSpec, JobState, job_view
 from repro.serve.work import JobCancelled
+from repro.telemetry import context as trace_context
+from repro.telemetry.spans import SpanRecord
 
 #: Default bound on *queued* (not yet running) jobs.
 DEFAULT_CAPACITY = 32
@@ -66,6 +68,7 @@ class _Job:
     __slots__ = (
         "id", "spec", "state", "seq", "rank", "submitted_unix",
         "started_unix", "ended_unix", "result", "error", "cancel",
+        "trace_id", "parent_span_id", "queue_span_id",
     )
 
     def __init__(self, job_id: str, spec: JobSpec, seq: int, rank: int) -> None:
@@ -80,10 +83,34 @@ class _Job:
         self.result: Mapping[str, Any] | None = None
         self.error: str | None = None
         self.cancel = threading.Event()
+        # Trace context: the submitting side's trace/parent (from the
+        # spec's traceparent) plus the id reserved for this job's own
+        # "serve.queue.job" span, synthesized at finalize.
+        ctx = (
+            trace_context.parse_traceparent(spec.traceparent)
+            if spec.traceparent
+            else None
+        )
+        self.trace_id = ctx.trace_id if ctx is not None else ""
+        self.parent_span_id = ctx.parent_span_id if ctx is not None else None
+        self.queue_span_id: int | None = telemetry.get().allocate_span_id()
 
     @property
     def order_key(self) -> tuple[int, int, int]:
         return (-self.spec.priority, self.rank, self.seq)
+
+    def context(self) -> trace_context.TraceContext | None:
+        """The context job work runs under: this job's trace, parented
+        beneath the queue span (so the tree reads client -> queue ->
+        work)."""
+        parent = (
+            self.queue_span_id
+            if self.queue_span_id is not None
+            else self.parent_span_id
+        )
+        if not self.trace_id and parent is None:
+            return None
+        return trace_context.TraceContext(self.trace_id, parent)
 
     def view(self) -> dict[str, Any]:
         return job_view(
@@ -96,6 +123,7 @@ class _Job:
             result=self.result,
             error=self.error,
             cancel_requested=self.cancel.is_set(),
+            trace_id=self.trace_id,
         )
 
 
@@ -107,12 +135,16 @@ class JobQueue:
         execute: Callable[[JobSpec, threading.Event], Mapping[str, Any]],
         workers: int = 2,
         capacity: int = DEFAULT_CAPACITY,
+        on_terminal: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._execute = execute
+        #: Called (loop thread) with the job view after each terminal
+        #: transition -- the server hangs the run ledger off this hook.
+        self._on_terminal = on_terminal
         self.workers = workers
         self.capacity = capacity
         self._jobs: dict[str, _Job] = {}
@@ -339,7 +371,7 @@ class JobQueue:
         loop = asyncio.get_running_loop()
         try:
             job.result = await loop.run_in_executor(
-                self._executor, self._execute, job.spec, job.cancel
+                self._executor, self._execute_traced, job
             )
             job.state = JobState.DONE
         except JobCancelled:
@@ -352,10 +384,18 @@ class JobQueue:
         self._finalize(job)
         self._wake.set()
 
+    def _execute_traced(self, job: _Job) -> Mapping[str, Any]:
+        """Run the work function on a worker thread under the job's
+        trace context, so spans the work opens (and hands to
+        subprocesses) join the client's trace."""
+        with trace_context.activate(job.context()):
+            return self._execute(job.spec, job.cancel)
+
     def _finalize(self, job: _Job) -> None:
         """Terminal-state accounting (runs on the loop thread)."""
         tm = telemetry.get()
         log = obs_events.get()
+        self._record_queue_span(job, tm)
         if job.state == JobState.DONE:
             tm.inc("serve.jobs_completed")
             if job.started_unix is not None:
@@ -382,3 +422,41 @@ class JobQueue:
                 job=job.id, client=job.spec.client, kind=job.spec.kind,
                 app=job.spec.app,
             )
+        if self._on_terminal is not None:
+            try:
+                self._on_terminal(job.view())
+            except Exception:
+                # The ledger (or any observer) must never take a job
+                # down with it; terminal accounting already happened.
+                log.warn("serve.job.on_terminal_error", job=job.id)
+
+    def _record_queue_span(self, job: _Job, tm: Any) -> None:
+        """Synthesize the job's ``serve.queue.job`` span.
+
+        Queue jobs interleave on the loop thread, so an
+        :class:`~repro.telemetry.spans.ActiveSpan` (thread-local stack)
+        would corrupt nesting; instead the span id was reserved at
+        submit and the record is written whole at finalize, covering
+        submit -> terminal (queue wait + run).
+        """
+        if job.queue_span_id is None or not tm.enabled:
+            return
+        ended = job.ended_unix if job.ended_unix is not None else time.time()
+        tm.record_span(SpanRecord(
+            span_id=job.queue_span_id,
+            parent_id=job.parent_span_id,
+            name="serve.queue.job",
+            category="serve",
+            start_ns=tm.unix_to_ns(job.submitted_unix),
+            end_ns=tm.unix_to_ns(ended),
+            thread_id=threading.get_ident(),
+            depth=0,
+            args={
+                "job": job.id,
+                "state": job.state,
+                "kind": job.spec.kind,
+                "app": job.spec.app,
+                "client": job.spec.client,
+            },
+            trace_id=job.trace_id,
+        ))

@@ -36,6 +36,7 @@ from repro import telemetry
 from repro.obs import events as obs_events
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
+from repro.obs.ledger import RunLedger, RunRecord
 from repro.parallel.cache import ProfileCache
 from repro.serve.protocol import JobSpec, JobState, ProtocolError
 from repro.serve.queue import DEFAULT_CAPACITY, JobQueue, QueueFull, UnknownJob
@@ -56,12 +57,16 @@ class ServeDaemon:
         capacity: int = DEFAULT_CAPACITY,
         cache: ProfileCache | None = None,
         sim_engine: str = "vectorized",
+        ledger: "RunLedger | None" = None,
     ) -> None:
         self.host = host
         self.cache = cache
         self._sim_engine = sim_engine
-        self.queue = JobQueue(self._execute, workers=workers,
-                              capacity=capacity)
+        self.ledger = ledger
+        self.queue = JobQueue(
+            self._execute, workers=workers, capacity=capacity,
+            on_terminal=self._record_run if ledger is not None else None,
+        )
         self.started_unix = time.time()
         # Binding happens here, so an in-use port raises EADDRINUSE
         # before any thread starts (the CLI turns that into a one-line
@@ -105,6 +110,53 @@ class ServeDaemon:
             spec, cancel=cancel, cache=self.cache,
             sim_engine=self._sim_engine,
         )
+
+    # -- run ledger ----------------------------------------------------------
+
+    def _record_run(self, view: Mapping[str, Any]) -> None:
+        """Append one terminal job (and its trace's spans so far) to the
+        run ledger.  Runs on the queue loop thread via ``on_terminal``;
+        the queue swallows exceptions so a bad disk never kills a job.
+        """
+        if self.ledger is None:
+            return
+        tm = telemetry.get()
+        spec = view.get("spec") or {}
+        result = view.get("result") or {}
+        counters = {
+            name: float(value)
+            for name, value in result.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value is not None
+        }
+        quantiles: dict[str, dict[str, float]] = {}
+        if tm.enabled:
+            for name in ("serve.queue_wait_seconds", "serve.job_seconds"):
+                hist = tm.counters.histograms.get(name)
+                if hist is not None and hist.count:
+                    quantiles[name] = hist.percentiles()
+        submitted = view.get("submitted_unix") or 0.0
+        ended = view.get("ended_unix") or time.time()
+        trace_id = view.get("trace_id", "")
+        self.ledger.record_run(RunRecord(
+            command="serve",
+            trace_id=trace_id,
+            app=spec.get("app", ""),
+            kind=spec.get("kind", ""),
+            device=spec.get("device", ""),
+            engine=self._sim_engine,
+            status=view.get("state", ""),
+            started_unix=submitted,
+            duration_seconds=max(0.0, ended - submitted),
+            health_flags=tuple(result.get("health_flags") or ()),
+            counters=counters,
+            quantiles=quantiles,
+        ))
+        if trace_id and tm.enabled:
+            self.ledger.record_spans(
+                trace_id, tm.spans_for_trace(trace_id), tm.ns_to_unix
+            )
 
     # -- LiveHub section -----------------------------------------------------
 
@@ -165,6 +217,21 @@ class ServeDaemon:
         lines += obs_metrics.render_gauge(
             "serve.profile_cache_bytes", stats.get("bytes", 0)
         )
+        if self.ledger is not None:
+            try:
+                records = self.ledger.runs(limit=50)
+                lines += obs_metrics.render_gauge(
+                    "serve.ledger_runs", len(records)
+                )
+                pair = self.ledger.latest_pair(command="serve")
+                if pair is not None:
+                    prev, last = pair
+                    lines += obs_metrics.render_gauge(
+                        "serve.ledger_last_duration_delta_seconds",
+                        last.duration_seconds - prev.duration_seconds,
+                    )
+            except Exception:
+                pass  # a scrape must never fail on ledger I/O
         return lines
 
     # -- job-scoped events ---------------------------------------------------
@@ -254,7 +321,18 @@ class _ServeHandler(obs_live._Handler):
         daemon = self.daemon_ref
         try:
             if path == "/v1/jobs":
-                spec = JobSpec.from_json(self._read_body())
+                body = self._read_body()
+                # The W3C-style header is the transport of record for
+                # trace context; the spec field is the fallback for
+                # clients that splice it into the JSON themselves.
+                header = self.headers.get("traceparent")
+                if (
+                    header
+                    and isinstance(body, dict)
+                    and not body.get("traceparent")
+                ):
+                    body["traceparent"] = header
+                spec = JobSpec.from_json(body)
                 self._send_json(daemon.queue.submit(spec), status=202)
             elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
                 job_id = path[len("/v1/jobs/"):-len("/cancel")]

@@ -96,7 +96,7 @@ def execute_job(
         sim = simulate_selection(
             spec.app, workload.recording.sources, workload.log,
             config_result.selection, device, seed=spec.seed,
-            engine=sim_engine,
+            engine=sim_engine, jobs=spec.jobs,
         )
         result.update(_config_result_json(config_result))
         result["projected_spi"] = sim.projected_spi

@@ -69,8 +69,18 @@ class FullSimulationResult:
 
 
 def _counts_task(program, env, n_blocks):
-    """Worker-side trip-count resolution (jitter-free kernels only)."""
-    return execution_counts(program, env, None, n_blocks)
+    """Worker-side trip-count resolution (jitter-free kernels only).
+
+    The span is the worker's contribution to the dispatching request's
+    trace: it roots under the fan-out span via the handed-down
+    :class:`~repro.telemetry.context.TraceContext`, so an assembled
+    serve trace shows the simulation engine's subprocess lanes.
+    """
+    with telemetry.get().span(
+        "simulation.epoch_counts.task", category="simulation",
+        blocks=n_blocks,
+    ):
+        return execution_counts(program, env, None, n_blocks)
 
 
 def _precompute_epoch_counts(

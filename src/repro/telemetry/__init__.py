@@ -19,6 +19,12 @@ See ``docs/telemetry.md`` for the API guide and a worked example, or
 run ``gtpin trace <app> --out trace.json``.
 """
 
+from repro.telemetry.context import (
+    TraceContext,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.telemetry.counters import Counter, CounterSet, Gauge, Sample
 from repro.telemetry.export import (
     chrome_trace_events,
@@ -26,12 +32,15 @@ from repro.telemetry.export import (
     jsonl_events,
     span_tree_summary,
     to_chrome_trace,
+    trace_chrome_trace,
+    trace_tree_summary,
     unit_for,
     write_chrome_trace,
     write_jsonl,
 )
 from repro.telemetry.histograms import (
     GROWTH,
+    Exemplar,
     Histogram,
     HistogramSnapshot,
     bucket_index,
@@ -76,6 +85,7 @@ __all__ = [
     "DeltaAccumulator",
     "DeltaTracker",
     "DisabledTelemetry",
+    "Exemplar",
     "GROWTH",
     "Gauge",
     "GaugeSnapshot",
@@ -90,9 +100,11 @@ __all__ = [
     "TelemetryDelta",
     "TelemetrySnapshot",
     "Timer",
+    "TraceContext",
     "bucket_index",
     "bucket_midpoint",
     "capture_snapshot",
+    "format_traceparent",
     "chrome_trace_events",
     "counters_summary",
     "disable",
@@ -101,9 +113,13 @@ __all__ = [
     "is_enabled",
     "jsonl_events",
     "merge_snapshot",
+    "new_trace_id",
+    "parse_traceparent",
     "session",
     "span_tree_summary",
     "to_chrome_trace",
+    "trace_chrome_trace",
+    "trace_tree_summary",
     "traced",
     "unit_for",
     "write_chrome_trace",

@@ -118,6 +118,7 @@ def jsonl_events(telemetry: Telemetry) -> list[dict[str, Any]]:
                 "category": span.category,
                 "span_id": span.span_id,
                 "parent_id": span.parent_id,
+                "trace_id": span.trace_id,
                 "depth": span.depth,
                 "start_us": (span.start_ns - origin) / 1e3,
                 "duration_us": span.duration_ns / 1e3,
@@ -175,21 +176,24 @@ def write_jsonl(telemetry: Telemetry, path_or_file: str | IO[str]) -> None:
         path_or_file.write("\n")
 
 
-def span_tree_summary(telemetry: Telemetry, max_depth: int = 12) -> str:
-    """Human-readable span tree.
+def _tree_lines(
+    spans: list[SpanRecord], title: str, max_depth: int = 12
+) -> list[str]:
+    """Shared tree renderer over a bare span list.
 
-    Sibling spans with the same name are collapsed into one aggregated
-    line (``name xN``) so per-invocation spans don't swamp the output;
-    their children are aggregated the same way, recursively.
+    A span whose parent is absent from the list (``None``, or an id
+    recorded by another process that never reached us) renders as a
+    root, so partial traces still draw.
     """
-    spans = telemetry.spans()
-    if not spans:
-        return "(no spans recorded)"
+    ids = {span.span_id for span in spans}
     by_parent: dict[int | None, list[SpanRecord]] = {}
     for span in sorted(spans, key=lambda s: s.start_ns):
-        by_parent.setdefault(span.parent_id, []).append(span)
+        parent = (
+            span.parent_id if span.parent_id in ids else None
+        )
+        by_parent.setdefault(parent, []).append(span)
 
-    lines: list[str] = ["span tree (wall time, sibling spans aggregated):"]
+    lines: list[str] = [title]
 
     def render(siblings: list[SpanRecord], depth: int) -> None:
         if depth > max_depth or not siblings:
@@ -213,7 +217,76 @@ def span_tree_summary(telemetry: Telemetry, max_depth: int = 12) -> str:
             render(children, depth + 1)
 
     render(by_parent.get(None, []), 1)
-    return "\n".join(lines)
+    return lines
+
+
+def span_tree_summary(telemetry: Telemetry, max_depth: int = 12) -> str:
+    """Human-readable span tree.
+
+    Sibling spans with the same name are collapsed into one aggregated
+    line (``name xN``) so per-invocation spans don't swamp the output;
+    their children are aggregated the same way, recursively.
+    """
+    spans = telemetry.spans()
+    if not spans:
+        return "(no spans recorded)"
+    return "\n".join(_tree_lines(
+        spans, "span tree (wall time, sibling spans aggregated):",
+        max_depth,
+    ))
+
+
+def trace_tree_summary(
+    spans: list[SpanRecord], trace_id: str = "", max_depth: int = 12
+) -> str:
+    """Assembled-trace tree over a bare span list (e.g. read back from
+    the run ledger): one tree spanning every process that contributed."""
+    if not spans:
+        return "(no spans in trace)"
+    label = f"trace {trace_id}" if trace_id else "trace"
+    threads = {span.thread_id for span in spans}
+    workers = sum(1 for t in threads if t < 0)
+    title = (
+        f"{label} ({len(spans)} spans, {len(threads)} threads, "
+        f"{workers} worker lanes):"
+    )
+    return "\n".join(_tree_lines(spans, title, max_depth))
+
+
+def trace_chrome_trace(
+    spans: list[SpanRecord], trace_id: str = ""
+) -> dict[str, Any]:
+    """Chrome trace JSON for a bare span list (ledger read-back).
+
+    Timestamps are shifted to start near zero; worker-subprocess lanes
+    (synthetic negative thread ids) keep their own rows.
+    """
+    origin = min(span.start_ns for span in spans) if spans else 0
+    tids = _tid_map(spans)
+    events: list[dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": f"gtpin trace {trace_id}" if trace_id else
+                 "gtpin trace"},
+    }]
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.depth)):
+        events.append({
+            "name": span.name,
+            "cat": span.category or "repro",
+            "ph": "X",
+            "ts": (span.start_ns - origin) / 1e3,
+            "dur": span.duration_ns / 1e3,
+            "pid": 0,
+            "tid": tids.get(span.thread_id, 0),
+            "args": _jsonable(span.args),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "gtpin-repro ledger", "trace_id": trace_id},
+    }
 
 
 #: Name-suffix conventions -> display unit, checked longest-first.

@@ -55,6 +55,23 @@ def bucket_midpoint(index: int) -> float:
     return GROWTH ** (index + 0.5)
 
 
+#: At most this many tail buckets keep an exemplar per histogram; the
+#: lowest bucket's exemplar is evicted first, so memory stays bounded
+#: while the p99/max region is always covered.
+MAX_EXEMPLARS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class Exemplar:
+    """A sample observation a tail bucket remembers: the value plus the
+    span/trace that produced it, so a report's p99 cell can deep-link to
+    the trace drill-down (``gtpin trace show <trace_id>``)."""
+
+    value: float
+    span_id: int
+    trace_id: str = ""
+
+
 class Histogram:
     """A log-bucketed distribution of non-negative observations.
 
@@ -64,7 +81,7 @@ class Histogram:
 
     __slots__ = (
         "name", "unit", "count", "total", "minimum", "maximum",
-        "zero_count", "buckets",
+        "zero_count", "buckets", "exemplars",
     )
 
     def __init__(self, name: str, unit: str = "") -> None:
@@ -79,6 +96,8 @@ class Histogram:
         #: log bucket.
         self.zero_count = 0
         self.buckets: dict[int, int] = {}
+        #: bucket index -> tail exemplar (see :meth:`capture_exemplar`).
+        self.exemplars: dict[int, Exemplar] = {}
 
     # -- observation ---------------------------------------------------------
 
@@ -96,6 +115,24 @@ class Histogram:
             return
         index = bucket_index(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def capture_exemplar(
+        self, value: float, span_id: int, trace_id: str = ""
+    ) -> None:
+        """Remember ``value``'s provenance in its bucket (tail linking).
+
+        The caller decides *when* to capture (the registry only calls
+        this for tail observations with an open span); this method only
+        stores and bounds.  The newest exemplar per bucket wins, and
+        only the highest :data:`MAX_EXEMPLARS` buckets keep one.
+        """
+        if value <= 0.0:
+            return
+        self.exemplars[bucket_index(value)] = Exemplar(
+            value, span_id, trace_id
+        )
+        while len(self.exemplars) > MAX_EXEMPLARS:
+            del self.exemplars[min(self.exemplars)]
 
     def observe_array(self, values) -> None:
         """Record a whole numpy batch in one vectorized pass.
@@ -208,8 +245,29 @@ class Histogram:
             other_buckets = other.buckets
         for index, bucket_count in other_buckets:
             buckets[index] = buckets.get(index, 0) + bucket_count
+        other_exemplars = getattr(other, "exemplars", None) or {}
+        items = (
+            other_exemplars.items()
+            if isinstance(other_exemplars, Mapping)
+            else other_exemplars
+        )
+        for index, exemplar in items:
+            held = self.exemplars.get(index)
+            # Larger observed value wins within a bucket: the merged
+            # tail keeps pointing at the worst case either side saw.
+            if held is None or exemplar.value > held.value:
+                self.exemplars[index] = exemplar
+        while len(self.exemplars) > MAX_EXEMPLARS:
+            del self.exemplars[min(self.exemplars)]
         if not self.unit and other.unit:
             self.unit = other.unit
+
+    def tail_exemplars(self) -> list[Exemplar]:
+        """Captured exemplars, highest bucket first."""
+        return [
+            self.exemplars[index]
+            for index in sorted(self.exemplars, reverse=True)
+        ]
 
     def snapshot(self) -> "HistogramSnapshot":
         """A picklable reduction for cross-process shipping."""
@@ -222,6 +280,7 @@ class Histogram:
             maximum=self.maximum,
             zero_count=self.zero_count,
             buckets=tuple(sorted(self.buckets.items())),
+            exemplars=tuple(sorted(self.exemplars.items())),
         )
 
 
@@ -237,3 +296,4 @@ class HistogramSnapshot:
     maximum: float
     zero_count: int
     buckets: tuple[tuple[int, int], ...]
+    exemplars: tuple[tuple[int, Exemplar], ...] = ()

@@ -35,6 +35,7 @@ import functools
 import time
 from typing import Any, Callable, Iterator, TypeVar
 
+from repro.telemetry import context as trace_context
 from repro.telemetry.counters import Counter, CounterSet, Gauge
 from repro.telemetry.histograms import Histogram
 from repro.telemetry.spans import (
@@ -94,6 +95,63 @@ class Telemetry:
         stack = self._collector._stacks.stack
         return stack[-1].span_id if stack else None
 
+    def current_trace_id(self) -> str:
+        """Trace id of the innermost open span, else the thread's active
+        trace context, else ``""`` (not part of any trace)."""
+        stack = self._collector._stacks.stack
+        if stack and stack[-1].trace_id:
+            return stack[-1].trace_id
+        ctx = trace_context.current()
+        return ctx.trace_id if ctx is not None else ""
+
+    def current_traceparent(self) -> str | None:
+        """The W3C traceparent header naming the innermost open span as
+        parent, or ``None`` when no trace is active."""
+        stack = self._collector._stacks.stack
+        if stack and stack[-1].trace_id:
+            return trace_context.format_traceparent(
+                stack[-1].trace_id, stack[-1].span_id
+            )
+        ctx = trace_context.current()
+        if ctx is not None:
+            return trace_context.format_traceparent(
+                ctx.trace_id, ctx.parent_span_id
+            )
+        return None
+
+    def allocate_span_id(self) -> int:
+        """Reserve a span id without opening a span.
+
+        The serve queue uses this to name a job's queue span at submit
+        time -- the span itself is synthesized at finalize (see
+        :meth:`record_span`), but the id must exist first so the worker
+        domain can parent under it while the job runs.
+        """
+        return self._collector.allocate_id()
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Append a pre-built span record (synthesized spans)."""
+        self._collector.record(record)
+
+    def unix_to_ns(self, unix_seconds: float) -> int:
+        """Map a wall-clock timestamp onto this registry's perf clock."""
+        return self.time_origin_ns + int(
+            round((unix_seconds - self.created_unix_seconds) * 1e9)
+        )
+
+    def ns_to_unix(self, perf_ns: int) -> float:
+        """Inverse of :meth:`unix_to_ns`: span timestamps -> wall clock.
+
+        The run ledger stores span times as absolute wall-clock
+        microseconds so traces from different processes line up."""
+        return (
+            self.created_unix_seconds + (perf_ns - self.time_origin_ns) / 1e9
+        )
+
+    def spans_for_trace(self, trace_id: str) -> list[SpanRecord]:
+        """Completed spans belonging to one trace, completion order."""
+        return [s for s in self._collector.records() if s.trace_id == trace_id]
+
     # -- counters ------------------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -103,8 +161,20 @@ class Telemetry:
         self.counters.gauge(name).observe(value)
 
     def observe_hist(self, name: str, value: float, unit: str = "") -> None:
-        """One observation into the named log-bucketed histogram."""
-        self.counters.histogram(name, unit).observe(value)
+        """One observation into the named log-bucketed histogram.
+
+        Tail observations (within two octaves of the histogram's
+        running maximum) additionally capture an *exemplar* -- the
+        innermost open span's (span_id, trace_id) -- so a p99 outlier
+        in a report links straight to the trace that produced it.
+        """
+        hist = self.counters.histogram(name, unit)
+        hist.observe(value)
+        if value > 0.0 and value * 4.0 >= hist.maximum:
+            stack = self._collector._stacks.stack
+            if stack:
+                span = stack[-1]
+                hist.capture_exemplar(value, span.span_id, span.trace_id)
 
     def histogram(self, name: str, unit: str = "") -> Histogram:
         """The named histogram (created on first use)."""
@@ -136,6 +206,30 @@ class DisabledTelemetry:
 
     def current_span_id(self) -> int | None:
         return None
+
+    def current_trace_id(self) -> str:
+        ctx = trace_context.current()
+        return ctx.trace_id if ctx is not None else ""
+
+    def current_traceparent(self) -> str | None:
+        ctx = trace_context.current()
+        if ctx is not None:
+            return trace_context.format_traceparent(
+                ctx.trace_id, ctx.parent_span_id
+            )
+        return None
+
+    def allocate_span_id(self) -> None:
+        return None
+
+    def record_span(self, record: SpanRecord) -> None:
+        pass
+
+    def ns_to_unix(self, perf_ns: int) -> float:
+        return 0.0
+
+    def spans_for_trace(self, trace_id: str) -> list[SpanRecord]:
+        return []
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         pass

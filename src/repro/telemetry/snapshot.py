@@ -5,12 +5,13 @@ out to worker processes.  Each worker runs under its own fresh registry
 (:func:`repro.telemetry.session`); when the task finishes, the worker
 reduces that registry to a picklable :class:`TelemetrySnapshot` and
 ships it back with the result.  The parent then folds every snapshot
-into its own live registry -- spans keep their internal parent/child
-structure (ids are re-allocated to avoid collisions), worker threads get
-synthetic negative thread ids so they render as separate tracks, and
-counter/gauge totals accumulate -- so ``gtpin trace`` produces one
-complete Chrome trace whether the sweep ran serially or across N
-processes.
+into its own live registry -- spans keep their parent/child structure
+*and their ids* (span ids are namespaced by a per-process random high
+word, so cross-process collisions cannot happen and no remapping is
+needed), worker threads get synthetic negative thread ids so they
+render as separate tracks, and counter/gauge totals accumulate -- so
+``gtpin trace`` produces one complete Chrome trace whether the sweep
+ran serially or across N processes.
 
 Timestamps are aligned via each registry's wall-clock creation time:
 ``perf_counter_ns`` origins are process-local, so a worker span's offset
@@ -110,9 +111,14 @@ def merge_snapshot(
 ) -> None:
     """Fold a worker snapshot into ``target``.
 
-    Worker spans whose parent lies outside the snapshot (its roots) are
-    re-parented under ``parent_span_id`` -- typically the fan-out span
-    that dispatched the task -- so the merged trace stays one tree.
+    Span ids are globally unique (each collector namespaces them with a
+    per-process random high word), so worker spans keep their ids *and*
+    their parent references verbatim -- including cross-process parents
+    installed by an activated :class:`~repro.telemetry.context
+    .TraceContext`.  Only parentless roots are re-parented under
+    ``parent_span_id`` (typically the fan-out span that dispatched the
+    task), so the merged trace stays one tree even for workers that ran
+    without a trace context.
     """
     if not getattr(target, "enabled", False):
         return
@@ -135,17 +141,14 @@ def merge_snapshot(
             )
         return thread_map[thread_id]
 
-    id_map: dict[int, int] = {}
     collector = target._collector
-    for span in sorted(snapshot.spans, key=lambda s: s.span_id):
-        id_map[span.span_id] = collector.allocate_id()
     for span in snapshot.spans:
         collector.record(
             SpanRecord(
-                span_id=id_map[span.span_id],
+                span_id=span.span_id,
                 parent_id=(
-                    id_map[span.parent_id]
-                    if span.parent_id in id_map
+                    span.parent_id
+                    if span.parent_id is not None
                     else parent_span_id
                 ),
                 name=span.name,
@@ -155,6 +158,7 @@ def merge_snapshot(
                 thread_id=remap_thread(span.thread_id),
                 depth=span.depth,
                 args=dict(span.args),
+                trace_id=span.trace_id,
             )
         )
 

@@ -27,9 +27,12 @@ disabled path allocates nothing.
 from __future__ import annotations
 
 import dataclasses
+import random
 import threading
 import time
 from typing import Any
+
+from repro.telemetry import context as trace_context
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +48,8 @@ class SpanRecord:
     thread_id: int
     depth: int
     args: dict[str, Any]
+    #: Trace this span belongs to ("" = never joined a trace).
+    trace_id: str = ""
 
     @property
     def duration_ns(self) -> int:
@@ -74,20 +79,29 @@ class SpanCollector:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[SpanRecord] = []
+        # Span ids are namespaced by a per-collector random high word:
+        # id = (random 31 bits << 32) | sequential low word.  Two
+        # registries -- two *processes* -- therefore cannot allocate
+        # colliding ids (within 2**-31 per pair), which is what lets the
+        # cross-process snapshot merge keep worker span ids (and the
+        # parent references between them) verbatim instead of remapping.
+        # 63 bits total keeps ids inside a signed 64-bit integer (SQLite,
+        # JSON consumers).
+        self._id_base = random.getrandbits(31) << 32
         self._next_id = 0
         self._stacks = _ThreadStack()
         self._open: dict[int, "ActiveSpan"] = {}
 
     def allocate_id(self) -> int:
         with self._lock:
-            span_id = self._next_id
+            span_id = self._id_base + self._next_id
             self._next_id += 1
             return span_id
 
     def open(self, span: "ActiveSpan") -> int:
         """Allocate an id for ``span`` and register it as open."""
         with self._lock:
-            span_id = self._next_id
+            span_id = self._id_base + self._next_id
             self._next_id += 1
             self._open[span_id] = span
             return span_id
@@ -122,7 +136,7 @@ class ActiveSpan:
     __slots__ = (
         "_collector", "name", "category", "args",
         "span_id", "parent_id", "depth", "thread_id",
-        "start_ns", "end_ns",
+        "start_ns", "end_ns", "trace_id",
     )
 
     def __init__(
@@ -142,6 +156,7 @@ class ActiveSpan:
         self.thread_id = 0
         self.start_ns = 0
         self.end_ns = 0
+        self.trace_id = ""
 
     def annotate(self, **kwargs: Any) -> None:
         """Attach extra args discovered mid-span (sizes, counts, labels)."""
@@ -158,7 +173,17 @@ class ActiveSpan:
 
     def __enter__(self) -> "ActiveSpan":
         stack = self._collector._stacks.stack
-        self.parent_id = stack[-1].span_id if stack else None
+        if stack:
+            # Nested: parent and trace come from the enclosing span.
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+        else:
+            # Root: join the thread's active trace context, if any.
+            ctx = trace_context.current()
+            if ctx is not None:
+                self.parent_id = ctx.parent_span_id
+                self.trace_id = ctx.trace_id
         self.depth = len(stack)
         self.span_id = self._collector.open(self)
         self.thread_id = threading.get_ident()
@@ -186,6 +211,7 @@ class ActiveSpan:
                 thread_id=self.thread_id,
                 depth=self.depth,
                 args=dict(self.args),
+                trace_id=self.trace_id,
             )
         )
         return False

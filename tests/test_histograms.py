@@ -170,6 +170,55 @@ def test_registry_histogram_identity_and_unit(tm):
     assert first.unit == "B"
 
 
+# -- exemplars ---------------------------------------------------------------
+
+
+def test_capture_exemplar_bounds_buckets_and_newest_wins():
+    from repro.telemetry.histograms import MAX_EXEMPLARS
+
+    h = Histogram("t.seconds", "s")
+    h.capture_exemplar(1.0, span_id=1, trace_id="aa")
+    h.capture_exemplar(1.0, span_id=2, trace_id="bb")  # same bucket
+    (top,) = h.tail_exemplars()
+    assert (top.span_id, top.trace_id) == (2, "bb")
+    # Flood well-separated buckets: only the highest MAX_EXEMPLARS stay.
+    for k in range(MAX_EXEMPLARS + 4):
+        h.capture_exemplar(4.0 ** k, span_id=100 + k)
+    kept = h.tail_exemplars()
+    assert len(kept) == MAX_EXEMPLARS
+    assert kept[0].value == 4.0 ** (MAX_EXEMPLARS + 3)  # highest first
+    assert all(a.value > b.value for a, b in zip(kept, kept[1:]))
+    h.capture_exemplar(0.0, span_id=9)  # non-positive: ignored
+    assert len(h.tail_exemplars()) == MAX_EXEMPLARS
+
+
+def test_registry_captures_exemplars_for_tail_observations(tm):
+    with tm.span("slow.step") as span:
+        tm.observe_hist("op.seconds", 10.0, "s")
+        trace_id = span.trace_id
+        span_id = span.span_id
+    # A mid-distribution value (far under max/4) captures nothing...
+    with tm.span("fast.step"):
+        tm.observe_hist("op.seconds", 0.001, "s")
+    # ...and without an open span, even a new maximum captures nothing.
+    tm.observe_hist("op.seconds", 20.0, "s")
+    exemplars = tm.histogram("op.seconds").tail_exemplars()
+    assert [e.value for e in exemplars] == [10.0]
+    assert exemplars[0].span_id == span_id
+    assert exemplars[0].trace_id == trace_id
+
+
+def test_exemplars_survive_snapshot_merge(tm):
+    worker = telemetry.Telemetry()
+    with worker.span("worker.step"):
+        worker.observe_hist("op.seconds", 8.0, "s")
+    with tm.span("parent.step"):
+        tm.observe_hist("op.seconds", 2.0, "s")
+    merge_snapshot(tm, capture_snapshot(worker))
+    values = [e.value for e in tm.histogram("op.seconds").tail_exemplars()]
+    assert 8.0 in values and 2.0 in values
+
+
 # -- disabled fast path ------------------------------------------------------
 
 
@@ -188,6 +237,9 @@ def test_disabled_histogram_and_counter_ops_allocate_nothing():
                 tm.histogram("never.seconds").observe(1.0)
             tm.inc("noop")  # unguarded no-op calls retain nothing either
             tm.observe_hist("noop.seconds", 1.0, "s")
+            # A tail-bucket value would capture an exemplar when
+            # enabled; disabled it must retain nothing either.
+            tm.observe_hist("noop.seconds", 1e6, "s")
 
     loop()  # warm up method caches outside the measurement
     gc.collect()

@@ -278,6 +278,55 @@ def test_hub_merges_parent_registry_with_unretired_sources(hub):
         assert hub.health_doc()["workers"] == []
 
 
+def test_retire_source_drops_lane_and_is_idempotent(hub):
+    tracker = DeltaTracker("w1")
+    worker_tm = Telemetry()
+    worker_tm.inc("retire.counter", 7)
+    hub.apply_delta(tracker.capture(worker_tm))
+    assert [w["source"] for w in hub.health_doc()["workers"]] == ["w1"]
+    hub.retire_source("w1")
+    assert hub.health_doc()["workers"] == []
+    name = metric_name("retire.counter") + "_total"
+    assert name not in parse_exposition(hub.metrics_text())
+    # Retiring again -- or a source never seen -- must be a no-op.
+    hub.retire_source("w1")
+    hub.retire_source("never-registered")
+    assert hub.health_doc()["workers"] == []
+
+
+def test_recent_events_filter_by_level(hub):
+    with obs_events.session() as log:
+        log.debug("lane.debug", i=1)
+        log.info("lane.info", i=2)
+        log.warn("lane.warn", i=3)
+        log.error("lane.error", i=4)
+        default_tail = hub._recent_events()
+        assert [e["name"] for e in default_tail] == [
+            "lane.warn", "lane.error"
+        ]
+        everything = hub._recent_events(min_level="DEBUG")
+        assert [e["name"] for e in everything] == [
+            "lane.debug", "lane.info", "lane.warn", "lane.error"
+        ]
+        errors_only = hub._recent_events(min_level="ERROR")
+        assert [e["name"] for e in errors_only] == ["lane.error"]
+
+
+def test_recent_events_merge_shipped_worker_events(hub):
+    # Worker-shipped events (via the delta side channel) merge with the
+    # local log and dedup exactly; the level filter applies to local
+    # records at read time.
+    with obs_events.session() as log:
+        log.warn("merge.local")
+        tracker = DeltaTracker("w2")
+        worker_tm = Telemetry()
+        worker_log = obs_events.EventLog()
+        worker_log.error("merge.shipped")
+        hub.apply_delta(tracker.capture(worker_tm, log=worker_log))
+        names = [e["name"] for e in hub._recent_events()]
+    assert "merge.local" in names and "merge.shipped" in names
+
+
 def test_disabled_hub_is_inert():
     assert live.get() is live.DISABLED_HUB
     assert not live.is_enabled()
@@ -395,6 +444,40 @@ def test_run_top_once_unreachable_is_an_error():
     status = run_top(port=1, once=True, stream=out)
     assert status == 1
     assert "unreachable" in out.getvalue()
+
+
+def test_run_top_once_server_disconnect_is_one_line_error():
+    """A server that accepts then hangs up raises RemoteDisconnected
+    (an http.client.HTTPException, not OSError); --once must turn it
+    into the same one-line error, never a traceback."""
+    import socket
+    import threading
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def accept_and_close():
+        try:
+            conn, _ = listener.accept()
+            conn.close()
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=accept_and_close, daemon=True)
+    thread.start()
+    try:
+        out = io.StringIO()
+        status = run_top(port=port, once=True, stream=out)
+    finally:
+        listener.close()
+        thread.join(timeout=5)
+    assert status == 1
+    text = out.getvalue()
+    assert "unreachable" in text
+    assert len(text.strip().splitlines()) == 1
+    assert "Traceback" not in text
 
 
 # -- end-to-end: jobs=2 sweep under faults vs the endpoint -------------------

@@ -460,6 +460,74 @@ def test_http_backpressure_429_with_retry_after(monkeypatch):
         active.stop()
 
 
+def test_submit_with_retry_sleeps_the_advertised_retry_after(monkeypatch):
+    """Against a stubbed server, the 429 Retry-After hint must take
+    precedence over the client's own backoff schedule."""
+    import http.server
+
+    import repro.serve.client as client_mod
+
+    class _Stub(http.server.BaseHTTPRequestHandler):
+        attempts = 0
+
+        def do_POST(self):
+            self.rfile.read(int(self.headers.get("Content-Length", 0)))
+            _Stub.attempts += 1
+            if _Stub.attempts <= 2:
+                body = json.dumps({"error": "queue full"}).encode()
+                self.send_response(429)
+                self.send_header("Retry-After", "7")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
+            body = json.dumps({"id": "j-1", "state": "queued"}).encode()
+            self.send_response(202)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _Stub)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    slept = []
+    monkeypatch.setattr(client_mod.time, "sleep", slept.append)
+    try:
+        client = ServeClient(server.server_address[1])
+        view = client.submit_with_retry(
+            "profile", APP, backoff_seconds=0.25
+        )
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+    assert view["id"] == "j-1"
+    # Both 429s carried Retry-After: 7 -- never the 0.25s backoff.
+    assert slept == [7.0, 7.0]
+
+
+def test_submit_with_retry_backs_off_without_a_hint(monkeypatch):
+    import repro.serve.client as client_mod
+
+    calls = {"n": 0}
+
+    def flaky_submit(kind, app, **spec):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise QueueFullError(429, "full", retry_after=None)
+        return {"id": "j-2", "state": "queued"}
+
+    slept = []
+    monkeypatch.setattr(client_mod.time, "sleep", slept.append)
+    client = ServeClient(1)
+    monkeypatch.setattr(client, "submit", flaky_submit)
+    view = client.submit_with_retry("profile", APP, backoff_seconds=0.5)
+    assert view["id"] == "j-2"
+    assert slept == [0.5]
+
+
 def test_http_job_events_stream(monkeypatch):
     import repro.serve.server as server_mod
 
